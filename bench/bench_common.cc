@@ -1,0 +1,75 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace hetps {
+namespace bench {
+
+Dataset MakeUrlLike(double scale, uint64_t seed) {
+  Dataset d = GenerateSynthetic(UrlLikeConfig(scale, seed));
+  Rng rng(seed ^ 0xABCD);
+  d.Shuffle(&rng);
+  return d;
+}
+
+Dataset MakeCtrLike(double scale, uint64_t seed) {
+  Dataset d = GenerateSynthetic(CtrLikeConfig(scale, seed));
+  Rng rng(seed ^ 0xABCD);
+  d.Shuffle(&rng);
+  return d;
+}
+
+double UrlTolerance() { return 0.40; }
+double CtrTolerance() { return 0.45; }
+
+std::vector<double> SigmaGridFor(const SystemModel& system) {
+  // Accumulate rules add every update at full weight, so they only
+  // converge with very small local rates (§7.4.1) — smaller still when
+  // pulls are throttled (SSP) and local replicas drift between refreshes.
+  if (system.rule->name() == "SspSGD") {
+    if (system.sync.protocol == Protocol::kSsp) {
+      return {5e-4, 1e-3, 2e-3};
+    }
+    return {1e-3, 2e-3, 4e-3, 8e-3};  // BSP/ASP refresh every clock
+  }
+  // The heterogeneity-aware rules tolerate single-worker-scale rates.
+  return {0.5, 1.0, 2.0, 4.0};
+}
+
+SystemRun RunSystem(const SystemModel& system, const Dataset& dataset,
+                    const ClusterConfig& base_cluster,
+                    const LossFunction& loss, SimOptions options,
+                    const std::vector<double>* sigma_override) {
+  options.sync = system.sync;
+  if (system.batch_fraction_override > 0.0) {
+    options.batch_fraction = system.batch_fraction_override;
+  }
+  const ClusterConfig cluster = system.AdjustCluster(base_cluster);
+  const std::vector<double> sigmas =
+      sigma_override != nullptr ? *sigma_override : SigmaGridFor(system);
+  GridSearchResult grid = GridSearchLearningRate(
+      dataset, cluster, *system.rule, loss, options, sigmas);
+  SystemRun run;
+  run.system = system.name;
+  run.best_sigma = grid.best.sigma;
+  run.decayed = grid.best.decayed;
+  run.result = grid.best.result;
+  return run;
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FmtInt(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace hetps

@@ -1,0 +1,54 @@
+#ifndef HETPS_BENCH_BENCH_COMMON_H_
+#define HETPS_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/system_models.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "engine/grid_search.h"
+#include "math/loss.h"
+#include "sim/cluster_config.h"
+#include "sim/event_sim.h"
+#include "util/string_util.h"
+
+namespace hetps {
+namespace bench {
+
+/// Shuffled synthetic stand-ins for the paper's datasets (DESIGN.md §2).
+Dataset MakeUrlLike(double scale = 1.0, uint64_t seed = 42);
+Dataset MakeCtrLike(double scale = 1.0, uint64_t seed = 1337);
+
+/// Convergence tolerances used throughout §7 (0.2 URL, 0.02 CTR scaled to
+/// our synthetic shapes; see EXPERIMENTS.md "Calibration").
+double UrlTolerance();
+double CtrTolerance();
+
+/// σ grid appropriate for a system: SSPSGD-style accumulate rules need
+/// very small local rates, the heterogeneity-aware rules tolerate larger
+/// ones (§7.4.1).
+std::vector<double> SigmaGridFor(const SystemModel& system);
+
+struct SystemRun {
+  std::string system;
+  double best_sigma = 0.0;
+  bool decayed = false;
+  SimResult result;
+};
+
+/// Runs `system` on `base_cluster` with the paper's protocol: grid-search
+/// the learning rate, report the best run.
+SystemRun RunSystem(const SystemModel& system, const Dataset& dataset,
+                    const ClusterConfig& base_cluster,
+                    const LossFunction& loss, SimOptions options,
+                    const std::vector<double>* sigma_override = nullptr);
+
+/// Number formatting helpers for paper-style tables.
+std::string Fmt(double v, int precision = 2);
+std::string FmtInt(int64_t v);
+
+}  // namespace bench
+}  // namespace hetps
+
+#endif  // HETPS_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,73 @@
+// Figure 2 — "Performance of existing systems in the presence of
+// heterogeneity": total run time, # updates to converge, and per-update
+// time for a BSP system (Petuum-BSP), an ASP system (Petuum-ASP), and an
+// SSP system (Bösen/Petuum-SSP, s=10) at HL=1 and HL=2.
+//
+// Expected shape (paper §3): BSP degrades ~2x in run time purely through
+// hardware efficiency; ASP degrades mostly through statistical efficiency;
+// SSP degrades through both.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace hetps;
+using namespace hetps::bench;
+
+int main() {
+  Dataset dataset = MakeUrlLike();
+  auto loss = MakeLoss("logistic");
+
+  SimOptions options;
+  options.objective_tolerance = UrlTolerance();
+  options.max_clocks = 150;
+  options.eval_every_pushes = 5;
+  options.l2 = 1e-4;
+
+  std::vector<SystemModel> systems;
+  systems.push_back(MakePetuumBsp());
+  systems.push_back(MakePetuumAsp());
+  systems.push_back(MakePetuumSsp(/*s=*/10));
+
+  TextTable table({"system", "HL", "run time (s)", "# updates",
+                   "per-update (ms)", "converged", "sigma"});
+  for (double hl : {1.0, 2.0}) {
+    const ClusterConfig cluster =
+        ClusterConfig::WithStragglers(/*num_workers=*/30,
+                                      /*num_servers=*/10, hl,
+                                      /*fraction=*/0.2);
+    for (const SystemModel& system : systems) {
+      // Average over three jitter/stagger seeds (the paper also reports
+      // three-run averages).
+      double run_time = 0.0;
+      double updates = 0.0;
+      double sigma = 0.0;
+      int converged = 0;
+      const int reps = 3;
+      for (int rep = 0; rep < reps; ++rep) {
+        SimOptions rep_options = options;
+        rep_options.seed = 7 + static_cast<uint64_t>(rep);
+        const SystemRun run =
+            RunSystem(system, dataset, cluster, *loss, rep_options);
+        run_time += run.result.run_time_seconds;
+        updates += static_cast<double>(run.result.updates_to_converge);
+        sigma += run.best_sigma;
+        converged += run.result.converged ? 1 : 0;
+      }
+      run_time /= reps;
+      updates /= reps;
+      sigma /= reps;
+      table.AddRow({system.name, Fmt(hl, 0), Fmt(run_time, 1),
+                    FmtInt(static_cast<int64_t>(updates)),
+                    Fmt(run_time / updates * 1e3, 1),
+                    converged == reps
+                        ? "yes"
+                        : (converged == 0 ? "no" : "partly"),
+                    Fmt(sigma, 4)});
+    }
+  }
+  std::printf("=== Figure 2: anatomy of existing systems (LR, URL-like, "
+              "M=30, 20%% stragglers) ===\n%s\n",
+              table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Table 3 — End-to-end comparison: run time, # updates to converge, and
+// per-update time for {LR, SVM} x {URL-like, CTR-like} x {HL=1, HL=2}
+// across Spark, Petuum/TF under BSP and ASP, Petuum under SSP, and this
+// paper's CONSGD / DYNSGD at staleness 3 and 10. Learning rates are
+// grid-searched per cell, mirroring the paper's protocol.
+//
+// Expected shapes (§7.2): PS systems beat Spark under BSP; accumulate
+// systems degrade at HL=2 while ConSGD/DynSGD barely move; DynSGD needs
+// the fewest updates.
+//
+// This is the heaviest bench (~10 minutes); set HETPS_TABLE3_QUICK=1 to
+// run a reduced grid.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+
+using namespace hetps;
+using namespace hetps::bench;
+
+int main() {
+  const bool quick = std::getenv("HETPS_TABLE3_QUICK") != nullptr;
+
+  struct Workload {
+    const char* name;
+    const char* loss;
+    Dataset dataset;
+    double tolerance;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"LR/URL", "logistic", MakeUrlLike(), UrlTolerance()});
+  workloads.push_back(
+      {"LR/CTR", "logistic", MakeCtrLike(), CtrTolerance()});
+  if (!quick) {
+    // Hinge loss has a different scale/floor than logistic; thresholds
+    // calibrated the paper's way (≈90% of the reachable optimum).
+    workloads.push_back(
+        {"SVM/URL", "hinge", MakeUrlLike(1.0, 43), 0.20});
+    workloads.push_back(
+        {"SVM/CTR", "hinge", MakeCtrLike(1.0, 1338), 0.42});
+  }
+
+  std::vector<SystemModel> systems;
+  systems.push_back(MakeSparkBsp());
+  systems.push_back(MakePetuumBsp());
+  systems.push_back(MakeTensorFlowBsp());
+  systems.push_back(MakePetuumAsp());
+  systems.push_back(MakeTensorFlowAsp());
+  for (int s : {3, 10}) {
+    systems.push_back(MakePetuumSsp(s));
+    systems.push_back(MakeConSgd(s));
+    systems.push_back(MakeDynSgd(s));
+  }
+  auto label = [](const SystemModel& m) {
+    if (m.sync.protocol == Protocol::kSsp) {
+      return m.name + "(s=" + std::to_string(m.sync.staleness) + ")";
+    }
+    return m.name;
+  };
+
+  TextTable table({"workload", "HL", "system", "run time (s)", "# updates",
+                   "per-update (s)", "converged", "sigma"});
+  for (auto& w : workloads) {
+    auto loss = MakeLoss(w.loss);
+    SimOptions options;
+    options.objective_tolerance = w.tolerance;
+    options.max_clocks = quick ? 80 : 200;
+    options.eval_every_pushes = 10;
+    for (double hl : {1.0, 2.0}) {
+      const ClusterConfig cluster =
+          ClusterConfig::WithStragglers(30, 10, hl, 0.2);
+      for (const SystemModel& system : systems) {
+        const SystemRun run =
+            RunSystem(system, w.dataset, cluster, *loss, options);
+        table.AddRow({w.name, Fmt(hl, 0), label(system),
+                      Fmt(run.result.run_time_seconds, 0),
+                      FmtInt(run.result.updates_to_converge),
+                      Fmt(run.result.per_update_seconds, 3),
+                      run.result.converged ? "yes" : "no",
+                      Fmt(run.best_sigma, 4)});
+        std::fprintf(stderr, ".");
+      }
+      std::fprintf(stderr, " [%s HL=%.0f done]\n", w.name, hl);
+    }
+  }
+  std::printf("=== Table 3: end-to-end comparison (M=30, 20%% stragglers, "
+              "10%% batches, grid-searched sigma) ===\n%s\n",
+              table.ToString().c_str());
+  return 0;
+}

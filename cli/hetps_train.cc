@@ -1,0 +1,214 @@
+// hetps_train — command-line front end for the library.
+//
+//   hetps_train train    --data=train.libsvm --model=out.model
+//                        [--loss=logistic|hinge|squared] [--rule=ssp|con|dyn]
+//                        [--protocol=bsp|asp|ssp] [--staleness=3]
+//                        [--workers=4] [--servers=2] [--clocks=20]
+//                        [--lr=0.3] [--decay] [--l2=1e-4]
+//                        [--batch-fraction=0.1] [--synthetic=url|ctr]
+//   hetps_train evaluate --data=test.libsvm --model=in.model
+//   hetps_train predict  --data=test.libsvm --model=in.model [--out=preds.txt]
+//   hetps_train simulate [--hl=2] [--workers=30] [--servers=10]
+//                        [--rule=dyn] [--staleness=3] [--lr=2.0]
+//                        [--clocks=60] [--tolerance=0.4]
+//
+// `--synthetic=url|ctr` generates a dataset instead of reading --data,
+// which makes the tool usable out of the box.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/consolidation.h"
+#include "core/learning_rate.h"
+#include "data/libsvm_io.h"
+#include "data/synthetic.h"
+#include "models/linear_model.h"
+#include "sim/event_sim.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace hetps {
+namespace {
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+Result<Dataset> LoadData(const FlagParser& flags) {
+  const std::string synthetic = flags.GetString("synthetic", "");
+  if (!synthetic.empty()) {
+    const uint64_t seed = static_cast<uint64_t>(
+        flags.GetInt("seed", 42).value());
+    Dataset d = synthetic == "ctr"
+                    ? GenerateSynthetic(CtrLikeConfig(1.0, seed))
+                    : GenerateSynthetic(UrlLikeConfig(1.0, seed));
+    Rng rng(seed + 1);
+    d.Shuffle(&rng);
+    return d;
+  }
+  const std::string path = flags.GetString("data", "");
+  if (path.empty()) {
+    return Status::InvalidArgument(
+        "pass --data=<libsvm file> or --synthetic=url|ctr");
+  }
+  return ReadLibSvmFile(path);
+}
+
+SyncPolicy ParseSync(const FlagParser& flags, Status* st) {
+  const std::string protocol = flags.GetString("protocol", "ssp");
+  const int s =
+      static_cast<int>(flags.GetInt("staleness", 3).value());
+  if (protocol == "bsp") return SyncPolicy::Bsp();
+  if (protocol == "asp") return SyncPolicy::Asp();
+  if (protocol == "ssp") return SyncPolicy::Ssp(s);
+  *st = Status::InvalidArgument("unknown --protocol: " + protocol);
+  return SyncPolicy::Ssp(s);
+}
+
+int RunTrain(const FlagParser& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+
+  LinearModelConfig cfg;
+  cfg.loss = flags.GetString("loss", "logistic");
+  cfg.rule = flags.GetString("rule", "dyn");
+  Status sync_st;
+  cfg.sync = ParseSync(flags, &sync_st);
+  if (!sync_st.ok()) return Fail(sync_st);
+  cfg.num_workers =
+      static_cast<int>(flags.GetInt("workers", 4).value());
+  cfg.num_servers =
+      static_cast<int>(flags.GetInt("servers", 2).value());
+  cfg.max_clocks = static_cast<int>(flags.GetInt("clocks", 20).value());
+  cfg.learning_rate = flags.GetDouble("lr", 0.3).value();
+  cfg.decayed_rate = flags.GetBool("decay", false);
+  cfg.l2 = flags.GetDouble("l2", 1e-4).value();
+  cfg.batch_fraction =
+      flags.GetDouble("batch-fraction", 0.1).value();
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 42).value());
+
+  auto model = LinearModel::Train(data.value(), cfg);
+  if (!model.ok()) return Fail(model.status());
+  std::printf("trained %s/%s in %.2fs wall: objective %.4f, accuracy "
+              "%.3f\n",
+              cfg.loss.c_str(), cfg.rule.c_str(),
+              model.value().train_stats().wall_seconds,
+              model.value().Objective(data.value()),
+              model.value().Accuracy(data.value()));
+  const std::string out = flags.GetString("model", "");
+  if (!out.empty()) {
+    Status st = model.value().Save(out);
+    if (!st.ok()) return Fail(st);
+    std::printf("model written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+Result<LinearModel> LoadModel(const FlagParser& flags) {
+  const std::string path = flags.GetString("model", "");
+  if (path.empty()) {
+    return Status::InvalidArgument("pass --model=<file>");
+  }
+  return LinearModel::Load(path);
+}
+
+int RunEvaluate(const FlagParser& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  auto model = LoadModel(flags);
+  if (!model.ok()) return Fail(model.status());
+  std::printf("objective %.4f, accuracy %.3f over %zu examples\n",
+              model.value().Objective(data.value()),
+              model.value().Accuracy(data.value()),
+              data.value().size());
+  return 0;
+}
+
+int RunPredict(const FlagParser& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  auto model = LoadModel(flags);
+  if (!model.ok()) return Fail(model.status());
+  const std::string out_path = flags.GetString("out", "");
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      return Fail(Status::IOError("cannot open " + out_path));
+    }
+  }
+  std::ostream& os = out_path.empty() ? std::cout : file;
+  for (size_t i = 0; i < data.value().size(); ++i) {
+    os << model.value().Predict(data.value().example(i).features)
+       << '\n';
+  }
+  return 0;
+}
+
+int RunSimulate(const FlagParser& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+  const double hl = flags.GetDouble("hl", 2.0).value();
+  const int workers =
+      static_cast<int>(flags.GetInt("workers", 30).value());
+  const int servers =
+      static_cast<int>(flags.GetInt("servers", 10).value());
+  auto rule =
+      MakeConsolidationRule(flags.GetString("rule", "dyn"));
+  auto loss = MakeLoss(flags.GetString("loss", "logistic"));
+  FixedRate sched(flags.GetDouble("lr", 2.0).value());
+  SimOptions options;
+  Status sync_st;
+  options.sync = ParseSync(flags, &sync_st);
+  if (!sync_st.ok()) return Fail(sync_st);
+  options.max_clocks =
+      static_cast<int>(flags.GetInt("clocks", 60).value());
+  options.objective_tolerance =
+      flags.GetDouble("tolerance", 0.4).value();
+  options.l2 = flags.GetDouble("l2", 1e-4).value();
+  const ClusterConfig cluster =
+      ClusterConfig::WithStragglers(workers, servers, hl, 0.2);
+  const SimResult r = RunSimulation(data.value(), cluster, *rule, sched,
+                                    *loss, options);
+  std::printf("%s\n", r.Summary().c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags;
+  Status st = flags.Parse(argc - 1, argv + 1);
+  if (!st.ok()) return Fail(st);
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: hetps_train <train|evaluate|predict|simulate> "
+                 "[flags]\n(see the header of cli/hetps_train.cc)\n");
+    return 1;
+  }
+  const std::string command = flags.positional()[0];
+  int rc = 0;
+  if (command == "train") {
+    rc = RunTrain(flags);
+  } else if (command == "evaluate") {
+    rc = RunEvaluate(flags);
+  } else if (command == "predict") {
+    rc = RunPredict(flags);
+  } else if (command == "simulate") {
+    rc = RunSimulate(flags);
+  } else {
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return 1;
+  }
+  for (const std::string& name : flags.UnusedFlags()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", name.c_str());
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace hetps
+
+int main(int argc, char** argv) {
+  return hetps::Main(argc, argv);
+}

@@ -1,0 +1,65 @@
+// Example: study how the three consolidation rules behave on a cluster
+// with injected stragglers (the paper's §3 anatomy, in ~60 lines).
+//
+// Uses the deterministic event simulator: real gradients, simulated time.
+//
+//   ./build/examples/heterogeneous_cluster [HL]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/consolidation.h"
+#include "core/dyn_sgd.h"
+#include "core/learning_rate.h"
+#include "data/synthetic.h"
+#include "sim/event_sim.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace hetps;
+  const double hl = argc > 1 ? std::atof(argv[1]) : 2.0;
+
+  Dataset dataset = GenerateSynthetic(UrlLikeConfig());
+  Rng rng(1);
+  dataset.Shuffle(&rng);
+  auto loss = MakeLoss("logistic");
+
+  // 30 workers, 10 servers; 20% of the workers are HL-times slower.
+  const ClusterConfig cluster =
+      ClusterConfig::WithStragglers(30, 10, hl, 0.2);
+
+  SimOptions options;
+  options.sync = SyncPolicy::Ssp(3);
+  options.max_clocks = 60;
+  options.objective_tolerance = 0.40;
+  options.eval_every_pushes = 10;
+
+  struct Entry {
+    const char* name;
+    std::unique_ptr<ConsolidationRule> rule;
+    double sigma;  // each algorithm at its own well-tuned local rate
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"SspSGD (accumulate)", std::make_unique<SspRule>(),
+                     1e-3});
+  entries.push_back({"ConSGD (lambda=1/M)", std::make_unique<ConRule>(),
+                     2.0});
+  entries.push_back({"DynSGD (1/staleness)",
+                     std::make_unique<DynSgdRule>(), 2.0});
+
+  std::printf("cluster: M=30, P=10, HL=%.1f (%d%% stragglers)\n\n", hl,
+              20);
+  for (const Entry& e : entries) {
+    FixedRate sched(e.sigma);
+    const SimResult r = RunSimulation(dataset, cluster, *e.rule, sched,
+                                      *loss, options);
+    std::printf("%-22s sigma=%-6g %s\n", e.name, e.sigma,
+                r.Summary().c_str());
+  }
+  std::printf(
+      "\nExpected: the accumulate rule needs a tiny learning rate and "
+      "still converges\nslowly; ConSGD and DynSGD run at a 2000x larger "
+      "local rate and converge in a\nfraction of the updates — the "
+      "paper's 2-12x claim.\n");
+  return 0;
+}

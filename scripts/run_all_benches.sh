@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs every bench binary, teeing each into results/.
+# Usage: scripts/run_all_benches.sh [build-dir]
+set -u
+BUILD="${1:-build}"
+mkdir -p results
+rc=0
+for b in "$BUILD"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "=== running $name ==="
+  if ! "$b" > "results/$name.txt" 2>&1; then
+    echo "FAILED: $name (see results/$name.txt)"
+    rc=1
+  fi
+  tail -n 3 "results/$name.txt"
+done
+exit $rc

@@ -1,0 +1,82 @@
+#include "baselines/flexrr.h"
+
+#include <algorithm>
+
+#include "data/sharding.h"
+#include "util/logging.h"
+
+namespace hetps {
+
+FlexRrMitigation::FlexRrMitigation(Options options) : options_(options) {
+  HETPS_CHECK(options.straggler_threshold > 1.0)
+      << "threshold must exceed 1";
+  HETPS_CHECK(options.reassign_fraction > 0.0 &&
+              options.reassign_fraction < 1.0)
+      << "reassign fraction out of (0,1)";
+}
+
+double FlexRrMitigation::EstimatedTime(
+    int worker, const Master& master,
+    const std::vector<LocalWorkerSgd*>& workers) const {
+  const double last = master.LastClockTime(worker);
+  if (last <= 0.0) return 0.0;  // unknown speed
+  const size_t shard =
+      std::max<size_t>(1, (*workers[static_cast<size_t>(worker)])
+                              .shard()
+                              .size());
+  const size_t pending =
+      worker < static_cast<int>(pending_in_.size())
+          ? pending_in_[static_cast<size_t>(worker)]
+          : 0;
+  return last * (1.0 + static_cast<double>(pending) /
+                           static_cast<double>(shard));
+}
+
+void FlexRrMitigation::OnClockEnd(int worker, int clock,
+                                  double clock_seconds, Master* master,
+                                  std::vector<LocalWorkerSgd*>* workers) {
+  (void)clock;
+  if (pending_in_.size() < workers->size()) {
+    pending_in_.resize(workers->size(), 0);
+  }
+  // The reporter's own inflow is now reflected in its reported time.
+  pending_in_[static_cast<size_t>(worker)] = 0;
+
+  // Pick the least-loaded candidate target.
+  int target = -1;
+  double target_time = 0.0;
+  for (size_t m = 0; m < workers->size(); ++m) {
+    if (static_cast<int>(m) == worker) continue;
+    const double t = EstimatedTime(static_cast<int>(m), *master, *workers);
+    if (t <= 0.0) continue;
+    if (target < 0 || t < target_time) {
+      target = static_cast<int>(m);
+      target_time = t;
+    }
+  }
+  if (target < 0) return;
+  // Move only if this worker is a straggler relative to the target's
+  // estimated load (FlexRR's ">20% slower" rule).
+  if (clock_seconds <= options_.straggler_threshold * target_time) return;
+
+  LocalWorkerSgd* straggler = (*workers)[static_cast<size_t>(worker)];
+  LocalWorkerSgd* receiver = (*workers)[static_cast<size_t>(target)];
+  DataShard* from = straggler->mutable_shard();
+  if (from->size() <= options_.min_shard_size) return;
+  const size_t before = from->size();
+  // Cap the move so the shard never drops below the minimum size.
+  double fraction = options_.reassign_fraction;
+  const size_t max_move = before - options_.min_shard_size;
+  const size_t want =
+      static_cast<size_t>(fraction * static_cast<double>(before));
+  if (want > max_move) {
+    fraction = static_cast<double>(max_move) /
+               static_cast<double>(before);
+  }
+  ReassignFraction(from, receiver->mutable_shard(), fraction);
+  const size_t moved = before - from->size();
+  examples_reassigned_ += moved;
+  pending_in_[static_cast<size_t>(target)] += moved;
+}
+
+}  // namespace hetps

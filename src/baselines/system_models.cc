@@ -1,0 +1,92 @@
+#include "baselines/system_models.h"
+
+#include "core/dyn_sgd.h"
+#include "util/logging.h"
+
+namespace hetps {
+
+SystemModel::SystemModel(std::string n, SyncPolicy s,
+                         std::unique_ptr<ConsolidationRule> r,
+                         int servers_override, double overhead)
+    : name(std::move(n)),
+      sync(s),
+      rule(std::move(r)),
+      num_servers_override(servers_override),
+      comm_overhead(overhead) {
+  HETPS_CHECK(rule != nullptr) << "system model needs a rule";
+}
+
+ClusterConfig SystemModel::AdjustCluster(const ClusterConfig& base) const {
+  ClusterConfig out = base;
+  if (num_servers_override > 0) {
+    out.num_servers = num_servers_override;
+  }
+  if (comm_overhead != 1.0) {
+    out.net_bytes_per_sec = base.net_bytes_per_sec / comm_overhead;
+    out.net_latency = base.net_latency * comm_overhead;
+  }
+  return out;
+}
+
+SystemModel MakeSparkBsp() {
+  // Spark MLlib PSGD: every iteration aggregates one (full-batch)
+  // gradient through the driver and averages — BSP + λ=1/M with batch
+  // fraction 1.0 (no intra-clock local descent), a single coordinator,
+  // and engine overhead.
+  SystemModel m("Spark", SyncPolicy::Bsp(), std::make_unique<ConRule>(),
+                /*servers=*/1, /*overhead=*/2.0);
+  m.batch_fraction_override = 1.0;
+  return m;
+}
+
+SystemModel MakePetuumBsp() {
+  return SystemModel("Petuum-BSP", SyncPolicy::Bsp(),
+                     std::make_unique<SspRule>());
+}
+
+SystemModel MakeTensorFlowBsp() {
+  return SystemModel("TF-BSP", SyncPolicy::Bsp(),
+                     std::make_unique<SspRule>(), /*servers=*/-1,
+                     /*overhead=*/1.3);
+}
+
+SystemModel MakePetuumAsp() {
+  return SystemModel("Petuum-ASP", SyncPolicy::Asp(),
+                     std::make_unique<SspRule>());
+}
+
+SystemModel MakeTensorFlowAsp() {
+  return SystemModel("TF-ASP", SyncPolicy::Asp(),
+                     std::make_unique<SspRule>(), /*servers=*/-1,
+                     /*overhead=*/1.3);
+}
+
+SystemModel MakePetuumSsp(int s) {
+  return SystemModel("Petuum-SSP", SyncPolicy::Ssp(s),
+                     std::make_unique<SspRule>());
+}
+
+SystemModel MakeConSgd(int s) {
+  return SystemModel("ConSGD", SyncPolicy::Ssp(s),
+                     std::make_unique<ConRule>());
+}
+
+SystemModel MakeDynSgd(int s) {
+  return SystemModel("DynSGD", SyncPolicy::Ssp(s),
+                     std::make_unique<DynSgdRule>());
+}
+
+std::vector<SystemModel> MakeTable3Roster(int s) {
+  std::vector<SystemModel> roster;
+  roster.push_back(MakeSparkBsp());
+  roster.push_back(MakePetuumBsp());
+  roster.push_back(MakeTensorFlowBsp());
+  roster.push_back(MakePetuumAsp());
+  roster.push_back(MakeTensorFlowAsp());
+  roster.push_back(MakePetuumSsp(s));
+  roster.push_back(MakeConSgd(s));
+  roster.push_back(MakeDynSgd(s));
+  return roster;
+}
+
+}  // namespace hetps

@@ -1,0 +1,66 @@
+#ifndef HETPS_BASELINES_SYSTEM_MODELS_H_
+#define HETPS_BASELINES_SYSTEM_MODELS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/consolidation.h"
+#include "core/sync_policy.h"
+#include "sim/cluster_config.h"
+
+namespace hetps {
+
+/// Protocol-faithful models of the systems the paper compares against
+/// (§3, §7.2). Each model pins down three things the paper attributes the
+/// systems' behaviour to:
+///   - the synchronization protocol (BSP / ASP / SSP),
+///   - the consolidation rule (all comparators accumulate; Spark's model
+///     averaging equals BSP + a 1/M constant rule),
+///   - the communication topology/efficiency (single coordinator vs
+///     partitioned PS; Petuum's PS is more efficient than TensorFlow's).
+struct SystemModel {
+  std::string name;
+  SyncPolicy sync;
+  std::unique_ptr<ConsolidationRule> rule;
+  /// <= 0 keeps the cluster's server count; 1 models a single coordinator.
+  int num_servers_override = -1;
+  /// Multiplies effective transfer cost (engine efficiency differences).
+  double comm_overhead = 1.0;
+  /// > 0 overrides the experiment's mini-batch fraction. Spark-MLlib-style
+  /// PSGD synchronizes a *full-batch* gradient per iteration (clock),
+  /// i.e. fraction 1.0: no intra-clock local descent.
+  double batch_fraction_override = -1.0;
+
+  SystemModel(std::string n, SyncPolicy s,
+              std::unique_ptr<ConsolidationRule> r,
+              int servers_override = -1, double overhead = 1.0);
+
+  /// Applies the topology/overhead knobs to a cluster configuration.
+  ClusterConfig AdjustCluster(const ClusterConfig& base) const;
+};
+
+/// Spark-style BSP: single coordinator, model averaging (ConRule 1/M).
+SystemModel MakeSparkBsp();
+/// Petuum (Bösen) under BSP: partitioned PS, accumulate rule.
+SystemModel MakePetuumBsp();
+/// TensorFlow under BSP: PS without automatic partitioning — modelled as
+/// a less efficient PS (comm overhead ~1.3, §7.2).
+SystemModel MakeTensorFlowBsp();
+/// Petuum under ASP: accumulate, no waiting.
+SystemModel MakePetuumAsp();
+/// TensorFlow under ASP.
+SystemModel MakeTensorFlowAsp();
+/// Petuum/Bösen under SSP with staleness `s`: accumulate (SSPSGD).
+SystemModel MakePetuumSsp(int s);
+/// This paper's CONSGD under SSP with staleness `s`.
+SystemModel MakeConSgd(int s);
+/// This paper's DYNSGD under SSP with staleness `s`.
+SystemModel MakeDynSgd(int s);
+
+/// The full comparison roster of Table 3 for a given staleness.
+std::vector<SystemModel> MakeTable3Roster(int s);
+
+}  // namespace hetps
+
+#endif  // HETPS_BASELINES_SYSTEM_MODELS_H_

@@ -1,0 +1,67 @@
+#include "core/learning_rate.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace hetps {
+
+FixedRate::FixedRate(double sigma) : sigma_(sigma) {
+  HETPS_CHECK(sigma > 0.0) << "sigma must be positive";
+}
+
+double FixedRate::Rate(int clock) const {
+  (void)clock;
+  return sigma_;
+}
+
+std::unique_ptr<LearningRateSchedule> FixedRate::Clone() const {
+  return std::make_unique<FixedRate>(sigma_);
+}
+
+std::string FixedRate::DebugString() const {
+  std::ostringstream os;
+  os << "fixed(sigma=" << sigma_ << ")";
+  return os.str();
+}
+
+DecayedRate::DecayedRate(double sigma, double alpha)
+    : sigma_(sigma), alpha_(alpha) {
+  HETPS_CHECK(sigma > 0.0) << "sigma must be positive";
+  HETPS_CHECK(alpha >= 0.0) << "alpha must be non-negative";
+}
+
+double DecayedRate::Rate(int clock) const {
+  return sigma_ / std::sqrt(alpha_ * static_cast<double>(clock) + 1.0);
+}
+
+std::unique_ptr<LearningRateSchedule> DecayedRate::Clone() const {
+  return std::make_unique<DecayedRate>(sigma_, alpha_);
+}
+
+std::string DecayedRate::DebugString() const {
+  std::ostringstream os;
+  os << "decayed(sigma=" << sigma_ << ", alpha=" << alpha_ << ")";
+  return os.str();
+}
+
+InverseSqrtRate::InverseSqrtRate(double sigma) : sigma_(sigma) {
+  HETPS_CHECK(sigma > 0.0) << "sigma must be positive";
+}
+
+double InverseSqrtRate::Rate(int clock) const {
+  return sigma_ / std::sqrt(static_cast<double>(clock) + 1.0);
+}
+
+std::unique_ptr<LearningRateSchedule> InverseSqrtRate::Clone() const {
+  return std::make_unique<InverseSqrtRate>(sigma_);
+}
+
+std::string InverseSqrtRate::DebugString() const {
+  std::ostringstream os;
+  os << "inv_sqrt(sigma=" << sigma_ << ")";
+  return os.str();
+}
+
+}  // namespace hetps

@@ -1,0 +1,72 @@
+#ifndef HETPS_CORE_LEARNING_RATE_H_
+#define HETPS_CORE_LEARNING_RATE_H_
+
+#include <memory>
+#include <string>
+
+namespace hetps {
+
+/// Worker-side (local) learning-rate schedule η_c (§7.1 Protocol): either a
+/// fixed η = σ or the decayed η_c = σ / sqrt(α·c + 1).
+class LearningRateSchedule {
+ public:
+  virtual ~LearningRateSchedule() = default;
+
+  /// Learning rate to use during clock `clock` (0-based).
+  virtual double Rate(int clock) const = 0;
+
+  virtual std::unique_ptr<LearningRateSchedule> Clone() const = 0;
+  virtual std::string DebugString() const = 0;
+};
+
+/// η_c = σ for all clocks.
+class FixedRate final : public LearningRateSchedule {
+ public:
+  explicit FixedRate(double sigma);
+
+  double Rate(int clock) const override;
+  std::unique_ptr<LearningRateSchedule> Clone() const override;
+  std::string DebugString() const override;
+
+  double sigma() const { return sigma_; }
+
+ private:
+  double sigma_;
+};
+
+/// η_c = σ / sqrt(α·c + 1) — the decayed schedule with α = 0.2 the paper
+/// grid-searches alongside the fixed one.
+class DecayedRate final : public LearningRateSchedule {
+ public:
+  DecayedRate(double sigma, double alpha = 0.2);
+
+  double Rate(int clock) const override;
+  std::unique_ptr<LearningRateSchedule> Clone() const override;
+  std::string DebugString() const override;
+
+  double sigma() const { return sigma_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double sigma_;
+  double alpha_;
+};
+
+/// The theoretically motivated per-iteration schedule η_t = σ / sqrt(t)
+/// used in the proofs of Theorems 1 and 2 (t counts processed clocks
+/// across all workers).
+class InverseSqrtRate final : public LearningRateSchedule {
+ public:
+  explicit InverseSqrtRate(double sigma);
+
+  double Rate(int clock) const override;
+  std::unique_ptr<LearningRateSchedule> Clone() const override;
+  std::string DebugString() const override;
+
+ private:
+  double sigma_;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_CORE_LEARNING_RATE_H_

@@ -1,0 +1,53 @@
+#include "core/regret_bounds.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hetps {
+namespace {
+
+double CommonFactor(const BoundParams& p) {
+  HETPS_CHECK(p.T > 0) << "T must be positive";
+  HETPS_CHECK(p.M > 0) << "M must be positive";
+  HETPS_CHECK(p.s >= 0) << "s must be non-negative";
+  const double nu = 2.0 * (p.s + 1.0) * static_cast<double>(p.M);
+  return p.F * p.L * std::sqrt(nu / p.T);
+}
+
+}  // namespace
+
+double SspRegretBound(const BoundParams& p) {
+  return 4.0 * CommonFactor(p);
+}
+
+double ConRegretBound(const BoundParams& p) {
+  return (static_cast<double>(p.M) + 3.0) * CommonFactor(p);
+}
+
+double ConRegretBoundTuned(const BoundParams& p) {
+  return 3.0 * CommonFactor(p);
+}
+
+double DynRegretBound(const BoundParams& p, double mu) {
+  HETPS_CHECK(mu >= 1.0 && mu <= static_cast<double>(p.M))
+      << "E[staleness] must lie in [1, M]";
+  return (mu + 3.0) * CommonFactor(p);
+}
+
+double DynSpaceBoundBytes(double param_bytes, int num_servers,
+                          int staleness) {
+  HETPS_CHECK(num_servers > 0) << "need at least one server";
+  return param_bytes / static_cast<double>(num_servers) *
+         (static_cast<double>(staleness) + 1.0);
+}
+
+double DynSpaceBytes(double param_bytes, int num_servers, int cmax,
+                     int cmin) {
+  HETPS_CHECK(num_servers > 0) << "need at least one server";
+  HETPS_CHECK(cmax >= cmin) << "cmax must be >= cmin";
+  return param_bytes / static_cast<double>(num_servers) *
+         (static_cast<double>(cmax - cmin) + 1.0);
+}
+
+}  // namespace hetps

@@ -1,0 +1,49 @@
+#ifndef HETPS_CORE_REGRET_BOUNDS_H_
+#define HETPS_CORE_REGRET_BOUNDS_H_
+
+#include <cstddef>
+
+namespace hetps {
+
+/// Closed-form regret upper bounds proved in the paper (Eqs. (2)-(5)) and
+/// the Theorem 3 space bound. Used by property tests (ordering and
+/// asymptotics of the bounds) and the theory bench.
+///
+/// Common inputs: F bounds the parameter diameter (Assumption 2), L the
+/// subgradient norms (Assumption 1), s the SSP staleness, M the number of
+/// workers, T = C·M the total processed clocks.
+struct BoundParams {
+  double F = 1.0;
+  double L = 1.0;
+  int s = 3;
+  int M = 30;
+  double T = 1000.0;
+};
+
+/// Eq. (2): SSPSGD (Ho et al.): R ≤ 4FL·sqrt(2(s+1)M / T).
+double SspRegretBound(const BoundParams& p);
+
+/// Eq. (3): CONSGD with σ = F / (L·sqrt(2(s+1)M)):
+/// R ≤ (M+3)·FL·sqrt(2(s+1)M / T).
+double ConRegretBound(const BoundParams& p);
+
+/// Eq. (4): CONSGD with the M× larger σ: R ≤ 3FL·sqrt(2(s+1)M / T).
+double ConRegretBoundTuned(const BoundParams& p);
+
+/// Eq. (5): DYNSGD with μ = E[staleness]:
+/// R ≤ (μ+3)·FL·sqrt(2(s+1)M / T).
+double DynRegretBound(const BoundParams& p, double mu);
+
+/// Theorem 3: upper bound on per-server memory for DynSGD's multi-version
+/// updates, ρ ≤ (r/P)(s+1), with r = parameter bytes and P servers.
+double DynSpaceBoundBytes(double param_bytes, int num_servers,
+                          int staleness);
+
+/// Eq. (7): exact version of the above given the live clock window:
+/// ρ = (r/P)(cmax − cmin + 1).
+double DynSpaceBytes(double param_bytes, int num_servers, int cmax,
+                     int cmin);
+
+}  // namespace hetps
+
+#endif  // HETPS_CORE_REGRET_BOUNDS_H_

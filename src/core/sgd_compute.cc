@@ -1,0 +1,105 @@
+#include "core/sgd_compute.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hetps {
+
+LocalWorkerSgd::LocalWorkerSgd(const Dataset* dataset, DataShard shard,
+                               const LossFunction* loss,
+                               const LearningRateSchedule* schedule,
+                               Options options)
+    : dataset_(dataset),
+      shard_(std::move(shard)),
+      loss_(loss),
+      schedule_(schedule),
+      options_(options) {
+  HETPS_CHECK(dataset != nullptr) << "null dataset";
+  HETPS_CHECK(loss != nullptr) << "null loss";
+  HETPS_CHECK(schedule != nullptr) << "null learning-rate schedule";
+  HETPS_CHECK(options_.batch_size > 0) << "batch_size must be positive";
+  const size_t dim = static_cast<size_t>(dataset->dimension());
+  update_buffer_.assign(dim, 0.0);
+  batch_grad_.assign(dim, 0.0);
+}
+
+LocalWorkerSgd::ClockStats LocalWorkerSgd::RunClock(
+    int clock, std::vector<double>* replica, SparseVector* update) {
+  HETPS_CHECK(replica->size() == update_buffer_.size())
+      << "replica dimension mismatch";
+  const double eta = schedule_->Rate(clock);
+  ClockStats stats;
+  std::fill(update_buffer_.begin(), update_buffer_.end(), 0.0);
+  double loss_sum = 0.0;
+
+  const auto& indices = shard_.example_indices;
+  size_t pos = 0;
+  while (pos < indices.size()) {
+    const size_t batch_end =
+        std::min(pos + options_.batch_size, indices.size());
+    const size_t b = batch_end - pos;
+    std::fill(batch_grad_.begin(), batch_grad_.end(), 0.0);
+    const double inv_b = 1.0 / static_cast<double>(b);
+    // Track which coordinates the batch touches so the L2 term and the
+    // replica update stay sparse.
+    for (size_t k = pos; k < batch_end; ++k) {
+      const Example& ex = dataset_->example(indices[k]);
+      loss_sum += AccumulateExampleGradient(*loss_, ex.features, ex.label,
+                                            *replica, inv_b, &batch_grad_);
+      stats.nnz_processed += ex.features.nnz();
+    }
+    for (size_t k = pos; k < batch_end; ++k) {
+      const Example& ex = dataset_->example(indices[k]);
+      for (size_t i = 0; i < ex.features.nnz(); ++i) {
+        const size_t j = static_cast<size_t>(ex.features.index(i));
+        // Lazy L2 on active coordinates; a coordinate in several examples
+        // of the batch decays slightly more, an accepted approximation
+        // that preserves update sparsity.
+        batch_grad_[j] += options_.l2 * (*replica)[j] * inv_b;
+      }
+    }
+    for (size_t k = pos; k < batch_end; ++k) {
+      const Example& ex = dataset_->example(indices[k]);
+      for (size_t i = 0; i < ex.features.nnz(); ++i) {
+        const size_t j = static_cast<size_t>(ex.features.index(i));
+        const double g = batch_grad_[j];
+        if (g != 0.0) {
+          (*replica)[j] -= eta * g;
+          update_buffer_[j] -= eta * g;
+          batch_grad_[j] = 0.0;  // consume so duplicates apply once
+        }
+      }
+    }
+    stats.examples_processed += b;
+    ++stats.batches;
+    pos = batch_end;
+  }
+
+  *update = SparseVector::FromDense(update_buffer_, 0.0);
+  stats.mean_loss = stats.examples_processed
+                        ? loss_sum /
+                              static_cast<double>(stats.examples_processed)
+                        : 0.0;
+  return stats;
+}
+
+size_t LocalWorkerSgd::ShardNnz() const {
+  size_t total = 0;
+  for (size_t idx : shard_.example_indices) {
+    total += dataset_->example(idx).features.nnz();
+  }
+  return total;
+}
+
+size_t LocalWorkerSgd::BatchSizeForFraction(size_t shard_size,
+                                            double fraction) {
+  HETPS_CHECK(fraction > 0.0 && fraction <= 1.0)
+      << "batch fraction out of (0, 1]";
+  const size_t b = static_cast<size_t>(
+      fraction * static_cast<double>(shard_size));
+  return std::max<size_t>(1, b);
+}
+
+}  // namespace hetps

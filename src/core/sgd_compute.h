@@ -1,0 +1,76 @@
+#ifndef HETPS_CORE_SGD_COMPUTE_H_
+#define HETPS_CORE_SGD_COMPUTE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/learning_rate.h"
+#include "data/dataset.h"
+#include "data/sharding.h"
+#include "math/loss.h"
+#include "math/sparse_vector.h"
+
+namespace hetps {
+
+/// Worker-side mini-batch SGD for one clock (Algorithm 1 lines 3-6):
+/// scans the worker's shard once, updating the local replica after every
+/// mini-batch and accumulating the clock's total update
+///   u = -η_c Σ_batches ∇f_batch(replica).
+///
+/// One instance per worker; owns no data (the dataset is shared
+/// read-only). L2 regularization is applied lazily on the coordinates
+/// active in each batch, which keeps updates sparse.
+class LocalWorkerSgd {
+ public:
+  struct Options {
+    /// Mini-batch size in examples. The paper uses 10% of the shard; use
+    /// BatchSizeForFraction to derive it.
+    size_t batch_size = 16;
+    double l2 = 1e-4;
+  };
+
+  struct ClockStats {
+    size_t examples_processed = 0;
+    size_t batches = 0;
+    /// Sum of nnz over processed examples — the simulator's compute-cost
+    /// unit.
+    size_t nnz_processed = 0;
+    /// Mean per-example loss observed during the clock (on the evolving
+    /// replica; a cheap convergence signal).
+    double mean_loss = 0.0;
+  };
+
+  LocalWorkerSgd(const Dataset* dataset, DataShard shard,
+                 const LossFunction* loss,
+                 const LearningRateSchedule* schedule, Options options);
+
+  /// Runs one clock: updates `replica` in place, writes the accumulated
+  /// update into `update`. `clock` selects η_c.
+  ClockStats RunClock(int clock, std::vector<double>* replica,
+                      SparseVector* update);
+
+  /// Sum of feature nnz over the current shard (compute cost of a clock).
+  size_t ShardNnz() const;
+
+  const DataShard& shard() const { return shard_; }
+  DataShard* mutable_shard() { return &shard_; }
+  const Options& options() const { return options_; }
+
+  /// batch = max(1, fraction * shard_size) — "10% of the data" (§7.1).
+  static size_t BatchSizeForFraction(size_t shard_size, double fraction);
+
+ private:
+  const Dataset* dataset_;
+  DataShard shard_;
+  const LossFunction* loss_;
+  const LearningRateSchedule* schedule_;
+  Options options_;
+  // Dense accumulation buffer reused across clocks.
+  std::vector<double> update_buffer_;
+  std::vector<double> batch_grad_;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_CORE_SGD_COMPUTE_H_

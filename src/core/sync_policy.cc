@@ -1,0 +1,77 @@
+#include "core/sync_policy.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace hetps {
+
+const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kBsp:
+      return "BSP";
+    case Protocol::kAsp:
+      return "ASP";
+    case Protocol::kSsp:
+      return "SSP";
+  }
+  return "?";
+}
+
+bool SyncPolicy::NeedsPull(int clock, int cached_cmin) const {
+  if (protocol == Protocol::kAsp) {
+    // ASP disables the cp throttle (§2.2): refresh every clock, no wait.
+    return true;
+  }
+  return cached_cmin < clock - staleness;
+}
+
+bool SyncPolicy::CanAdvance(int next_clock, int cmin) const {
+  if (protocol == Protocol::kAsp) return true;
+  return next_clock <= cmin + staleness;
+}
+
+std::string SyncPolicy::DebugString() const {
+  std::ostringstream os;
+  os << ProtocolName(protocol);
+  if (protocol == Protocol::kSsp) os << "(s=" << staleness << ")";
+  return os.str();
+}
+
+ClockTable::ClockTable(int num_workers)
+    : clocks_(static_cast<size_t>(num_workers), 0) {
+  HETPS_CHECK(num_workers > 0) << "ClockTable needs at least one worker";
+}
+
+void ClockTable::Restore(const std::vector<int>& clocks) {
+  HETPS_CHECK(clocks.size() == clocks_.size())
+      << "clock snapshot size mismatch";
+  clocks_ = clocks;
+  cmin_ = *std::min_element(clocks_.begin(), clocks_.end());
+  cmax_ = *std::max_element(clocks_.begin(), clocks_.end());
+}
+
+bool ClockTable::OnPush(int worker, int clock) {
+  HETPS_CHECK(worker >= 0 && worker < num_workers())
+      << "worker id out of range";
+  // clock counts *finished* clocks: a push at clock c means c+1 finished.
+  clocks_[static_cast<size_t>(worker)] = clock + 1;
+  if (clock + 1 > cmax_) cmax_ = clock + 1;
+  bool advanced = false;
+  for (;;) {
+    bool all_done = true;
+    for (int c : clocks_) {
+      if (c <= cmin_) {
+        all_done = false;
+        break;
+      }
+    }
+    if (!all_done) break;
+    ++cmin_;
+    advanced = true;
+  }
+  return advanced;
+}
+
+}  // namespace hetps

@@ -1,0 +1,78 @@
+#ifndef HETPS_CORE_SYNC_POLICY_H_
+#define HETPS_CORE_SYNC_POLICY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hetps {
+
+/// Synchronization protocol family (§2.2, §3). SSP subsumes the others:
+/// s = 0 yields BSP; s = +inf with the pull-throttle disabled yields ASP.
+enum class Protocol {
+  kBsp,
+  kAsp,
+  kSsp,
+};
+
+const char* ProtocolName(Protocol p);
+
+/// Parameter-synchronization policy shared by the simulator and the
+/// threaded runtime.
+struct SyncPolicy {
+  Protocol protocol = Protocol::kSsp;
+  /// Staleness threshold s; fastest worker may lead the slowest by at most
+  /// s clocks. Ignored for ASP.
+  int staleness = 3;
+
+  static SyncPolicy Bsp() { return {Protocol::kBsp, 0}; }
+  static SyncPolicy Asp() {
+    return {Protocol::kAsp, std::numeric_limits<int>::max() / 2};
+  }
+  static SyncPolicy Ssp(int s) { return {Protocol::kSsp, s}; }
+
+  /// True if a worker that finished clock `clock` must refresh its replica
+  /// before continuing, given the cmin it cached at its last pull
+  /// (Algorithm 1 line 8: `if cp < c - s`). ASP refreshes every clock but
+  /// never blocks.
+  bool NeedsPull(int clock, int cached_cmin) const;
+
+  /// True if a worker may begin `next_clock` when the slowest worker has
+  /// finished `cmin` clocks (Algorithm 1 server line 7: c <= cmin + s).
+  bool CanAdvance(int next_clock, int cmin) const;
+
+  std::string DebugString() const;
+};
+
+/// Tracks each worker's clock and maintains cmin / cmax — the server-side
+/// bookkeeping of Algorithms 1 and 2.
+class ClockTable {
+ public:
+  explicit ClockTable(int num_workers);
+
+  int num_workers() const { return static_cast<int>(clocks_.size()); }
+
+  /// Records that `worker` pushed the update that finishes clock `clock`.
+  /// Advances cmin while all workers have finished it (Algorithm 1 lines
+  /// 4-5) and raises cmax (Algorithm 2 lines 14-15). Returns true if cmin
+  /// advanced (callers use this to wake blocked pulls).
+  bool OnPush(int worker, int clock);
+
+  int clock(int worker) const { return clocks_.at(worker); }
+  int cmin() const { return cmin_; }
+  int cmax() const { return cmax_; }
+
+  /// Checkpointing: the per-worker clocks fully determine the table.
+  const std::vector<int>& clocks() const { return clocks_; }
+  void Restore(const std::vector<int>& clocks);
+
+ private:
+  std::vector<int> clocks_;
+  int cmin_ = 0;
+  int cmax_ = 0;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_CORE_SYNC_POLICY_H_

@@ -1,0 +1,104 @@
+#include "data/libsvm_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace hetps {
+namespace {
+
+Status ParseLine(const std::string& line, int line_no, Example* out) {
+  std::istringstream is(line);
+  std::string label_tok;
+  if (!(is >> label_tok)) {
+    return Status::IOError("line " + std::to_string(line_no) +
+                           ": missing label");
+  }
+  char* end = nullptr;
+  const double raw_label = std::strtod(label_tok.c_str(), &end);
+  if (end == label_tok.c_str()) {
+    return Status::IOError("line " + std::to_string(line_no) +
+                           ": bad label '" + label_tok + "'");
+  }
+  out->label = raw_label <= 0.0 ? -1.0 : raw_label;
+
+  std::string tok;
+  int64_t prev_index = -1;
+  while (is >> tok) {
+    const size_t colon = tok.find(':');
+    if (colon == std::string::npos) {
+      return Status::IOError("line " + std::to_string(line_no) +
+                             ": bad feature '" + tok + "'");
+    }
+    const int64_t one_based = std::strtoll(tok.substr(0, colon).c_str(),
+                                           nullptr, 10);
+    if (one_based < 1) {
+      return Status::IOError("line " + std::to_string(line_no) +
+                             ": index must be >= 1, got " + tok);
+    }
+    const int64_t index = one_based - 1;
+    if (index <= prev_index) {
+      return Status::IOError("line " + std::to_string(line_no) +
+                             ": indices must be strictly increasing");
+    }
+    const double value = std::strtod(tok.c_str() + colon + 1, nullptr);
+    out->features.PushBack(index, value);
+    prev_index = index;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Dataset> ParseLibSvm(const std::string& content) {
+  Dataset dataset;
+  std::istringstream is(content);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    Example ex;
+    Status st = ParseLine(std::string(trimmed), line_no, &ex);
+    if (!st.ok()) return st;
+    dataset.Add(std::move(ex));
+  }
+  return dataset;
+}
+
+Result<Dataset> ReadLibSvmFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseLibSvm(buffer.str());
+}
+
+Status WriteLibSvmFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  out << std::setprecision(17);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const Example& ex = dataset.example(i);
+    out << ex.label;
+    for (size_t k = 0; k < ex.features.nnz(); ++k) {
+      out << ' ' << (ex.features.index(k) + 1) << ':'
+          << ex.features.value(k);
+    }
+    out << '\n';
+  }
+  if (!out) {
+    return Status::IOError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace hetps

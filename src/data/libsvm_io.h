@@ -1,0 +1,26 @@
+#ifndef HETPS_DATA_LIBSVM_IO_H_
+#define HETPS_DATA_LIBSVM_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace hetps {
+
+/// Reads a LIBSVM/SVMlight format file:
+///   <label> <index>:<value> <index>:<value> ...
+/// Indices are 1-based in the file and converted to 0-based. Labels "0"
+/// and "-1" both map to -1 so binary files in either convention work.
+/// Lines starting with '#' and blank lines are skipped.
+Result<Dataset> ReadLibSvmFile(const std::string& path);
+
+/// Parses LIBSVM content from a string (used by tests).
+Result<Dataset> ParseLibSvm(const std::string& content);
+
+/// Writes `dataset` in LIBSVM format (1-based indices).
+Status WriteLibSvmFile(const Dataset& dataset, const std::string& path);
+
+}  // namespace hetps
+
+#endif  // HETPS_DATA_LIBSVM_IO_H_

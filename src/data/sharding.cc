@@ -1,0 +1,52 @@
+#include "data/sharding.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hetps {
+
+std::vector<DataShard> SplitData(size_t dataset_size, size_t num_workers,
+                                 ShardingPolicy policy) {
+  HETPS_CHECK(num_workers > 0) << "need at least one worker";
+  std::vector<DataShard> shards(num_workers);
+  if (dataset_size == 0) return shards;
+  switch (policy) {
+    case ShardingPolicy::kContiguous: {
+      const size_t base = dataset_size / num_workers;
+      const size_t extra = dataset_size % num_workers;
+      size_t next = 0;
+      for (size_t m = 0; m < num_workers; ++m) {
+        const size_t count = base + (m < extra ? 1 : 0);
+        shards[m].example_indices.reserve(count);
+        for (size_t i = 0; i < count; ++i) {
+          shards[m].example_indices.push_back(next++);
+        }
+      }
+      HETPS_CHECK(next == dataset_size) << "split did not cover dataset";
+      break;
+    }
+    case ShardingPolicy::kRoundRobin: {
+      for (size_t i = 0; i < dataset_size; ++i) {
+        shards[i % num_workers].example_indices.push_back(i);
+      }
+      break;
+    }
+  }
+  return shards;
+}
+
+void ReassignFraction(DataShard* from, DataShard* to, double fraction) {
+  HETPS_CHECK(fraction >= 0.0 && fraction <= 1.0)
+      << "fraction out of [0,1]";
+  const size_t count = static_cast<size_t>(
+      fraction * static_cast<double>(from->example_indices.size()));
+  if (count == 0) return;
+  const size_t keep = from->example_indices.size() - count;
+  to->example_indices.insert(to->example_indices.end(),
+                             from->example_indices.begin() + keep,
+                             from->example_indices.end());
+  from->example_indices.resize(keep);
+}
+
+}  // namespace hetps

@@ -1,0 +1,41 @@
+#ifndef HETPS_DATA_SHARDING_H_
+#define HETPS_DATA_SHARDING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace hetps {
+
+/// A worker's view of its shard: indices into the shared Dataset.
+/// The dataset itself is shared read-only; shards never copy examples.
+struct DataShard {
+  std::vector<size_t> example_indices;
+
+  size_t size() const { return example_indices.size(); }
+};
+
+/// How the data splitter distributes examples over workers.
+enum class ShardingPolicy {
+  /// Contiguous blocks of ~N/M examples (the paper's sharding approach).
+  kContiguous,
+  /// Round-robin striping — balances any residual ordering effects.
+  kRoundRobin,
+};
+
+/// Partitions the [0, dataset_size) index range into `num_workers` shards.
+/// Mirrors the prototype's data-splitter module (Appendix D): partitioning
+/// happens once before training; randomization is the dataset's one-time
+/// shuffle during loading.
+std::vector<DataShard> SplitData(size_t dataset_size, size_t num_workers,
+                                 ShardingPolicy policy);
+
+/// Moves `fraction` of `from`'s examples (taken from its tail) to the back
+/// of `to` — the FlexRR-style reassignment primitive used by the
+/// straggler-mitigation baseline.
+void ReassignFraction(DataShard* from, DataShard* to, double fraction);
+
+}  // namespace hetps
+
+#endif  // HETPS_DATA_SHARDING_H_

@@ -1,0 +1,90 @@
+#include "data/transforms.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hetps {
+
+Dataset HashFeatures(const Dataset& input, int64_t num_buckets,
+                     uint64_t seed) {
+  HETPS_CHECK(num_buckets > 0) << "num_buckets must be positive";
+  Dataset out;
+  for (size_t i = 0; i < input.size(); ++i) {
+    const Example& ex = input.example(i);
+    // std::map keeps bucket indices sorted for SparseVector::PushBack.
+    std::map<int64_t, double> buckets;
+    for (size_t k = 0; k < ex.features.nnz(); ++k) {
+      const uint64_t h =
+          Mix64(static_cast<uint64_t>(ex.features.index(k)) ^ seed);
+      const int64_t bucket =
+          static_cast<int64_t>(h % static_cast<uint64_t>(num_buckets));
+      // One spare bit of the hash decides the sign, which keeps the
+      // expectation of collided sums unbiased.
+      const double sign = (h >> 63) ? -1.0 : 1.0;
+      buckets[bucket] += sign * ex.features.value(k);
+    }
+    Example hashed;
+    hashed.label = ex.label;
+    for (const auto& [bucket, value] : buckets) {
+      if (value != 0.0) hashed.features.PushBack(bucket, value);
+    }
+    out.Add(std::move(hashed));
+  }
+  // Fix the dimension even if the top buckets were never hit.
+  if (out.dimension() < num_buckets) {
+    Dataset sized(
+        [&] {
+          std::vector<Example> copy;
+          copy.reserve(out.size());
+          for (size_t i = 0; i < out.size(); ++i) {
+            copy.push_back(out.example(i));
+          }
+          return copy;
+        }(),
+        num_buckets);
+    return sized;
+  }
+  return out;
+}
+
+Dataset NormalizeExamples(const Dataset& input) {
+  std::vector<Example> examples;
+  examples.reserve(input.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    Example ex = input.example(i);
+    const double norm = std::sqrt(ex.features.SquaredNorm());
+    if (norm > 0.0) ex.features.Scale(1.0 / norm);
+    examples.push_back(std::move(ex));
+  }
+  return Dataset(std::move(examples), input.dimension());
+}
+
+std::pair<Dataset, Dataset> TrainTestSplit(const Dataset& input,
+                                           double test_fraction,
+                                           uint64_t seed) {
+  HETPS_CHECK(test_fraction >= 0.0 && test_fraction < 1.0)
+      << "test_fraction out of [0, 1)";
+  std::vector<size_t> order(input.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  const size_t test_count = static_cast<size_t>(
+      test_fraction * static_cast<double>(input.size()));
+  std::vector<Example> train;
+  std::vector<Example> test;
+  for (size_t i = 0; i < order.size(); ++i) {
+    Example copy = input.example(order[i]);
+    if (i < test_count) {
+      test.push_back(std::move(copy));
+    } else {
+      train.push_back(std::move(copy));
+    }
+  }
+  return {Dataset(std::move(train), input.dimension()),
+          Dataset(std::move(test), input.dimension())};
+}
+
+}  // namespace hetps

@@ -1,0 +1,31 @@
+#ifndef HETPS_DATA_TRANSFORMS_H_
+#define HETPS_DATA_TRANSFORMS_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "data/dataset.h"
+
+namespace hetps {
+
+/// Dataset preparation utilities for the LIBSVM/real-data path.
+
+/// Hashes features into `num_buckets` dimensions (the standard trick for
+/// capping very high-dimensional sparse data, e.g. the URL dataset's
+/// 3.2M lexical features). Colliding features have their values summed;
+/// a sign hash halves collision bias.
+Dataset HashFeatures(const Dataset& input, int64_t num_buckets,
+                     uint64_t seed = 0x8a5f00dULL);
+
+/// L2-normalizes each example's feature vector (zero vectors are kept).
+Dataset NormalizeExamples(const Dataset& input);
+
+/// Deterministic split into (train, test); `test_fraction` of the
+/// examples (rounded down) go to the test set after a seeded shuffle.
+std::pair<Dataset, Dataset> TrainTestSplit(const Dataset& input,
+                                           double test_fraction,
+                                           uint64_t seed = 7);
+
+}  // namespace hetps
+
+#endif  // HETPS_DATA_TRANSFORMS_H_

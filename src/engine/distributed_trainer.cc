@@ -1,0 +1,120 @@
+#include "engine/distributed_trainer.h"
+
+#include <thread>
+
+#include "core/sgd_compute.h"
+#include "data/sharding.h"
+#include "net/ps_service.h"
+#include "ps/checkpoint.h"
+#include "ps/parameter_server.h"
+#include "util/logging.h"
+
+namespace hetps {
+
+Result<DistributedTrainResult> TrainDistributed(
+    const Dataset& dataset, const LossFunction& loss,
+    const LearningRateSchedule& schedule,
+    const ConsolidationRule& rule_proto,
+    const DistributedTrainerOptions& options) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  if (options.num_workers <= 0 || options.num_servers <= 0) {
+    return Status::InvalidArgument("need positive worker/server counts");
+  }
+  if (options.max_clocks <= 0) {
+    return Status::InvalidArgument("max_clocks must be positive");
+  }
+  if (options.resume && options.resume_clock < 0) {
+    return Status::InvalidArgument("resume_clock must be >= 0");
+  }
+
+  PsOptions ps_opts;
+  ps_opts.num_servers = options.num_servers;
+  ps_opts.sync = options.sync;
+  ps_opts.partition_sync = options.partition_sync;
+  ParameterServer ps(dataset.dimension(), options.num_workers, rule_proto,
+                     ps_opts);
+  if (options.resume) {
+    HETPS_RETURN_NOT_OK(
+        RestoreCheckpointFromFile(&ps, options.checkpoint_path));
+  }
+
+  MessageBus bus;
+  PsService service(&ps, &bus, "ps");
+  HETPS_RETURN_NOT_OK(service.status());
+
+  const std::vector<DataShard> shards =
+      SplitData(dataset.size(), static_cast<size_t>(options.num_workers),
+                ShardingPolicy::kContiguous);
+  const int start_clock = options.resume ? options.resume_clock : 0;
+  const int end_clock = start_clock + options.max_clocks;
+
+  std::vector<double> trace;           // worker-0 objective per clock
+  Status checkpoint_status;            // written only by worker 0
+  std::vector<Status> worker_status(
+      static_cast<size_t>(options.num_workers));
+
+  auto worker_body = [&](int m) {
+    Status& my_status = worker_status[static_cast<size_t>(m)];
+    RpcWorkerClient client(m, &bus, "ps");
+    LocalWorkerSgd::Options sgd_opts;
+    sgd_opts.batch_size = LocalWorkerSgd::BatchSizeForFraction(
+        shards[static_cast<size_t>(m)].size(), options.batch_fraction);
+    sgd_opts.l2 = options.l2;
+    LocalWorkerSgd sgd(&dataset, shards[static_cast<size_t>(m)], &loss,
+                       &schedule, sgd_opts);
+    // A (re)starting worker pulls the latest parameter from the PS.
+    std::vector<double> replica;
+    int cp = 0;
+    my_status = client.Pull(&replica, &cp);
+    if (!my_status.ok()) return;
+    for (int c = start_clock; c < end_clock; ++c) {
+      SparseVector update;
+      sgd.RunClock(c, &replica, &update);
+      my_status = client.Push(c, update);
+      if (!my_status.ok()) return;
+      if (m == 0) {
+        const size_t n = options.eval_sample == 0 ? dataset.size()
+                                                  : options.eval_sample;
+        trace.push_back(
+            dataset.ObjectiveSample(loss, replica, options.l2, n));
+        if (options.checkpoint_every_clocks > 0 &&
+            (c + 1 - start_clock) % options.checkpoint_every_clocks ==
+                0) {
+          // Checkpointing runs beside live traffic; the PS serializes
+          // shard access internally.
+          Status st = SaveCheckpointToFile(ps, options.checkpoint_path);
+          if (!st.ok()) checkpoint_status = st;
+        }
+      }
+      if (options.sync.NeedsPull(c, cp)) {
+        my_status = client.WaitUntilCanAdvance(c + 1);
+        if (!my_status.ok()) return;
+        my_status = client.Pull(&replica, &cp);
+        if (!my_status.ok()) return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int m = 0; m < options.num_workers; ++m) {
+    threads.emplace_back(worker_body, m);
+  }
+  for (auto& t : threads) t.join();
+  for (const Status& st : worker_status) {
+    HETPS_RETURN_NOT_OK(st);
+  }
+  HETPS_RETURN_NOT_OK(checkpoint_status);
+
+  DistributedTrainResult result;
+  result.weights = ps.Snapshot();
+  result.objective_per_clock = std::move(trace);
+  const size_t n =
+      options.eval_sample == 0 ? dataset.size() : options.eval_sample;
+  result.final_objective =
+      dataset.ObjectiveSample(loss, result.weights, options.l2, n);
+  result.messages = bus.delivered_count();
+  result.next_clock = end_clock;
+  return result;
+}
+
+}  // namespace hetps

@@ -1,0 +1,59 @@
+#ifndef HETPS_ENGINE_DISTRIBUTED_TRAINER_H_
+#define HETPS_ENGINE_DISTRIBUTED_TRAINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/consolidation.h"
+#include "core/learning_rate.h"
+#include "core/sync_policy.h"
+#include "data/dataset.h"
+#include "math/loss.h"
+#include "util/status.h"
+
+namespace hetps {
+
+/// The fully-distributed execution path: worker threads talk to the
+/// parameter-server service exclusively through the serialized message
+/// bus (src/net) — no shared-memory shortcut — with optional periodic
+/// checkpointing for failure recovery. This mirrors the deployed
+/// prototype's architecture (Appendix D) as closely as an in-process
+/// build can.
+struct DistributedTrainerOptions {
+  SyncPolicy sync = SyncPolicy::Ssp(3);
+  int max_clocks = 20;
+  double l2 = 1e-4;
+  double batch_fraction = 0.1;
+  int num_workers = 4;
+  int num_servers = 2;
+  bool partition_sync = false;
+  /// Write a checkpoint every N clocks of worker 0 (0 = never).
+  int checkpoint_every_clocks = 0;
+  std::string checkpoint_path = "/tmp/hetps_distributed.ckpt";
+  /// Resume from `checkpoint_path` before training (workers re-pull and
+  /// continue from `resume_clock`).
+  bool resume = false;
+  int resume_clock = 0;
+  size_t eval_sample = 2000;
+  uint64_t seed = 11;
+};
+
+struct DistributedTrainResult {
+  std::vector<double> weights;
+  std::vector<double> objective_per_clock;  // worker 0
+  double final_objective = 0.0;
+  int64_t messages = 0;
+  /// Clock after the last one executed (pass as resume_clock).
+  int next_clock = 0;
+};
+
+Result<DistributedTrainResult> TrainDistributed(
+    const Dataset& dataset, const LossFunction& loss,
+    const LearningRateSchedule& schedule,
+    const ConsolidationRule& rule_proto,
+    const DistributedTrainerOptions& options);
+
+}  // namespace hetps
+
+#endif  // HETPS_ENGINE_DISTRIBUTED_TRAINER_H_

@@ -1,0 +1,61 @@
+#include "engine/grid_search.h"
+
+#include "core/learning_rate.h"
+#include "util/logging.h"
+
+namespace hetps {
+namespace {
+
+bool Better(const GridPoint& a, const GridPoint& b) {
+  // Converged beats not converged; then least run time; then lowest final
+  // objective.
+  if (a.result.converged != b.result.converged) return a.result.converged;
+  if (a.result.converged) {
+    return a.result.run_time_seconds < b.result.run_time_seconds;
+  }
+  return a.result.final_objective < b.result.final_objective;
+}
+
+}  // namespace
+
+GridSearchResult GridSearchLearningRate(
+    const Dataset& dataset, const ClusterConfig& cluster,
+    const ConsolidationRule& rule_proto, const LossFunction& loss,
+    const SimOptions& options, const std::vector<double>& sigmas,
+    bool also_decayed, double decay_alpha) {
+  HETPS_CHECK(!sigmas.empty()) << "empty sigma grid";
+  GridSearchResult out;
+  bool first = true;
+  for (double sigma : sigmas) {
+    for (int decayed = 0; decayed <= (also_decayed ? 1 : 0); ++decayed) {
+      GridPoint point;
+      point.sigma = sigma;
+      point.decayed = decayed != 0;
+      if (decayed) {
+        DecayedRate schedule(sigma, decay_alpha);
+        point.result = RunSimulation(dataset, cluster, rule_proto,
+                                     schedule, loss, options);
+      } else {
+        FixedRate schedule(sigma);
+        point.result = RunSimulation(dataset, cluster, rule_proto,
+                                     schedule, loss, options);
+      }
+      if (first || Better(point, out.best)) {
+        out.best = point;
+        first = false;
+      }
+      out.all.push_back(std::move(point));
+    }
+  }
+  return out;
+}
+
+std::vector<double> DefaultSigmaGridSmall() {
+  return {1e-3, 3e-3, 1e-2, 3e-2, 1e-1};
+}
+
+std::vector<double> DefaultSigmaGridLarge() {
+  return {3e-2, 1e-1, 3e-1, 1.0};
+}
+
+}  // namespace hetps

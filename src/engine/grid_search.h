@@ -1,0 +1,45 @@
+#ifndef HETPS_ENGINE_GRID_SEARCH_H_
+#define HETPS_ENGINE_GRID_SEARCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/consolidation.h"
+#include "core/learning_rate.h"
+#include "math/loss.h"
+#include "sim/event_sim.h"
+
+namespace hetps {
+
+/// One grid-search candidate and its outcome.
+struct GridPoint {
+  double sigma = 0.0;
+  bool decayed = false;
+  SimResult result;
+};
+
+/// Outcome of a learning-rate grid search (§7.1 Protocol: "we grid-search
+/// the optimal value").
+struct GridSearchResult {
+  GridPoint best;
+  std::vector<GridPoint> all;
+};
+
+/// Runs the simulator once per σ candidate (fixed schedule, plus the
+/// decayed schedule when `also_decayed`), returning the point that
+/// converges in the least simulated time; if none converges, the one with
+/// the lowest final objective.
+GridSearchResult GridSearchLearningRate(
+    const Dataset& dataset, const ClusterConfig& cluster,
+    const ConsolidationRule& rule_proto, const LossFunction& loss,
+    const SimOptions& options, const std::vector<double>& sigmas,
+    bool also_decayed = false, double decay_alpha = 0.2);
+
+/// Default σ grids: SSPSGD prefers very small local rates (§7.4.1), the
+/// heterogeneity-aware rules tolerate much larger ones.
+std::vector<double> DefaultSigmaGridSmall();
+std::vector<double> DefaultSigmaGridLarge();
+
+}  // namespace hetps
+
+#endif  // HETPS_ENGINE_GRID_SEARCH_H_

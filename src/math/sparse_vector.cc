@@ -1,0 +1,123 @@
+#include "math/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace hetps {
+
+SparseVector::SparseVector(std::vector<int64_t> indices,
+                           std::vector<double> values)
+    : indices_(std::move(indices)), values_(std::move(values)) {
+  HETPS_CHECK(indices_.size() == values_.size())
+      << "index/value arrays differ in length";
+  for (size_t i = 1; i < indices_.size(); ++i) {
+    HETPS_CHECK(indices_[i - 1] < indices_[i])
+        << "indices must be strictly increasing";
+  }
+}
+
+SparseVector SparseVector::FromDense(const std::vector<double>& dense,
+                                     double epsilon) {
+  SparseVector out;
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (std::fabs(dense[i]) > epsilon) {
+      out.PushBack(static_cast<int64_t>(i), dense[i]);
+    }
+  }
+  return out;
+}
+
+void SparseVector::PushBack(int64_t index, double value) {
+  HETPS_CHECK(indices_.empty() || indices_.back() < index)
+      << "PushBack indices must be strictly increasing";
+  indices_.push_back(index);
+  values_.push_back(value);
+}
+
+double SparseVector::ValueAt(int64_t index) const {
+  auto it = std::lower_bound(indices_.begin(), indices_.end(), index);
+  if (it == indices_.end() || *it != index) return 0.0;
+  return values_[static_cast<size_t>(it - indices_.begin())];
+}
+
+double SparseVector::Dot(const std::vector<double>& dense) const {
+  double acc = 0.0;
+  const int64_t dim = static_cast<int64_t>(dense.size());
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    const int64_t idx = indices_[i];
+    if (idx >= dim) break;
+    acc += values_[i] * dense[static_cast<size_t>(idx)];
+  }
+  return acc;
+}
+
+void SparseVector::AddTo(std::vector<double>* dense, double scale) const {
+  const int64_t dim = static_cast<int64_t>(dense->size());
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    const int64_t idx = indices_[i];
+    HETPS_CHECK(idx < dim) << "sparse index " << idx
+                           << " out of dense range " << dim;
+    (*dense)[static_cast<size_t>(idx)] += scale * values_[i];
+  }
+}
+
+void SparseVector::Scale(double scale) {
+  for (double& v : values_) v *= scale;
+}
+
+double SparseVector::SquaredNorm() const {
+  double acc = 0.0;
+  for (double v : values_) acc += v * v;
+  return acc;
+}
+
+SparseVector SparseVector::Filtered(double epsilon) const {
+  SparseVector out;
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    if (std::fabs(values_[i]) > epsilon) {
+      out.PushBack(indices_[i], values_[i]);
+    }
+  }
+  return out;
+}
+
+SparseVector SparseVector::Add(const SparseVector& a, const SparseVector& b,
+                               double scale_a, double scale_b) {
+  SparseVector out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.nnz() && j < b.nnz()) {
+    if (a.index(i) < b.index(j)) {
+      out.PushBack(a.index(i), scale_a * a.value(i));
+      ++i;
+    } else if (a.index(i) > b.index(j)) {
+      out.PushBack(b.index(j), scale_b * b.value(j));
+      ++j;
+    } else {
+      out.PushBack(a.index(i), scale_a * a.value(i) + scale_b * b.value(j));
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.nnz(); ++i) out.PushBack(a.index(i), scale_a * a.value(i));
+  for (; j < b.nnz(); ++j) out.PushBack(b.index(j), scale_b * b.value(j));
+  return out;
+}
+
+std::string SparseVector::DebugString(size_t max_entries) const {
+  std::ostringstream os;
+  os << "SparseVector(nnz=" << nnz() << ", {";
+  const size_t n = std::min(max_entries, nnz());
+  for (size_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << indices_[i] << ":" << values_[i];
+  }
+  if (n < nnz()) os << ", ...";
+  os << "})";
+  return os.str();
+}
+
+}  // namespace hetps

@@ -1,0 +1,59 @@
+#include "math/vector_ops.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hetps {
+
+void Axpy(double alpha, const std::vector<double>& x,
+          std::vector<double>* y) {
+  HETPS_CHECK(x.size() == y->size()) << "Axpy size mismatch";
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+double Dot(const std::vector<double>& x, const std::vector<double>& y) {
+  HETPS_CHECK(x.size() == y.size()) << "Dot size mismatch";
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void Scale(double alpha, std::vector<double>* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+double Norm2(const std::vector<double>& x) {
+  return std::sqrt(SquaredNorm(x));
+}
+
+double SquaredNorm(const std::vector<double>& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+double SquaredDistance(const std::vector<double>& x,
+                       const std::vector<double>& y) {
+  HETPS_CHECK(x.size() == y.size()) << "SquaredDistance size mismatch";
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void SetZero(std::vector<double>* x) {
+  for (double& v : *x) v = 0.0;
+}
+
+size_t CountNonZero(const std::vector<double>& x, double epsilon) {
+  size_t n = 0;
+  for (double v : x) {
+    if (std::fabs(v) > epsilon) ++n;
+  }
+  return n;
+}
+
+}  // namespace hetps

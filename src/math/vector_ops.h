@@ -1,0 +1,39 @@
+#ifndef HETPS_MATH_VECTOR_OPS_H_
+#define HETPS_MATH_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hetps {
+
+/// BLAS-1 style kernels on dense vectors. Sizes must match; checked.
+
+/// y += alpha * x
+void Axpy(double alpha, const std::vector<double>& x,
+          std::vector<double>* y);
+
+/// <x, y>
+double Dot(const std::vector<double>& x, const std::vector<double>& y);
+
+/// x *= alpha
+void Scale(double alpha, std::vector<double>* x);
+
+/// ||x||_2
+double Norm2(const std::vector<double>& x);
+
+/// ||x||_2^2
+double SquaredNorm(const std::vector<double>& x);
+
+/// ||x - y||_2^2
+double SquaredDistance(const std::vector<double>& x,
+                       const std::vector<double>& y);
+
+/// x = 0
+void SetZero(std::vector<double>* x);
+
+/// Number of entries with |x_i| > epsilon.
+size_t CountNonZero(const std::vector<double>& x, double epsilon = 0.0);
+
+}  // namespace hetps
+
+#endif  // HETPS_MATH_VECTOR_OPS_H_

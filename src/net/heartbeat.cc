@@ -1,0 +1,59 @@
+#include "net/heartbeat.h"
+
+#include "util/logging.h"
+
+namespace hetps {
+
+HeartbeatMonitor::HeartbeatMonitor(double timeout_seconds)
+    : timeout_seconds_(timeout_seconds) {
+  HETPS_CHECK(timeout_seconds > 0.0) << "timeout must be positive";
+}
+
+void HeartbeatMonitor::Register(const std::string& node, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_beat_[node] = now;
+}
+
+void HeartbeatMonitor::Beat(const std::string& node, double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = last_beat_.find(node);
+  if (it == last_beat_.end()) {
+    last_beat_[node] = now;
+    return;
+  }
+  // Heartbeats may arrive out of order; keep the freshest.
+  if (now > it->second) it->second = now;
+}
+
+bool HeartbeatMonitor::IsAlive(const std::string& node,
+                               double now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = last_beat_.find(node);
+  if (it == last_beat_.end()) return false;
+  return now - it->second <= timeout_seconds_;
+}
+
+std::vector<std::string> HeartbeatMonitor::SuspectedDead(
+    double now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [node, last] : last_beat_) {
+    if (now - last > timeout_seconds_) out.push_back(node);
+  }
+  return out;
+}
+
+double HeartbeatMonitor::SecondsSinceLastBeat(const std::string& node,
+                                              double now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = last_beat_.find(node);
+  if (it == last_beat_.end()) return -1.0;
+  return now - it->second;
+}
+
+size_t HeartbeatMonitor::node_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_beat_.size();
+}
+
+}  // namespace hetps

@@ -1,0 +1,50 @@
+#ifndef HETPS_NET_HEARTBEAT_H_
+#define HETPS_NET_HEARTBEAT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hetps {
+
+/// The master's liveness tracking (Appendix D: "A master is established
+/// to govern all the workers and parameter servers through sending
+/// periodical heartbeat signals"). Nodes report heartbeats with their
+/// own monotonic timestamps; a node is suspected dead once its last
+/// heartbeat is older than the timeout. Time is injected by the caller
+/// so both the simulator (simulated seconds) and the threaded runtime
+/// (wall clock) can use it. Thread-safe.
+class HeartbeatMonitor {
+ public:
+  explicit HeartbeatMonitor(double timeout_seconds);
+
+  /// Registers a node; it starts alive as of `now`.
+  void Register(const std::string& node, double now);
+
+  /// Records a heartbeat. Unknown nodes are auto-registered (a restarted
+  /// node re-joins this way).
+  void Beat(const std::string& node, double now);
+
+  /// True if the node reported within the timeout window ending at `now`.
+  bool IsAlive(const std::string& node, double now) const;
+
+  /// Nodes whose last heartbeat is older than the timeout.
+  std::vector<std::string> SuspectedDead(double now) const;
+
+  /// Seconds since the node's last heartbeat (negative if unknown).
+  double SecondsSinceLastBeat(const std::string& node, double now) const;
+
+  size_t node_count() const;
+  double timeout_seconds() const { return timeout_seconds_; }
+
+ private:
+  const double timeout_seconds_;
+  mutable std::mutex mu_;
+  std::map<std::string, double> last_beat_;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_NET_HEARTBEAT_H_

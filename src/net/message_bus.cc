@@ -1,0 +1,130 @@
+#include "net/message_bus.h"
+
+#include "util/logging.h"
+
+namespace hetps {
+
+MessageBus::~MessageBus() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    for (auto& [name, ep] : endpoints_) {
+      ep->cv.notify_all();
+    }
+  }
+  for (auto& [name, ep] : endpoints_) {
+    if (ep->worker.joinable()) ep->worker.join();
+  }
+}
+
+Status MessageBus::RegisterEndpoint(const std::string& name,
+                                    Handler handler) {
+  if (!handler) {
+    return Status::InvalidArgument("endpoint needs a handler");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return Status::FailedPrecondition("bus is shutting down");
+  }
+  if (endpoints_.count(name)) {
+    return Status::AlreadyExists("endpoint '" + name + "' exists");
+  }
+  auto ep = std::make_unique<Endpoint>();
+  ep->handler = std::move(handler);
+  Endpoint* raw = ep.get();
+  endpoints_[name] = std::move(ep);
+  raw->worker = std::thread([this, raw] { ServiceLoop(raw); });
+  return Status::OK();
+}
+
+Status MessageBus::Send(const std::string& from, const std::string& to,
+                        std::vector<uint8_t> payload) {
+  Envelope envelope;
+  envelope.from = from;
+  envelope.to = to;
+  envelope.payload = std::move(payload);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = endpoints_.find(to);
+  if (it == endpoints_.end()) {
+    return Status::NotFound("no endpoint '" + to + "'");
+  }
+  it->second->inbox.push_back(std::move(envelope));
+  it->second->cv.notify_one();
+  return Status::OK();
+}
+
+Result<std::future<std::vector<uint8_t>>> MessageBus::Call(
+    const std::string& from, const std::string& to,
+    std::vector<uint8_t> payload) {
+  Envelope envelope;
+  envelope.from = from;
+  envelope.to = to;
+  envelope.payload = std::move(payload);
+  std::future<std::vector<uint8_t>> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      return Status::NotFound("no endpoint '" + to + "'");
+    }
+    envelope.correlation_id = next_correlation_++;
+    auto [pending_it, inserted] =
+        pending_.emplace(envelope.correlation_id,
+                         std::promise<std::vector<uint8_t>>());
+    HETPS_CHECK(inserted) << "correlation id collision";
+    future = pending_it->second.get_future();
+    it->second->inbox.push_back(std::move(envelope));
+    it->second->cv.notify_one();
+  }
+  return future;
+}
+
+void MessageBus::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    for (const auto& [name, ep] : endpoints_) {
+      if (!ep->inbox.empty() || ep->busy) return false;
+    }
+    return pending_.empty();
+  });
+}
+
+int64_t MessageBus::delivered_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+void MessageBus::ServiceLoop(Endpoint* endpoint) {
+  for (;;) {
+    Envelope envelope;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      endpoint->cv.wait(lock, [this, endpoint] {
+        return shutdown_ || !endpoint->inbox.empty();
+      });
+      if (endpoint->inbox.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      envelope = std::move(endpoint->inbox.front());
+      endpoint->inbox.pop_front();
+      endpoint->busy = true;
+    }
+    std::vector<uint8_t> response = endpoint->handler(envelope);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++delivered_;
+      endpoint->busy = false;
+      if (envelope.correlation_id != 0) {
+        auto it = pending_.find(envelope.correlation_id);
+        if (it != pending_.end()) {
+          it->second.set_value(std::move(response));
+          pending_.erase(it);
+        }
+      }
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace hetps

@@ -1,0 +1,93 @@
+#ifndef HETPS_NET_MESSAGE_BUS_H_
+#define HETPS_NET_MESSAGE_BUS_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hetps {
+
+/// A wire envelope: opaque payload plus routing/correlation metadata —
+/// the in-process stand-in for the prototype's Netty transport
+/// (Appendix D: "We use the Netty framework to conduct the message
+/// passing"). Payloads cross the bus as bytes only: endpoints cannot
+/// share pointers, which keeps the serialization boundary honest.
+struct Envelope {
+  std::string from;
+  std::string to;
+  uint64_t correlation_id = 0;  // 0 = one-way message
+  bool is_response = false;
+  std::vector<uint8_t> payload;
+};
+
+/// In-process message bus with named endpoints. Each endpoint owns a
+/// FIFO inbox drained by its own service thread (the "server loop"), so
+/// handlers of one endpoint run strictly sequentially — exactly the
+/// per-partition serialization the PS needs.
+class MessageBus {
+ public:
+  /// Handler for one-way messages and requests. For requests
+  /// (correlation_id != 0) the returned bytes are sent back as the
+  /// response; for one-way messages the return value is ignored.
+  using Handler =
+      std::function<std::vector<uint8_t>(const Envelope& request)>;
+
+  MessageBus() = default;
+  ~MessageBus();
+
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
+  /// Registers an endpoint and starts its service thread.
+  Status RegisterEndpoint(const std::string& name, Handler handler);
+
+  /// Fire-and-forget delivery. Fails if the target does not exist.
+  Status Send(const std::string& from, const std::string& to,
+              std::vector<uint8_t> payload);
+
+  /// Request/response: delivers to `to` and returns a future for the
+  /// handler's reply bytes.
+  Result<std::future<std::vector<uint8_t>>> Call(
+      const std::string& from, const std::string& to,
+      std::vector<uint8_t> payload);
+
+  /// Blocks until all inboxes are empty and all handlers idle.
+  void Flush();
+
+  /// Messages delivered so far (both kinds).
+  int64_t delivered_count() const;
+
+ private:
+  struct Endpoint {
+    Handler handler;
+    std::deque<Envelope> inbox;
+    std::condition_variable cv;
+    std::thread worker;
+    bool busy = false;
+  };
+
+  void ServiceLoop(Endpoint* endpoint);
+  void Dispatch(Envelope envelope);
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  bool shutdown_ = false;
+  uint64_t next_correlation_ = 1;
+  int64_t delivered_ = 0;
+  std::map<std::string, std::unique_ptr<Endpoint>> endpoints_;
+  std::map<uint64_t, std::promise<std::vector<uint8_t>>> pending_;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_NET_MESSAGE_BUS_H_

@@ -1,0 +1,266 @@
+#include "net/ps_service.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace hetps {
+namespace {
+
+std::vector<uint8_t> ErrorResponse(const Status& st) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(st.code()));
+  w.WriteString(st.message());
+  return w.TakeBuffer();
+}
+
+// Parses the status prefix of a response; on OK leaves `reader`
+// positioned at the payload.
+Status ConsumeStatus(ByteReader* reader) {
+  uint8_t code = 0;
+  HETPS_RETURN_NOT_OK(reader->ReadU8(&code));
+  if (code == 0) return Status::OK();
+  std::string message;
+  HETPS_RETURN_NOT_OK(reader->ReadString(&message));
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+}  // namespace
+
+PsService::PsService(ParameterServer* ps, MessageBus* bus,
+                     std::string endpoint_name)
+    : ps_(ps), endpoint_name_(std::move(endpoint_name)) {
+  HETPS_CHECK(ps != nullptr) << "null ParameterServer";
+  HETPS_CHECK(bus != nullptr) << "null MessageBus";
+  registration_ = bus->RegisterEndpoint(
+      endpoint_name_,
+      [this](const Envelope& request) { return Handle(request); });
+}
+
+std::vector<uint8_t> PsService::Handle(const Envelope& request) {
+  metrics_.distribution("rpc.request_bytes")
+      ->Record(static_cast<double>(request.payload.size()));
+  ByteReader reader(request.payload);
+  uint8_t op = 0;
+  Status st = reader.ReadU8(&op);
+  std::vector<uint8_t> response;
+  if (!st.ok()) {
+    response = ErrorResponse(st);
+  } else {
+    switch (static_cast<PsOpCode>(op)) {
+      case PsOpCode::kPush:
+        metrics_.counter("rpc.push")->Increment();
+        response = HandlePush(&reader);
+        break;
+      case PsOpCode::kPull:
+        metrics_.counter("rpc.pull")->Increment();
+        response = HandlePull(&reader);
+        break;
+      case PsOpCode::kPullRange:
+        metrics_.counter("rpc.pull_range")->Increment();
+        response = HandlePullRange(&reader);
+        break;
+      case PsOpCode::kCanAdvance:
+        metrics_.counter("rpc.can_advance")->Increment();
+        response = HandleCanAdvance(&reader);
+        break;
+      case PsOpCode::kStableVersion:
+        metrics_.counter("rpc.stable_version")->Increment();
+        response = HandleStableVersion(&reader);
+        break;
+      default:
+        response = ErrorResponse(Status::InvalidArgument(
+            "unknown opcode " + std::to_string(op)));
+        break;
+    }
+  }
+  if (!response.empty() && response[0] != 0) {
+    metrics_.counter("rpc.errors")->Increment();
+  }
+  metrics_.distribution("rpc.response_bytes")
+      ->Record(static_cast<double>(response.size()));
+  metrics_.gauge("ps.param_bytes")
+      ->Set(static_cast<double>(ps_->ParamMemoryBytes()));
+  metrics_.gauge("ps.aux_bytes")
+      ->Set(static_cast<double>(ps_->AuxMemoryBytes()));
+  return response;
+}
+
+std::vector<uint8_t> PsService::HandlePush(ByteReader* reader) {
+  int64_t worker = 0;
+  int64_t clock = 0;
+  SparseVector update;
+  Status st = reader->ReadI64(&worker);
+  if (st.ok()) st = reader->ReadI64(&clock);
+  if (st.ok()) st = reader->ReadSparseVector(&update);
+  if (st.ok() && (worker < 0 || worker >= ps_->num_workers())) {
+    st = Status::InvalidArgument("worker id out of range");
+  }
+  if (st.ok() && !update.empty() &&
+      update.MinimumDimension() > ps_->dim()) {
+    st = Status::InvalidArgument("update index out of range");
+  }
+  if (!st.ok()) return ErrorResponse(st);
+  ps_->Push(static_cast<int>(worker), static_cast<int>(clock), update);
+  ByteWriter w;
+  w.WriteU8(0);
+  return w.TakeBuffer();
+}
+
+std::vector<uint8_t> PsService::HandlePull(ByteReader* reader) {
+  int64_t worker = 0;
+  Status st = reader->ReadI64(&worker);
+  if (st.ok() && (worker < 0 || worker >= ps_->num_workers())) {
+    st = Status::InvalidArgument("worker id out of range");
+  }
+  if (!st.ok()) return ErrorResponse(st);
+  int cmin = 0;
+  const std::vector<double> values =
+      ps_->PullFull(static_cast<int>(worker), &cmin);
+  ByteWriter w;
+  w.WriteU8(0);
+  w.WriteI64(cmin);
+  w.WriteDenseVector(values);
+  return w.TakeBuffer();
+}
+
+std::vector<uint8_t> PsService::HandlePullRange(ByteReader* reader) {
+  int64_t worker = 0;
+  int64_t begin = 0;
+  int64_t end = 0;
+  Status st = reader->ReadI64(&worker);
+  if (st.ok()) st = reader->ReadI64(&begin);
+  if (st.ok()) st = reader->ReadI64(&end);
+  if (st.ok() && (worker < 0 || worker >= ps_->num_workers())) {
+    st = Status::InvalidArgument("worker id out of range");
+  }
+  if (st.ok() && (begin < 0 || begin > end || end > ps_->dim())) {
+    st = Status::InvalidArgument("bad key interval");
+  }
+  if (!st.ok()) return ErrorResponse(st);
+  const std::vector<double> values =
+      ps_->PullRange(static_cast<int>(worker), begin, end);
+  ByteWriter w;
+  w.WriteU8(0);
+  w.WriteDenseVector(values);
+  return w.TakeBuffer();
+}
+
+std::vector<uint8_t> PsService::HandleCanAdvance(ByteReader* reader) {
+  int64_t worker = 0;
+  int64_t next_clock = 0;
+  Status st = reader->ReadI64(&worker);
+  if (st.ok()) st = reader->ReadI64(&next_clock);
+  if (!st.ok()) return ErrorResponse(st);
+  ByteWriter w;
+  w.WriteU8(0);
+  w.WriteU8(ps_->CanAdvance(static_cast<int>(worker),
+                            static_cast<int>(next_clock))
+                ? 1
+                : 0);
+  return w.TakeBuffer();
+}
+
+std::vector<uint8_t> PsService::HandleStableVersion(ByteReader* reader) {
+  (void)reader;
+  ByteWriter w;
+  w.WriteU8(0);
+  w.WriteI64(ps_->StableVersion());
+  return w.TakeBuffer();
+}
+
+RpcWorkerClient::RpcWorkerClient(int worker_id, MessageBus* bus,
+                                 std::string ps_endpoint)
+    : worker_id_(worker_id),
+      bus_(bus),
+      ps_endpoint_(std::move(ps_endpoint)),
+      my_endpoint_("worker-" + std::to_string(worker_id)) {
+  HETPS_CHECK(bus != nullptr) << "null MessageBus";
+}
+
+Result<std::vector<uint8_t>> RpcWorkerClient::Roundtrip(
+    std::vector<uint8_t> request) {
+  auto future =
+      bus_->Call(my_endpoint_, ps_endpoint_, std::move(request));
+  if (!future.ok()) return future.status();
+  return future.value().get();
+}
+
+Status RpcWorkerClient::Push(int clock, const SparseVector& update) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kPush));
+  w.WriteI64(worker_id_);
+  w.WriteI64(clock);
+  w.WriteSparseVector(update);
+  auto response = Roundtrip(w.TakeBuffer());
+  if (!response.ok()) return response.status();
+  ByteReader reader(response.value());
+  return ConsumeStatus(&reader);
+}
+
+Status RpcWorkerClient::Pull(std::vector<double>* replica, int* cmin) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kPull));
+  w.WriteI64(worker_id_);
+  auto response = Roundtrip(w.TakeBuffer());
+  if (!response.ok()) return response.status();
+  ByteReader reader(response.value());
+  HETPS_RETURN_NOT_OK(ConsumeStatus(&reader));
+  int64_t cmin64 = 0;
+  HETPS_RETURN_NOT_OK(reader.ReadI64(&cmin64));
+  HETPS_RETURN_NOT_OK(reader.ReadDenseVector(replica));
+  if (cmin != nullptr) *cmin = static_cast<int>(cmin64);
+  return Status::OK();
+}
+
+Status RpcWorkerClient::PullRange(int64_t begin, int64_t end,
+                                  std::vector<double>* values) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kPullRange));
+  w.WriteI64(worker_id_);
+  w.WriteI64(begin);
+  w.WriteI64(end);
+  auto response = Roundtrip(w.TakeBuffer());
+  if (!response.ok()) return response.status();
+  ByteReader reader(response.value());
+  HETPS_RETURN_NOT_OK(ConsumeStatus(&reader));
+  return reader.ReadDenseVector(values);
+}
+
+Result<bool> RpcWorkerClient::CanAdvance(int next_clock) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kCanAdvance));
+  w.WriteI64(worker_id_);
+  w.WriteI64(next_clock);
+  auto response = Roundtrip(w.TakeBuffer());
+  if (!response.ok()) return response.status();
+  ByteReader reader(response.value());
+  HETPS_RETURN_NOT_OK(ConsumeStatus(&reader));
+  uint8_t ok = 0;
+  HETPS_RETURN_NOT_OK(reader.ReadU8(&ok));
+  return ok != 0;
+}
+
+Status RpcWorkerClient::WaitUntilCanAdvance(int next_clock) {
+  for (;;) {
+    Result<bool> admitted = CanAdvance(next_clock);
+    if (!admitted.ok()) return admitted.status();
+    if (admitted.value()) return Status::OK();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+Result<int64_t> RpcWorkerClient::StableVersion() {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kStableVersion));
+  auto response = Roundtrip(w.TakeBuffer());
+  if (!response.ok()) return response.status();
+  ByteReader reader(response.value());
+  HETPS_RETURN_NOT_OK(ConsumeStatus(&reader));
+  int64_t version = 0;
+  HETPS_RETURN_NOT_OK(reader.ReadI64(&version));
+  return version;
+}
+
+}  // namespace hetps

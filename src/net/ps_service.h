@@ -1,0 +1,101 @@
+#ifndef HETPS_NET_PS_SERVICE_H_
+#define HETPS_NET_PS_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "net/message_bus.h"
+#include "net/serializer.h"
+#include "ps/parameter_server.h"
+#include "util/metrics.h"
+
+namespace hetps {
+
+/// Wire protocol between workers and the parameter-server service. All
+/// requests start with a one-byte opcode; responses start with a
+/// one-byte status code (0 = OK) followed by an error string when
+/// non-zero.
+enum class PsOpCode : uint8_t {
+  kPush = 1,
+  kPull = 2,
+  kPullRange = 3,
+  kCanAdvance = 4,
+  kStableVersion = 5,
+};
+
+/// Serves a ParameterServer over a MessageBus endpoint — the prototype's
+/// "server" role with a real serialization boundary: every push and pull
+/// crosses the bus as bytes (Appendix D's Netty transport, in process).
+///
+/// One service instance handles all partitions of the wrapped PS; the
+/// bus endpoint's service loop serializes request handling.
+class PsService {
+ public:
+  /// Registers endpoint `endpoint_name` on `bus`. Both pointers must
+  /// outlive the service.
+  PsService(ParameterServer* ps, MessageBus* bus,
+            std::string endpoint_name);
+
+  Status status() const { return registration_; }
+  const std::string& endpoint() const { return endpoint_name_; }
+
+  /// Service-side monitoring: per-op request counters, error counter,
+  /// and request/response byte-size distributions.
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  std::vector<uint8_t> Handle(const Envelope& request);
+  std::vector<uint8_t> HandlePush(ByteReader* reader);
+  std::vector<uint8_t> HandlePull(ByteReader* reader);
+  std::vector<uint8_t> HandlePullRange(ByteReader* reader);
+  std::vector<uint8_t> HandleCanAdvance(ByteReader* reader);
+  std::vector<uint8_t> HandleStableVersion(ByteReader* reader);
+
+  ParameterServer* ps_;
+  std::string endpoint_name_;
+  Status registration_;
+  MetricsRegistry metrics_;
+};
+
+/// Worker-side stub issuing PS operations through the bus. One instance
+/// per worker thread.
+///
+/// Blocking admission is implemented by polling CanAdvance (a blocking
+/// server call would stall the single-threaded service loop and deadlock
+/// the cluster), with a small sleep between probes.
+class RpcWorkerClient {
+ public:
+  RpcWorkerClient(int worker_id, MessageBus* bus,
+                  std::string ps_endpoint);
+
+  int worker_id() const { return worker_id_; }
+
+  Status Push(int clock, const SparseVector& update);
+
+  /// Full pull; fills `replica` and `cmin`.
+  Status Pull(std::vector<double>* replica, int* cmin);
+
+  /// Values of keys [begin, end).
+  Status PullRange(int64_t begin, int64_t end,
+                   std::vector<double>* values);
+
+  /// Single admission probe.
+  Result<bool> CanAdvance(int next_clock);
+
+  /// Polls CanAdvance until it holds.
+  Status WaitUntilCanAdvance(int next_clock);
+
+  Result<int64_t> StableVersion();
+
+ private:
+  Result<std::vector<uint8_t>> Roundtrip(std::vector<uint8_t> request);
+
+  int worker_id_;
+  MessageBus* bus_;
+  std::string ps_endpoint_;
+  std::string my_endpoint_;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_NET_PS_SERVICE_H_

@@ -1,0 +1,154 @@
+#include "net/serializer.h"
+
+namespace hetps {
+namespace {
+
+// Sanity caps so corrupt length prefixes cannot trigger giant
+// allocations.
+constexpr uint64_t kMaxElements = 1ULL << 32;
+
+}  // namespace
+
+void ByteWriter::WriteU8(uint8_t v) {
+  buffer_.push_back(v);
+}
+
+void ByteWriter::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::WriteI64(int64_t v) {
+  WriteU64(static_cast<uint64_t>(v));
+}
+
+void ByteWriter::WriteDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void ByteWriter::WriteString(const std::string& s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::WriteSparseVector(const SparseVector& v) {
+  WriteU64(v.nnz());
+  for (size_t i = 0; i < v.nnz(); ++i) {
+    WriteI64(v.index(i));
+    WriteDouble(v.value(i));
+  }
+}
+
+void ByteWriter::WriteDenseVector(const std::vector<double>& v) {
+  WriteU64(v.size());
+  for (double x : v) WriteDouble(x);
+}
+
+Status ByteReader::Take(size_t n, const uint8_t** out) {
+  if (pos_ + n > size_) {
+    return Status::OutOfRange("wire message truncated");
+  }
+  *out = data_ + pos_;
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::ReadU8(uint8_t* out) {
+  const uint8_t* p;
+  HETPS_RETURN_NOT_OK(Take(1, &p));
+  *out = *p;
+  return Status::OK();
+}
+
+Status ByteReader::ReadU32(uint32_t* out) {
+  const uint8_t* p;
+  HETPS_RETURN_NOT_OK(Take(4, &p));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ByteReader::ReadU64(uint64_t* out) {
+  const uint8_t* p;
+  HETPS_RETURN_NOT_OK(Take(8, &p));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ByteReader::ReadI64(int64_t* out) {
+  uint64_t v = 0;
+  HETPS_RETURN_NOT_OK(ReadU64(&v));
+  *out = static_cast<int64_t>(v);
+  return Status::OK();
+}
+
+Status ByteReader::ReadDouble(double* out) {
+  uint64_t bits = 0;
+  HETPS_RETURN_NOT_OK(ReadU64(&bits));
+  std::memcpy(out, &bits, sizeof(*out));
+  return Status::OK();
+}
+
+Status ByteReader::ReadString(std::string* out) {
+  uint32_t len = 0;
+  HETPS_RETURN_NOT_OK(ReadU32(&len));
+  const uint8_t* p;
+  HETPS_RETURN_NOT_OK(Take(len, &p));
+  out->assign(reinterpret_cast<const char*>(p), len);
+  return Status::OK();
+}
+
+Status ByteReader::ReadSparseVector(SparseVector* out) {
+  uint64_t nnz = 0;
+  HETPS_RETURN_NOT_OK(ReadU64(&nnz));
+  if (nnz > kMaxElements || nnz * 16 > remaining()) {
+    return Status::OutOfRange("sparse vector length prefix exceeds data");
+  }
+  SparseVector v;
+  int64_t prev = -1;
+  for (uint64_t i = 0; i < nnz; ++i) {
+    int64_t idx = 0;
+    double value = 0.0;
+    HETPS_RETURN_NOT_OK(ReadI64(&idx));
+    HETPS_RETURN_NOT_OK(ReadDouble(&value));
+    if (idx <= prev) {
+      return Status::InvalidArgument(
+          "sparse vector indices not strictly increasing on the wire");
+    }
+    v.PushBack(idx, value);
+    prev = idx;
+  }
+  *out = std::move(v);
+  return Status::OK();
+}
+
+Status ByteReader::ReadDenseVector(std::vector<double>* out) {
+  uint64_t n = 0;
+  HETPS_RETURN_NOT_OK(ReadU64(&n));
+  if (n > kMaxElements || n * 8 > remaining()) {
+    return Status::OutOfRange("dense vector length prefix exceeds data");
+  }
+  out->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    HETPS_RETURN_NOT_OK(ReadDouble(&(*out)[i]));
+  }
+  return Status::OK();
+}
+
+}  // namespace hetps

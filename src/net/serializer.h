@@ -1,0 +1,70 @@
+#ifndef HETPS_NET_SERIALIZER_H_
+#define HETPS_NET_SERIALIZER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "math/sparse_vector.h"
+#include "util/status.h"
+
+namespace hetps {
+
+/// Little-endian binary writer for wire messages. Appends to an owned
+/// buffer; cheap to move.
+class ByteWriter {
+ public:
+  void WriteU8(uint8_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+
+  /// Length-prefixed sparse vector (nnz, then index/value pairs).
+  void WriteSparseVector(const SparseVector& v);
+
+  /// Length-prefixed dense vector.
+  void WriteDenseVector(const std::vector<double>& v);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Bounds-checked reader over a byte span. Every Read* returns a Status
+/// error instead of reading past the end — wire data is untrusted.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& buffer)
+      : ByteReader(buffer.data(), buffer.size()) {}
+
+  Status ReadU8(uint8_t* out);
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadI64(int64_t* out);
+  Status ReadDouble(double* out);
+  Status ReadString(std::string* out);
+  Status ReadSparseVector(SparseVector* out);
+  Status ReadDenseVector(std::vector<double>* out);
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Take(size_t n, const uint8_t** out);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_NET_SERIALIZER_H_

@@ -1,0 +1,28 @@
+#include "ps/checkpoint.h"
+
+#include <fstream>
+
+namespace hetps {
+
+Status SaveCheckpointToFile(const ParameterServer& ps,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  HETPS_RETURN_NOT_OK(ps.SaveCheckpoint(out));
+  out.flush();
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Status RestoreCheckpointFromFile(ParameterServer* ps,
+                                 const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  return ps->LoadCheckpoint(in);
+}
+
+}  // namespace hetps

@@ -1,0 +1,30 @@
+#ifndef HETPS_PS_CHECKPOINT_H_
+#define HETPS_PS_CHECKPOINT_H_
+
+#include <string>
+
+#include "ps/parameter_server.h"
+#include "util/status.h"
+
+namespace hetps {
+
+/// Failure recovery for the master and the parameter servers (Appendix D:
+/// "master and parameter server can recover from the last check point,
+/// while worker restarts and pulls the latest parameter from the PS").
+///
+/// A checkpoint captures the full mutable server-side state: every
+/// partition's parameter block and consolidation-rule state (DynSGD's
+/// multi-version store included), the clock table, and the master's
+/// partition versions. Worker replicas are deliberately NOT captured —
+/// restarted workers re-pull.
+///
+/// Restore requires a ParameterServer constructed with the same shape
+/// (dim, workers, partitioning, rule type); mismatches are rejected.
+Status SaveCheckpointToFile(const ParameterServer& ps,
+                            const std::string& path);
+Status RestoreCheckpointFromFile(ParameterServer* ps,
+                                 const std::string& path);
+
+}  // namespace hetps
+
+#endif  // HETPS_PS_CHECKPOINT_H_

@@ -1,0 +1,88 @@
+#include "ps/master.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hetps {
+
+Master::Master(int num_partitions, int num_workers)
+    : versions_(static_cast<size_t>(num_partitions), 0),
+      clock_times_(static_cast<size_t>(num_workers), 0.0) {
+  HETPS_CHECK(num_partitions > 0) << "need at least one partition";
+  HETPS_CHECK(num_workers > 0) << "need at least one worker";
+}
+
+void Master::ReportVersion(int p, int64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& v = versions_.at(static_cast<size_t>(p));
+  v = std::max(v, version);
+}
+
+int64_t Master::StableVersion() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *std::min_element(versions_.begin(), versions_.end());
+}
+
+int64_t Master::PartitionVersion(int p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_.at(static_cast<size_t>(p));
+}
+
+void Master::ReportClockTime(int worker, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_times_.at(static_cast<size_t>(worker)) = seconds;
+}
+
+double Master::LastClockTime(int worker) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_times_.at(static_cast<size_t>(worker));
+}
+
+std::vector<int> Master::DetectStragglers(double threshold) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double fastest = 0.0;
+  bool any = false;
+  for (double t : clock_times_) {
+    if (t > 0.0 && (!any || t < fastest)) {
+      fastest = t;
+      any = true;
+    }
+  }
+  std::vector<int> out;
+  if (!any) return out;
+  for (size_t m = 0; m < clock_times_.size(); ++m) {
+    if (clock_times_[m] > threshold * fastest) {
+      out.push_back(static_cast<int>(m));
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> Master::VersionSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_;
+}
+
+void Master::RestoreVersions(const std::vector<int64_t>& versions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HETPS_CHECK(versions.size() == versions_.size())
+      << "version snapshot size mismatch";
+  versions_ = versions;
+}
+
+int Master::FastestWorker() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int best = -1;
+  double fastest = 0.0;
+  for (size_t m = 0; m < clock_times_.size(); ++m) {
+    const double t = clock_times_[m];
+    if (t > 0.0 && (best < 0 || t < fastest)) {
+      fastest = t;
+      best = static_cast<int>(m);
+    }
+  }
+  return best;
+}
+
+}  // namespace hetps

@@ -1,0 +1,58 @@
+#ifndef HETPS_PS_MASTER_H_
+#define HETPS_PS_MASTER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace hetps {
+
+/// The master node of the prototype (Appendix D): supervises partitions
+/// and workers. It backs two mechanisms:
+///   - version-based partition synchronization (§6): each partition
+///     reports its current version; a worker asks for the "stable
+///     version" (the minimum across partitions) before pulling;
+///   - straggler statistics (used by the FlexRR-style baseline, §7.3): a
+///     record of per-worker clock times to detect workers that are >20%
+///     slower than the fastest.
+///
+/// Thread-safe.
+class Master {
+ public:
+  Master(int num_partitions, int num_workers);
+
+  /// Partition `p` reports it has created `version` global updates.
+  void ReportVersion(int p, int64_t version);
+
+  /// Lowest reported version across all partitions (§6 "stable version").
+  int64_t StableVersion() const;
+
+  int64_t PartitionVersion(int p) const;
+
+  /// Worker `m` reports the duration of its last clock.
+  void ReportClockTime(int worker, double seconds);
+
+  /// Last reported clock time, or 0 if none.
+  double LastClockTime(int worker) const;
+
+  /// Workers whose last clock was more than `threshold` times the fastest
+  /// worker's (FlexRR flags >1.2x).
+  std::vector<int> DetectStragglers(double threshold = 1.2) const;
+
+  /// Index of the worker with the smallest last clock time (-1 if no
+  /// reports yet).
+  int FastestWorker() const;
+
+  /// Checkpointing accessors.
+  std::vector<int64_t> VersionSnapshot() const;
+  void RestoreVersions(const std::vector<int64_t>& versions);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<int64_t> versions_;
+  std::vector<double> clock_times_;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_PS_MASTER_H_

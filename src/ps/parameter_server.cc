@@ -1,0 +1,306 @@
+#include "ps/parameter_server.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace hetps {
+
+ParameterServer::ParameterServer(int64_t dim, int num_workers,
+                                 const ConsolidationRule& rule_proto,
+                                 const PsOptions& options)
+    : num_workers_(num_workers),
+      options_(options),
+      partitioner_(Partitioner::Create(options.scheme, dim,
+                                       options.num_servers,
+                                       options.partitions_per_server)),
+      master_(partitioner_.num_partitions(), num_workers),
+      clock_table_(num_workers) {
+  HETPS_CHECK(num_workers > 0) << "need at least one worker";
+  const int parts = partitioner_.num_partitions();
+  shards_.reserve(static_cast<size_t>(parts));
+  shard_mu_.reserve(static_cast<size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    shards_.push_back(std::make_unique<ServerShard>(
+        p, static_cast<size_t>(partitioner_.PartitionDim(p)), rule_proto,
+        num_workers));
+    shard_mu_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+void ParameterServer::Push(int worker, int clock,
+                           const SparseVector& update) {
+  const SparseVector filtered =
+      options_.update_filter_epsilon > 0.0
+          ? update.Filtered(options_.update_filter_epsilon)
+          : update;
+  const std::vector<SparseVector> pieces =
+      partitioner_.SplitByPartition(filtered);
+  for (int p = 0; p < partitioner_.num_partitions(); ++p) {
+    const bool last = (p + 1 == partitioner_.num_partitions());
+    PushPiece(p, worker, clock, pieces[static_cast<size_t>(p)], last);
+  }
+}
+
+void ParameterServer::PushPiece(int partition, int worker, int clock,
+                                const SparseVector& local_piece,
+                                bool last_piece) {
+  {
+    std::lock_guard<std::mutex> lock(
+        *shard_mu_[static_cast<size_t>(partition)]);
+    ServerShard* shard = shards_[static_cast<size_t>(partition)].get();
+    shard->Push(worker, clock, local_piece);
+    master_.ReportVersion(partition, shard->CompletedVersionCount());
+  }
+  if (last_piece) {
+    bool advanced = false;
+    {
+      std::lock_guard<std::mutex> lock(clock_mu_);
+      advanced = clock_table_.OnPush(worker, clock);
+    }
+    if (advanced) clock_cv_.notify_all();
+  }
+}
+
+bool ParameterServer::CanAdvance(int worker, int next_clock) const {
+  (void)worker;
+  std::lock_guard<std::mutex> lock(clock_mu_);
+  return options_.sync.CanAdvance(next_clock, clock_table_.cmin());
+}
+
+void ParameterServer::WaitUntilCanAdvance(int worker, int next_clock) {
+  (void)worker;
+  std::unique_lock<std::mutex> lock(clock_mu_);
+  clock_cv_.wait(lock, [&] {
+    return options_.sync.CanAdvance(next_clock, clock_table_.cmin());
+  });
+}
+
+std::vector<double> ParameterServer::PullFull(int worker, int* cmin_out) {
+  int64_t version = -1;
+  if (options_.partition_sync) {
+    version = master_.StableVersion();
+  }
+  std::vector<double> out = AssemblePull(worker, version);
+  if (cmin_out != nullptr) {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    *cmin_out = clock_table_.cmin();
+  }
+  return out;
+}
+
+std::vector<double> ParameterServer::AssemblePull(int worker,
+                                                  int64_t version) {
+  std::vector<double> out(static_cast<size_t>(partitioner_.dim()), 0.0);
+  for (int p = 0; p < partitioner_.num_partitions(); ++p) {
+    const std::vector<double> block = PullPiece(p, worker, version);
+    for (size_t local = 0; local < block.size(); ++local) {
+      const int64_t g =
+          partitioner_.GlobalIndex(p, static_cast<int64_t>(local));
+      out[static_cast<size_t>(g)] = block[local];
+    }
+  }
+  return out;
+}
+
+std::vector<double> ParameterServer::PullPiece(int partition, int worker,
+                                               int64_t version) {
+  std::lock_guard<std::mutex> lock(
+      *shard_mu_[static_cast<size_t>(partition)]);
+  ServerShard* shard = shards_[static_cast<size_t>(partition)].get();
+  int cmax_now;
+  {
+    std::lock_guard<std::mutex> clock_lock(clock_mu_);
+    cmax_now = clock_table_.cmax();
+  }
+  if (version >= 0) {
+    return shard->PullAtVersion(worker, cmax_now, version);
+  }
+  return shard->Pull(worker, cmax_now);
+}
+
+std::vector<double> ParameterServer::PullRange(int worker, int64_t begin,
+                                               int64_t end) {
+  HETPS_CHECK(begin >= 0 && begin <= end && end <= dim())
+      << "bad key interval";
+  std::vector<double> out(static_cast<size_t>(end - begin), 0.0);
+  const int64_t version =
+      options_.partition_sync ? master_.StableVersion() : -1;
+  for (int p : partitioner_.PartitionsForRange(begin, end)) {
+    const std::vector<double> block = PullPiece(p, worker, version);
+    for (size_t local = 0; local < block.size(); ++local) {
+      const int64_t g =
+          partitioner_.GlobalIndex(p, static_cast<int64_t>(local));
+      if (g >= begin && g < end) {
+        out[static_cast<size_t>(g - begin)] = block[local];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> ParameterServer::Snapshot() const {
+  std::vector<double> out(static_cast<size_t>(partitioner_.dim()), 0.0);
+  for (int p = 0; p < partitioner_.num_partitions(); ++p) {
+    std::lock_guard<std::mutex> lock(*shard_mu_[static_cast<size_t>(p)]);
+    const std::vector<double> block =
+        shards_[static_cast<size_t>(p)]->Peek();
+    for (size_t local = 0; local < block.size(); ++local) {
+      const int64_t g =
+          partitioner_.GlobalIndex(p, static_cast<int64_t>(local));
+      out[static_cast<size_t>(g)] = block[local];
+    }
+  }
+  return out;
+}
+
+int ParameterServer::cmin() const {
+  std::lock_guard<std::mutex> lock(clock_mu_);
+  return clock_table_.cmin();
+}
+
+int ParameterServer::cmax() const {
+  std::lock_guard<std::mutex> lock(clock_mu_);
+  return clock_table_.cmax();
+}
+
+int64_t ParameterServer::TotalPushes() const {
+  int64_t total = 0;
+  for (int p = 0; p < partitioner_.num_partitions(); ++p) {
+    std::lock_guard<std::mutex> lock(*shard_mu_[static_cast<size_t>(p)]);
+    total += shards_[static_cast<size_t>(p)]->push_count();
+  }
+  return total;
+}
+
+size_t ParameterServer::ParamMemoryBytes() const {
+  size_t total = 0;
+  for (int p = 0; p < partitioner_.num_partitions(); ++p) {
+    std::lock_guard<std::mutex> lock(*shard_mu_[static_cast<size_t>(p)]);
+    total += shards_[static_cast<size_t>(p)]->ParamMemoryBytes();
+  }
+  return total;
+}
+
+size_t ParameterServer::AuxMemoryBytes() const {
+  size_t total = 0;
+  for (int p = 0; p < partitioner_.num_partitions(); ++p) {
+    std::lock_guard<std::mutex> lock(*shard_mu_[static_cast<size_t>(p)]);
+    total += shards_[static_cast<size_t>(p)]->AuxMemoryBytes();
+  }
+  return total;
+}
+
+Status ParameterServer::SaveCheckpoint(std::ostream& os) const {
+  std::lock_guard<std::mutex> clock_lock(clock_mu_);
+  os << "hetps-checkpoint v1\n";
+  os << std::setprecision(17);
+  os << dim() << ' ' << num_workers_ << ' '
+     << partitioner_.num_partitions() << '\n';
+  os << "clocks";
+  for (int c : clock_table_.clocks()) os << ' ' << c;
+  os << '\n';
+  os << "master";
+  for (int64_t v : master_.VersionSnapshot()) os << ' ' << v;
+  os << '\n';
+  for (int p = 0; p < partitioner_.num_partitions(); ++p) {
+    std::lock_guard<std::mutex> lock(*shard_mu_[static_cast<size_t>(p)]);
+    const ServerShard& shard = *shards_[static_cast<size_t>(p)];
+    const SparseVector sv = shard.param().ToSparse();
+    os << "shard " << p << ' '
+       << (shard.param().is_sparse() ? 1 : 0) << ' '
+       << shard.push_count() << ' ' << sv.nnz() << '\n';
+    for (size_t i = 0; i < sv.nnz(); ++i) {
+      os << sv.index(i) << ' ' << sv.value(i) << ' ';
+    }
+    os << '\n';
+    HETPS_RETURN_NOT_OK(shard.rule().SaveState(os));
+  }
+  return os ? Status::OK() : Status::IOError("checkpoint write failed");
+}
+
+Status ParameterServer::LoadCheckpoint(std::istream& is) {
+  std::string header;
+  std::getline(is, header);
+  if (header != "hetps-checkpoint v1") {
+    return Status::IOError("bad checkpoint header: " + header);
+  }
+  int64_t saved_dim = 0;
+  int saved_workers = 0;
+  int saved_partitions = 0;
+  if (!(is >> saved_dim >> saved_workers >> saved_partitions)) {
+    return Status::IOError("truncated checkpoint (shape)");
+  }
+  if (saved_dim != dim() || saved_workers != num_workers_ ||
+      saved_partitions != partitioner_.num_partitions()) {
+    return Status::InvalidArgument(
+        "checkpoint shape does not match this ParameterServer");
+  }
+  std::string tag;
+  if (!(is >> tag) || tag != "clocks") {
+    return Status::IOError("missing clocks section");
+  }
+  std::vector<int> clocks(static_cast<size_t>(num_workers_));
+  for (auto& c : clocks) {
+    if (!(is >> c)) return Status::IOError("truncated clocks");
+  }
+  if (!(is >> tag) || tag != "master") {
+    return Status::IOError("missing master section");
+  }
+  std::vector<int64_t> versions(
+      static_cast<size_t>(partitioner_.num_partitions()));
+  for (auto& v : versions) {
+    if (!(is >> v)) return Status::IOError("truncated master versions");
+  }
+  {
+    std::lock_guard<std::mutex> clock_lock(clock_mu_);
+    clock_table_.Restore(clocks);
+  }
+  master_.RestoreVersions(versions);
+  for (int p = 0; p < partitioner_.num_partitions(); ++p) {
+    int shard_id = 0;
+    int sparse_layout = 0;
+    int64_t push_count = 0;
+    size_t nnz = 0;
+    if (!(is >> tag >> shard_id >> sparse_layout >> push_count >> nnz) ||
+        tag != "shard" || shard_id != p) {
+      return Status::IOError("bad shard header for partition " +
+                             std::to_string(p));
+    }
+    std::lock_guard<std::mutex> lock(*shard_mu_[static_cast<size_t>(p)]);
+    ServerShard* shard = shards_[static_cast<size_t>(p)].get();
+    ParamBlock* param = shard->mutable_param();
+    param->ForceLayout(ParamBlock::Layout::kDense);
+    param->Clear();
+    SparseVector sv;
+    for (size_t i = 0; i < nnz; ++i) {
+      int64_t idx = 0;
+      double value = 0.0;
+      if (!(is >> idx >> value)) {
+        return Status::IOError("truncated shard values");
+      }
+      sv.PushBack(idx, value);
+    }
+    param->Add(sv);
+    if (sparse_layout != 0) {
+      param->ForceLayout(ParamBlock::Layout::kSparse);
+    }
+    shard->set_push_count(push_count);
+    HETPS_RETURN_NOT_OK(shard->mutable_rule()->LoadState(is));
+  }
+  clock_cv_.notify_all();
+  return Status::OK();
+}
+
+std::string ParameterServer::DebugString() const {
+  std::ostringstream os;
+  os << "ParameterServer(dim=" << dim() << ", workers=" << num_workers_
+     << ", " << partitioner_.DebugString() << ", sync="
+     << options_.sync.DebugString()
+     << ", partition_sync=" << (options_.partition_sync ? "on" : "off")
+     << ")";
+  return os.str();
+}
+
+}  // namespace hetps

@@ -1,0 +1,137 @@
+#ifndef HETPS_PS_PARAMETER_SERVER_H_
+#define HETPS_PS_PARAMETER_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/consolidation.h"
+#include "core/sync_policy.h"
+#include "math/sparse_vector.h"
+#include "ps/master.h"
+#include "ps/partition.h"
+#include "ps/server_shard.h"
+#include "util/status.h"
+
+namespace hetps {
+
+/// Configuration of the in-process parameter-server fabric.
+struct PsOptions {
+  int num_servers = 1;
+  int partitions_per_server = 1;
+  PartitionScheme scheme = PartitionScheme::kRangeHash;
+  SyncPolicy sync = SyncPolicy::Ssp(3);
+  /// Client-side filter: drop |x| <= epsilon update entries before the
+  /// push (§5.3); 0 disables.
+  double update_filter_epsilon = 0.0;
+  /// Version-based partition synchronization through the master (§6);
+  /// effective with a deferred-mode DynSGD rule.
+  bool partition_sync = false;
+};
+
+/// Thread-safe facade over the partitioned server shards, the global clock
+/// table, and the master — the "logical PS" the paper's Figure 1 shows.
+///
+/// The threaded runtime calls Push/PullFull/WaitUntilCanAdvance directly.
+/// The event simulator drives shards piecewise (PushPiece / PullAssemble)
+/// so it can model per-partition message timing.
+class ParameterServer {
+ public:
+  ParameterServer(int64_t dim, int num_workers,
+                  const ConsolidationRule& rule_proto,
+                  const PsOptions& options);
+
+  int64_t dim() const { return partitioner_.dim(); }
+  int num_workers() const { return num_workers_; }
+  int num_partitions() const { return partitioner_.num_partitions(); }
+  const Partitioner& partitioner() const { return partitioner_; }
+  const PsOptions& options() const { return options_; }
+  Master* master() { return &master_; }
+
+  /// --- Whole-push/pull API (threaded runtime, tests) ---
+
+  /// Splits `update` by partition, applies the client-side filter, and
+  /// consolidates every piece; advances the clock table once.
+  void Push(int worker, int clock, const SparseVector& update);
+
+  /// True if `worker` may begin `next_clock` under the sync policy.
+  bool CanAdvance(int worker, int next_clock) const;
+
+  /// Blocks until CanAdvance holds (condition variable, woken by pushes).
+  void WaitUntilCanAdvance(int worker, int next_clock);
+
+  /// Assembles the full dense parameter. When partition_sync is on, pulls
+  /// every partition at the master's stable version. Returns the vector
+  /// and the current cmin (Algorithm 1's pull returns both).
+  std::vector<double> PullFull(int worker, int* cmin_out = nullptr);
+
+  /// Range pull (the "range push and pull" optimization of Appendix D):
+  /// returns the values of keys [begin, end), reading only the partitions
+  /// the range touches — cheap under range/range-hash partitioning, a
+  /// full fan-out under hash partitioning (§6). Stamps pull state on the
+  /// touched partitions only.
+  std::vector<double> PullRange(int worker, int64_t begin, int64_t end);
+
+  /// Read-only global snapshot (no pull stamping) for evaluation.
+  std::vector<double> Snapshot() const;
+
+  /// --- Piecewise API (event simulator) ---
+
+  /// Applies one partition's piece of a push. `last_piece` advances the
+  /// clock table (and reports versions to the master). Pieces must already
+  /// be partition-local (from partitioner().SplitByPartition).
+  void PushPiece(int partition, int worker, int clock,
+                 const SparseVector& local_piece, bool last_piece);
+
+  /// Pulls one partition's block (stamping pull state). If
+  /// `version >= 0`, pulls the snapshot at that version.
+  std::vector<double> PullPiece(int partition, int worker,
+                                int64_t version = -1);
+
+  /// --- Introspection ---
+
+  int cmin() const;
+  int cmax() const;
+
+  /// Read access to one shard (introspection; do not mutate concurrently
+  /// with pushes).
+  const ServerShard& shard(int p) const {
+    return *shards_.at(static_cast<size_t>(p));
+  }
+  int64_t StableVersion() const { return master_.StableVersion(); }
+  int64_t TotalPushes() const;
+
+  /// Memory accounting for Figure 13.
+  size_t ParamMemoryBytes() const;
+  size_t AuxMemoryBytes() const;
+
+  /// Checkpointing (Appendix D failure recovery); see ps/checkpoint.h for
+  /// the file-level helpers. Both ends must use the same configuration.
+  Status SaveCheckpoint(std::ostream& os) const;
+  Status LoadCheckpoint(std::istream& is);
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<double> AssemblePull(int worker, int64_t version);
+
+  const int num_workers_;
+  PsOptions options_;
+  Partitioner partitioner_;
+  Master master_;
+
+  mutable std::mutex clock_mu_;
+  std::condition_variable clock_cv_;
+  ClockTable clock_table_;
+
+  // One mutex per shard; shards_[p] serves partition p.
+  std::vector<std::unique_ptr<ServerShard>> shards_;
+  mutable std::vector<std::unique_ptr<std::mutex>> shard_mu_;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_PS_PARAMETER_SERVER_H_

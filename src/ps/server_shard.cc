@@ -1,0 +1,35 @@
+#include "ps/server_shard.h"
+
+#include "util/logging.h"
+
+namespace hetps {
+
+ServerShard::ServerShard(int shard_id, size_t dim,
+                         const ConsolidationRule& rule_proto,
+                         int num_workers)
+    : shard_id_(shard_id), param_(dim), rule_(rule_proto.Clone()) {
+  rule_->Reset(dim, num_workers);
+}
+
+void ServerShard::Push(int worker, int clock,
+                       const SparseVector& local_update) {
+  rule_->OnPush(worker, clock, local_update, &param_);
+  ++push_count_;
+}
+
+std::vector<double> ServerShard::Pull(int worker, int cmax) {
+  rule_->OnPull(worker, cmax);
+  return rule_->Materialize(param_);
+}
+
+std::vector<double> ServerShard::PullAtVersion(int worker, int cmax,
+                                               int64_t version) {
+  rule_->OnPull(worker, cmax);
+  return rule_->MaterializeAtVersion(param_, version);
+}
+
+std::vector<double> ServerShard::Peek() const {
+  return rule_->Materialize(param_);
+}
+
+}  // namespace hetps

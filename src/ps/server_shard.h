@@ -1,0 +1,73 @@
+#ifndef HETPS_PS_SERVER_SHARD_H_
+#define HETPS_PS_SERVER_SHARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/consolidation.h"
+#include "core/param_block.h"
+#include "math/sparse_vector.h"
+
+namespace hetps {
+
+/// One partition's server-side state: the parameter block plus a private
+/// clone of the consolidation rule. Pure logic — serialization of calls is
+/// the caller's job (the facade locks per shard; the simulator is
+/// single-threaded).
+class ServerShard {
+ public:
+  /// `rule_proto` is cloned; `dim` is the partition-local dimension.
+  ServerShard(int shard_id, size_t dim, const ConsolidationRule& rule_proto,
+              int num_workers);
+
+  int shard_id() const { return shard_id_; }
+  size_t dim() const { return param_.dim(); }
+
+  /// Consolidates a partition-local update from `worker` at `clock`.
+  void Push(int worker, int clock, const SparseVector& local_update);
+
+  /// Dense snapshot of this partition, stamping the rule's pull state for
+  /// `worker` (`cmax` = fastest worker's clock, for Algorithm 2).
+  std::vector<double> Pull(int worker, int cmax);
+
+  /// Snapshot at `version` (deferred DynSGD only; other rules return the
+  /// live value). Stamps pull state like Pull().
+  std::vector<double> PullAtVersion(int worker, int cmax, int64_t version);
+
+  /// Read-only snapshot without stamping pull state (evaluation path).
+  std::vector<double> Peek() const;
+
+  /// Versions created on this partition.
+  int64_t CurrentVersion() const { return rule_->CurrentVersion(); }
+
+  /// Complete-version count this partition reports to the master (§6).
+  int64_t CompletedVersionCount() const {
+    return rule_->CompletedVersionCount();
+  }
+
+  /// Bytes held by the parameter block itself.
+  size_t ParamMemoryBytes() const { return param_.MemoryBytes(); }
+
+  /// Bytes of consolidation-rule auxiliary state (multi-version updates).
+  size_t AuxMemoryBytes() const { return rule_->AuxMemoryBytes(); }
+
+  /// Number of pushes consolidated so far.
+  int64_t push_count() const { return push_count_; }
+  void set_push_count(int64_t count) { push_count_ = count; }
+
+  const ParamBlock& param() const { return param_; }
+  ParamBlock* mutable_param() { return &param_; }
+  const ConsolidationRule& rule() const { return *rule_; }
+  ConsolidationRule* mutable_rule() { return rule_.get(); }
+
+ private:
+  int shard_id_;
+  ParamBlock param_;
+  std::unique_ptr<ConsolidationRule> rule_;
+  int64_t push_count_ = 0;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_PS_SERVER_SHARD_H_

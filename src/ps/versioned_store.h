@@ -1,0 +1,110 @@
+#ifndef HETPS_PS_VERSIONED_STORE_H_
+#define HETPS_PS_VERSIONED_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace hetps {
+
+/// The generic multi-version control facility of §6 "Parameter
+/// Versioning": a store of per-version values driven by the three
+/// user-defined functions the paper names —
+///
+///   1. a *map* function assigning each incoming update to a version,
+///   2. an *update* function applying the update to that version's value,
+///   3. an *expire* predicate deciding when a version can be folded away.
+///
+/// `DynSgdRule` is the specialized, performance-tuned instance of this
+/// pattern (map = clock stamping, update = the Δu revision, expire = all
+/// workers passed). The generic template exists for new consolidation
+/// strategies and for tests that exercise the version-control mechanics
+/// in isolation.
+///
+/// V is the per-version aggregate; U the incoming update payload.
+template <typename V, typename U>
+class VersionedStore {
+ public:
+  /// Assigns an update (from `worker` at `clock`) to a version id.
+  using MapFn = std::function<int64_t(int worker, int clock)>;
+  /// Applies `update` to the version's aggregate. `count` is the number
+  /// of updates previously applied to this version (0 for the first).
+  using UpdateFn = std::function<void(const U& update, int64_t count,
+                                      V* aggregate)>;
+  /// True once the version can be retired. `base` receives the retired
+  /// aggregate (the §6 fold into the global parameter).
+  using ExpireFn = std::function<bool(int64_t version)>;
+  using FoldFn = std::function<void(int64_t version, const V& aggregate)>;
+
+  VersionedStore(MapFn map, UpdateFn update, ExpireFn expire, FoldFn fold)
+      : map_(std::move(map)),
+        update_(std::move(update)),
+        expire_(std::move(expire)),
+        fold_(std::move(fold)) {
+    HETPS_CHECK(map_ && update_ && expire_ && fold_)
+        << "all four UDFs are required";
+  }
+
+  /// Routes one update through map/update, then retires expired
+  /// versions in ascending order.
+  void Apply(int worker, int clock, const U& update) {
+    const int64_t v = map_(worker, clock);
+    HETPS_CHECK(versions_.empty() || v >= versions_.begin()->first)
+        << "update mapped to an already-expired version " << v;
+    Entry& entry = versions_[v];  // value-initialized V on first touch
+    update_(update, entry.count, &entry.aggregate);
+    ++entry.count;
+    Evict();
+  }
+
+  /// Number of live versions (Theorem 3's window).
+  size_t live_versions() const { return versions_.size(); }
+
+  /// Updates applied to a live version; 0 if unknown/expired.
+  int64_t CountOf(int64_t version) const {
+    auto it = versions_.find(version);
+    return it == versions_.end() ? 0 : it->second.count;
+  }
+
+  /// Read access to a live version's aggregate (null if expired).
+  const V* Peek(int64_t version) const {
+    auto it = versions_.find(version);
+    return it == versions_.end() ? nullptr : &it->second.aggregate;
+  }
+
+  /// Visits live versions in ascending order.
+  void ForEach(
+      const std::function<void(int64_t, const V&)>& visit) const {
+    for (const auto& [v, entry] : versions_) {
+      visit(v, entry.aggregate);
+    }
+  }
+
+ private:
+  struct Entry {
+    V aggregate{};
+    int64_t count = 0;
+  };
+
+  void Evict() {
+    while (!versions_.empty()) {
+      auto it = versions_.begin();
+      if (!expire_(it->first)) break;
+      fold_(it->first, it->second.aggregate);
+      versions_.erase(it);
+    }
+  }
+
+  MapFn map_;
+  UpdateFn update_;
+  ExpireFn expire_;
+  FoldFn fold_;
+  std::map<int64_t, Entry> versions_;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_PS_VERSIONED_STORE_H_

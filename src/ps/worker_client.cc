@@ -1,0 +1,56 @@
+#include "ps/worker_client.h"
+
+#include "util/logging.h"
+
+namespace hetps {
+
+WorkerClient::WorkerClient(int worker_id, ParameterServer* ps)
+    : worker_id_(worker_id), ps_(ps) {
+  HETPS_CHECK(ps != nullptr) << "null ParameterServer";
+  HETPS_CHECK(worker_id >= 0 && worker_id < ps->num_workers())
+      << "worker id out of range";
+}
+
+void WorkerClient::Push(int clock, const SparseVector& update) {
+  ps_->Push(worker_id_, clock, update);
+  ++push_count_;
+}
+
+bool WorkerClient::MaybePull(int clock, std::vector<double>* replica) {
+  if (!ps_->options().sync.NeedsPull(clock, cached_cmin_)) {
+    return false;
+  }
+  PullBlocking(clock + 1, replica);
+  return true;
+}
+
+void WorkerClient::PullBlocking(int next_clock,
+                                std::vector<double>* replica) {
+  ps_->WaitUntilCanAdvance(worker_id_, next_clock);
+  int cmin = 0;
+  *replica = ps_->PullFull(worker_id_, &cmin);
+  cached_cmin_ = cmin;
+  ++pull_count_;
+}
+
+void WorkerClient::StartPrefetch(int next_clock) {
+  HETPS_CHECK(!prefetch_.has_value()) << "prefetch already in flight";
+  prefetch_ = std::async(std::launch::async, [this, next_clock] {
+    ps_->WaitUntilCanAdvance(worker_id_, next_clock);
+    PrefetchResult result;
+    result.replica = ps_->PullFull(worker_id_, &result.cmin);
+    return result;
+  });
+}
+
+bool WorkerClient::FinishPrefetch(std::vector<double>* replica) {
+  if (!prefetch_.has_value()) return false;
+  PrefetchResult result = prefetch_->get();
+  prefetch_.reset();
+  *replica = std::move(result.replica);
+  cached_cmin_ = result.cmin;
+  ++pull_count_;
+  return true;
+}
+
+}  // namespace hetps

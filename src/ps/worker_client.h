@@ -1,0 +1,73 @@
+#ifndef HETPS_PS_WORKER_CLIENT_H_
+#define HETPS_PS_WORKER_CLIENT_H_
+
+#include <future>
+#include <optional>
+#include <vector>
+
+#include "math/sparse_vector.h"
+#include "ps/parameter_server.h"
+
+namespace hetps {
+
+/// Worker-side handle implementing the client half of Algorithm 1: push
+/// the per-clock update, track the cached cmin (cp), and refresh the
+/// replica only when the SSP policy requires it.
+///
+/// One instance per worker thread; not shareable across threads.
+class WorkerClient {
+ public:
+  WorkerClient(int worker_id, ParameterServer* ps);
+
+  int worker_id() const { return worker_id_; }
+
+  /// Pushes the local update that finishes `clock`.
+  void Push(int clock, const SparseVector& update);
+
+  /// Algorithm 1 lines 8-9: returns true (and refreshes `*replica`) if the
+  /// cached cmin forces a pull before starting `clock + 1`. Blocks while
+  /// the SSP constraint denies the next clock.
+  bool MaybePull(int clock, std::vector<double>* replica);
+
+  /// Unconditional blocking pull for `next_clock` (used at start-up).
+  void PullBlocking(int next_clock, std::vector<double>* replica);
+
+  /// Parameter pre-fetching (Appendix D): starts the SSP admission wait
+  /// and the pull on a background thread so they overlap with this
+  /// clock's computation. At most one prefetch may be in flight. The
+  /// prefetched state is slightly staler than an on-demand pull (it can
+  /// miss pushes arriving between the prefetch and its consumption) —
+  /// the usual prefetching trade.
+  void StartPrefetch(int next_clock);
+
+  /// True if a prefetch is in flight.
+  bool prefetch_active() const { return prefetch_.has_value(); }
+
+  /// Installs the prefetched replica (blocking until it is ready).
+  /// Returns false — leaving `replica` untouched — if none was started.
+  bool FinishPrefetch(std::vector<double>* replica);
+
+  /// cp — the cmin returned by the last pull.
+  int cached_cmin() const { return cached_cmin_; }
+
+  /// Pushes and pulls performed (for tests and traces).
+  int64_t push_count() const { return push_count_; }
+  int64_t pull_count() const { return pull_count_; }
+
+ private:
+  struct PrefetchResult {
+    std::vector<double> replica;
+    int cmin = 0;
+  };
+
+  int worker_id_;
+  ParameterServer* ps_;
+  int cached_cmin_ = 0;
+  int64_t push_count_ = 0;
+  int64_t pull_count_ = 0;
+  std::optional<std::future<PrefetchResult>> prefetch_;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_PS_WORKER_CLIENT_H_

@@ -1,0 +1,100 @@
+#include "sim/cluster_config.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace hetps {
+
+namespace {
+const WorkerProfile kDefaultProfile;
+}  // namespace
+
+const WorkerProfile& ClusterConfig::profile(int worker) const {
+  if (profiles.empty()) return kDefaultProfile;
+  return profiles.at(static_cast<size_t>(worker));
+}
+
+ClusterConfig ClusterConfig::Homogeneous(int num_workers, int num_servers) {
+  HETPS_CHECK(num_workers > 0) << "need at least one worker";
+  HETPS_CHECK(num_servers > 0) << "need at least one server";
+  ClusterConfig c;
+  c.num_workers = num_workers;
+  c.num_servers = num_servers;
+  return c;
+}
+
+ClusterConfig ClusterConfig::WithStragglers(int num_workers,
+                                            int num_servers, double hl,
+                                            double fraction,
+                                            StragglerKind kind,
+                                            double base_jitter) {
+  HETPS_CHECK(hl >= 1.0) << "heterogeneity level must be >= 1";
+  HETPS_CHECK(fraction >= 0.0 && fraction <= 1.0)
+      << "straggler fraction out of [0,1]";
+  ClusterConfig c = Homogeneous(num_workers, num_servers);
+  c.profiles.assign(static_cast<size_t>(num_workers), WorkerProfile{});
+  for (auto& p : c.profiles) p.jitter_sigma = base_jitter;
+  const int stragglers = static_cast<int>(
+      std::round(fraction * static_cast<double>(num_workers)));
+  for (int m = num_workers - stragglers; m < num_workers; ++m) {
+    auto& p = c.profiles[static_cast<size_t>(m)];
+    if (kind == StragglerKind::kCompute || kind == StragglerKind::kBoth) {
+      p.compute_multiplier = hl;
+    }
+    if (kind == StragglerKind::kNetwork || kind == StragglerKind::kBoth) {
+      p.network_multiplier = hl;
+    }
+  }
+  return c;
+}
+
+ClusterConfig ClusterConfig::NaturalProduction(int num_workers,
+                                               int num_servers,
+                                               uint64_t seed) {
+  ClusterConfig c = Homogeneous(num_workers, num_servers);
+  c.profiles.assign(static_cast<size_t>(num_workers), WorkerProfile{});
+  Rng rng(seed);
+  for (auto& p : c.profiles) {
+    // Lognormal with sigma ~0.2 gives a fastest/slowest gap around 2x for
+    // 30 workers, matching the production-cluster measurements (Fig. 6).
+    // The shared network is congested (Fig. 6 shows a ~25% communication
+    // share with large per-worker variance), hence the larger multiplier.
+    p.compute_multiplier = rng.NextLognormal(0.05, 0.18);
+    p.network_multiplier = rng.NextLognormal(1.1, 0.45);
+    p.jitter_sigma = 0.10;
+  }
+  c.congestion_probability = 0.01;
+  c.congestion_seconds = 2.0;
+  return c;
+}
+
+double ClusterConfig::HeterogeneityLevel(double base_compute_seconds,
+                                         double base_comm_seconds) const {
+  double fastest = 0.0;
+  double slowest = 0.0;
+  for (int m = 0; m < num_workers; ++m) {
+    const WorkerProfile& p = profile(m);
+    const double t = base_compute_seconds * p.compute_multiplier +
+                     base_comm_seconds * p.network_multiplier;
+    if (m == 0) {
+      fastest = slowest = t;
+    } else {
+      fastest = std::min(fastest, t);
+      slowest = std::max(slowest, t);
+    }
+  }
+  return fastest > 0.0 ? slowest / fastest : 1.0;
+}
+
+std::string ClusterConfig::DebugString() const {
+  std::ostringstream os;
+  os << "ClusterConfig(M=" << num_workers << ", P=" << num_servers
+     << ", HL~=" << HeterogeneityLevel(1.0, 0.1) << ")";
+  return os.str();
+}
+
+}  // namespace hetps

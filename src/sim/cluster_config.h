@@ -1,0 +1,87 @@
+#ifndef HETPS_SIM_CLUSTER_CONFIG_H_
+#define HETPS_SIM_CLUSTER_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetps {
+
+/// Per-worker heterogeneity knobs. A multiplier of k makes the relevant
+/// resource k× slower, mirroring the paper's sleep()-injection protocol
+/// (§3) where 20% of workers are slowed to reach a target HL.
+struct WorkerProfile {
+  double compute_multiplier = 1.0;
+  double network_multiplier = 1.0;
+  /// Lognormal sigma of per-clock speed jitter (0 = deterministic);
+  /// used by the natural-production-cluster model (§7.3, Figure 6).
+  double jitter_sigma = 0.0;
+};
+
+/// Simulated-cluster cost model. All times are in simulated seconds; the
+/// defaults are calibrated so that a 30-worker LR/URL-like run spans a few
+/// hundred simulated seconds like the paper's Figure 2.
+struct ClusterConfig {
+  enum class StragglerKind { kCompute, kNetwork, kBoth };
+
+  int num_workers = 30;
+  int num_servers = 10;
+
+  /// Gradient cost per processed feature non-zero. The defaults put a
+  /// 30-worker URL-like clock at ~6 simulated seconds with a ~10%
+  /// communication share, so run times land in the range Figure 2 / Table
+  /// 3 report (hundreds of seconds per job).
+  double seconds_per_nnz = 1e-3;
+  /// Fixed cost per mini-batch (bookkeeping, cache misses).
+  double batch_overhead = 0.05;
+  /// One-way message latency.
+  double net_latency = 0.3;
+  /// Link bandwidth between a worker and a server.
+  double net_bytes_per_sec = 2e5;
+  /// When true, transfers to/from the same server serialize on its link —
+  /// this is what makes a single-coordinator (Spark-style) topology slow
+  /// relative to a partitioned PS (§7.2 "BSP System").
+  bool serialize_server_link = true;
+  /// Congestion episodes: each transfer independently stalls with this
+  /// probability for ~congestion_seconds (exponential). These
+  /// second-scale stalls are what desynchronizes parameter partitions in
+  /// shared clusters (§6 "Partition Synchronization", Figure 5).
+  double congestion_probability = 0.0;
+  double congestion_seconds = 0.0;
+
+  /// Per-worker profiles; empty means all-default (homogeneous).
+  std::vector<WorkerProfile> profiles;
+
+  const WorkerProfile& profile(int worker) const;
+
+  /// All workers identical.
+  static ClusterConfig Homogeneous(int num_workers, int num_servers);
+
+  /// `fraction` of the workers (taken from the tail of the id space) get
+  /// multiplier `hl` on the chosen resource — the controlled-heterogeneity
+  /// protocol of §3/§7.2. hl = 1 yields a homogeneous cluster. Every
+  /// worker also gets `base_jitter` lognormal per-clock speed jitter: real
+  /// clusters are never perfectly lockstep, and exact lockstep produces a
+  /// synchronized-overshoot resonance that no deployment exhibits.
+  static ClusterConfig WithStragglers(
+      int num_workers, int num_servers, double hl, double fraction = 0.2,
+      StragglerKind kind = StragglerKind::kCompute,
+      double base_jitter = 0.08);
+
+  /// Naturally heterogeneous shared cluster (§7.3): lognormal per-worker
+  /// compute and network multipliers plus per-clock jitter, calibrated so
+  /// the fastest worker is ~2x the slowest like Figure 6.
+  static ClusterConfig NaturalProduction(int num_workers, int num_servers,
+                                         uint64_t seed);
+
+  /// Eq. (1) estimate: (t_c + t_t) of the slowest worker over the fastest,
+  /// given a reference clock's compute and transmission seconds.
+  double HeterogeneityLevel(double base_compute_seconds,
+                            double base_comm_seconds) const;
+
+  std::string DebugString() const;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_SIM_CLUSTER_CONFIG_H_

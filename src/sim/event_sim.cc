@@ -1,0 +1,540 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "data/sharding.h"
+#include "ps/parameter_server.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace hetps {
+
+std::string SimResult::Summary() const {
+  std::ostringstream os;
+  os << (converged ? "converged" : "NOT converged")
+     << " run_time=" << run_time_seconds << "s updates="
+     << updates_to_converge << " per_update=" << per_update_seconds
+     << "s minobj=" << min_objective << " varobj=" << var_objective
+     << " clocks_to_converge=" << clocks_to_converge;
+  return os.str();
+}
+
+namespace {
+
+enum class EventType : int {
+  kStartClock = 0,
+  kPushSend = 1,
+  kPushArrive = 2,
+  kPullRequest = 3,
+  kPullPieceRead = 4,
+  kPullResponse = 5,
+};
+
+struct Event {
+  double time;
+  int64_t seq;
+  EventType type;
+  int worker;
+  int64_t payload;  // push-piece id for kPushArrive; unused otherwise
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+struct PushPieceMsg {
+  int partition;
+  int worker;
+  int clock;
+  SparseVector piece;
+  bool last;
+};
+
+struct WorkerSim {
+  std::unique_ptr<LocalWorkerSgd> sgd;
+  std::vector<double> replica;
+  int clock = 0;
+  int cp = 0;  // cached cmin (Algorithm 1's cp)
+  bool done = false;
+  double pull_request_time = 0.0;
+  int pending_next_clock = 0;
+  std::vector<double> pending_pull;
+  int pending_cmin = 0;
+  // Version limit captured at pull grant (partition sync); -1 = live.
+  int64_t pending_pull_version = -1;
+  // Pieces computed at clock start, transmitted at the send event.
+  std::vector<SparseVector> pending_push_pieces;
+  int pending_push_clock = 0;
+  Rng rng{0};
+  WorkerTimeBreakdown breakdown;
+};
+
+/// One simulated run. Single-threaded; time advances through the event
+/// queue while gradients, consolidation, and convergence are computed for
+/// real.
+class Simulation {
+ public:
+  Simulation(const Dataset& dataset, const ClusterConfig& cluster,
+             const ConsolidationRule& rule_proto,
+             const LearningRateSchedule& schedule, const LossFunction& loss,
+             const SimOptions& options, StragglerMitigation* mitigation)
+      : dataset_(dataset),
+        cluster_(cluster),
+        schedule_(schedule),
+        loss_(loss),
+        options_(options),
+        mitigation_(mitigation) {
+    PsOptions ps_opts;
+    ps_opts.num_servers = cluster.num_servers;
+    ps_opts.partitions_per_server = options.partitions_per_server;
+    ps_opts.scheme = options.scheme;
+    ps_opts.sync = options.sync;
+    ps_opts.partition_sync = options.partition_sync;
+    // The simulator applies the client-side filter itself (it needs the
+    // filtered size for transmission costs), so the facade filter is off.
+    ps_ = std::make_unique<ParameterServer>(
+        dataset.dimension(), cluster.num_workers, rule_proto, ps_opts);
+    net_rng_ = Rng(Mix64(options.seed ^ 0xfeedULL));
+
+    server_busy_.assign(static_cast<size_t>(cluster.num_servers), 0.0);
+    pair_last_arrival_.assign(
+        static_cast<size_t>(cluster.num_workers) *
+            static_cast<size_t>(cluster.num_servers),
+        0.0);
+
+    const std::vector<DataShard> shards = SplitData(
+        dataset.size(), static_cast<size_t>(cluster.num_workers),
+        ShardingPolicy::kContiguous);
+    Rng master_rng(options.seed);
+    workers_.resize(static_cast<size_t>(cluster.num_workers));
+    for (int m = 0; m < cluster.num_workers; ++m) {
+      WorkerSim& w = workers_[static_cast<size_t>(m)];
+      LocalWorkerSgd::Options sgd_opts;
+      sgd_opts.batch_size = LocalWorkerSgd::BatchSizeForFraction(
+          shards[static_cast<size_t>(m)].size(), options.batch_fraction);
+      sgd_opts.l2 = options.l2;
+      w.sgd = std::make_unique<LocalWorkerSgd>(
+          &dataset, shards[static_cast<size_t>(m)], &loss, &schedule,
+          sgd_opts);
+      w.replica.assign(static_cast<size_t>(dataset.dimension()), 0.0);
+      w.rng = master_rng.Fork(static_cast<uint64_t>(m));
+      // Stagger start-up (container launch + data loading differ across
+      // workers in any real deployment).
+      const double nominal_clock =
+          static_cast<double>(w.sgd->ShardNnz()) * cluster.seconds_per_nnz;
+      const double stagger = options.start_stagger_clocks > 0.0
+                                 ? w.rng.NextDouble() *
+                                       options.start_stagger_clocks *
+                                       nominal_clock
+                                 : 0.0;
+      Schedule(stagger, EventType::kStartClock, m, 0);
+    }
+  }
+
+  SimResult Run() {
+    while (!queue_.empty() && !stop_) {
+      const Event ev = queue_.top();
+      queue_.pop();
+      now_ = ev.time;
+      if (now_ > options_.max_sim_seconds) break;
+      switch (ev.type) {
+        case EventType::kStartClock:
+          HandleStartClock(ev.worker);
+          break;
+        case EventType::kPushSend:
+          HandlePushSend(ev.worker);
+          break;
+        case EventType::kPushArrive:
+          HandlePushArrive(ev.payload);
+          break;
+        case EventType::kPullRequest:
+          HandlePullRequest(ev.worker);
+          break;
+        case EventType::kPullPieceRead:
+          HandlePullPieceRead(ev.worker, static_cast<int>(ev.payload));
+          break;
+        case EventType::kPullResponse:
+          HandlePullResponse(ev.worker);
+          break;
+      }
+    }
+    return Finalize();
+  }
+
+ private:
+  void Schedule(double time, EventType type, int worker, int64_t payload) {
+    queue_.push(Event{time, next_seq_++, type, worker, payload});
+  }
+
+  struct LinkSlot {
+    double start;    // when the server link begins serving the transfer
+    double arrival;  // when the payload lands at the receiver
+  };
+
+  /// Transmission of `bytes` over worker link (multiplier `net_mult`) to
+  /// server `server`, sent at `send_time`.
+  LinkSlot ReserveLinkSlot(int worker, int server, double send_time,
+                           double bytes, double net_mult) {
+    const double duration =
+        bytes / (cluster_.net_bytes_per_sec / net_mult);
+    double start = send_time;
+    if (cluster_.serialize_server_link) {
+      double& busy = server_busy_[static_cast<size_t>(server)];
+      start = std::max(send_time, busy);
+      busy = start + duration;
+    }
+    // Congestion stalls happen in the network fabric (switch queues),
+    // not on the endpoint link: they delay this payload's arrival
+    // without blocking transfers of *other* connections behind it.
+    double stall = 0.0;
+    if (cluster_.congestion_probability > 0.0 &&
+        net_rng_.NextBernoulli(cluster_.congestion_probability)) {
+      stall = cluster_.congestion_seconds * net_rng_.NextExponential(1.0);
+    }
+    double arrival =
+        start + duration + stall + cluster_.net_latency * net_mult;
+    // A TCP/Netty-style transport preserves per-connection ordering: a
+    // stalled payload delays everything this worker later sends to the
+    // same server; nothing overtakes.
+    double& last = pair_last_arrival_[static_cast<size_t>(worker) *
+                                          server_busy_.size() +
+                                      static_cast<size_t>(server)];
+    arrival = std::max(arrival, last + 1e-9);
+    last = arrival;
+    return {start, arrival};
+  }
+
+  double ReserveLink(int worker, int server, double send_time,
+                     double bytes, double net_mult) {
+    return ReserveLinkSlot(worker, server, send_time, bytes, net_mult)
+        .arrival;
+  }
+
+  double EvalObjective(const std::vector<double>& w) const {
+    const size_t n =
+        options_.eval_sample == 0 ? dataset_.size() : options_.eval_sample;
+    return dataset_.ObjectiveSample(loss_, w, options_.l2, n);
+  }
+
+  void HandleStartClock(int worker) {
+    WorkerSim& w = workers_[static_cast<size_t>(worker)];
+    if (w.clock >= options_.max_clocks) {
+      w.done = true;
+      return;
+    }
+    const WorkerProfile& prof = cluster_.profile(worker);
+
+    SparseVector update;
+    const LocalWorkerSgd::ClockStats stats =
+        w.sgd->RunClock(w.clock, &w.replica, &update);
+    double jitter = 1.0;
+    if (prof.jitter_sigma > 0.0) {
+      jitter = w.rng.NextLognormal(0.0, prof.jitter_sigma);
+    }
+    const double tc =
+        (static_cast<double>(stats.nnz_processed) *
+             cluster_.seconds_per_nnz +
+         static_cast<double>(stats.batches) * cluster_.batch_overhead) *
+        prof.compute_multiplier * jitter;
+    w.breakdown.compute_seconds += tc;
+    const double t_send = now_ + tc;
+
+    // Report the worker's *compute* time for this clock and let the
+    // straggler-mitigation hook rebalance shards (FlexRR flags workers by
+    // speed; SSP waiting time must not pollute the signal).
+    ps_->master()->ReportClockTime(worker, tc);
+    if (mitigation_ != nullptr) {
+      std::vector<LocalWorkerSgd*> all;
+      all.reserve(workers_.size());
+      for (auto& ws : workers_) all.push_back(ws.sgd.get());
+      mitigation_->OnClockEnd(worker, w.clock, tc, ps_->master(), &all);
+    }
+
+    if (options_.update_filter_epsilon > 0.0) {
+      update = update.Filtered(options_.update_filter_epsilon);
+    }
+    // Link reservations must happen in chronological send order (other
+    // workers may send before our compute finishes), so transmission is
+    // its own event at t_send.
+    w.pending_push_pieces = ps_->partitioner().SplitByPartition(update);
+    w.pending_push_clock = w.clock;
+    Schedule(t_send, EventType::kPushSend, worker, 0);
+
+    // Convergence curve sampled at worker-0 clock boundaries (the paper
+    // tracks objective per clock). We evaluate the *global* parameter:
+    // the local replica drifts between throttled pulls, which would
+    // superimpose a sawtooth that says nothing about model quality.
+    if (options_.record_clock_objectives && worker == 0) {
+      clock_objectives_.push_back(EvalObjective(ps_->Snapshot()));
+    }
+
+    ++w.breakdown.clocks_completed;
+
+    // Algorithm 1 lines 8-9: refresh the replica only when cp is too
+    // stale; the request leaves once the update is sent.
+    if (options_.sync.NeedsPull(w.clock, w.cp)) {
+      w.pending_next_clock = w.clock + 1;
+      w.pull_request_time =
+          t_send + cluster_.net_latency * prof.network_multiplier;
+      Schedule(w.pull_request_time, EventType::kPullRequest, worker, 0);
+    } else {
+      w.clock += 1;
+      Schedule(t_send, EventType::kStartClock, worker, 0);
+    }
+  }
+
+  void HandlePushSend(int worker) {
+    WorkerSim& w = workers_[static_cast<size_t>(worker)];
+    const WorkerProfile& prof = cluster_.profile(worker);
+    std::vector<SparseVector> pieces = std::move(w.pending_push_pieces);
+    w.pending_push_pieces.clear();
+    // Per-partition transfers run in parallel over distinct server links;
+    // the push completes when the last piece lands.
+    std::vector<double> arrivals(pieces.size(), now_);
+    double max_arrival = now_;
+    size_t last_idx = 0;
+    for (size_t p = 0; p < pieces.size(); ++p) {
+      const double bytes =
+          64.0 + static_cast<double>(pieces[p].nnz()) * 16.0;
+      arrivals[p] = ReserveLink(
+          worker, ps_->partitioner().ServerOf(static_cast<int>(p)), now_,
+          bytes, prof.network_multiplier);
+      if (arrivals[p] >= max_arrival) {
+        max_arrival = arrivals[p];
+        last_idx = p;
+      }
+    }
+    w.breakdown.comm_seconds += max_arrival - now_;
+    for (size_t p = 0; p < pieces.size(); ++p) {
+      const int64_t id = next_piece_id_++;
+      pieces_.emplace(id, PushPieceMsg{static_cast<int>(p), worker,
+                                       w.pending_push_clock,
+                                       std::move(pieces[p]),
+                                       p == last_idx});
+      Schedule(arrivals[p], EventType::kPushArrive, worker, id);
+    }
+  }
+
+  void HandlePushArrive(int64_t piece_id) {
+    auto it = pieces_.find(piece_id);
+    HETPS_CHECK(it != pieces_.end()) << "missing push piece";
+    PushPieceMsg msg = std::move(it->second);
+    pieces_.erase(it);
+    ps_->PushPiece(msg.partition, msg.worker, msg.clock, msg.piece,
+                   msg.last);
+    if (!msg.last) return;
+    ++total_pushes_;
+    if (options_.eval_every_pushes > 0 &&
+        total_pushes_ % options_.eval_every_pushes == 0) {
+      EvalGlobalAndCheck();
+    }
+    GrantBlockedPulls();
+  }
+
+  void HandlePullRequest(int worker) {
+    WorkerSim& w = workers_[static_cast<size_t>(worker)];
+    if (options_.sync.CanAdvance(w.pending_next_clock, ps_->cmin())) {
+      GrantPull(worker);
+    } else {
+      blocked_.push_back(worker);
+    }
+  }
+
+  void GrantBlockedPulls() {
+    for (size_t i = 0; i < blocked_.size();) {
+      const int worker = blocked_[i];
+      WorkerSim& w = workers_[static_cast<size_t>(worker)];
+      if (options_.sync.CanAdvance(w.pending_next_clock, ps_->cmin())) {
+        blocked_.erase(blocked_.begin() + static_cast<long>(i));
+        GrantPull(worker);
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  void GrantPull(int worker) {
+    WorkerSim& w = workers_[static_cast<size_t>(worker)];
+    w.breakdown.wait_seconds += now_ - w.pull_request_time;
+    const WorkerProfile& prof = cluster_.profile(worker);
+    // With partition sync the worker asks the master for the stable
+    // version before reading (§6); otherwise each partition serves its
+    // live state at the moment its server gets to the request — which is
+    // what mixes versions across partitions (Figure 5's desynchrony).
+    w.pending_pull_version =
+        options_.partition_sync ? ps_->StableVersion() : -1;
+    w.pending_pull.assign(static_cast<size_t>(dataset_.dimension()), 0.0);
+    double max_arrival = now_;
+    const Partitioner& part = ps_->partitioner();
+    for (int p = 0; p < part.num_partitions(); ++p) {
+      const double bytes =
+          64.0 + static_cast<double>(part.PartitionDim(p)) * 8.0;
+      // The server reads the block when its link starts serving the
+      // response; transit follows.
+      const LinkSlot slot =
+          ReserveLinkSlot(worker, part.ServerOf(p), now_, bytes,
+                          prof.network_multiplier);
+      Schedule(slot.start, EventType::kPullPieceRead, worker, p);
+      max_arrival = std::max(max_arrival, slot.arrival);
+    }
+    w.breakdown.comm_seconds += max_arrival - now_;
+    w.pending_cmin = ps_->cmin();
+    Schedule(max_arrival, EventType::kPullResponse, worker, 0);
+  }
+
+  void HandlePullPieceRead(int worker, int partition) {
+    WorkerSim& w = workers_[static_cast<size_t>(worker)];
+    const Partitioner& part = ps_->partitioner();
+    const std::vector<double> block =
+        ps_->PullPiece(partition, worker, w.pending_pull_version);
+    for (size_t local = 0; local < block.size(); ++local) {
+      const int64_t g =
+          part.GlobalIndex(partition, static_cast<int64_t>(local));
+      w.pending_pull[static_cast<size_t>(g)] = block[local];
+    }
+  }
+
+  void HandlePullResponse(int worker) {
+    WorkerSim& w = workers_[static_cast<size_t>(worker)];
+    w.replica = std::move(w.pending_pull);
+    w.pending_pull.clear();
+    w.cp = w.pending_cmin;
+    w.clock += 1;
+    Schedule(now_, EventType::kStartClock, worker, 0);
+  }
+
+  void EvalGlobalAndCheck() {
+    const std::vector<double> w = ps_->Snapshot();
+    last_global_objective_ = EvalObjective(w);
+    peak_aux_bytes_ = std::max(peak_aux_bytes_, ps_->AuxMemoryBytes());
+    for (int p = 0; p < ps_->num_partitions(); ++p) {
+      peak_live_versions_ =
+          std::max(peak_live_versions_, ps_->shard(p).rule()
+                                            .LiveVersionCount());
+    }
+    if (converged_) return;
+    if (last_global_objective_ <= options_.objective_tolerance) {
+      if (sub_tolerance_evals_ == 0) {
+        // Credit the time/updates of the *first* eval of the steady
+        // window; the later ones only confirm steadiness.
+        first_sub_tolerance_time_ = now_;
+        first_sub_tolerance_pushes_ = total_pushes_;
+      }
+      ++sub_tolerance_evals_;
+      if (sub_tolerance_evals_ >=
+          std::max(1, options_.consecutive_evals_to_converge)) {
+        converged_ = true;
+        convergence_time_ = first_sub_tolerance_time_;
+        convergence_pushes_ = first_sub_tolerance_pushes_;
+        if (options_.stop_on_convergence) stop_ = true;
+      }
+    } else {
+      sub_tolerance_evals_ = 0;
+    }
+  }
+
+  SimResult Finalize() {
+    SimResult r;
+    r.converged = converged_;
+    r.total_pushes = total_pushes_;
+    r.total_sim_seconds = now_;
+    r.run_time_seconds = converged_ ? convergence_time_ : now_;
+    r.updates_to_converge =
+        converged_ ? convergence_pushes_ : total_pushes_;
+    r.per_update_seconds =
+        r.updates_to_converge > 0
+            ? r.run_time_seconds /
+                  static_cast<double>(r.updates_to_converge)
+            : 0.0;
+    r.objective_per_clock = clock_objectives_;
+    if (!clock_objectives_.empty()) {
+      const size_t n = clock_objectives_.size();
+      const size_t k = std::min<size_t>(5, n);
+      std::vector<double> tail(clock_objectives_.end() -
+                                   static_cast<long>(k),
+                               clock_objectives_.end());
+      r.min_objective = Mean(tail);
+      r.var_objective = Variance(tail);
+      r.final_objective = clock_objectives_.back();
+      for (size_t c = 0; c < n; ++c) {
+        if (clock_objectives_[c] <= options_.objective_tolerance) {
+          r.clocks_to_converge = static_cast<int>(c);
+          break;
+        }
+      }
+    } else {
+      r.final_objective = last_global_objective_;
+    }
+    r.param_memory_bytes = ps_->ParamMemoryBytes();
+    r.peak_aux_memory_bytes =
+        std::max(peak_aux_bytes_, ps_->AuxMemoryBytes());
+    r.peak_live_versions = peak_live_versions_;
+    for (int p = 0; p < ps_->num_partitions(); ++p) {
+      r.peak_live_versions = std::max(
+          r.peak_live_versions, ps_->shard(p).rule().LiveVersionCount());
+    }
+    r.mean_staleness = ps_->shard(0).rule().ObservedMeanStaleness();
+    r.worker_breakdown.reserve(workers_.size());
+    for (const auto& w : workers_) {
+      r.worker_breakdown.push_back(w.breakdown);
+    }
+    return r;
+  }
+
+  const Dataset& dataset_;
+  const ClusterConfig& cluster_;
+  const LearningRateSchedule& schedule_;
+  const LossFunction& loss_;
+  const SimOptions& options_;
+  StragglerMitigation* mitigation_;
+
+  std::unique_ptr<ParameterServer> ps_;
+  std::vector<WorkerSim> workers_;
+  std::vector<double> server_busy_;
+  std::vector<double> pair_last_arrival_;  // per (worker, server) FIFO
+  Rng net_rng_{0};
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_map<int64_t, PushPieceMsg> pieces_;
+  std::vector<int> blocked_;
+
+  double now_ = 0.0;
+  int64_t next_seq_ = 0;
+  int64_t next_piece_id_ = 0;
+  int64_t total_pushes_ = 0;
+  bool stop_ = false;
+  bool converged_ = false;
+  double convergence_time_ = 0.0;
+  int64_t convergence_pushes_ = 0;
+  int sub_tolerance_evals_ = 0;
+  double first_sub_tolerance_time_ = 0.0;
+  int64_t first_sub_tolerance_pushes_ = 0;
+  double last_global_objective_ = 0.0;
+  size_t peak_aux_bytes_ = 0;
+  size_t peak_live_versions_ = 0;
+  std::vector<double> clock_objectives_;
+};
+
+}  // namespace
+
+SimResult RunSimulation(const Dataset& dataset,
+                        const ClusterConfig& cluster,
+                        const ConsolidationRule& rule_proto,
+                        const LearningRateSchedule& schedule,
+                        const LossFunction& loss, const SimOptions& options,
+                        StragglerMitigation* mitigation) {
+  HETPS_CHECK(dataset.size() > 0) << "empty dataset";
+  HETPS_CHECK(cluster.num_workers > 0) << "need workers";
+  Simulation sim(dataset, cluster, rule_proto, schedule, loss, options,
+                 mitigation);
+  return sim.Run();
+}
+
+}  // namespace hetps

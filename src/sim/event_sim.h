@@ -1,0 +1,128 @@
+#ifndef HETPS_SIM_EVENT_SIM_H_
+#define HETPS_SIM_EVENT_SIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/consolidation.h"
+#include "core/learning_rate.h"
+#include "core/sync_policy.h"
+#include "data/dataset.h"
+#include "math/loss.h"
+#include "ps/partition.h"
+#include "sim/cluster_config.h"
+#include "sim/mitigation.h"
+
+namespace hetps {
+
+/// Options controlling one simulated training run.
+struct SimOptions {
+  SyncPolicy sync = SyncPolicy::Ssp(3);
+  /// Hard clock limit per worker.
+  int max_clocks = 50;
+  /// End the simulation when the global objective first reaches the
+  /// tolerance; when false the run always lasts max_clocks (used by the
+  /// convergence-curve figures).
+  bool stop_on_convergence = true;
+  double objective_tolerance = 0.2;
+  /// The tolerance must hold on this many consecutive evaluations before
+  /// the run counts as converged — SGD "converges" when the objective
+  /// stays put (§7.1), so a transient dip of an oscillating run must not
+  /// count.
+  int consecutive_evals_to_converge = 3;
+  double l2 = 1e-4;
+  /// Mini-batch size as a fraction of each worker's shard (§7.1: 10%).
+  double batch_fraction = 0.1;
+  /// Evaluate the global objective every this many received updates.
+  int eval_every_pushes = 10;
+  /// Examples used per objective evaluation (0 = whole dataset).
+  size_t eval_sample = 2000;
+  /// Version-based partition synchronization through the master (§6);
+  /// meaningful with a deferred-mode DynSGD rule.
+  bool partition_sync = false;
+  /// Client-side small-update filter (§5.3); 0 disables.
+  double update_filter_epsilon = 0.0;
+  int partitions_per_server = 1;
+  PartitionScheme scheme = PartitionScheme::kRangeHash;
+  /// Safety limit on simulated time.
+  double max_sim_seconds = 1e7;
+  /// Workers start up to this many nominal clock-lengths apart (uniform),
+  /// modelling staggered container start and data loading. 0 = all start
+  /// at t=0, which phase-locks homogeneous workers into a synchronized
+  /// overshoot pattern no real deployment exhibits.
+  double start_stagger_clocks = 0.9;
+  uint64_t seed = 7;
+  /// Record the per-clock objective of worker 0 (a fast worker under the
+  /// straggler configs) — the paper's convergence curves.
+  bool record_clock_objectives = true;
+};
+
+/// Per-worker breakdown of simulated time — Figure 6's stacked bars.
+struct WorkerTimeBreakdown {
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+  double wait_seconds = 0.0;
+  int clocks_completed = 0;
+
+  double PerClockCompute() const {
+    return clocks_completed ? compute_seconds / clocks_completed : 0.0;
+  }
+  double PerClockComm() const {
+    return clocks_completed ? comm_seconds / clocks_completed : 0.0;
+  }
+};
+
+/// Result of one simulated run — every metric the paper reports.
+struct SimResult {
+  bool converged = false;
+  /// Simulated seconds until the objective first reached tolerance
+  /// (end-of-run time if it never did).
+  double run_time_seconds = 0.0;
+  /// Updates the PS received until convergence — statistical efficiency.
+  int64_t updates_to_converge = 0;
+  /// run_time / updates — hardware efficiency (per-update seconds).
+  double per_update_seconds = 0.0;
+  int64_t total_pushes = 0;
+  double total_sim_seconds = 0.0;
+
+  /// Worker-0 objective after each of its clocks.
+  std::vector<double> objective_per_clock;
+  /// minobj / varobj (§7.1): mean and variance of the last five entries.
+  double min_objective = 0.0;
+  double var_objective = 0.0;
+  /// First worker-0 clock at which the objective was <= tolerance; -1 if
+  /// never.
+  int clocks_to_converge = -1;
+  double final_objective = 0.0;
+
+  size_t param_memory_bytes = 0;
+  size_t peak_aux_memory_bytes = 0;
+  /// Largest number of live versions observed on any partition (sampled
+  /// at evaluation points) — Theorem 3's cmax - cmin + 1 window.
+  size_t peak_live_versions = 0;
+  /// Observed mean staleness μ (DynSGD; 1.0 otherwise).
+  double mean_staleness = 1.0;
+
+  std::vector<WorkerTimeBreakdown> worker_breakdown;
+
+  std::string Summary() const;
+};
+
+/// Runs distributed SGD on the simulated cluster: real gradients and real
+/// consolidation, simulated computation/transmission/waiting time. See
+/// DESIGN.md §2 for why this reproduces the paper's metrics.
+///
+/// `mitigation` may be null; when set it is invoked at every worker clock
+/// end (the FlexRR-style baseline hooks in here).
+SimResult RunSimulation(const Dataset& dataset,
+                        const ClusterConfig& cluster,
+                        const ConsolidationRule& rule_proto,
+                        const LearningRateSchedule& schedule,
+                        const LossFunction& loss, const SimOptions& options,
+                        StragglerMitigation* mitigation = nullptr);
+
+}  // namespace hetps
+
+#endif  // HETPS_SIM_EVENT_SIM_H_

@@ -1,0 +1,32 @@
+#ifndef HETPS_SIM_MITIGATION_H_
+#define HETPS_SIM_MITIGATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/sgd_compute.h"
+#include "ps/master.h"
+
+namespace hetps {
+
+/// Hook invoked by the simulator after a worker finishes a clock. A
+/// mitigation strategy may inspect the master's timing reports and move
+/// data between workers' shards (the FlexRR-style baseline of §7.3 does
+/// exactly this).
+class StragglerMitigation {
+ public:
+  virtual ~StragglerMitigation() = default;
+
+  /// `clock_seconds` is the wall time (simulated) worker `worker` spent on
+  /// clock `clock`, including waiting. `workers` exposes every worker's
+  /// LocalWorkerSgd so shards can be rebalanced.
+  virtual void OnClockEnd(int worker, int clock, double clock_seconds,
+                          Master* master,
+                          std::vector<LocalWorkerSgd*>* workers) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_SIM_MITIGATION_H_

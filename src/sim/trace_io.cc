@@ -1,0 +1,42 @@
+#include "sim/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+
+namespace hetps {
+
+Status WriteWorkerBreakdownCsv(const SimResult& result,
+                               const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  out << std::setprecision(10);
+  out << "worker,clocks,compute_s,comm_s,wait_s,per_clock_compute,"
+         "per_clock_comm\n";
+  for (size_t m = 0; m < result.worker_breakdown.size(); ++m) {
+    const WorkerTimeBreakdown& b = result.worker_breakdown[m];
+    out << m << ',' << b.clocks_completed << ',' << b.compute_seconds
+        << ',' << b.comm_seconds << ',' << b.wait_seconds << ','
+        << b.PerClockCompute() << ',' << b.PerClockComm() << '\n';
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Status WriteConvergenceCsv(const SimResult& result,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  out << std::setprecision(10);
+  out << "clock,objective\n";
+  for (size_t c = 0; c < result.objective_per_clock.size(); ++c) {
+    out << c << ',' << result.objective_per_clock[c] << '\n';
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace hetps

@@ -1,0 +1,24 @@
+#ifndef HETPS_SIM_TRACE_IO_H_
+#define HETPS_SIM_TRACE_IO_H_
+
+#include <string>
+
+#include "sim/event_sim.h"
+#include "util/status.h"
+
+namespace hetps {
+
+/// CSV exporters for simulation results, so benches and notebooks can
+/// plot the paper's figures without re-parsing stdout tables.
+
+/// worker,clocks,compute_s,comm_s,wait_s,per_clock_compute,per_clock_comm
+Status WriteWorkerBreakdownCsv(const SimResult& result,
+                               const std::string& path);
+
+/// clock,objective
+Status WriteConvergenceCsv(const SimResult& result,
+                           const std::string& path);
+
+}  // namespace hetps
+
+#endif  // HETPS_SIM_TRACE_IO_H_

@@ -1,0 +1,97 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace hetps {
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      value = argv[++i];
+    } else {
+      value = "true";
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument("empty flag name in '" + arg + "'");
+    }
+    if (values_.count(name)) {
+      return Status::InvalidArgument("duplicate flag --" + name);
+    }
+    values_[name] = value;
+  }
+  return Status::OK();
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  touched_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  touched_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+Result<int64_t> FlagParser::GetInt(const std::string& name,
+                                   int64_t default_value) const {
+  touched_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return v;
+}
+
+Result<double> FlagParser::GetDouble(const std::string& name,
+                                     double default_value) const {
+  touched_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag --" + name +
+                                   " expects a number, got '" +
+                                   it->second + "'");
+  }
+  return v;
+}
+
+bool FlagParser::GetBool(const std::string& name,
+                         bool default_value) const {
+  touched_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" ||
+         it->second == "yes";
+}
+
+std::vector<std::string> FlagParser::UnusedFlags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (!touched_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace hetps

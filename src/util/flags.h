@@ -1,0 +1,47 @@
+#ifndef HETPS_UTIL_FLAGS_H_
+#define HETPS_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hetps {
+
+/// Minimal command-line flag parser for the CLI tools:
+/// `--name=value`, `--name value`, and bare `--name` (boolean true).
+/// Everything that does not start with "--" is a positional argument.
+class FlagParser {
+ public:
+  /// Parses argv (excluding argv[0]); rejects duplicate flags.
+  Status Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  /// Returns default on missing flag; parse errors surface via ok=false
+  /// in the Result.
+  Result<int64_t> GetInt(const std::string& name,
+                         int64_t default_value) const;
+  Result<double> GetDouble(const std::string& name,
+                           double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Names the caller never queried — typo detection for the CLI.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_UTIL_FLAGS_H_

@@ -1,0 +1,61 @@
+#ifndef HETPS_UTIL_LOGGING_H_
+#define HETPS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hetps {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo. Thread-safe (relaxed atomic underneath).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with level tag and source
+/// location) to stderr on destruction. Messages below the process level are
+/// formatted but not emitted; kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hetps
+
+/// Stream-style logging: HETPS_LOG(INFO) << "loaded " << n << " rows";
+#define HETPS_LOG(severity)                                       \
+  ::hetps::internal::LogMessage(::hetps::LogLevel::k##severity,   \
+                                __FILE__, __LINE__)
+
+/// Fatal check macro: aborts with a message when `cond` is false.
+#define HETPS_CHECK(cond)                                         \
+  if (!(cond)) HETPS_LOG(Fatal) << "Check failed: " #cond " "
+
+#define HETPS_DCHECK(cond) HETPS_CHECK(cond)
+
+#endif  // HETPS_UTIL_LOGGING_H_

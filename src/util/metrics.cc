@@ -1,0 +1,46 @@
+#include "util/metrics.h"
+
+#include <sstream>
+
+namespace hetps {
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+DistributionMetric* MetricsRegistry::distribution(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = distributions_[name];
+  if (!slot) slot = std::make_unique<DistributionMetric>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << ' ' << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name << ' ' << g->value() << '\n';
+  }
+  for (const auto& [name, d] : distributions_) {
+    const RunningStat s = d->Snapshot();
+    os << name << " count=" << s.count() << " mean=" << s.mean()
+       << " max=" << s.max() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hetps

@@ -1,0 +1,118 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace hetps {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+uint64_t Mix64(uint64_t key) {
+  return SplitMix64(key).Next();
+}
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  HETPS_CHECK(n > 0) << "NextUint64(n) requires n > 0";
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 high-quality bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+double Rng::NextLognormal(double mu, double sigma) {
+  return std::exp(NextGaussian(mu, sigma));
+}
+
+double Rng::NextExponential(double lambda) {
+  HETPS_CHECK(lambda > 0) << "NextExponential requires lambda > 0";
+  double u = 0.0;
+  do {
+    u = NextDouble();
+  } while (u <= 1e-300);
+  return -std::log(u) / lambda;
+}
+
+bool Rng::NextBernoulli(double p) {
+  return NextDouble() < p;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double alpha) {
+  HETPS_CHECK(n > 0) << "NextZipf requires n > 0";
+  if (n == 1) return 0;
+  // Inverse-CDF on the continuous approximation (fast, adequate skew for
+  // synthetic data; not an exact Zipf sampler).
+  const double u = NextDouble();
+  if (alpha == 1.0) {
+    const double x = std::pow(static_cast<double>(n), u);
+    uint64_t idx = static_cast<uint64_t>(x) - 1;
+    return idx >= n ? n - 1 : idx;
+  }
+  const double one_minus = 1.0 - alpha;
+  const double nn = std::pow(static_cast<double>(n), one_minus);
+  const double x = std::pow(u * (nn - 1.0) + 1.0, 1.0 / one_minus);
+  uint64_t idx = static_cast<uint64_t>(x) - 1;
+  return idx >= n ? n - 1 : idx;
+}
+
+Rng Rng::Fork(uint64_t index) const {
+  // Derive a child seed by mixing the parent seed with the stream index;
+  // avoids correlated streams across workers.
+  return Rng(Mix64(seed_ ^ Mix64(index + 0x9e3779b97f4a7c15ULL)));
+}
+
+}  // namespace hetps

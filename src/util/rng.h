@@ -1,0 +1,92 @@
+#ifndef HETPS_UTIL_RNG_H_
+#define HETPS_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hetps {
+
+/// SplitMix64 — tiny generator used to seed larger state; also a decent
+/// stateless hash of a 64-bit value (used by hash partitioning).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Stateless mixing of a 64-bit key (one SplitMix64 round).
+uint64_t Mix64(uint64_t key);
+
+/// xoshiro256** — fast, high-quality PRNG with deterministic seeding.
+/// All randomized components of hetps draw from this type so experiments
+/// are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  /// Uniform over all 64-bit values.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double NextGaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  /// Lognormal: exp(N(mu, sigma)).
+  double NextLognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (lambda > 0).
+  double NextExponential(double lambda);
+
+  /// Bernoulli with probability p.
+  bool NextBernoulli(double p);
+
+  /// Zipf-like power-law index in [0, n): probability ~ 1/(i+1)^alpha.
+  /// Used to give synthetic data a skewed feature-popularity distribution.
+  uint64_t NextZipf(uint64_t n, double alpha);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// A deterministic child generator for stream `index`; lets N workers
+  /// each own an independent reproducible stream from one master seed.
+  Rng Fork(uint64_t index) const;
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+  uint64_t seed_ = 0;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_UTIL_RNG_H_

@@ -1,0 +1,29 @@
+#ifndef HETPS_UTIL_STOPWATCH_H_
+#define HETPS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace hetps {
+
+/// Wall-clock stopwatch for the threaded runtime and benches.
+/// (Experiments on the event simulator use simulated time instead.)
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_UTIL_STOPWATCH_H_

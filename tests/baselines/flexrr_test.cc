@@ -1,0 +1,152 @@
+#include "baselines/flexrr.h"
+
+#include <gtest/gtest.h>
+
+#include "core/learning_rate.h"
+#include "data/synthetic.h"
+#include "math/loss.h"
+
+namespace hetps {
+namespace {
+
+struct Harness {
+  Harness() : dataset(MakeData()), loss(), rate(0.1), master(1, 3) {
+    const auto shards = SplitData(dataset.size(), 3,
+                                  ShardingPolicy::kContiguous);
+    for (int m = 0; m < 3; ++m) {
+      workers.push_back(std::make_unique<LocalWorkerSgd>(
+          &dataset, shards[static_cast<size_t>(m)], &loss, &rate,
+          LocalWorkerSgd::Options{}));
+    }
+    for (auto& w : workers) raw.push_back(w.get());
+  }
+
+  static Dataset MakeData() {
+    SyntheticConfig cfg;
+    cfg.num_examples = 90;
+    cfg.num_features = 50;
+    cfg.avg_nnz = 5;
+    return GenerateSynthetic(cfg);
+  }
+
+  Dataset dataset;
+  LogisticLoss loss;
+  FixedRate rate;
+  Master master;
+  std::vector<std::unique_ptr<LocalWorkerSgd>> workers;
+  std::vector<LocalWorkerSgd*> raw;
+};
+
+TEST(FlexRrTest, MovesDataFromStragglerToFastest) {
+  Harness h;
+  FlexRrMitigation flexrr;
+  h.master.ReportClockTime(0, 1.0);
+  h.master.ReportClockTime(1, 1.0);
+  h.master.ReportClockTime(2, 3.0);  // straggler
+  const size_t straggler_before = h.raw[2]->shard().size();
+  const size_t fastest_before = h.raw[0]->shard().size();
+  flexrr.OnClockEnd(2, /*clock=*/0, 3.0, &h.master, &h.raw);
+  EXPECT_LT(h.raw[2]->shard().size(), straggler_before);
+  EXPECT_GT(h.raw[0]->shard().size(), fastest_before);
+  EXPECT_GT(flexrr.examples_reassigned(), 0u);
+}
+
+TEST(FlexRrTest, NoMoveWithinThreshold) {
+  Harness h;
+  FlexRrMitigation flexrr;
+  h.master.ReportClockTime(0, 1.0);
+  h.master.ReportClockTime(1, 1.1);
+  h.master.ReportClockTime(2, 1.15);  // within 20%
+  const size_t before = h.raw[2]->shard().size();
+  flexrr.OnClockEnd(2, 0, 1.15, &h.master, &h.raw);
+  EXPECT_EQ(h.raw[2]->shard().size(), before);
+  EXPECT_EQ(flexrr.examples_reassigned(), 0u);
+}
+
+TEST(FlexRrTest, FastestWorkerNeverDonatesToItself) {
+  Harness h;
+  FlexRrMitigation flexrr;
+  h.master.ReportClockTime(0, 1.0);
+  const size_t before = h.raw[0]->shard().size();
+  flexrr.OnClockEnd(0, 0, 1.0, &h.master, &h.raw);
+  EXPECT_EQ(h.raw[0]->shard().size(), before);
+}
+
+TEST(FlexRrTest, RespectsMinimumShardSize) {
+  Harness h;
+  FlexRrMitigation::Options opts;
+  opts.min_shard_size = 30;  // shards are exactly 30
+  FlexRrMitigation flexrr(opts);
+  h.master.ReportClockTime(0, 1.0);
+  h.master.ReportClockTime(2, 5.0);
+  flexrr.OnClockEnd(2, 0, 5.0, &h.master, &h.raw);
+  EXPECT_EQ(h.raw[2]->shard().size(), 30u);
+}
+
+TEST(FlexRrTest, RepeatedReassignmentConverges) {
+  Harness h;
+  FlexRrMitigation::Options opts;
+  opts.reassign_fraction = 0.2;
+  opts.min_shard_size = 5;
+  FlexRrMitigation flexrr(opts);
+  h.master.ReportClockTime(0, 1.0);
+  h.master.ReportClockTime(1, 1.0);
+  h.master.ReportClockTime(2, 4.0);
+  for (int i = 0; i < 50; ++i) {
+    flexrr.OnClockEnd(2, i, 4.0, &h.master, &h.raw);
+  }
+  EXPECT_GE(h.raw[2]->shard().size(), 5u);
+  // Total data conserved.
+  EXPECT_EQ(h.raw[0]->shard().size() + h.raw[1]->shard().size() +
+                h.raw[2]->shard().size(),
+            90u);
+}
+
+TEST(FlexRrTest, SpreadsLoadAcrossTargetsWithinOneClock) {
+  // Two stragglers reporting back-to-back must not both dump on the same
+  // target: after the first move the target's estimated time inflates.
+  Harness h;
+  FlexRrMitigation::Options opts;
+  opts.reassign_fraction = 0.3;
+  opts.min_shard_size = 2;
+  FlexRrMitigation flexrr(opts);
+  h.master.ReportClockTime(0, 1.0);
+  h.master.ReportClockTime(1, 1.05);
+  h.master.ReportClockTime(2, 5.0);
+  const size_t w0_before = h.raw[0]->shard().size();
+  const size_t w1_before = h.raw[1]->shard().size();
+  // The straggler reports twice before anyone else reports again.
+  flexrr.OnClockEnd(2, 0, 5.0, &h.master, &h.raw);
+  flexrr.OnClockEnd(2, 1, 5.0, &h.master, &h.raw);
+  // Both fast workers received data (the second move went to worker 1
+  // because worker 0's pending inflow inflated its estimate).
+  EXPECT_GT(h.raw[0]->shard().size(), w0_before);
+  EXPECT_GT(h.raw[1]->shard().size(), w1_before);
+}
+
+TEST(FlexRrTest, StopsWhenTargetsAreSaturated) {
+  Harness h;
+  FlexRrMitigation::Options opts;
+  opts.reassign_fraction = 0.5;
+  opts.min_shard_size = 2;
+  FlexRrMitigation flexrr(opts);
+  h.master.ReportClockTime(0, 2.8);
+  h.master.ReportClockTime(1, 2.9);
+  h.master.ReportClockTime(2, 3.0);  // barely slower than the others
+  const size_t before = h.raw[2]->shard().size();
+  flexrr.OnClockEnd(2, 0, 3.0, &h.master, &h.raw);
+  // 3.0 <= 1.2 * 2.8: no move.
+  EXPECT_EQ(h.raw[2]->shard().size(), before);
+}
+
+TEST(FlexRrDeathTest, ValidatesOptions) {
+  FlexRrMitigation::Options bad;
+  bad.straggler_threshold = 0.9;
+  EXPECT_DEATH(FlexRrMitigation{bad}, "threshold");
+  FlexRrMitigation::Options bad2;
+  bad2.reassign_fraction = 0.0;
+  EXPECT_DEATH(FlexRrMitigation{bad2}, "fraction");
+}
+
+}  // namespace
+}  // namespace hetps

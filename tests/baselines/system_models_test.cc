@@ -1,0 +1,56 @@
+#include "baselines/system_models.h"
+
+#include <gtest/gtest.h>
+
+namespace hetps {
+namespace {
+
+TEST(SystemModelsTest, SparkIsSingleCoordinatorModelAveraging) {
+  const SystemModel spark = MakeSparkBsp();
+  EXPECT_EQ(spark.sync.protocol, Protocol::kBsp);
+  EXPECT_EQ(spark.rule->name(), "ConSGD");  // averaging == ConRule 1/M
+  EXPECT_EQ(spark.num_servers_override, 1);
+  EXPECT_GT(spark.comm_overhead, 1.0);
+}
+
+TEST(SystemModelsTest, PetuumVariantsUseAccumulateRule) {
+  EXPECT_EQ(MakePetuumBsp().rule->name(), "SspSGD");
+  EXPECT_EQ(MakePetuumAsp().rule->name(), "SspSGD");
+  EXPECT_EQ(MakePetuumSsp(3).rule->name(), "SspSGD");
+  EXPECT_EQ(MakePetuumSsp(3).sync.staleness, 3);
+  EXPECT_EQ(MakePetuumAsp().sync.protocol, Protocol::kAsp);
+}
+
+TEST(SystemModelsTest, TensorFlowModelsLessEfficientPs) {
+  EXPECT_GT(MakeTensorFlowBsp().comm_overhead,
+            MakePetuumBsp().comm_overhead);
+}
+
+TEST(SystemModelsTest, OursUseHeterogeneityAwareRules) {
+  EXPECT_EQ(MakeConSgd(10).rule->name(), "ConSGD");
+  EXPECT_EQ(MakeDynSgd(10).rule->name(), "DynSGD");
+  EXPECT_EQ(MakeDynSgd(10).sync.staleness, 10);
+}
+
+TEST(SystemModelsTest, AdjustClusterAppliesOverrides) {
+  const ClusterConfig base = ClusterConfig::Homogeneous(8, 4);
+  const SystemModel spark = MakeSparkBsp();
+  const ClusterConfig adjusted = spark.AdjustCluster(base);
+  EXPECT_EQ(adjusted.num_servers, 1);
+  EXPECT_LT(adjusted.net_bytes_per_sec, base.net_bytes_per_sec);
+  EXPECT_GT(adjusted.net_latency, base.net_latency);
+  // No override keeps the topology.
+  const ClusterConfig same = MakePetuumBsp().AdjustCluster(base);
+  EXPECT_EQ(same.num_servers, 4);
+  EXPECT_DOUBLE_EQ(same.net_bytes_per_sec, base.net_bytes_per_sec);
+}
+
+TEST(SystemModelsTest, Table3RosterCoversAllSystems) {
+  const auto roster = MakeTable3Roster(3);
+  ASSERT_EQ(roster.size(), 8u);
+  EXPECT_EQ(roster.front().name, "Spark");
+  EXPECT_EQ(roster.back().name, "DynSGD");
+}
+
+}  // namespace
+}  // namespace hetps

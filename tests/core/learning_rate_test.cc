@@ -1,0 +1,70 @@
+#include "core/learning_rate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetps {
+namespace {
+
+TEST(FixedRateTest, ConstantAcrossClocks) {
+  FixedRate r(0.3);
+  EXPECT_DOUBLE_EQ(r.Rate(0), 0.3);
+  EXPECT_DOUBLE_EQ(r.Rate(100), 0.3);
+  EXPECT_DOUBLE_EQ(r.sigma(), 0.3);
+}
+
+TEST(DecayedRateTest, MatchesPaperFormula) {
+  // η_c = σ / sqrt(α c + 1) with α = 0.2 (§7.1).
+  DecayedRate r(1.0, 0.2);
+  EXPECT_DOUBLE_EQ(r.Rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.Rate(5), 1.0 / std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(r.Rate(20), 1.0 / std::sqrt(5.0));
+}
+
+TEST(DecayedRateTest, MonotoneNonIncreasing) {
+  DecayedRate r(0.5, 0.2);
+  double prev = r.Rate(0);
+  for (int c = 1; c < 50; ++c) {
+    const double cur = r.Rate(c);
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(DecayedRateTest, ZeroAlphaIsConstant) {
+  DecayedRate r(0.5, 0.0);
+  EXPECT_DOUBLE_EQ(r.Rate(0), r.Rate(99));
+}
+
+TEST(InverseSqrtRateTest, MatchesTheoremSchedule) {
+  InverseSqrtRate r(2.0);
+  EXPECT_DOUBLE_EQ(r.Rate(0), 2.0);
+  EXPECT_DOUBLE_EQ(r.Rate(3), 1.0);
+}
+
+TEST(LearningRateTest, CloneIsEquivalent) {
+  DecayedRate r(0.7, 0.2);
+  auto clone = r.Clone();
+  for (int c : {0, 3, 17}) {
+    EXPECT_DOUBLE_EQ(clone->Rate(c), r.Rate(c));
+  }
+}
+
+TEST(LearningRateTest, DebugStringsNameSchedules) {
+  EXPECT_NE(FixedRate(0.1).DebugString().find("fixed"),
+            std::string::npos);
+  EXPECT_NE(DecayedRate(0.1).DebugString().find("decayed"),
+            std::string::npos);
+  EXPECT_NE(InverseSqrtRate(0.1).DebugString().find("inv_sqrt"),
+            std::string::npos);
+}
+
+TEST(LearningRateDeathTest, RejectsNonPositiveSigma) {
+  EXPECT_DEATH(FixedRate(0.0), "positive");
+  EXPECT_DEATH(DecayedRate(-1.0), "positive");
+  EXPECT_DEATH(InverseSqrtRate(0.0), "positive");
+}
+
+}  // namespace
+}  // namespace hetps

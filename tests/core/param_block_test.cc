@@ -1,0 +1,157 @@
+#include "core/param_block.h"
+
+#include <gtest/gtest.h>
+
+namespace hetps {
+namespace {
+
+TEST(ParamBlockTest, DenseByDefaultAndZeroed) {
+  ParamBlock b(4);
+  EXPECT_FALSE(b.is_sparse());
+  EXPECT_EQ(b.dim(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(b.At(i), 0.0);
+}
+
+TEST(ParamBlockTest, AddSparseIntoDense) {
+  ParamBlock b(5);
+  SparseVector u({1, 4}, {2.0, -1.0});
+  b.Add(u, 0.5);
+  EXPECT_DOUBLE_EQ(b.At(1), 1.0);
+  EXPECT_DOUBLE_EQ(b.At(4), -0.5);
+  EXPECT_DOUBLE_EQ(b.At(0), 0.0);
+}
+
+TEST(ParamBlockTest, AddSparseIntoSparseLayout) {
+  ParamBlock b(5, ParamBlock::Layout::kSparse);
+  EXPECT_TRUE(b.is_sparse());
+  SparseVector u({0, 2}, {1.0, 3.0});
+  b.Add(u);
+  b.Add(u);
+  EXPECT_DOUBLE_EQ(b.At(0), 2.0);
+  EXPECT_DOUBLE_EQ(b.At(2), 6.0);
+  EXPECT_EQ(b.CountNonZero(), 2u);
+}
+
+TEST(ParamBlockDeathTest, AddRangeChecked) {
+  ParamBlock b(2);
+  SparseVector u({5}, {1.0});
+  EXPECT_DEATH(b.Add(u), "out of block range");
+}
+
+TEST(ParamBlockTest, AddBlockMixedLayouts) {
+  ParamBlock dense(3);
+  dense.Set(0, 1.0);
+  ParamBlock sparse(3, ParamBlock::Layout::kSparse);
+  sparse.Set(2, 4.0);
+  dense.AddBlock(sparse, 0.5);
+  EXPECT_DOUBLE_EQ(dense.At(2), 2.0);
+  sparse.AddBlock(dense, 1.0);
+  EXPECT_DOUBLE_EQ(sparse.At(0), 1.0);
+  EXPECT_DOUBLE_EQ(sparse.At(2), 6.0);
+}
+
+TEST(ParamBlockTest, AddDenseVector) {
+  ParamBlock b(3, ParamBlock::Layout::kSparse);
+  b.AddDense({1.0, 0.0, -2.0}, 2.0);
+  EXPECT_DOUBLE_EQ(b.At(0), 2.0);
+  EXPECT_DOUBLE_EQ(b.At(2), -4.0);
+  // Zero entries are not materialized in sparse layout.
+  EXPECT_EQ(b.CountNonZero(), 2u);
+}
+
+TEST(ParamBlockTest, ScaleBothLayouts) {
+  for (auto layout :
+       {ParamBlock::Layout::kDense, ParamBlock::Layout::kSparse}) {
+    ParamBlock b(2, layout);
+    b.Set(1, 3.0);
+    b.Scale(-2.0);
+    EXPECT_DOUBLE_EQ(b.At(1), -6.0);
+  }
+}
+
+TEST(ParamBlockTest, SetAndClear) {
+  ParamBlock b(3, ParamBlock::Layout::kSparse);
+  b.Set(1, 5.0);
+  EXPECT_DOUBLE_EQ(b.At(1), 5.0);
+  b.Set(1, 0.0);  // setting zero erases the sparse entry
+  EXPECT_EQ(b.CountNonZero(), 0u);
+  b.Set(2, 1.0);
+  b.Clear();
+  EXPECT_DOUBLE_EQ(b.At(2), 0.0);
+}
+
+TEST(ParamBlockTest, CompactLayoutFollowsFiftyPercentRule) {
+  ParamBlock b(10);  // dense
+  b.Set(0, 1.0);     // 10% non-zero -> sparse preferred
+  EXPECT_TRUE(b.CompactLayout());
+  EXPECT_TRUE(b.is_sparse());
+  // Fill to 60% -> dense preferred.
+  for (size_t i = 0; i < 6; ++i) b.Set(i, 1.0);
+  EXPECT_TRUE(b.CompactLayout());
+  EXPECT_FALSE(b.is_sparse());
+  // Stable if already optimal.
+  EXPECT_FALSE(b.CompactLayout());
+}
+
+TEST(ParamBlockTest, CompactPreservesValues) {
+  ParamBlock b(8);
+  b.Set(3, 2.5);
+  b.Set(7, -1.5);
+  b.CompactLayout();
+  EXPECT_DOUBLE_EQ(b.At(3), 2.5);
+  EXPECT_DOUBLE_EQ(b.At(7), -1.5);
+  EXPECT_DOUBLE_EQ(b.At(0), 0.0);
+}
+
+TEST(ParamBlockTest, SparseLayoutUsesLessMemoryWhenSparse) {
+  ParamBlock dense(1000);
+  dense.Set(1, 1.0);
+  const size_t dense_bytes = dense.MemoryBytes();
+  dense.CompactLayout();
+  EXPECT_LT(dense.MemoryBytes(), dense_bytes);
+}
+
+TEST(ParamBlockTest, DropSmallEntries) {
+  ParamBlock b(4, ParamBlock::Layout::kSparse);
+  b.Set(0, 1e-9);
+  b.Set(1, 0.5);
+  EXPECT_EQ(b.DropSmallEntries(1e-6), 1u);
+  EXPECT_EQ(b.CountNonZero(), 1u);
+  ParamBlock d(4);
+  d.Set(0, 1e-9);
+  d.Set(1, 0.5);
+  EXPECT_EQ(d.DropSmallEntries(1e-6), 1u);
+  EXPECT_DOUBLE_EQ(d.At(0), 0.0);
+}
+
+TEST(ParamBlockTest, ToDenseAndToSparseRoundTrip) {
+  ParamBlock b(6, ParamBlock::Layout::kSparse);
+  b.Set(2, 1.0);
+  b.Set(5, -2.0);
+  const std::vector<double> dense = b.ToDense();
+  EXPECT_DOUBLE_EQ(dense[2], 1.0);
+  EXPECT_DOUBLE_EQ(dense[5], -2.0);
+  const SparseVector sv = b.ToSparse();
+  ASSERT_EQ(sv.nnz(), 2u);
+  EXPECT_EQ(sv.index(0), 2);  // sorted
+  EXPECT_EQ(sv.index(1), 5);
+}
+
+TEST(ParamBlockTest, AddToAccumulates) {
+  ParamBlock b(3);
+  b.Set(0, 2.0);
+  std::vector<double> out = {1.0, 1.0, 1.0};
+  b.AddTo(&out, 3.0);
+  EXPECT_DOUBLE_EQ(out[0], 7.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+}
+
+TEST(ParamBlockTest, SquaredNorm) {
+  ParamBlock b(3, ParamBlock::Layout::kSparse);
+  b.Set(0, 3.0);
+  b.Set(2, 4.0);
+  EXPECT_DOUBLE_EQ(b.SquaredNorm(), 25.0);
+}
+
+}  // namespace
+}  // namespace hetps

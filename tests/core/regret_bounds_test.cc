@@ -1,0 +1,93 @@
+#include "core/regret_bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetps {
+namespace {
+
+BoundParams Params(double t = 1000.0) {
+  BoundParams p;
+  p.F = 1.5;
+  p.L = 2.0;
+  p.s = 3;
+  p.M = 30;
+  p.T = t;
+  return p;
+}
+
+TEST(RegretBoundsTest, ClosedFormsMatchFormulas) {
+  const BoundParams p = Params();
+  const double common =
+      p.F * p.L * std::sqrt(2.0 * (p.s + 1) * p.M / p.T);
+  EXPECT_DOUBLE_EQ(SspRegretBound(p), 4.0 * common);            // Eq. (2)
+  EXPECT_DOUBLE_EQ(ConRegretBound(p), (p.M + 3.0) * common);    // Eq. (3)
+  EXPECT_DOUBLE_EQ(ConRegretBoundTuned(p), 3.0 * common);       // Eq. (4)
+  EXPECT_DOUBLE_EQ(DynRegretBound(p, 10.0), 13.0 * common);     // Eq. (5)
+}
+
+TEST(RegretBoundsTest, TunedConBeatsUntunedCon) {
+  const BoundParams p = Params();
+  EXPECT_LT(ConRegretBoundTuned(p), ConRegretBound(p));
+}
+
+TEST(RegretBoundsTest, DynInterpolatesWithMu) {
+  // (μ+3) factor: better than Eq. (3)'s (M+3) whenever μ < M (§5.2).
+  const BoundParams p = Params();
+  EXPECT_LT(DynRegretBound(p, 1.0), ConRegretBound(p));
+  EXPECT_DOUBLE_EQ(DynRegretBound(p, static_cast<double>(p.M)),
+                   ConRegretBound(p));
+}
+
+TEST(RegretBoundsTest, BoundsVanishAsTGrows) {
+  const double early = SspRegretBound(Params(100.0));
+  const double late = SspRegretBound(Params(1e10));
+  EXPECT_GT(early, late);
+  EXPECT_LT(late, 1e-2);
+  // O(1/sqrt(T)): quadrupling T halves the bound.
+  EXPECT_NEAR(SspRegretBound(Params(400.0)),
+              0.5 * SspRegretBound(Params(100.0)), 1e-12);
+}
+
+TEST(RegretBoundsTest, BoundsGrowWithStalenessAndWorkers) {
+  BoundParams p = Params();
+  const double base = SspRegretBound(p);
+  p.s = 10;
+  EXPECT_GT(SspRegretBound(p), base);
+  p = Params();
+  p.M = 100;
+  EXPECT_GT(SspRegretBound(p), base);
+}
+
+TEST(RegretBoundsDeathTest, ValidatesMu) {
+  const BoundParams p = Params();
+  EXPECT_DEATH(DynRegretBound(p, 0.5), "staleness");
+  EXPECT_DEATH(DynRegretBound(p, p.M + 1.0), "staleness");
+}
+
+TEST(SpaceBoundTest, Theorem3Formula) {
+  // ρ ≤ (r/P)(s+1).
+  EXPECT_DOUBLE_EQ(DynSpaceBoundBytes(/*param_bytes=*/8000.0,
+                                      /*num_servers=*/10,
+                                      /*staleness=*/3),
+                   3200.0);
+}
+
+TEST(SpaceBoundTest, ExactWindowFormula) {
+  // Eq. (7): ρ = (r/P)(cmax - cmin + 1).
+  EXPECT_DOUBLE_EQ(DynSpaceBytes(8000.0, 10, /*cmax=*/7, /*cmin=*/5),
+                   2400.0);
+  // The exact value never exceeds the Theorem 3 bound when
+  // cmax - cmin <= s.
+  EXPECT_LE(DynSpaceBytes(8000.0, 10, 7, 5),
+            DynSpaceBoundBytes(8000.0, 10, 3));
+}
+
+TEST(SpaceBoundDeathTest, ValidatesInputs) {
+  EXPECT_DEATH(DynSpaceBoundBytes(10.0, 0, 3), "server");
+  EXPECT_DEATH(DynSpaceBytes(10.0, 1, 2, 5), "cmax");
+}
+
+}  // namespace
+}  // namespace hetps

@@ -1,0 +1,131 @@
+#include "core/sgd_compute.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+
+namespace hetps {
+namespace {
+
+Dataset SmallSet() {
+  SyntheticConfig cfg;
+  cfg.num_examples = 60;
+  cfg.num_features = 40;
+  cfg.avg_nnz = 6;
+  cfg.label_noise = 0.0;
+  cfg.seed = 9;
+  return GenerateSynthetic(cfg);
+}
+
+DataShard FullShard(const Dataset& d) {
+  DataShard shard;
+  for (size_t i = 0; i < d.size(); ++i) shard.example_indices.push_back(i);
+  return shard;
+}
+
+TEST(LocalWorkerSgdTest, RunClockScansWholeShardOnce) {
+  Dataset d = SmallSet();
+  LogisticLoss loss;
+  FixedRate rate(0.1);
+  LocalWorkerSgd::Options opts;
+  opts.batch_size = 16;
+  LocalWorkerSgd sgd(&d, FullShard(d), &loss, &rate, opts);
+  std::vector<double> replica(static_cast<size_t>(d.dimension()), 0.0);
+  SparseVector update;
+  const auto stats = sgd.RunClock(0, &replica, &update);
+  EXPECT_EQ(stats.examples_processed, d.size());
+  EXPECT_EQ(stats.batches, (d.size() + 15) / 16);
+  EXPECT_GT(stats.nnz_processed, 0u);
+  EXPECT_GT(stats.mean_loss, 0.0);
+}
+
+TEST(LocalWorkerSgdTest, UpdateEqualsReplicaDisplacement) {
+  // Algorithm 1 lines 5-6: the pushed update is exactly the replica's
+  // total movement during the clock.
+  Dataset d = SmallSet();
+  LogisticLoss loss;
+  FixedRate rate(0.2);
+  LocalWorkerSgd::Options opts;
+  opts.batch_size = 8;
+  LocalWorkerSgd sgd(&d, FullShard(d), &loss, &rate, opts);
+  std::vector<double> replica(static_cast<size_t>(d.dimension()), 0.0);
+  const std::vector<double> before = replica;
+  SparseVector update;
+  sgd.RunClock(0, &replica, &update);
+  for (int64_t j = 0; j < d.dimension(); ++j) {
+    EXPECT_NEAR(replica[static_cast<size_t>(j)] -
+                    before[static_cast<size_t>(j)],
+                update.ValueAt(j), 1e-12);
+  }
+}
+
+TEST(LocalWorkerSgdTest, ObjectiveDecreasesOverClocks) {
+  Dataset d = SmallSet();
+  LogisticLoss loss;
+  FixedRate rate(0.5);
+  LocalWorkerSgd::Options opts;
+  opts.batch_size = 10;
+  opts.l2 = 1e-4;
+  LocalWorkerSgd sgd(&d, FullShard(d), &loss, &rate, opts);
+  std::vector<double> replica(static_cast<size_t>(d.dimension()), 0.0);
+  const double initial = d.Objective(loss, replica, opts.l2);
+  SparseVector update;
+  for (int c = 0; c < 10; ++c) sgd.RunClock(c, &replica, &update);
+  EXPECT_LT(d.Objective(loss, replica, opts.l2), 0.5 * initial);
+}
+
+TEST(LocalWorkerSgdTest, UsesScheduleRate) {
+  Dataset d = SmallSet();
+  LogisticLoss loss;
+  // A rate so tiny the update must be tiny too.
+  FixedRate rate(1e-9);
+  LocalWorkerSgd::Options opts;
+  opts.batch_size = 10;
+  LocalWorkerSgd sgd(&d, FullShard(d), &loss, &rate, opts);
+  std::vector<double> replica(static_cast<size_t>(d.dimension()), 0.0);
+  SparseVector update;
+  sgd.RunClock(0, &replica, &update);
+  EXPECT_LT(std::sqrt(update.SquaredNorm()), 1e-6);
+}
+
+TEST(LocalWorkerSgdTest, EmptyShardYieldsEmptyUpdate) {
+  Dataset d = SmallSet();
+  LogisticLoss loss;
+  FixedRate rate(0.1);
+  LocalWorkerSgd sgd(&d, DataShard{}, &loss, &rate, {});
+  std::vector<double> replica(static_cast<size_t>(d.dimension()), 0.0);
+  SparseVector update;
+  const auto stats = sgd.RunClock(0, &replica, &update);
+  EXPECT_EQ(stats.examples_processed, 0u);
+  EXPECT_TRUE(update.empty());
+}
+
+TEST(LocalWorkerSgdTest, ShardNnzSumsFeatureCounts) {
+  Dataset d = SmallSet();
+  LogisticLoss loss;
+  FixedRate rate(0.1);
+  LocalWorkerSgd sgd(&d, FullShard(d), &loss, &rate, {});
+  size_t expected = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    expected += d.example(i).features.nnz();
+  }
+  EXPECT_EQ(sgd.ShardNnz(), expected);
+}
+
+TEST(BatchSizeForFractionTest, TenPercentRule) {
+  EXPECT_EQ(LocalWorkerSgd::BatchSizeForFraction(100, 0.1), 10u);
+  EXPECT_EQ(LocalWorkerSgd::BatchSizeForFraction(5, 0.1), 1u);
+  EXPECT_EQ(LocalWorkerSgd::BatchSizeForFraction(100, 1.0), 100u);
+}
+
+TEST(BatchSizeForFractionDeathTest, RejectsBadFraction) {
+  EXPECT_DEATH(LocalWorkerSgd::BatchSizeForFraction(10, 0.0),
+               "fraction");
+  EXPECT_DEATH(LocalWorkerSgd::BatchSizeForFraction(10, 1.5),
+               "fraction");
+}
+
+}  // namespace
+}  // namespace hetps

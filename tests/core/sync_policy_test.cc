@@ -1,0 +1,100 @@
+#include "core/sync_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace hetps {
+namespace {
+
+TEST(SyncPolicyTest, FactoryProtocols) {
+  EXPECT_EQ(SyncPolicy::Bsp().protocol, Protocol::kBsp);
+  EXPECT_EQ(SyncPolicy::Bsp().staleness, 0);
+  EXPECT_EQ(SyncPolicy::Asp().protocol, Protocol::kAsp);
+  EXPECT_EQ(SyncPolicy::Ssp(7).staleness, 7);
+}
+
+TEST(SyncPolicyTest, NeedsPullSspThrottle) {
+  const SyncPolicy ssp = SyncPolicy::Ssp(3);
+  // Algorithm 1 line 8: pull iff cp < c - s.
+  EXPECT_FALSE(ssp.NeedsPull(/*clock=*/3, /*cached_cmin=*/0));
+  EXPECT_TRUE(ssp.NeedsPull(/*clock=*/4, /*cached_cmin=*/0));
+  EXPECT_FALSE(ssp.NeedsPull(/*clock=*/4, /*cached_cmin=*/1));
+}
+
+TEST(SyncPolicyTest, BspPullsEveryClock) {
+  const SyncPolicy bsp = SyncPolicy::Bsp();
+  EXPECT_TRUE(bsp.NeedsPull(1, 0));
+  EXPECT_TRUE(bsp.NeedsPull(5, 4));
+  EXPECT_FALSE(bsp.NeedsPull(5, 5));
+}
+
+TEST(SyncPolicyTest, AspAlwaysPullsNeverBlocks) {
+  const SyncPolicy asp = SyncPolicy::Asp();
+  EXPECT_TRUE(asp.NeedsPull(0, 0));
+  EXPECT_TRUE(asp.NeedsPull(100, 100));
+  EXPECT_TRUE(asp.CanAdvance(1000000, 0));
+}
+
+TEST(SyncPolicyTest, CanAdvanceEnforcesStalenessWindow) {
+  const SyncPolicy ssp = SyncPolicy::Ssp(2);
+  EXPECT_TRUE(ssp.CanAdvance(/*next_clock=*/2, /*cmin=*/0));
+  EXPECT_FALSE(ssp.CanAdvance(/*next_clock=*/3, /*cmin=*/0));
+  EXPECT_TRUE(ssp.CanAdvance(3, 1));
+}
+
+TEST(SyncPolicyTest, BspIsBarrier) {
+  const SyncPolicy bsp = SyncPolicy::Bsp();
+  EXPECT_TRUE(bsp.CanAdvance(1, 1));
+  EXPECT_FALSE(bsp.CanAdvance(2, 1));
+}
+
+TEST(SyncPolicyTest, DebugStringNamesProtocol) {
+  EXPECT_EQ(SyncPolicy::Bsp().DebugString(), "BSP");
+  EXPECT_EQ(SyncPolicy::Ssp(4).DebugString(), "SSP(s=4)");
+}
+
+TEST(ClockTableTest, TracksPerWorkerClocks) {
+  ClockTable table(3);
+  EXPECT_EQ(table.cmin(), 0);
+  EXPECT_EQ(table.cmax(), 0);
+  table.OnPush(0, 0);
+  EXPECT_EQ(table.clock(0), 1);
+  EXPECT_EQ(table.cmax(), 1);
+  EXPECT_EQ(table.cmin(), 0);
+}
+
+TEST(ClockTableTest, CminAdvancesWhenAllFinish) {
+  ClockTable table(3);
+  EXPECT_FALSE(table.OnPush(0, 0));
+  EXPECT_FALSE(table.OnPush(1, 0));
+  EXPECT_TRUE(table.OnPush(2, 0));
+  EXPECT_EQ(table.cmin(), 1);
+}
+
+TEST(ClockTableTest, CminCatchesUpAcrossMultipleClocks) {
+  ClockTable table(2);
+  table.OnPush(0, 0);
+  table.OnPush(0, 1);
+  table.OnPush(0, 2);
+  EXPECT_EQ(table.cmin(), 0);
+  EXPECT_EQ(table.cmax(), 3);
+  // Worker 1 jumps straight to clock 2: cmin jumps to 3.
+  EXPECT_TRUE(table.OnPush(1, 2));
+  EXPECT_EQ(table.cmin(), 3);
+}
+
+TEST(ClockTableTest, SingleWorkerAdvancesFreely) {
+  ClockTable table(1);
+  for (int c = 0; c < 5; ++c) {
+    EXPECT_TRUE(table.OnPush(0, c));
+    EXPECT_EQ(table.cmin(), c + 1);
+  }
+}
+
+TEST(ClockTableDeathTest, RejectsBadWorker) {
+  ClockTable table(2);
+  EXPECT_DEATH(table.OnPush(2, 0), "out of range");
+  EXPECT_DEATH(ClockTable(0), "at least one worker");
+}
+
+}  // namespace
+}  // namespace hetps

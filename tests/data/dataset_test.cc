@@ -1,0 +1,111 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/loss.h"
+
+namespace hetps {
+namespace {
+
+Dataset TwoExampleSet() {
+  Dataset d;
+  Example a;
+  a.features.PushBack(0, 1.0);
+  a.label = 1.0;
+  Example b;
+  b.features.PushBack(1, 1.0);
+  b.label = -1.0;
+  d.Add(std::move(a));
+  d.Add(std::move(b));
+  return d;
+}
+
+TEST(DatasetTest, AddGrowsDimension) {
+  Dataset d = TwoExampleSet();
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.dimension(), 2);
+  Example c;
+  c.features.PushBack(10, 1.0);
+  d.Add(std::move(c));
+  EXPECT_EQ(d.dimension(), 11);
+}
+
+TEST(DatasetTest, ConstructorValidatesDimension) {
+  std::vector<Example> ex(1);
+  ex[0].features.PushBack(5, 1.0);
+  EXPECT_DEATH(Dataset(std::move(ex), 3), "exceeds declared dimension");
+}
+
+TEST(DatasetTest, ShufflePreservesSize) {
+  Dataset d = TwoExampleSet();
+  Rng rng(3);
+  d.Shuffle(&rng);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DatasetTest, AverageNnz) {
+  Dataset d = TwoExampleSet();
+  EXPECT_DOUBLE_EQ(d.AverageNnz(), 1.0);
+  EXPECT_DOUBLE_EQ(Dataset().AverageNnz(), 0.0);
+}
+
+TEST(DatasetTest, ObjectiveAtZeroWeightsIsLog2ForLogistic) {
+  Dataset d = TwoExampleSet();
+  LogisticLoss loss;
+  std::vector<double> w(2, 0.0);
+  EXPECT_NEAR(d.Objective(loss, w, 0.0), std::log(2.0), 1e-12);
+}
+
+TEST(DatasetTest, ObjectiveIncludesL2Term) {
+  Dataset d = TwoExampleSet();
+  LogisticLoss loss;
+  std::vector<double> w = {3.0, 0.0};
+  const double without = d.Objective(loss, w, 0.0);
+  const double with = d.Objective(loss, w, 0.1);
+  EXPECT_NEAR(with - without, 0.5 * 0.1 * 9.0, 1e-12);
+}
+
+TEST(DatasetTest, ObjectiveSampleSubsets) {
+  Dataset d = TwoExampleSet();
+  LogisticLoss loss;
+  std::vector<double> w = {10.0, 0.0};
+  // Sample of 1 only sees the first (correctly classified) example.
+  EXPECT_LT(d.ObjectiveSample(loss, w, 0.0, 1),
+            d.Objective(loss, w, 0.0));
+  // Sample larger than the set equals the full objective.
+  EXPECT_DOUBLE_EQ(d.ObjectiveSample(loss, w, 0.0, 100),
+                   d.Objective(loss, w, 0.0));
+}
+
+TEST(DatasetTest, AccuracyPerfectSeparator) {
+  Dataset d = TwoExampleSet();
+  LogisticLoss loss;
+  std::vector<double> w = {5.0, -5.0};
+  EXPECT_DOUBLE_EQ(d.Accuracy(loss, w), 1.0);
+  std::vector<double> anti = {-5.0, 5.0};
+  EXPECT_DOUBLE_EQ(d.Accuracy(loss, anti), 0.0);
+}
+
+TEST(DatasetTest, AccuracyHingeUsesSignThreshold) {
+  Dataset d = TwoExampleSet();
+  HingeLoss loss;
+  std::vector<double> w = {1.0, -1.0};
+  EXPECT_DOUBLE_EQ(d.Accuracy(loss, w), 1.0);
+}
+
+TEST(DatasetTest, MemoryBytesPositive) {
+  Dataset d = TwoExampleSet();
+  EXPECT_GT(d.MemoryBytes(), 2 * sizeof(Example));
+}
+
+TEST(DatasetTest, DebugStringMentionsShape) {
+  Dataset d = TwoExampleSet();
+  const std::string s = d.DebugString();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("dim=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetps

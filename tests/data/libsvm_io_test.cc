@@ -1,0 +1,75 @@
+#include "data/libsvm_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace hetps {
+namespace {
+
+TEST(LibSvmTest, ParsesBasicContent) {
+  auto result = ParseLibSvm("+1 1:0.5 3:2.0\n-1 2:1.0\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Dataset& d = result.value();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.dimension(), 3);
+  EXPECT_DOUBLE_EQ(d.example(0).label, 1.0);
+  EXPECT_DOUBLE_EQ(d.example(0).features.ValueAt(0), 0.5);
+  EXPECT_DOUBLE_EQ(d.example(0).features.ValueAt(2), 2.0);
+  EXPECT_DOUBLE_EQ(d.example(1).label, -1.0);
+}
+
+TEST(LibSvmTest, ZeroLabelMapsToNegative) {
+  auto result = ParseLibSvm("0 1:1\n1 2:1\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().example(0).label, -1.0);
+  EXPECT_DOUBLE_EQ(result.value().example(1).label, 1.0);
+}
+
+TEST(LibSvmTest, SkipsCommentsAndBlankLines) {
+  auto result = ParseLibSvm("# header\n\n+1 1:1\n   \n-1 2:1\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 2u);
+}
+
+TEST(LibSvmTest, RejectsMalformedFeature) {
+  EXPECT_FALSE(ParseLibSvm("+1 nocolon\n").ok());
+  EXPECT_FALSE(ParseLibSvm("+1 0:1\n").ok());   // 1-based indices
+  EXPECT_FALSE(ParseLibSvm("+1 2:1 1:1\n").ok());  // must increase
+  EXPECT_FALSE(ParseLibSvm("notalabel 1:1\n").ok());
+}
+
+TEST(LibSvmTest, RoundTripThroughFile) {
+  auto parsed = ParseLibSvm("+1 1:0.25 7:-3\n-1 2:1.5\n");
+  ASSERT_TRUE(parsed.ok());
+  const std::string path = testing::TempDir() + "/hetps_libsvm_rt.txt";
+  ASSERT_TRUE(WriteLibSvmFile(parsed.value(), path).ok());
+  auto reread = ReadLibSvmFile(path);
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  ASSERT_EQ(reread.value().size(), 2u);
+  EXPECT_DOUBLE_EQ(reread.value().example(0).features.ValueAt(6), -3.0);
+  EXPECT_DOUBLE_EQ(reread.value().example(1).features.ValueAt(1), 1.5);
+  std::remove(path.c_str());
+}
+
+TEST(LibSvmTest, MissingFileIsIOError) {
+  auto result = ReadLibSvmFile("/nonexistent/path/file.libsvm");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(LibSvmTest, EmptyContentYieldsEmptyDataset) {
+  auto result = ParseLibSvm("");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(LibSvmTest, LabelOnlyLineParses) {
+  auto result = ParseLibSvm("+1\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().example(0).features.nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace hetps

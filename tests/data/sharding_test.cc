@@ -1,0 +1,98 @@
+#include "data/sharding.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace hetps {
+namespace {
+
+// Every index appears exactly once across shards, for both policies and a
+// sweep of sizes (property-style).
+class SplitDataTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t,
+                                                 ShardingPolicy>> {};
+
+TEST_P(SplitDataTest, PartitionIsExactCover) {
+  const auto& [n, workers, policy] = GetParam();
+  const auto shards = SplitData(n, workers, policy);
+  ASSERT_EQ(shards.size(), workers);
+  std::set<size_t> seen;
+  for (const auto& shard : shards) {
+    for (size_t idx : shard.example_indices) {
+      EXPECT_LT(idx, n);
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    }
+  }
+  EXPECT_EQ(seen.size(), n);
+}
+
+TEST_P(SplitDataTest, ShardSizesBalanced) {
+  const auto& [n, workers, policy] = GetParam();
+  const auto shards = SplitData(n, workers, policy);
+  size_t lo = n;
+  size_t hi = 0;
+  for (const auto& shard : shards) {
+    lo = std::min(lo, shard.size());
+    hi = std::max(hi, shard.size());
+  }
+  EXPECT_LE(hi - lo, 1u) << "imbalanced shards";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SplitDataTest,
+    ::testing::Combine(::testing::Values<size_t>(0, 1, 7, 100, 101),
+                       ::testing::Values<size_t>(1, 3, 8),
+                       ::testing::Values(ShardingPolicy::kContiguous,
+                                         ShardingPolicy::kRoundRobin)));
+
+TEST(SplitDataTest, ContiguousIsContiguous) {
+  const auto shards = SplitData(10, 3, ShardingPolicy::kContiguous);
+  for (const auto& shard : shards) {
+    for (size_t i = 1; i < shard.size(); ++i) {
+      EXPECT_EQ(shard.example_indices[i],
+                shard.example_indices[i - 1] + 1);
+    }
+  }
+}
+
+TEST(SplitDataTest, RoundRobinStrides) {
+  const auto shards = SplitData(9, 3, ShardingPolicy::kRoundRobin);
+  EXPECT_EQ(shards[0].example_indices, (std::vector<size_t>{0, 3, 6}));
+  EXPECT_EQ(shards[1].example_indices, (std::vector<size_t>{1, 4, 7}));
+}
+
+TEST(ReassignFractionTest, MovesTailExamples) {
+  DataShard from;
+  from.example_indices = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  DataShard to;
+  to.example_indices = {100};
+  ReassignFraction(&from, &to, 0.3);
+  EXPECT_EQ(from.size(), 7u);
+  EXPECT_EQ(to.size(), 4u);
+  EXPECT_EQ(to.example_indices.back(), 9u);
+  EXPECT_EQ(from.example_indices.back(), 6u);
+}
+
+TEST(ReassignFractionTest, ZeroAndTinyFractionsAreNoOps) {
+  DataShard from;
+  from.example_indices = {0, 1, 2};
+  DataShard to;
+  ReassignFraction(&from, &to, 0.0);
+  EXPECT_EQ(from.size(), 3u);
+  ReassignFraction(&from, &to, 0.1);  // 0.1 * 3 < 1 example
+  EXPECT_EQ(from.size(), 3u);
+}
+
+TEST(ReassignFractionTest, FullFractionEmptiesShard) {
+  DataShard from;
+  from.example_indices = {0, 1};
+  DataShard to;
+  ReassignFraction(&from, &to, 1.0);
+  EXPECT_EQ(from.size(), 0u);
+  EXPECT_EQ(to.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hetps

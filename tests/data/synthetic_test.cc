@@ -1,0 +1,135 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/loss.h"
+
+namespace hetps {
+namespace {
+
+TEST(SyntheticTest, DeterministicForSameConfig) {
+  SyntheticConfig cfg;
+  cfg.num_examples = 50;
+  cfg.num_features = 100;
+  cfg.avg_nnz = 8;
+  Dataset a = GenerateSynthetic(cfg);
+  Dataset b = GenerateSynthetic(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a.example(i).features == b.example(i).features);
+    EXPECT_EQ(a.example(i).label, b.example(i).label);
+  }
+}
+
+TEST(SyntheticTest, SeedChangesData) {
+  SyntheticConfig cfg;
+  cfg.num_examples = 50;
+  cfg.num_features = 100;
+  cfg.avg_nnz = 8;
+  Dataset a = GenerateSynthetic(cfg);
+  cfg.seed = 43;
+  Dataset b = GenerateSynthetic(cfg);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size() && !any_diff; ++i) {
+    any_diff = !(a.example(i).features == b.example(i).features);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, ShapeMatchesConfig) {
+  SyntheticConfig cfg;
+  cfg.num_examples = 200;
+  cfg.num_features = 500;
+  cfg.avg_nnz = 12;
+  Dataset d = GenerateSynthetic(cfg);
+  EXPECT_EQ(d.size(), 200u);
+  EXPECT_EQ(d.dimension(), 500);
+  EXPECT_NEAR(d.AverageNnz(), 12.0, 4.0);
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_GE(d.example(i).features.nnz(), 1u);
+    EXPECT_TRUE(d.example(i).label == 1.0 || d.example(i).label == -1.0);
+  }
+}
+
+TEST(SyntheticTest, BinaryFeaturesAreOnes) {
+  SyntheticConfig cfg;
+  cfg.num_examples = 20;
+  cfg.num_features = 100;
+  cfg.avg_nnz = 5;
+  cfg.binary_features = true;
+  Dataset d = GenerateSynthetic(cfg);
+  for (size_t i = 0; i < d.size(); ++i) {
+    const auto& f = d.example(i).features;
+    for (size_t k = 0; k < f.nnz(); ++k) {
+      EXPECT_DOUBLE_EQ(f.value(k), 1.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, LowNoiseDataIsNearlySeparable) {
+  SyntheticConfig cfg;
+  cfg.num_examples = 1500;
+  cfg.num_features = 400;
+  cfg.avg_nnz = 10;
+  cfg.label_noise = 0.0;
+  cfg.margin_gap = 0.4;
+  Dataset d = GenerateSynthetic(cfg);
+  // The ground-truth weights (same RNG stream prefix) classify most
+  // examples correctly; verify via a freshly generated truth vector of
+  // the same seed: instead, check a trained-free proxy — the labels must
+  // not be one-sided degenerate.
+  size_t positives = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (d.example(i).label > 0) ++positives;
+  }
+  EXPECT_GT(positives, d.size() / 10);
+  EXPECT_LT(positives, d.size() * 9 / 10);
+}
+
+TEST(SyntheticTest, FeatureSkewConcentratesPopularity) {
+  SyntheticConfig cfg;
+  cfg.num_examples = 400;
+  cfg.num_features = 1000;
+  cfg.avg_nnz = 10;
+  cfg.feature_skew = 1.3;
+  Dataset d = GenerateSynthetic(cfg);
+  size_t low_index_hits = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    const auto& f = d.example(i).features;
+    for (size_t k = 0; k < f.nnz(); ++k) {
+      ++total;
+      if (f.index(k) < 50) ++low_index_hits;
+    }
+  }
+  // With skew 1.3, far more than the uniform 5% of hits land in the
+  // first 5% of the index space.
+  EXPECT_GT(static_cast<double>(low_index_hits) /
+                static_cast<double>(total),
+            0.25);
+}
+
+TEST(SyntheticTest, PresetsHaveDocumentedShapes) {
+  const SyntheticConfig url = UrlLikeConfig(0.25);
+  EXPECT_EQ(url.num_examples, 1000u);
+  EXPECT_TRUE(url.binary_features);
+  const SyntheticConfig ctr = CtrLikeConfig(0.5);
+  EXPECT_EQ(ctr.num_examples, 4000u);
+  EXPECT_GT(ctr.label_noise, url.label_noise);
+  EXPECT_LT(ctr.margin_gap, url.margin_gap);
+}
+
+TEST(GenerateGroundTruthTest, DensityControlsSparsity) {
+  Rng rng(7);
+  const auto w = GenerateGroundTruth(2000, 0.25, &rng);
+  size_t nnz = 0;
+  for (double v : w) {
+    if (v != 0.0) ++nnz;
+  }
+  EXPECT_NEAR(static_cast<double>(nnz) / 2000.0, 0.25, 0.06);
+}
+
+}  // namespace
+}  // namespace hetps

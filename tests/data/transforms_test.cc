@@ -1,0 +1,114 @@
+#include "data/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "models/linear_model.h"
+#include "util/rng.h"
+
+namespace hetps {
+namespace {
+
+Dataset WideData() {
+  SyntheticConfig cfg;
+  cfg.num_examples = 200;
+  cfg.num_features = 5000;
+  cfg.avg_nnz = 10;
+  cfg.seed = 27;
+  return GenerateSynthetic(cfg);
+}
+
+TEST(HashFeaturesTest, DimensionAndLabelsPreserved) {
+  const Dataset d = WideData();
+  const Dataset hashed = HashFeatures(d, 256);
+  EXPECT_EQ(hashed.size(), d.size());
+  EXPECT_EQ(hashed.dimension(), 256);
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(hashed.example(i).label, d.example(i).label);
+    EXPECT_LE(hashed.example(i).features.MinimumDimension(), 256);
+    EXPECT_LE(hashed.example(i).features.nnz(),
+              d.example(i).features.nnz());
+  }
+}
+
+TEST(HashFeaturesTest, DeterministicPerSeed) {
+  const Dataset d = WideData();
+  const Dataset a = HashFeatures(d, 128, 9);
+  const Dataset b = HashFeatures(d, 128, 9);
+  const Dataset c = HashFeatures(d, 128, 10);
+  bool differs = false;
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_TRUE(a.example(i).features == b.example(i).features);
+    differs =
+        differs || !(a.example(i).features == c.example(i).features);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(HashFeaturesTest, HashedDataStillLearnable) {
+  // The point of the trick: a 5000-dim problem squeezed into 512 buckets
+  // must remain trainable.
+  Dataset hashed = HashFeatures(WideData(), 512);
+  Rng rng(3);
+  hashed.Shuffle(&rng);
+  LinearModelConfig cfg;
+  cfg.num_workers = 2;
+  cfg.max_clocks = 12;
+  cfg.learning_rate = 0.5;
+  auto model = LinearModel::Train(hashed, cfg);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model.value().Accuracy(hashed), 0.75);
+}
+
+TEST(NormalizeExamplesTest, UnitNorms) {
+  const Dataset d = WideData();
+  const Dataset n = NormalizeExamples(d);
+  for (size_t i = 0; i < n.size(); ++i) {
+    const double norm = n.example(i).features.SquaredNorm();
+    if (d.example(i).features.nnz() > 0) {
+      EXPECT_NEAR(norm, 1.0, 1e-9);
+    }
+  }
+  EXPECT_EQ(n.dimension(), d.dimension());
+}
+
+TEST(NormalizeExamplesTest, KeepsZeroVectors) {
+  Dataset d;
+  Example empty;
+  empty.label = 1.0;
+  d.Add(std::move(empty));
+  const Dataset n = NormalizeExamples(d);
+  EXPECT_EQ(n.example(0).features.nnz(), 0u);
+}
+
+TEST(TrainTestSplitTest, SizesAndDisjointness) {
+  const Dataset d = WideData();
+  const auto [train, test] = TrainTestSplit(d, 0.25, 5);
+  EXPECT_EQ(test.size(), d.size() / 4);
+  EXPECT_EQ(train.size() + test.size(), d.size());
+  EXPECT_EQ(train.dimension(), d.dimension());
+  EXPECT_EQ(test.dimension(), d.dimension());
+}
+
+TEST(TrainTestSplitTest, DeterministicPerSeed) {
+  const Dataset d = WideData();
+  const auto [a_train, a_test] = TrainTestSplit(d, 0.3, 11);
+  const auto [b_train, b_test] = TrainTestSplit(d, 0.3, 11);
+  ASSERT_EQ(a_test.size(), b_test.size());
+  for (size_t i = 0; i < a_test.size(); ++i) {
+    EXPECT_TRUE(a_test.example(i).features ==
+                b_test.example(i).features);
+  }
+}
+
+TEST(TrainTestSplitTest, ZeroFractionKeepsEverythingInTrain) {
+  const Dataset d = WideData();
+  const auto [train, test] = TrainTestSplit(d, 0.0);
+  EXPECT_EQ(train.size(), d.size());
+  EXPECT_TRUE(test.empty());
+}
+
+}  // namespace
+}  // namespace hetps

@@ -1,0 +1,115 @@
+#include "engine/distributed_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/consolidation.h"
+#include "core/dyn_sgd.h"
+#include "core/learning_rate.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace hetps {
+namespace {
+
+Dataset DistData() {
+  SyntheticConfig cfg;
+  cfg.num_examples = 400;
+  cfg.num_features = 150;
+  cfg.avg_nnz = 8;
+  cfg.seed = 51;
+  Dataset d = GenerateSynthetic(cfg);
+  Rng rng(52);
+  d.Shuffle(&rng);
+  return d;
+}
+
+DistributedTrainerOptions FastOptions() {
+  DistributedTrainerOptions opts;
+  opts.num_workers = 3;
+  opts.num_servers = 2;
+  opts.max_clocks = 10;
+  opts.eval_sample = 400;
+  opts.sync = SyncPolicy::Ssp(2);
+  return opts;
+}
+
+TEST(DistributedTrainerTest, TrainsOverTheBus) {
+  const Dataset d = DistData();
+  LogisticLoss loss;
+  FixedRate sched(0.5);
+  DynSgdRule rule;
+  auto result = TrainDistributed(d, loss, sched, rule, FastOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LT(result.value().final_objective, 0.5);
+  EXPECT_EQ(result.value().objective_per_clock.size(), 10u);
+  EXPECT_GT(result.value().messages, 3 * 10);
+  EXPECT_EQ(result.value().next_clock, 10);
+}
+
+TEST(DistributedTrainerTest, CheckpointAndResumeContinuesTraining) {
+  const Dataset d = DistData();
+  LogisticLoss loss;
+  FixedRate sched(0.5);
+  DynSgdRule rule;
+  DistributedTrainerOptions opts = FastOptions();
+  opts.max_clocks = 6;
+  opts.checkpoint_every_clocks = 6;
+  opts.checkpoint_path =
+      testing::TempDir() + "/hetps_dist_resume.ckpt";
+  auto phase1 = TrainDistributed(d, loss, sched, rule, opts);
+  ASSERT_TRUE(phase1.ok()) << phase1.status().ToString();
+  const double mid = phase1.value().final_objective;
+
+  DistributedTrainerOptions resume = opts;
+  resume.resume = true;
+  resume.resume_clock = phase1.value().next_clock;
+  resume.checkpoint_every_clocks = 0;
+  auto phase2 = TrainDistributed(d, loss, sched, rule, resume);
+  ASSERT_TRUE(phase2.ok()) << phase2.status().ToString();
+  EXPECT_LT(phase2.value().final_objective, mid);
+  std::remove(opts.checkpoint_path.c_str());
+}
+
+TEST(DistributedTrainerTest, ResumeWithoutCheckpointFails) {
+  const Dataset d = DistData();
+  LogisticLoss loss;
+  FixedRate sched(0.5);
+  SspRule rule;
+  DistributedTrainerOptions opts = FastOptions();
+  opts.resume = true;
+  opts.checkpoint_path = "/no/such/checkpoint.ckpt";
+  EXPECT_FALSE(TrainDistributed(d, loss, sched, rule, opts).ok());
+}
+
+TEST(DistributedTrainerTest, ValidatesOptions) {
+  const Dataset d = DistData();
+  LogisticLoss loss;
+  FixedRate sched(0.5);
+  SspRule rule;
+  DistributedTrainerOptions opts = FastOptions();
+  opts.num_workers = 0;
+  EXPECT_FALSE(TrainDistributed(d, loss, sched, rule, opts).ok());
+  opts = FastOptions();
+  opts.max_clocks = 0;
+  EXPECT_FALSE(TrainDistributed(d, loss, sched, rule, opts).ok());
+  EXPECT_FALSE(
+      TrainDistributed(Dataset(), loss, sched, rule, FastOptions())
+          .ok());
+}
+
+TEST(DistributedTrainerTest, MatchesSharedMemoryRuntimeQuality) {
+  // The RPC path and the shared-memory path run the same algorithm and
+  // must land in the same quality regime.
+  const Dataset d = DistData();
+  LogisticLoss loss;
+  FixedRate sched(0.5);
+  ConRule rule;
+  auto rpc = TrainDistributed(d, loss, sched, rule, FastOptions());
+  ASSERT_TRUE(rpc.ok());
+  EXPECT_LT(rpc.value().final_objective, 0.5);
+}
+
+}  // namespace
+}  // namespace hetps

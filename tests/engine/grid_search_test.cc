@@ -1,0 +1,105 @@
+#include "engine/grid_search.h"
+
+#include <gtest/gtest.h>
+
+#include "core/consolidation.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace hetps {
+namespace {
+
+Dataset GridData() {
+  SyntheticConfig cfg;
+  cfg.num_examples = 250;
+  cfg.num_features = 120;
+  cfg.avg_nnz = 6;
+  cfg.seed = 77;
+  Dataset d = GenerateSynthetic(cfg);
+  Rng rng(4);
+  d.Shuffle(&rng);
+  return d;
+}
+
+SimOptions GridOptions() {
+  SimOptions opts;
+  opts.max_clocks = 10;
+  opts.eval_every_pushes = 4;
+  opts.eval_sample = 250;
+  opts.objective_tolerance = 0.45;
+  return opts;
+}
+
+TEST(GridSearchTest, EvaluatesEveryCandidate) {
+  const Dataset d = GridData();
+  const ClusterConfig cluster = ClusterConfig::Homogeneous(3, 1);
+  ConRule rule;
+  LogisticLoss loss;
+  const GridSearchResult r = GridSearchLearningRate(
+      d, cluster, rule, loss, GridOptions(), {0.1, 0.5, 1.0});
+  EXPECT_EQ(r.all.size(), 3u);
+}
+
+TEST(GridSearchTest, AlsoDecayedDoublesCandidates) {
+  const Dataset d = GridData();
+  const ClusterConfig cluster = ClusterConfig::Homogeneous(3, 1);
+  ConRule rule;
+  LogisticLoss loss;
+  const GridSearchResult r = GridSearchLearningRate(
+      d, cluster, rule, loss, GridOptions(), {0.1, 0.5},
+      /*also_decayed=*/true);
+  EXPECT_EQ(r.all.size(), 4u);
+  int decayed = 0;
+  for (const auto& p : r.all) {
+    if (p.decayed) ++decayed;
+  }
+  EXPECT_EQ(decayed, 2);
+}
+
+TEST(GridSearchTest, PrefersConvergedOverNot) {
+  const Dataset d = GridData();
+  const ClusterConfig cluster = ClusterConfig::Homogeneous(3, 1);
+  ConRule rule;
+  LogisticLoss loss;
+  // 1e-6 cannot converge within 10 clocks; 1.0 can.
+  const GridSearchResult r = GridSearchLearningRate(
+      d, cluster, rule, loss, GridOptions(), {1e-6, 1.0});
+  EXPECT_TRUE(r.best.result.converged);
+  EXPECT_DOUBLE_EQ(r.best.sigma, 1.0);
+}
+
+TEST(GridSearchTest, FallsBackToLowestObjective) {
+  const Dataset d = GridData();
+  const ClusterConfig cluster = ClusterConfig::Homogeneous(3, 1);
+  ConRule rule;
+  LogisticLoss loss;
+  SimOptions opts = GridOptions();
+  opts.objective_tolerance = 1e-9;  // unreachable
+  const GridSearchResult r = GridSearchLearningRate(
+      d, cluster, rule, loss, opts, {1e-6, 0.5});
+  EXPECT_FALSE(r.best.result.converged);
+  EXPECT_DOUBLE_EQ(r.best.sigma, 0.5);  // descends further
+}
+
+TEST(GridSearchTest, DefaultGridsAreOrdered) {
+  for (const auto& grid :
+       {DefaultSigmaGridSmall(), DefaultSigmaGridLarge()}) {
+    ASSERT_GE(grid.size(), 2u);
+    for (size_t i = 1; i < grid.size(); ++i) {
+      EXPECT_LT(grid[i - 1], grid[i]);
+    }
+  }
+}
+
+TEST(GridSearchDeathTest, RejectsEmptyGrid) {
+  const Dataset d = GridData();
+  const ClusterConfig cluster = ClusterConfig::Homogeneous(2, 1);
+  ConRule rule;
+  LogisticLoss loss;
+  EXPECT_DEATH(GridSearchLearningRate(d, cluster, rule, loss,
+                                      GridOptions(), {}),
+               "empty sigma grid");
+}
+
+}  // namespace
+}  // namespace hetps

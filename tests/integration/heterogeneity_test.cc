@@ -1,0 +1,183 @@
+// Integration tests of the paper's headline claims on the simulator:
+// protocol behaviour under stragglers and the ordering of the three
+// consolidation rules.
+
+#include <gtest/gtest.h>
+
+#include "baselines/flexrr.h"
+#include "core/consolidation.h"
+#include "core/dyn_sgd.h"
+#include "core/learning_rate.h"
+#include "data/synthetic.h"
+#include "sim/event_sim.h"
+#include "util/rng.h"
+
+namespace hetps {
+namespace {
+
+Dataset HetData() {
+  SyntheticConfig cfg;
+  cfg.num_examples = 600;
+  cfg.num_features = 300;
+  cfg.avg_nnz = 10;
+  cfg.seed = 19;
+  Dataset d = GenerateSynthetic(cfg);
+  Rng rng(20);
+  d.Shuffle(&rng);
+  return d;
+}
+
+SimOptions BaseOptions() {
+  SimOptions opts;
+  opts.max_clocks = 25;
+  opts.stop_on_convergence = false;
+  opts.eval_every_pushes = 20;
+  opts.eval_sample = 600;
+  return opts;
+}
+
+TEST(HeterogeneityTest, BspRunTimeScalesWithHlButUpdatesDoNot) {
+  const Dataset d = HetData();
+  LogisticLoss loss;
+  SspRule rule;
+  FixedRate sched(0.01);
+  SimOptions opts = BaseOptions();
+  opts.sync = SyncPolicy::Bsp();
+  const SimResult hl1 = RunSimulation(
+      d, ClusterConfig::WithStragglers(8, 2, 1.0), rule, sched, loss,
+      opts);
+  const SimResult hl2 = RunSimulation(
+      d, ClusterConfig::WithStragglers(8, 2, 2.0), rule, sched, loss,
+      opts);
+  // Hardware efficiency degrades ~2x; statistical efficiency is fixed by
+  // the barrier (§3.1): same pushes per clock either way.
+  EXPECT_GT(hl2.total_sim_seconds, 1.5 * hl1.total_sim_seconds);
+  EXPECT_EQ(hl1.total_pushes, hl2.total_pushes);
+}
+
+TEST(HeterogeneityTest, SspAccumulateDivergesWhereConAndDynConverge) {
+  // §3.3/§4: at a local rate the heterogeneity-aware rules handle easily,
+  // plain accumulation blows up.
+  const Dataset d = HetData();
+  LogisticLoss loss;
+  FixedRate sched(0.5);
+  SimOptions opts = BaseOptions();
+  opts.sync = SyncPolicy::Ssp(3);
+  const ClusterConfig cluster = ClusterConfig::WithStragglers(8, 2, 2.0);
+
+  SspRule ssp;
+  ConRule con;
+  DynSgdRule dyn;
+  const SimResult r_ssp =
+      RunSimulation(d, cluster, ssp, sched, loss, opts);
+  const SimResult r_con =
+      RunSimulation(d, cluster, con, sched, loss, opts);
+  const SimResult r_dyn =
+      RunSimulation(d, cluster, dyn, sched, loss, opts);
+  EXPECT_GT(r_ssp.min_objective, 1.0);  // diverged
+  EXPECT_LT(r_con.min_objective, 0.35);
+  EXPECT_LT(r_dyn.min_objective, 0.35);
+}
+
+TEST(HeterogeneityTest, DynSgdSuppressesStragglerDisturbance) {
+  // varobj of DynSGD stays small under heterogeneity even at a rate where
+  // accumulate oscillates (§7.4.1's varobj comparison).
+  const Dataset d = HetData();
+  LogisticLoss loss;
+  FixedRate sched_small(0.02);
+  FixedRate sched_large(1.0);
+  SimOptions opts = BaseOptions();
+  opts.sync = SyncPolicy::Ssp(3);
+  const ClusterConfig cluster = ClusterConfig::WithStragglers(8, 2, 3.0);
+  SspRule ssp;
+  DynSgdRule dyn;
+  const SimResult r_ssp =
+      RunSimulation(d, cluster, ssp, sched_small, loss, opts);
+  const SimResult r_dyn =
+      RunSimulation(d, cluster, dyn, sched_large, loss, opts);
+  // DynSGD with a 50x larger local rate still reaches a better and at
+  // least as stable an objective.
+  EXPECT_LT(r_dyn.min_objective, r_ssp.min_objective);
+}
+
+TEST(HeterogeneityTest, ClockAlignedStalenessAveragesHalfM) {
+  // In clock-aligned mode every clock-c update eventually joins version
+  // c, so the push-time staleness d runs 1..M per version and its mean is
+  // exactly (M+1)/2 — independent of heterogeneity. (What heterogeneity
+  // changes is the *order*: stragglers arrive late and get the small
+  // 1/d weights; see DynSgdClockAlignedTest.)
+  const Dataset d = HetData();
+  LogisticLoss loss;
+  DynSgdRule rule;
+  FixedRate sched(0.5);
+  SimOptions opts = BaseOptions();
+  opts.sync = SyncPolicy::Ssp(5);
+  for (double hl : {1.0, 4.0}) {
+    const SimResult r = RunSimulation(
+        d, ClusterConfig::WithStragglers(8, 2, hl), rule, sched, loss,
+        opts);
+    EXPECT_NEAR(r.mean_staleness, (8.0 + 1.0) / 2.0, 1e-9) << "HL " << hl;
+  }
+}
+
+TEST(HeterogeneityTest, Algorithm2StalenessRespondsToHeterogeneity) {
+  // Verbatim Algorithm 2 stamps versions by V(m), so heterogeneity
+  // fragments version sharing and the observed μ moves.
+  const Dataset d = HetData();
+  LogisticLoss loss;
+  DynSgdRule::Options dopts;
+  dopts.version_mode = DynSgdRule::VersionMode::kAlgorithm2;
+  DynSgdRule rule(dopts);
+  FixedRate sched(0.5);
+  SimOptions opts = BaseOptions();
+  opts.sync = SyncPolicy::Ssp(5);
+  const SimResult hom = RunSimulation(
+      d, ClusterConfig::WithStragglers(8, 2, 1.0), rule, sched, loss,
+      opts);
+  const SimResult het = RunSimulation(
+      d, ClusterConfig::WithStragglers(8, 2, 4.0), rule, sched, loss,
+      opts);
+  EXPECT_NE(hom.mean_staleness, het.mean_staleness);
+  EXPECT_GE(het.mean_staleness, 1.0);
+  EXPECT_LE(het.mean_staleness, 8.0);
+}
+
+TEST(HeterogeneityTest, FlexRrShrinksStragglerClockTime) {
+  const Dataset d = HetData();
+  LogisticLoss loss;
+  ConRule rule;
+  FixedRate sched(0.5);
+  SimOptions opts = BaseOptions();
+  opts.sync = SyncPolicy::Ssp(3);
+  const ClusterConfig cluster = ClusterConfig::WithStragglers(6, 2, 3.0);
+  const SimResult plain =
+      RunSimulation(d, cluster, rule, sched, loss, opts);
+  FlexRrMitigation flexrr;
+  const SimResult mitigated =
+      RunSimulation(d, cluster, rule, sched, loss, opts, &flexrr);
+  EXPECT_GT(flexrr.examples_reassigned(), 0u);
+  // Compute-bound stragglers finish sooner once data moves away.
+  EXPECT_LT(mitigated.total_sim_seconds, plain.total_sim_seconds);
+}
+
+TEST(HeterogeneityTest, FlexRrCannotFixNetworkStragglers) {
+  const Dataset d = HetData();
+  LogisticLoss loss;
+  ConRule rule;
+  FixedRate sched(0.5);
+  SimOptions opts = BaseOptions();
+  opts.sync = SyncPolicy::Ssp(3);
+  const ClusterConfig cluster = ClusterConfig::WithStragglers(
+      6, 2, 6.0, 0.2, ClusterConfig::StragglerKind::kNetwork);
+  const SimResult plain =
+      RunSimulation(d, cluster, rule, sched, loss, opts);
+  FlexRrMitigation flexrr;
+  const SimResult mitigated =
+      RunSimulation(d, cluster, rule, sched, loss, opts, &flexrr);
+  // §7.3: data reassignment cannot shorten transmission time; the gain,
+  // if any, is marginal.
+  EXPECT_GT(mitigated.total_sim_seconds, 0.85 * plain.total_sim_seconds);
+}
+
+}  // namespace
+}  // namespace hetps

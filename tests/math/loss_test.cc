@@ -1,0 +1,121 @@
+#include "math/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace hetps {
+namespace {
+
+// Finite-difference check of MarginGradient for each loss at several
+// points (parameterized sweep).
+class LossGradientTest
+    : public ::testing::TestWithParam<std::tuple<std::string, double,
+                                                 double>> {};
+
+TEST_P(LossGradientTest, MarginGradientMatchesFiniteDifference) {
+  const auto& [name, margin, label] = GetParam();
+  auto loss = MakeLoss(name);
+  const double h = 1e-6;
+  const double numeric =
+      (loss->Loss(margin + h, label) - loss->Loss(margin - h, label)) /
+      (2 * h);
+  const double analytic = loss->MarginGradient(margin, label);
+  // Hinge is non-differentiable at margin*label == 1; the sweep avoids
+  // that point.
+  EXPECT_NEAR(analytic, numeric, 1e-4)
+      << name << " margin=" << margin << " label=" << label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LossGradientTest,
+    ::testing::Combine(
+        ::testing::Values("logistic", "hinge", "squared"),
+        ::testing::Values(-2.5, -0.3, 0.2, 1.7, 3.0),
+        ::testing::Values(-1.0, 1.0)));
+
+TEST(LogisticLossTest, KnownValues) {
+  LogisticLoss loss;
+  EXPECT_NEAR(loss.Loss(0.0, 1.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(loss.Loss(0.0, -1.0), std::log(2.0), 1e-12);
+  // Confident correct prediction -> near-zero loss.
+  EXPECT_LT(loss.Loss(10.0, 1.0), 1e-4);
+  // Confident wrong prediction -> ~|margin|.
+  EXPECT_NEAR(loss.Loss(-10.0, 1.0), 10.0, 1e-3);
+}
+
+TEST(LogisticLossTest, ExtremeMarginsAreFinite) {
+  LogisticLoss loss;
+  EXPECT_TRUE(std::isfinite(loss.Loss(1000.0, -1.0)));
+  EXPECT_TRUE(std::isfinite(loss.Loss(-1000.0, 1.0)));
+  EXPECT_TRUE(std::isfinite(loss.MarginGradient(1000.0, -1.0)));
+  EXPECT_TRUE(std::isfinite(loss.MarginGradient(-1000.0, 1.0)));
+}
+
+TEST(LogisticLossTest, PredictIsSigmoid) {
+  LogisticLoss loss;
+  EXPECT_NEAR(loss.Predict(0.0), 0.5, 1e-12);
+  EXPECT_GT(loss.Predict(3.0), 0.95);
+  EXPECT_LT(loss.Predict(-3.0), 0.05);
+  EXPECT_DOUBLE_EQ(loss.Predict(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(loss.Predict(-100.0), 0.0);
+}
+
+TEST(HingeLossTest, KnownValues) {
+  HingeLoss loss;
+  EXPECT_DOUBLE_EQ(loss.Loss(2.0, 1.0), 0.0);   // outside margin
+  EXPECT_DOUBLE_EQ(loss.Loss(0.5, 1.0), 0.5);   // inside margin
+  EXPECT_DOUBLE_EQ(loss.Loss(-1.0, 1.0), 2.0);  // wrong side
+  EXPECT_DOUBLE_EQ(loss.MarginGradient(2.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(loss.MarginGradient(0.5, 1.0), -1.0);
+}
+
+TEST(HingeLossTest, PredictIsSign) {
+  HingeLoss loss;
+  EXPECT_DOUBLE_EQ(loss.Predict(0.7), 1.0);
+  EXPECT_DOUBLE_EQ(loss.Predict(-0.7), -1.0);
+}
+
+TEST(SquaredLossTest, KnownValues) {
+  SquaredLoss loss;
+  EXPECT_DOUBLE_EQ(loss.Loss(3.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(loss.MarginGradient(3.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(loss.Predict(1.5), 1.5);
+}
+
+TEST(MakeLossTest, FactoryByName) {
+  EXPECT_EQ(MakeLoss("logistic")->name(), "logistic");
+  EXPECT_EQ(MakeLoss("hinge")->name(), "hinge");
+  EXPECT_EQ(MakeLoss("squared")->name(), "squared");
+}
+
+TEST(MakeLossDeathTest, RejectsUnknown) {
+  EXPECT_DEATH(MakeLoss("nope"), "unknown loss");
+}
+
+TEST(AccumulateExampleGradientTest, AddsScaledGradient) {
+  SquaredLoss loss;
+  SparseVector x({0, 2}, {1.0, 2.0});
+  std::vector<double> w = {1.0, 0.0, 1.0};  // margin = 3
+  std::vector<double> grad(3, 0.0);
+  const double value =
+      AccumulateExampleGradient(loss, x, 1.0, w, 0.5, &grad);
+  EXPECT_DOUBLE_EQ(value, 2.0);  // 0.5*(3-1)^2
+  // d/dw = (margin - y) * x scaled by 0.5 -> (1, 0, 2).
+  EXPECT_DOUBLE_EQ(grad[0], 1.0);
+  EXPECT_DOUBLE_EQ(grad[1], 0.0);
+  EXPECT_DOUBLE_EQ(grad[2], 2.0);
+}
+
+TEST(AccumulateExampleGradientTest, ZeroGradientSkipsScatter) {
+  HingeLoss loss;
+  SparseVector x({0}, {1.0});
+  std::vector<double> w = {5.0};  // margin 5, outside hinge
+  std::vector<double> grad(1, 0.0);
+  AccumulateExampleGradient(loss, x, 1.0, w, 1.0, &grad);
+  EXPECT_DOUBLE_EQ(grad[0], 0.0);
+}
+
+}  // namespace
+}  // namespace hetps

@@ -1,0 +1,130 @@
+#include "math/sparse_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace hetps {
+namespace {
+
+TEST(SparseVectorTest, EmptyByDefault) {
+  SparseVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.nnz(), 0u);
+  EXPECT_EQ(v.MinimumDimension(), 0);
+  EXPECT_EQ(v.SquaredNorm(), 0.0);
+}
+
+TEST(SparseVectorTest, PushBackMaintainsOrder) {
+  SparseVector v;
+  v.PushBack(1, 0.5);
+  v.PushBack(5, -2.0);
+  EXPECT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(v.index(1), 5);
+  EXPECT_DOUBLE_EQ(v.value(1), -2.0);
+  EXPECT_EQ(v.MinimumDimension(), 6);
+}
+
+TEST(SparseVectorDeathTest, RejectsOutOfOrderPush) {
+  SparseVector v;
+  v.PushBack(3, 1.0);
+  EXPECT_DEATH(v.PushBack(3, 2.0), "strictly increasing");
+  EXPECT_DEATH(v.PushBack(1, 2.0), "strictly increasing");
+}
+
+TEST(SparseVectorDeathTest, ConstructorValidates) {
+  EXPECT_DEATH(SparseVector({2, 1}, {1.0, 2.0}), "strictly increasing");
+  EXPECT_DEATH(SparseVector({1}, {1.0, 2.0}), "differ in length");
+}
+
+TEST(SparseVectorTest, FromDenseDropsZerosAndSmall) {
+  const std::vector<double> dense = {0.0, 1.0, 0.0, 1e-9, -3.0};
+  SparseVector v = SparseVector::FromDense(dense, 1e-6);
+  ASSERT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(v.index(0), 1);
+  EXPECT_EQ(v.index(1), 4);
+  EXPECT_DOUBLE_EQ(v.value(1), -3.0);
+}
+
+TEST(SparseVectorTest, ValueAtBinarySearch) {
+  SparseVector v({0, 10, 100}, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(v.ValueAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(10), 2.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(100), 3.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(5), 0.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(1000), 0.0);
+}
+
+TEST(SparseVectorTest, DotWithDense) {
+  SparseVector v({0, 2}, {2.0, 3.0});
+  const std::vector<double> dense = {1.0, 10.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.Dot(dense), 2.0 + 12.0);
+}
+
+TEST(SparseVectorTest, DotIgnoresIndicesBeyondDense) {
+  SparseVector v({0, 100}, {2.0, 3.0});
+  const std::vector<double> dense = {5.0};
+  EXPECT_DOUBLE_EQ(v.Dot(dense), 10.0);
+}
+
+TEST(SparseVectorTest, AddToScatter) {
+  SparseVector v({1, 3}, {1.0, -1.0});
+  std::vector<double> dense(4, 10.0);
+  v.AddTo(&dense, 2.0);
+  EXPECT_DOUBLE_EQ(dense[0], 10.0);
+  EXPECT_DOUBLE_EQ(dense[1], 12.0);
+  EXPECT_DOUBLE_EQ(dense[3], 8.0);
+}
+
+TEST(SparseVectorDeathTest, AddToRangeChecked) {
+  SparseVector v({5}, {1.0});
+  std::vector<double> dense(3, 0.0);
+  EXPECT_DEATH(v.AddTo(&dense), "out of dense range");
+}
+
+TEST(SparseVectorTest, ScaleAndNorm) {
+  SparseVector v({0, 1}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(v.SquaredNorm(), 25.0);
+  v.Scale(2.0);
+  EXPECT_DOUBLE_EQ(v.value(0), 6.0);
+  EXPECT_DOUBLE_EQ(v.SquaredNorm(), 100.0);
+}
+
+TEST(SparseVectorTest, FilteredDropsSmallEntries) {
+  SparseVector v({0, 1, 2}, {1e-9, 0.5, -1e-8});
+  SparseVector f = v.Filtered(1e-6);
+  ASSERT_EQ(f.nnz(), 1u);
+  EXPECT_EQ(f.index(0), 1);
+}
+
+TEST(SparseVectorTest, AddMergesSortedSupports) {
+  SparseVector a({0, 2, 5}, {1.0, 2.0, 3.0});
+  SparseVector b({1, 2, 9}, {10.0, 20.0, 30.0});
+  SparseVector c = SparseVector::Add(a, b);
+  ASSERT_EQ(c.nnz(), 5u);
+  EXPECT_EQ(c.index(0), 0);
+  EXPECT_DOUBLE_EQ(c.ValueAt(2), 22.0);
+  EXPECT_DOUBLE_EQ(c.ValueAt(9), 30.0);
+}
+
+TEST(SparseVectorTest, AddWithScales) {
+  SparseVector a({0}, {2.0});
+  SparseVector b({0}, {3.0});
+  SparseVector c = SparseVector::Add(a, b, 0.5, 2.0);
+  EXPECT_DOUBLE_EQ(c.ValueAt(0), 1.0 + 6.0);
+}
+
+TEST(SparseVectorTest, MemoryBytesScalesWithNnz) {
+  SparseVector v({0, 1, 2}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(v.MemoryBytes(), 3 * (sizeof(int64_t) + sizeof(double)));
+}
+
+TEST(SparseVectorTest, EqualityAndDebugString) {
+  SparseVector a({0, 1}, {1.0, 2.0});
+  SparseVector b({0, 1}, {1.0, 2.0});
+  SparseVector c({0, 1}, {1.0, 2.5});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_NE(a.DebugString().find("nnz=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetps

@@ -1,0 +1,56 @@
+#include "math/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetps {
+namespace {
+
+TEST(VectorOpsTest, Axpy) {
+  std::vector<double> y = {1.0, 2.0};
+  Axpy(2.0, {10.0, 20.0}, &y);
+  EXPECT_DOUBLE_EQ(y[0], 21.0);
+  EXPECT_DOUBLE_EQ(y[1], 42.0);
+}
+
+TEST(VectorOpsDeathTest, AxpySizeChecked) {
+  std::vector<double> y = {1.0};
+  std::vector<double> x = {1.0, 2.0};
+  EXPECT_DEATH(Axpy(1.0, x, &y), "size mismatch");
+}
+
+TEST(VectorOpsTest, Dot) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(VectorOpsTest, ScaleAndZero) {
+  std::vector<double> x = {1.0, -2.0};
+  Scale(-3.0, &x);
+  EXPECT_DOUBLE_EQ(x[0], -3.0);
+  EXPECT_DOUBLE_EQ(x[1], 6.0);
+  SetZero(&x);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+}
+
+TEST(VectorOpsTest, Norms) {
+  const std::vector<double> x = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredNorm(x), 25.0);
+  EXPECT_DOUBLE_EQ(Norm2(x), 5.0);
+}
+
+TEST(VectorOpsTest, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(SquaredDistance({0.0, 0.0}, {3.0, 4.0}), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1.0}, {1.0}), 0.0);
+}
+
+TEST(VectorOpsTest, CountNonZero) {
+  const std::vector<double> x = {0.0, 1e-9, 0.5, -0.5};
+  EXPECT_EQ(CountNonZero(x), 3u);
+  EXPECT_EQ(CountNonZero(x, 1e-6), 2u);
+}
+
+}  // namespace
+}  // namespace hetps

@@ -1,0 +1,111 @@
+#include "models/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace hetps {
+namespace {
+
+// Three well-separated clusters in a 6-dimensional space.
+Dataset ClusteredData() {
+  Dataset d;
+  Rng rng(12);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 60; ++i) {
+      SparseVector x;
+      for (int j = 0; j < 2; ++j) {
+        x.PushBack(2 * c + j, 5.0 + rng.NextGaussian(0.0, 0.2));
+      }
+      Example ex;
+      ex.features = std::move(x);
+      ex.label = c;
+      d.Add(std::move(ex));
+    }
+  }
+  Rng shuffle(3);
+  d.Shuffle(&shuffle);
+  return d;
+}
+
+KMeansConfig FastConfig() {
+  KMeansConfig cfg;
+  cfg.k = 3;
+  cfg.num_workers = 2;
+  cfg.max_clocks = 8;
+  cfg.learning_rate = 0.3;
+  return cfg;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  const Dataset d = ClusteredData();
+  auto model = TrainKMeans(d, FastConfig());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const KMeansModel& m = model.value();
+  EXPECT_EQ(m.k, 3);
+  // Inertia far below the between-cluster scale (~50).
+  EXPECT_LT(m.Inertia(d), 5.0);
+  // Points of the same true cluster map to the same centroid.
+  int agree = 0;
+  for (size_t i = 0; i + 1 < d.size(); ++i) {
+    for (size_t j = i + 1; j < std::min(d.size(), i + 10); ++j) {
+      if (d.example(i).label == d.example(j).label &&
+          m.Assign(d.example(i).features) ==
+              m.Assign(d.example(j).features)) {
+        ++agree;
+      }
+    }
+  }
+  EXPECT_GT(agree, 0);
+}
+
+TEST(KMeansTest, InertiaImprovesOverSingleCentroidBaseline) {
+  const Dataset d = ClusteredData();
+  KMeansConfig one = FastConfig();
+  one.k = 1;
+  auto single = TrainKMeans(d, one);
+  ASSERT_TRUE(single.ok());
+  auto three = TrainKMeans(d, FastConfig());
+  ASSERT_TRUE(three.ok());
+  EXPECT_LT(three.value().Inertia(d), 0.5 * single.value().Inertia(d));
+}
+
+TEST(KMeansTest, AllRulesWork) {
+  const Dataset d = ClusteredData();
+  for (const char* rule : {"ssp", "con", "dyn"}) {
+    KMeansConfig cfg = FastConfig();
+    cfg.rule = rule;
+    if (std::string(rule) == "ssp") cfg.learning_rate = 0.15;
+    auto model = TrainKMeans(d, cfg);
+    ASSERT_TRUE(model.ok()) << rule;
+    EXPECT_LT(model.value().Inertia(d), 20.0) << rule;
+  }
+}
+
+TEST(KMeansTest, ValidatesConfig) {
+  const Dataset d = ClusteredData();
+  KMeansConfig cfg = FastConfig();
+  cfg.k = 0;
+  EXPECT_FALSE(TrainKMeans(d, cfg).ok());
+  cfg = FastConfig();
+  cfg.learning_rate = 1.5;
+  EXPECT_FALSE(TrainKMeans(d, cfg).ok());
+  cfg = FastConfig();
+  cfg.k = 10000;
+  EXPECT_FALSE(TrainKMeans(d, cfg).ok());
+  EXPECT_FALSE(TrainKMeans(Dataset(), FastConfig()).ok());
+}
+
+TEST(KMeansTest, AssignReturnsValidCentroid) {
+  const Dataset d = ClusteredData();
+  auto model = TrainKMeans(d, FastConfig());
+  ASSERT_TRUE(model.ok());
+  for (size_t i = 0; i < 10; ++i) {
+    const int c = model.value().Assign(d.example(i).features);
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 3);
+  }
+}
+
+}  // namespace
+}  // namespace hetps

@@ -1,0 +1,114 @@
+#include "models/lda.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace hetps {
+namespace {
+
+SyntheticCorpusConfig SmallCorpus() {
+  SyntheticCorpusConfig c;
+  c.num_topics = 3;
+  c.words_per_topic = 20;
+  c.num_documents = 90;
+  c.tokens_per_document = 50;
+  c.intruder_fraction = 0.05;
+  return c;
+}
+
+LdaConfig FastLda() {
+  LdaConfig c;
+  c.num_topics = 3;
+  c.num_workers = 2;
+  c.max_clocks = 15;
+  return c;
+}
+
+TEST(CorpusTest, AddDocumentTracksShape) {
+  Corpus corpus;
+  corpus.AddDocument({0, 5, 2});
+  corpus.AddDocument({7});
+  EXPECT_EQ(corpus.num_documents(), 2u);
+  EXPECT_EQ(corpus.vocab_size(), 8);
+  EXPECT_EQ(corpus.total_tokens(), 4u);
+  EXPECT_EQ(corpus.document(1).size(), 1u);
+}
+
+TEST(SyntheticCorpusTest, DeterministicAndShaped) {
+  const Corpus a = GenerateSyntheticCorpus(SmallCorpus());
+  const Corpus b = GenerateSyntheticCorpus(SmallCorpus());
+  ASSERT_EQ(a.num_documents(), b.num_documents());
+  EXPECT_EQ(a.document(3), b.document(3));
+  EXPECT_LE(a.vocab_size(), 60);
+  EXPECT_EQ(a.total_tokens(), 90u * 50u);
+}
+
+TEST(LdaTest, RecoversPlantedTopics) {
+  const Corpus corpus = GenerateSyntheticCorpus(SmallCorpus());
+  auto model = TrainLda(corpus, FastLda());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const LdaModel& m = model.value();
+  // Each learned topic's top words should come mostly from ONE planted
+  // vocabulary slice (words_per_topic = 20 -> slice = word / 20).
+  int pure_topics = 0;
+  std::set<int> claimed_slices;
+  for (int t = 0; t < m.num_topics; ++t) {
+    const auto top = m.TopWords(t, 10);
+    int slice_votes[3] = {0, 0, 0};
+    for (int w : top) slice_votes[w / 20]++;
+    const int best_slice = static_cast<int>(
+        std::max_element(slice_votes, slice_votes + 3) - slice_votes);
+    if (slice_votes[best_slice] >= 8) {
+      ++pure_topics;
+      claimed_slices.insert(best_slice);
+    }
+  }
+  EXPECT_GE(pure_topics, 2);
+  EXPECT_GE(claimed_slices.size(), 2u);
+}
+
+TEST(LdaTest, CountsAreConserved) {
+  const Corpus corpus = GenerateSyntheticCorpus(SmallCorpus());
+  auto model = TrainLda(corpus, FastLda());
+  ASSERT_TRUE(model.ok());
+  const LdaModel& m = model.value();
+  double word_topic_total = 0.0;
+  for (double c : m.topic_word_counts) word_topic_total += c;
+  double topic_total = 0.0;
+  for (double c : m.topic_totals) topic_total += c;
+  // Every token is assigned to exactly one topic at all times.
+  EXPECT_NEAR(word_topic_total, static_cast<double>(corpus.total_tokens()),
+              1e-6);
+  EXPECT_NEAR(topic_total, static_cast<double>(corpus.total_tokens()),
+              1e-6);
+}
+
+TEST(LdaTest, WordProbabilitiesNormalize) {
+  const Corpus corpus = GenerateSyntheticCorpus(SmallCorpus());
+  auto model = TrainLda(corpus, FastLda());
+  ASSERT_TRUE(model.ok());
+  const LdaModel& m = model.value();
+  for (int t = 0; t < m.num_topics; ++t) {
+    double total = 0.0;
+    for (int w = 0; w < m.vocab_size; ++w) {
+      total += m.WordProbability(t, w, 0.1);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6) << "topic " << t;
+  }
+}
+
+TEST(LdaTest, ValidatesConfig) {
+  const Corpus corpus = GenerateSyntheticCorpus(SmallCorpus());
+  LdaConfig cfg = FastLda();
+  cfg.num_topics = 0;
+  EXPECT_FALSE(TrainLda(corpus, cfg).ok());
+  cfg = FastLda();
+  cfg.alpha = 0.0;
+  EXPECT_FALSE(TrainLda(corpus, cfg).ok());
+  EXPECT_FALSE(TrainLda(Corpus(), FastLda()).ok());
+}
+
+}  // namespace
+}  // namespace hetps

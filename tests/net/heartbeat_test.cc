@@ -1,0 +1,62 @@
+#include "net/heartbeat.h"
+
+#include <gtest/gtest.h>
+
+namespace hetps {
+namespace {
+
+TEST(HeartbeatTest, FreshNodesAreAlive) {
+  HeartbeatMonitor monitor(5.0);
+  monitor.Register("worker-0", 100.0);
+  EXPECT_TRUE(monitor.IsAlive("worker-0", 104.9));
+  EXPECT_TRUE(monitor.IsAlive("worker-0", 105.0));  // boundary inclusive
+  EXPECT_FALSE(monitor.IsAlive("worker-0", 105.1));
+  EXPECT_EQ(monitor.node_count(), 1u);
+}
+
+TEST(HeartbeatTest, BeatsExtendLife) {
+  HeartbeatMonitor monitor(5.0);
+  monitor.Register("ps-0", 0.0);
+  monitor.Beat("ps-0", 4.0);
+  monitor.Beat("ps-0", 8.0);
+  EXPECT_TRUE(monitor.IsAlive("ps-0", 12.0));
+  EXPECT_DOUBLE_EQ(monitor.SecondsSinceLastBeat("ps-0", 12.0), 4.0);
+}
+
+TEST(HeartbeatTest, OutOfOrderBeatsKeepFreshest) {
+  HeartbeatMonitor monitor(5.0);
+  monitor.Beat("n", 10.0);
+  monitor.Beat("n", 7.0);  // late-arriving older beat
+  EXPECT_DOUBLE_EQ(monitor.SecondsSinceLastBeat("n", 11.0), 1.0);
+}
+
+TEST(HeartbeatTest, SuspectedDeadListsTimedOutNodes) {
+  HeartbeatMonitor monitor(2.0);
+  monitor.Register("a", 0.0);
+  monitor.Register("b", 0.0);
+  monitor.Beat("b", 3.0);
+  const auto dead = monitor.SuspectedDead(4.0);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], "a");
+}
+
+TEST(HeartbeatTest, UnknownNodesAreNotAlive) {
+  HeartbeatMonitor monitor(2.0);
+  EXPECT_FALSE(monitor.IsAlive("ghost", 1.0));
+  EXPECT_DOUBLE_EQ(monitor.SecondsSinceLastBeat("ghost", 1.0), -1.0);
+}
+
+TEST(HeartbeatTest, RestartedNodeRejoinsViaBeat) {
+  HeartbeatMonitor monitor(1.0);
+  monitor.Register("w", 0.0);
+  EXPECT_FALSE(monitor.IsAlive("w", 10.0));
+  monitor.Beat("w", 10.0);  // worker restarted and re-joined
+  EXPECT_TRUE(monitor.IsAlive("w", 10.5));
+}
+
+TEST(HeartbeatDeathTest, RejectsNonPositiveTimeout) {
+  EXPECT_DEATH(HeartbeatMonitor(0.0), "positive");
+}
+
+}  // namespace
+}  // namespace hetps

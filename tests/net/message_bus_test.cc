@@ -1,0 +1,128 @@
+#include "net/message_bus.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+namespace hetps {
+namespace {
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> v) {
+  return std::vector<uint8_t>(v);
+}
+
+TEST(MessageBusTest, OneWayDelivery) {
+  MessageBus bus;
+  std::atomic<int> received{0};
+  ASSERT_TRUE(bus.RegisterEndpoint("sink",
+                                   [&](const Envelope& e) {
+                                     received.fetch_add(
+                                         static_cast<int>(e.payload[0]));
+                                     return std::vector<uint8_t>{};
+                                   })
+                  .ok());
+  ASSERT_TRUE(bus.Send("src", "sink", Bytes({5})).ok());
+  ASSERT_TRUE(bus.Send("src", "sink", Bytes({7})).ok());
+  bus.Flush();
+  EXPECT_EQ(received.load(), 12);
+  EXPECT_EQ(bus.delivered_count(), 2);
+}
+
+TEST(MessageBusTest, RequestResponse) {
+  MessageBus bus;
+  ASSERT_TRUE(bus.RegisterEndpoint("echo",
+                                   [](const Envelope& e) {
+                                     std::vector<uint8_t> out = e.payload;
+                                     out.push_back(99);
+                                     return out;
+                                   })
+                  .ok());
+  auto future = bus.Call("client", "echo", Bytes({1, 2}));
+  ASSERT_TRUE(future.ok());
+  const auto response = future.value().get();
+  EXPECT_EQ(response, Bytes({1, 2, 99}));
+}
+
+TEST(MessageBusTest, UnknownEndpointIsNotFound) {
+  MessageBus bus;
+  EXPECT_TRUE(bus.Send("a", "nope", {}).IsNotFound());
+  EXPECT_TRUE(bus.Call("a", "nope", {}).status().IsNotFound());
+}
+
+TEST(MessageBusTest, DuplicateEndpointRejected) {
+  MessageBus bus;
+  auto handler = [](const Envelope&) { return std::vector<uint8_t>{}; };
+  ASSERT_TRUE(bus.RegisterEndpoint("x", handler).ok());
+  EXPECT_EQ(bus.RegisterEndpoint("x", handler).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(bus.RegisterEndpoint("y", nullptr).ok());
+}
+
+TEST(MessageBusTest, HandlersOfOneEndpointRunSequentially) {
+  MessageBus bus;
+  std::vector<int> order;  // guarded by sequential execution itself
+  ASSERT_TRUE(bus.RegisterEndpoint("seq",
+                                   [&](const Envelope& e) {
+                                     order.push_back(e.payload[0]);
+                                     return std::vector<uint8_t>{};
+                                   })
+                  .ok());
+  for (uint8_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(bus.Send("src", "seq", Bytes({i})).ok());
+  }
+  bus.Flush();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);  // FIFO, no interleave
+  }
+}
+
+TEST(MessageBusTest, EndpointsRunConcurrently) {
+  // A request to endpoint B issued from inside endpoint A's handler must
+  // complete (would deadlock if all endpoints shared one thread).
+  MessageBus bus;
+  ASSERT_TRUE(bus.RegisterEndpoint("b",
+                                   [](const Envelope&) {
+                                     return Bytes({42});
+                                   })
+                  .ok());
+  ASSERT_TRUE(bus.RegisterEndpoint(
+                     "a",
+                     [&](const Envelope&) {
+                       auto f = bus.Call("a", "b", {});
+                       return f.ok() ? f.value().get()
+                                     : std::vector<uint8_t>{};
+                     })
+                  .ok());
+  auto future = bus.Call("client", "a", {});
+  ASSERT_TRUE(future.ok());
+  EXPECT_EQ(future.value().get(), Bytes({42}));
+}
+
+TEST(MessageBusTest, ManyConcurrentCallers) {
+  MessageBus bus;
+  ASSERT_TRUE(bus.RegisterEndpoint("sum",
+                                   [](const Envelope& e) {
+                                     std::vector<uint8_t> out = {
+                                         static_cast<uint8_t>(
+                                             e.payload[0] + 1)};
+                                     return out;
+                                   })
+                  .ok());
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&bus, &ok, t] {
+      for (uint8_t i = 0; i < 20; ++i) {
+        auto f = bus.Call("c" + std::to_string(t), "sum", Bytes({i}));
+        if (f.ok() && f.value().get()[0] == i + 1) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), 8 * 20);
+}
+
+}  // namespace
+}  // namespace hetps

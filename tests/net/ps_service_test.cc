@@ -1,0 +1,185 @@
+#include "net/ps_service.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/consolidation.h"
+#include "core/dyn_sgd.h"
+#include "core/learning_rate.h"
+#include "core/sgd_compute.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace hetps {
+namespace {
+
+struct RpcHarness {
+  explicit RpcHarness(int workers, int64_t dim,
+                      SyncPolicy sync = SyncPolicy::Asp())
+      : rule(),
+        ps(dim, workers, rule,
+           [&] {
+             PsOptions o;
+             o.num_servers = 2;
+             o.sync = sync;
+             return o;
+           }()),
+        service(&ps, &bus, "ps") {
+    EXPECT_TRUE(service.status().ok());
+  }
+
+  DynSgdRule rule;
+  MessageBus bus;
+  ParameterServer ps;
+  PsService service;
+};
+
+TEST(PsServiceTest, PushAndPullOverTheWire) {
+  RpcHarness h(2, 8);
+  RpcWorkerClient client(0, &h.bus, "ps");
+  ASSERT_TRUE(client.Push(0, SparseVector({1, 5}, {2.0, -1.0})).ok());
+  std::vector<double> replica;
+  int cmin = -1;
+  ASSERT_TRUE(client.Pull(&replica, &cmin).ok());
+  ASSERT_EQ(replica.size(), 8u);
+  EXPECT_DOUBLE_EQ(replica[1], 2.0);
+  EXPECT_DOUBLE_EQ(replica[5], -1.0);
+  EXPECT_EQ(cmin, 0);  // worker 1 has not pushed
+}
+
+TEST(PsServiceTest, PullRangeOverTheWire) {
+  RpcHarness h(1, 16);
+  RpcWorkerClient client(0, &h.bus, "ps");
+  ASSERT_TRUE(client.Push(0, SparseVector({3, 12}, {1.0, 4.0})).ok());
+  std::vector<double> window;
+  ASSERT_TRUE(client.PullRange(2, 13, &window).ok());
+  ASSERT_EQ(window.size(), 11u);
+  EXPECT_DOUBLE_EQ(window[1], 1.0);
+  EXPECT_DOUBLE_EQ(window[10], 4.0);
+}
+
+TEST(PsServiceTest, CanAdvanceAndStableVersion) {
+  RpcHarness h(2, 4, SyncPolicy::Ssp(1));
+  RpcWorkerClient client(0, &h.bus, "ps");
+  auto admitted = client.CanAdvance(1);
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_TRUE(admitted.value());
+  admitted = client.CanAdvance(2);
+  ASSERT_TRUE(admitted.ok());
+  EXPECT_FALSE(admitted.value());
+  auto version = client.StableVersion();
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(version.value(), 0);
+}
+
+TEST(PsServiceTest, ServerRejectsMalformedRequests) {
+  RpcHarness h(1, 4);
+  // Unknown opcode.
+  {
+    ByteWriter w;
+    w.WriteU8(250);
+    auto f = h.bus.Call("c", "ps", w.TakeBuffer());
+    ASSERT_TRUE(f.ok());
+    const std::vector<uint8_t> response = f.value().get();
+    ByteReader r(response);
+    uint8_t code = 0;
+    ASSERT_TRUE(r.ReadU8(&code).ok());
+    EXPECT_NE(code, 0);
+  }
+  // Truncated push.
+  {
+    ByteWriter w;
+    w.WriteU8(static_cast<uint8_t>(PsOpCode::kPush));
+    w.WriteI64(0);
+    auto f = h.bus.Call("c", "ps", w.TakeBuffer());
+    ASSERT_TRUE(f.ok());
+    const std::vector<uint8_t> response = f.value().get();
+    ByteReader r(response);
+    uint8_t code = 0;
+    ASSERT_TRUE(r.ReadU8(&code).ok());
+    EXPECT_NE(code, 0);
+  }
+  // Worker id out of range.
+  {
+    RpcWorkerClient bad(7, &h.bus, "ps");
+    EXPECT_TRUE(bad.Push(0, SparseVector()).IsInvalidArgument());
+  }
+  // Update index beyond dim.
+  {
+    RpcWorkerClient client(0, &h.bus, "ps");
+    EXPECT_TRUE(client.Push(0, SparseVector({9}, {1.0}))
+                    .IsInvalidArgument());
+  }
+  // The server survives all of it.
+  RpcWorkerClient client(0, &h.bus, "ps");
+  EXPECT_TRUE(client.Push(0, SparseVector({1}, {1.0})).ok());
+}
+
+TEST(PsServiceTest, ServiceMetricsCountRequests) {
+  RpcHarness h(1, 8);
+  RpcWorkerClient client(0, &h.bus, "ps");
+  ASSERT_TRUE(client.Push(0, SparseVector({1}, {1.0})).ok());
+  std::vector<double> replica;
+  ASSERT_TRUE(client.Pull(&replica, nullptr).ok());
+  EXPECT_TRUE(client.Push(0, SparseVector({20}, {1.0}))
+                  .IsInvalidArgument());  // out of range -> error
+  h.bus.Flush();
+  const std::string report = h.service.metrics().Report();
+  EXPECT_NE(report.find("rpc.push 2"), std::string::npos);
+  EXPECT_NE(report.find("rpc.pull 1"), std::string::npos);
+  EXPECT_NE(report.find("rpc.errors 1"), std::string::npos);
+  EXPECT_NE(report.find("ps.param_bytes"), std::string::npos);
+}
+
+TEST(PsServiceTest, DistributedSgdTrainsOverRpc) {
+  // Full mini end-to-end: three worker threads run Algorithm 1 against
+  // the PS purely through serialized messages.
+  SyntheticConfig cfg;
+  cfg.num_examples = 240;
+  cfg.num_features = 120;
+  cfg.avg_nnz = 6;
+  cfg.seed = 21;
+  Dataset dataset = GenerateSynthetic(cfg);
+  Rng rng(22);
+  dataset.Shuffle(&rng);
+  LogisticLoss loss;
+  FixedRate sched(0.5);
+
+  const int workers = 3;
+  RpcHarness h(workers, dataset.dimension(), SyncPolicy::Ssp(2));
+  const auto shards = SplitData(dataset.size(), workers,
+                                ShardingPolicy::kContiguous);
+  std::vector<std::thread> threads;
+  for (int m = 0; m < workers; ++m) {
+    threads.emplace_back([&, m] {
+      RpcWorkerClient client(m, &h.bus, "ps");
+      LocalWorkerSgd::Options sgd_opts;
+      sgd_opts.batch_size = 8;
+      LocalWorkerSgd sgd(&dataset, shards[static_cast<size_t>(m)], &loss,
+                         &sched, sgd_opts);
+      std::vector<double> replica(
+          static_cast<size_t>(dataset.dimension()), 0.0);
+      int cp = 0;
+      for (int c = 0; c < 10; ++c) {
+        SparseVector update;
+        sgd.RunClock(c, &replica, &update);
+        ASSERT_TRUE(client.Push(c, update).ok());
+        if (SyncPolicy::Ssp(2).NeedsPull(c, cp)) {
+          ASSERT_TRUE(client.WaitUntilCanAdvance(c + 1).ok());
+          int cmin = 0;
+          ASSERT_TRUE(client.Pull(&replica, &cmin).ok());
+          cp = cmin;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double objective =
+      dataset.Objective(loss, h.ps.Snapshot(), 1e-4);
+  EXPECT_LT(objective, 0.5);
+  EXPECT_GE(h.bus.delivered_count(), workers * 10);
+}
+
+}  // namespace
+}  // namespace hetps

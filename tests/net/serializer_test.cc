@@ -1,0 +1,139 @@
+#include "net/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace hetps {
+namespace {
+
+TEST(SerializerTest, ScalarRoundTrips) {
+  ByteWriter w;
+  w.WriteU8(200);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFULL);
+  w.WriteI64(-42);
+  w.WriteDouble(3.14159);
+  w.WriteString("hello");
+  ByteReader r(w.buffer());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double d;
+  std::string s;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadI64(&i64).ok());
+  ASSERT_TRUE(r.ReadDouble(&d).ok());
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  EXPECT_EQ(u8, 200);
+  EXPECT_EQ(u32, 0xDEADBEEF);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializerTest, SpecialDoublesSurvive) {
+  ByteWriter w;
+  w.WriteDouble(std::numeric_limits<double>::infinity());
+  w.WriteDouble(-0.0);
+  w.WriteDouble(std::numeric_limits<double>::denorm_min());
+  ByteReader r(w.buffer());
+  double a, b, c;
+  ASSERT_TRUE(r.ReadDouble(&a).ok());
+  ASSERT_TRUE(r.ReadDouble(&b).ok());
+  ASSERT_TRUE(r.ReadDouble(&c).ok());
+  EXPECT_TRUE(std::isinf(a));
+  EXPECT_TRUE(std::signbit(b));
+  EXPECT_DOUBLE_EQ(c, std::numeric_limits<double>::denorm_min());
+}
+
+TEST(SerializerTest, SparseAndDenseVectorsRoundTrip) {
+  SparseVector sv({0, 7, 123456789}, {1.5, -2.0, 3.25});
+  std::vector<double> dv = {0.0, 1.0, -9.75};
+  ByteWriter w;
+  w.WriteSparseVector(sv);
+  w.WriteDenseVector(dv);
+  ByteReader r(w.buffer());
+  SparseVector sv2;
+  std::vector<double> dv2;
+  ASSERT_TRUE(r.ReadSparseVector(&sv2).ok());
+  ASSERT_TRUE(r.ReadDenseVector(&dv2).ok());
+  EXPECT_TRUE(sv == sv2);
+  EXPECT_EQ(dv, dv2);
+}
+
+TEST(SerializerTest, EmptyVectorsRoundTrip) {
+  ByteWriter w;
+  w.WriteSparseVector(SparseVector());
+  w.WriteDenseVector({});
+  ByteReader r(w.buffer());
+  SparseVector sv;
+  std::vector<double> dv = {1.0};
+  ASSERT_TRUE(r.ReadSparseVector(&sv).ok());
+  ASSERT_TRUE(r.ReadDenseVector(&dv).ok());
+  EXPECT_TRUE(sv.empty());
+  EXPECT_TRUE(dv.empty());
+}
+
+TEST(SerializerTest, TruncationIsAnErrorNotACrash) {
+  ByteWriter w;
+  w.WriteSparseVector(SparseVector({1, 2, 3}, {1.0, 2.0, 3.0}));
+  const auto& full = w.buffer();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    ByteReader r(full.data(), cut);
+    SparseVector out;
+    EXPECT_FALSE(r.ReadSparseVector(&out).ok()) << "cut " << cut;
+  }
+}
+
+TEST(SerializerTest, CorruptLengthPrefixRejected) {
+  ByteWriter w;
+  w.WriteU64(1ULL << 40);  // claims 2^40 elements
+  ByteReader r(w.buffer());
+  std::vector<double> out;
+  EXPECT_TRUE(r.ReadDenseVector(&out).IsOutOfRange());
+  ByteReader r2(w.buffer());
+  SparseVector sv;
+  EXPECT_TRUE(r2.ReadSparseVector(&sv).IsOutOfRange());
+}
+
+TEST(SerializerTest, NonMonotoneSparseIndicesRejected) {
+  ByteWriter w;
+  w.WriteU64(2);
+  w.WriteI64(5);
+  w.WriteDouble(1.0);
+  w.WriteI64(3);  // decreasing
+  w.WriteDouble(2.0);
+  ByteReader r(w.buffer());
+  SparseVector out;
+  EXPECT_TRUE(r.ReadSparseVector(&out).IsInvalidArgument());
+}
+
+TEST(SerializerFuzzTest, RandomBytesNeverCrashReaders) {
+  Rng rng(909);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> junk(rng.NextUint64(64));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.NextUint64(256));
+    ByteReader r(junk);
+    SparseVector sv;
+    std::vector<double> dv;
+    std::string s;
+    // Any outcome is fine as long as nothing crashes or over-reads.
+    (void)r.ReadSparseVector(&sv);
+    ByteReader r2(junk);
+    (void)r2.ReadDenseVector(&dv);
+    ByteReader r3(junk);
+    (void)r3.ReadString(&s);
+  }
+}
+
+}  // namespace
+}  // namespace hetps

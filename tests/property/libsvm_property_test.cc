@@ -1,0 +1,73 @@
+// Property tests for LIBSVM I/O: any generated dataset survives a
+// write/read round trip exactly, and the parser never crashes on
+// fuzzed-but-bounded garbage (it returns Status instead).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "data/libsvm_io.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace hetps {
+namespace {
+
+class LibSvmRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LibSvmRoundTripTest, WriteReadIsIdentity) {
+  SyntheticConfig cfg;
+  cfg.num_examples = 60;
+  cfg.num_features = 90;
+  cfg.avg_nnz = 7;
+  cfg.binary_features = GetParam() % 2 == 0;
+  cfg.seed = GetParam();
+  const Dataset original = GenerateSynthetic(cfg);
+  const std::string path =
+      testing::TempDir() + "/hetps_rt_" + std::to_string(GetParam());
+  ASSERT_TRUE(WriteLibSvmFile(original, path).ok());
+  auto reread = ReadLibSvmFile(path);
+  ASSERT_TRUE(reread.ok());
+  ASSERT_EQ(reread.value().size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reread.value().example(i).label, original.example(i).label);
+    const auto& a = original.example(i).features;
+    const auto& b = reread.value().example(i).features;
+    ASSERT_EQ(a.nnz(), b.nnz());
+    for (size_t k = 0; k < a.nnz(); ++k) {
+      EXPECT_EQ(a.index(k), b.index(k));
+      EXPECT_NEAR(a.value(k), b.value(k), 1e-12);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LibSvmRoundTripTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(LibSvmFuzzTest, GarbageNeverCrashesOnlyErrorsOrParses) {
+  Rng rng(2024);
+  const std::string alphabet = "01-+.: \teE#\nabcxyz";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string content;
+    const size_t len = 1 + rng.NextUint64(120);
+    for (size_t i = 0; i < len; ++i) {
+      content.push_back(
+          alphabet[rng.NextUint64(alphabet.size())]);
+    }
+    // Must not crash; any Status outcome is acceptable.
+    auto result = ParseLibSvm(content);
+    if (result.ok()) {
+      // Parsed content must satisfy dataset invariants.
+      const Dataset& d = result.value();
+      for (size_t i = 0; i < d.size(); ++i) {
+        EXPECT_LE(d.example(i).features.MinimumDimension(),
+                  d.dimension());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetps

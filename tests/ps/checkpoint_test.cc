@@ -1,0 +1,146 @@
+#include "ps/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/dyn_sgd.h"
+#include "util/rng.h"
+
+namespace hetps {
+namespace {
+
+PsOptions Options() {
+  PsOptions opts;
+  opts.num_servers = 2;
+  opts.partitions_per_server = 2;
+  opts.sync = SyncPolicy::Ssp(2);
+  return opts;
+}
+
+// Drives some realistic traffic through the PS.
+void PushTraffic(ParameterServer* ps, int clocks) {
+  Rng rng(4);
+  for (int c = 0; c < clocks; ++c) {
+    for (int m = 0; m < ps->num_workers(); ++m) {
+      SparseVector u;
+      for (int64_t j = 0; j < ps->dim(); ++j) {
+        if (rng.NextBernoulli(0.3)) u.PushBack(j, rng.NextGaussian());
+      }
+      ps->Push(m, c, u);
+      if (c % 2 == 1) ps->PullFull(m);
+    }
+  }
+}
+
+TEST(CheckpointTest, RoundTripRestoresDynSgdStateExactly) {
+  DynSgdRule rule;
+  ParameterServer ps(24, 3, rule, Options());
+  PushTraffic(&ps, 5);
+  const std::vector<double> before = ps.Snapshot();
+
+  std::stringstream buffer;
+  ASSERT_TRUE(ps.SaveCheckpoint(buffer).ok());
+
+  // A freshly constructed server restores to identical state.
+  ParameterServer restored(24, 3, rule, Options());
+  ASSERT_TRUE(restored.LoadCheckpoint(buffer).ok());
+  EXPECT_EQ(restored.Snapshot(), before);
+  EXPECT_EQ(restored.cmin(), ps.cmin());
+  EXPECT_EQ(restored.cmax(), ps.cmax());
+  EXPECT_EQ(restored.StableVersion(), ps.StableVersion());
+  EXPECT_EQ(restored.TotalPushes(), ps.TotalPushes());
+  EXPECT_EQ(restored.AuxMemoryBytes(), ps.AuxMemoryBytes());
+}
+
+TEST(CheckpointTest, TrainingContinuesIdenticallyAfterRestore) {
+  DynSgdRule rule;
+  ParameterServer original(16, 2, rule, Options());
+  PushTraffic(&original, 4);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveCheckpoint(buffer).ok());
+  ParameterServer restored(16, 2, rule, Options());
+  ASSERT_TRUE(restored.LoadCheckpoint(buffer).ok());
+
+  // Apply the same subsequent pushes to both; states must stay equal —
+  // including DynSGD's version revision behaviour.
+  for (int c = 4; c < 7; ++c) {
+    for (int m = 0; m < 2; ++m) {
+      SparseVector u({static_cast<int64_t>(m), 10},
+                     {1.0 + c, 0.5 * (m + 1)});
+      original.Push(m, c, u);
+      restored.Push(m, c, u);
+    }
+  }
+  EXPECT_EQ(original.Snapshot(), restored.Snapshot());
+  EXPECT_EQ(original.cmin(), restored.cmin());
+}
+
+TEST(CheckpointTest, WorksForStatelessRules) {
+  SspRule rule;
+  ParameterServer ps(8, 2, rule, Options());
+  ps.Push(0, 0, SparseVector({1, 5}, {2.0, -1.0}));
+  std::stringstream buffer;
+  ASSERT_TRUE(ps.SaveCheckpoint(buffer).ok());
+  ParameterServer restored(8, 2, rule, Options());
+  ASSERT_TRUE(restored.LoadCheckpoint(buffer).ok());
+  EXPECT_EQ(restored.Snapshot(), ps.Snapshot());
+}
+
+TEST(CheckpointTest, RejectsShapeMismatch) {
+  DynSgdRule rule;
+  ParameterServer ps(8, 2, rule, Options());
+  std::stringstream buffer;
+  ASSERT_TRUE(ps.SaveCheckpoint(buffer).ok());
+  ParameterServer wrong_dim(16, 2, rule, Options());
+  EXPECT_TRUE(
+      wrong_dim.LoadCheckpoint(buffer).IsInvalidArgument());
+  std::stringstream buffer2;
+  ASSERT_TRUE(ps.SaveCheckpoint(buffer2).ok());
+  ParameterServer wrong_workers(8, 3, rule, Options());
+  EXPECT_TRUE(
+      wrong_workers.LoadCheckpoint(buffer2).IsInvalidArgument());
+}
+
+TEST(CheckpointTest, RejectsGarbage) {
+  DynSgdRule rule;
+  ParameterServer ps(8, 2, rule, Options());
+  std::stringstream buffer("not a checkpoint\n");
+  EXPECT_FALSE(ps.LoadCheckpoint(buffer).ok());
+  std::stringstream truncated("hetps-checkpoint v1\n8 2");
+  EXPECT_FALSE(ps.LoadCheckpoint(truncated).ok());
+}
+
+TEST(CheckpointTest, FileRoundTrip) {
+  DynSgdRule rule;
+  ParameterServer ps(12, 2, rule, Options());
+  PushTraffic(&ps, 3);
+  const std::string path = testing::TempDir() + "/hetps_ckpt_test.txt";
+  ASSERT_TRUE(SaveCheckpointToFile(ps, path).ok());
+  ParameterServer restored(12, 2, rule, Options());
+  ASSERT_TRUE(RestoreCheckpointFromFile(&restored, path).ok());
+  EXPECT_EQ(restored.Snapshot(), ps.Snapshot());
+  std::remove(path.c_str());
+  EXPECT_FALSE(RestoreCheckpointFromFile(&restored, path).ok());
+}
+
+TEST(CheckpointTest, PreservesSparseLayout) {
+  DynSgdRule rule;
+  PsOptions opts = Options();
+  ParameterServer ps(1000, 2, rule, opts);
+  ps.Push(0, 0, SparseVector({5}, {1.0}));
+  // Force one block sparse by compacting via checkpoint restore.
+  std::stringstream buffer;
+  ASSERT_TRUE(ps.SaveCheckpoint(buffer).ok());
+  ParameterServer restored(1000, 2, rule, opts);
+  ASSERT_TRUE(restored.LoadCheckpoint(buffer).ok());
+  for (int p = 0; p < restored.num_partitions(); ++p) {
+    EXPECT_EQ(restored.shard(p).param().is_sparse(),
+              ps.shard(p).param().is_sparse());
+  }
+}
+
+}  // namespace
+}  // namespace hetps

@@ -1,0 +1,59 @@
+#include "ps/master.h"
+
+#include <gtest/gtest.h>
+
+namespace hetps {
+namespace {
+
+TEST(MasterTest, StableVersionIsMinimumAcrossPartitions) {
+  Master master(3, 2);
+  EXPECT_EQ(master.StableVersion(), 0);
+  master.ReportVersion(0, 5);
+  master.ReportVersion(1, 3);
+  EXPECT_EQ(master.StableVersion(), 0);  // partition 2 never reported
+  master.ReportVersion(2, 7);
+  EXPECT_EQ(master.StableVersion(), 3);
+  EXPECT_EQ(master.PartitionVersion(2), 7);
+}
+
+TEST(MasterTest, VersionReportsAreMonotone) {
+  Master master(1, 1);
+  master.ReportVersion(0, 5);
+  master.ReportVersion(0, 2);  // stale report must not regress
+  EXPECT_EQ(master.PartitionVersion(0), 5);
+}
+
+TEST(MasterTest, DetectsStragglers) {
+  Master master(1, 4);
+  master.ReportClockTime(0, 1.0);
+  master.ReportClockTime(1, 1.1);
+  master.ReportClockTime(2, 1.5);
+  master.ReportClockTime(3, 2.5);
+  const auto stragglers = master.DetectStragglers(1.2);
+  ASSERT_EQ(stragglers.size(), 2u);
+  EXPECT_EQ(stragglers[0], 2);
+  EXPECT_EQ(stragglers[1], 3);
+  EXPECT_EQ(master.FastestWorker(), 0);
+  EXPECT_DOUBLE_EQ(master.LastClockTime(3), 2.5);
+}
+
+TEST(MasterTest, NoReportsMeansNoStragglers) {
+  Master master(1, 3);
+  EXPECT_TRUE(master.DetectStragglers().empty());
+  EXPECT_EQ(master.FastestWorker(), -1);
+}
+
+TEST(MasterTest, IgnoresUnreportedWorkersInDetection) {
+  Master master(1, 3);
+  master.ReportClockTime(0, 1.0);
+  // Workers 1 and 2 never reported (time 0): not flagged.
+  EXPECT_TRUE(master.DetectStragglers().empty());
+}
+
+TEST(MasterDeathTest, ValidatesConstruction) {
+  EXPECT_DEATH(Master(0, 1), "partition");
+  EXPECT_DEATH(Master(1, 0), "worker");
+}
+
+}  // namespace
+}  // namespace hetps

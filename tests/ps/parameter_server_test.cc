@@ -1,0 +1,209 @@
+#include "ps/parameter_server.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/dyn_sgd.h"
+
+namespace hetps {
+namespace {
+
+PsOptions SmallOptions() {
+  PsOptions opts;
+  opts.num_servers = 2;
+  opts.partitions_per_server = 2;
+  opts.sync = SyncPolicy::Ssp(1);
+  return opts;
+}
+
+TEST(ParameterServerTest, PushThenSnapshotRoundTrips) {
+  SspRule rule;
+  ParameterServer ps(10, 2, rule, SmallOptions());
+  SparseVector u({0, 4, 9}, {1.0, 2.0, 3.0});
+  ps.Push(0, 0, u);
+  const auto w = ps.Snapshot();
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[4], 2.0);
+  EXPECT_DOUBLE_EQ(w[9], 3.0);
+  EXPECT_DOUBLE_EQ(w[5], 0.0);
+}
+
+TEST(ParameterServerTest, PullFullReturnsAssembledVectorAndCmin) {
+  SspRule rule;
+  ParameterServer ps(10, 2, rule, SmallOptions());
+  ps.Push(0, 0, SparseVector({3}, {7.0}));
+  ps.Push(1, 0, SparseVector({8}, {1.0}));
+  int cmin = -1;
+  const auto w = ps.PullFull(0, &cmin);
+  EXPECT_DOUBLE_EQ(w[3], 7.0);
+  EXPECT_DOUBLE_EQ(w[8], 1.0);
+  EXPECT_EQ(cmin, 1);  // both workers finished clock 0
+}
+
+TEST(ParameterServerTest, ClockAccounting) {
+  SspRule rule;
+  ParameterServer ps(4, 3, rule, SmallOptions());
+  EXPECT_EQ(ps.cmin(), 0);
+  ps.Push(0, 0, SparseVector());
+  ps.Push(0, 1, SparseVector());
+  EXPECT_EQ(ps.cmax(), 2);
+  EXPECT_EQ(ps.cmin(), 0);
+  ps.Push(1, 0, SparseVector());
+  ps.Push(2, 0, SparseVector());
+  EXPECT_EQ(ps.cmin(), 1);
+}
+
+TEST(ParameterServerTest, CanAdvanceFollowsPolicy) {
+  SspRule rule;
+  PsOptions opts = SmallOptions();
+  opts.sync = SyncPolicy::Ssp(1);
+  ParameterServer ps(4, 2, rule, opts);
+  EXPECT_TRUE(ps.CanAdvance(0, 1));
+  EXPECT_FALSE(ps.CanAdvance(0, 2));
+  ps.Push(0, 0, SparseVector());
+  ps.Push(1, 0, SparseVector());
+  EXPECT_TRUE(ps.CanAdvance(0, 2));
+}
+
+TEST(ParameterServerTest, WaitUntilCanAdvanceWakesOnPush) {
+  SspRule rule;
+  PsOptions opts = SmallOptions();
+  opts.sync = SyncPolicy::Bsp();
+  ParameterServer ps(4, 2, rule, opts);
+  ps.Push(0, 0, SparseVector({0}, {1.0}));
+  std::thread waiter([&] { ps.WaitUntilCanAdvance(0, 1); });
+  // Worker 1's push completes the barrier and must wake the waiter.
+  ps.Push(1, 0, SparseVector({1}, {1.0}));
+  waiter.join();
+  SUCCEED();
+}
+
+TEST(ParameterServerTest, PullRangeReturnsRequestedWindow) {
+  SspRule rule;
+  ParameterServer ps(20, 1, rule, SmallOptions());
+  ps.Push(0, 0, SparseVector({3, 7, 15}, {1.0, 2.0, 3.0}));
+  const auto window = ps.PullRange(0, 5, 16);
+  ASSERT_EQ(window.size(), 11u);
+  EXPECT_DOUBLE_EQ(window[7 - 5], 2.0);
+  EXPECT_DOUBLE_EQ(window[15 - 5], 3.0);
+  EXPECT_DOUBLE_EQ(window[0], 0.0);
+  // Full-range pull equals the snapshot.
+  EXPECT_EQ(ps.PullRange(0, 0, 20), ps.Snapshot());
+  EXPECT_TRUE(ps.PullRange(0, 4, 4).empty());
+}
+
+TEST(ParameterServerDeathTest, PullRangeValidates) {
+  SspRule rule;
+  ParameterServer ps(20, 1, rule, SmallOptions());
+  EXPECT_DEATH(ps.PullRange(0, 5, 3), "bad key interval");
+  EXPECT_DEATH(ps.PullRange(0, 0, 21), "bad key interval");
+}
+
+TEST(ParameterServerTest, UpdateFilterDropsTinyEntries) {
+  SspRule rule;
+  PsOptions opts = SmallOptions();
+  opts.update_filter_epsilon = 1e-6;
+  ParameterServer ps(4, 1, rule, opts);
+  ps.Push(0, 0, SparseVector({0, 1}, {1e-9, 0.5}));
+  const auto w = ps.Snapshot();
+  EXPECT_DOUBLE_EQ(w[0], 0.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+}
+
+TEST(ParameterServerTest, TotalPushesCountsPieces) {
+  SspRule rule;
+  ParameterServer ps(10, 1, rule, SmallOptions());
+  ps.Push(0, 0, SparseVector({0}, {1.0}));
+  // One logical push hits all four partitions.
+  EXPECT_EQ(ps.TotalPushes(), 4);
+}
+
+TEST(ParameterServerTest, MasterSeesCompletedVersions) {
+  DynSgdRule rule;
+  PsOptions opts = SmallOptions();
+  opts.partition_sync = true;
+  ParameterServer ps(8, 2, rule, opts);
+  EXPECT_EQ(ps.StableVersion(), 0);
+  ps.Push(0, 0, SparseVector({0, 7}, {1.0, 1.0}));
+  // Version 0 is not complete until both workers contributed.
+  EXPECT_EQ(ps.StableVersion(), 0);
+  ps.Push(1, 0, SparseVector({3}, {1.0}));
+  EXPECT_EQ(ps.StableVersion(), 1);
+}
+
+TEST(ParameterServerTest, PartitionSyncPullUsesStableVersion) {
+  DynSgdRule::Options dopts;
+  dopts.mode = DynSgdRule::ApplyMode::kDeferred;
+  DynSgdRule rule(dopts);
+  PsOptions opts;
+  opts.num_servers = 1;
+  opts.partitions_per_server = 2;
+  opts.partition_sync = true;
+  ParameterServer ps(2, 2, rule, opts);
+  // Both workers complete clock 0 on both partitions.
+  for (int worker = 0; worker < 2; ++worker) {
+    const auto pieces = ps.partitioner().SplitByPartition(
+        SparseVector({0, 1}, {1.0, 2.0}));
+    for (int p = 0; p < 2; ++p) {
+      ps.PushPiece(p, worker, 0, pieces[static_cast<size_t>(p)], p == 1);
+    }
+  }
+  EXPECT_EQ(ps.StableVersion(), 1);
+  // Worker 0's clock-1 piece reaches only the partition of key 0; the
+  // other piece is still in flight.
+  const int hot = ps.partitioner().PartitionOf(0);
+  const auto pieces2 =
+      ps.partitioner().SplitByPartition(SparseVector({0}, {10.0}));
+  ps.PushPiece(hot, 0, 1, pieces2[static_cast<size_t>(hot)], false);
+  // A synchronized pull serves the consistent clock-0 state, ignoring
+  // the in-flight clock-1 fragment.
+  const auto w = ps.PullFull(1);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 2.0);
+}
+
+TEST(ParameterServerTest, MemoryAccountingAggregatesShards) {
+  DynSgdRule rule;
+  ParameterServer ps(100, 2, rule, SmallOptions());
+  EXPECT_EQ(ps.ParamMemoryBytes(), 100 * sizeof(double));
+  const size_t before = ps.AuxMemoryBytes();
+  ps.Push(0, 0, SparseVector({0, 50}, {1.0, 1.0}));
+  EXPECT_GT(ps.AuxMemoryBytes(), before);
+}
+
+TEST(ParameterServerTest, ConcurrentPushesAreSafe) {
+  SspRule rule;
+  PsOptions opts = SmallOptions();
+  opts.sync = SyncPolicy::Asp();
+  ParameterServer ps(32, 4, rule, opts);
+  std::vector<std::thread> threads;
+  for (int m = 0; m < 4; ++m) {
+    threads.emplace_back([&ps, m] {
+      for (int c = 0; c < 50; ++c) {
+        SparseVector u;
+        u.PushBack(m, 1.0);
+        u.PushBack(16 + m, 1.0);
+        ps.Push(m, c, u);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto w = ps.Snapshot();
+  for (int m = 0; m < 4; ++m) {
+    EXPECT_DOUBLE_EQ(w[static_cast<size_t>(m)], 50.0);
+    EXPECT_DOUBLE_EQ(w[static_cast<size_t>(16 + m)], 50.0);
+  }
+  EXPECT_EQ(ps.cmin(), 50);
+}
+
+TEST(ParameterServerTest, DebugStringDescribesSetup) {
+  SspRule rule;
+  ParameterServer ps(10, 2, rule, SmallOptions());
+  const std::string s = ps.DebugString();
+  EXPECT_NE(s.find("dim=10"), std::string::npos);
+  EXPECT_NE(s.find("SSP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetps

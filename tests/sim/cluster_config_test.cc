@@ -1,0 +1,95 @@
+#include "sim/cluster_config.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hetps {
+namespace {
+
+TEST(ClusterConfigTest, HomogeneousHasUnitProfiles) {
+  const ClusterConfig c = ClusterConfig::Homogeneous(8, 2);
+  EXPECT_EQ(c.num_workers, 8);
+  EXPECT_EQ(c.num_servers, 2);
+  for (int m = 0; m < 8; ++m) {
+    EXPECT_DOUBLE_EQ(c.profile(m).compute_multiplier, 1.0);
+    EXPECT_DOUBLE_EQ(c.profile(m).network_multiplier, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(c.HeterogeneityLevel(1.0, 0.1), 1.0);
+}
+
+TEST(ClusterConfigTest, WithStragglersSlowsTailFraction) {
+  const ClusterConfig c = ClusterConfig::WithStragglers(
+      10, 2, /*hl=*/3.0, /*fraction=*/0.2);
+  int slowed = 0;
+  for (int m = 0; m < 10; ++m) {
+    if (c.profile(m).compute_multiplier > 1.0) {
+      ++slowed;
+      EXPECT_DOUBLE_EQ(c.profile(m).compute_multiplier, 3.0);
+      EXPECT_GE(m, 8);  // stragglers taken from the tail
+    }
+  }
+  EXPECT_EQ(slowed, 2);
+}
+
+TEST(ClusterConfigTest, StragglerKindSelectsResource) {
+  const ClusterConfig net = ClusterConfig::WithStragglers(
+      5, 1, 2.0, 0.2, ClusterConfig::StragglerKind::kNetwork);
+  EXPECT_DOUBLE_EQ(net.profile(4).compute_multiplier, 1.0);
+  EXPECT_DOUBLE_EQ(net.profile(4).network_multiplier, 2.0);
+  const ClusterConfig both = ClusterConfig::WithStragglers(
+      5, 1, 2.0, 0.2, ClusterConfig::StragglerKind::kBoth);
+  EXPECT_DOUBLE_EQ(both.profile(4).compute_multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(both.profile(4).network_multiplier, 2.0);
+}
+
+TEST(ClusterConfigTest, HeterogeneityLevelMatchesEq1) {
+  const ClusterConfig c = ClusterConfig::WithStragglers(10, 2, 2.0, 0.2);
+  // Pure compute stragglers: with zero comm weight HL equals the
+  // multiplier; mixing in communication time dilutes it.
+  EXPECT_DOUBLE_EQ(c.HeterogeneityLevel(1.0, 0.0), 2.0);
+  EXPECT_LT(c.HeterogeneityLevel(1.0, 0.5), 2.0);
+  EXPECT_GT(c.HeterogeneityLevel(1.0, 0.5), 1.0);
+}
+
+TEST(ClusterConfigTest, NaturalProductionSpreadsSpeeds) {
+  const ClusterConfig c = ClusterConfig::NaturalProduction(30, 10, 7);
+  double lo = 1e9;
+  double hi = 0.0;
+  for (int m = 0; m < 30; ++m) {
+    lo = std::min(lo, c.profile(m).compute_multiplier);
+    hi = std::max(hi, c.profile(m).compute_multiplier);
+    EXPECT_GT(c.profile(m).jitter_sigma, 0.0);
+  }
+  const double ratio = hi / lo;
+  // Figure 6: fastest worker roughly 2x the slowest.
+  EXPECT_GT(ratio, 1.4);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(ClusterConfigTest, NaturalProductionDeterministicPerSeed) {
+  const ClusterConfig a = ClusterConfig::NaturalProduction(5, 2, 3);
+  const ClusterConfig b = ClusterConfig::NaturalProduction(5, 2, 3);
+  for (int m = 0; m < 5; ++m) {
+    EXPECT_DOUBLE_EQ(a.profile(m).compute_multiplier,
+                     b.profile(m).compute_multiplier);
+  }
+  const ClusterConfig c = ClusterConfig::NaturalProduction(5, 2, 4);
+  bool differs = false;
+  for (int m = 0; m < 5; ++m) {
+    differs = differs || a.profile(m).compute_multiplier !=
+                             c.profile(m).compute_multiplier;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ClusterConfigDeathTest, Validates) {
+  EXPECT_DEATH(ClusterConfig::Homogeneous(0, 1), "worker");
+  EXPECT_DEATH(ClusterConfig::Homogeneous(1, 0), "server");
+  EXPECT_DEATH(ClusterConfig::WithStragglers(4, 1, 0.5), ">= 1");
+  EXPECT_DEATH(ClusterConfig::WithStragglers(4, 1, 2.0, 1.5),
+               "fraction");
+}
+
+}  // namespace
+}  // namespace hetps

@@ -1,0 +1,253 @@
+#include "sim/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/consolidation.h"
+#include "core/dyn_sgd.h"
+#include "core/learning_rate.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace hetps {
+namespace {
+
+Dataset TestData() {
+  SyntheticConfig cfg;
+  cfg.num_examples = 300;
+  cfg.num_features = 200;
+  cfg.avg_nnz = 8;
+  cfg.seed = 21;
+  Dataset d = GenerateSynthetic(cfg);
+  Rng rng(5);
+  d.Shuffle(&rng);
+  return d;
+}
+
+SimOptions FastOptions() {
+  SimOptions opts;
+  opts.max_clocks = 12;
+  opts.stop_on_convergence = false;
+  opts.eval_every_pushes = 10;
+  opts.eval_sample = 300;
+  opts.l2 = 1e-4;
+  return opts;
+}
+
+TEST(EventSimTest, RunsToMaxClocksAndRecordsCurve) {
+  const Dataset d = TestData();
+  const ClusterConfig cluster = ClusterConfig::Homogeneous(4, 2);
+  ConRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  const SimResult r =
+      RunSimulation(d, cluster, rule, sched, loss, FastOptions());
+  EXPECT_EQ(r.objective_per_clock.size(), 12u);
+  EXPECT_EQ(r.total_pushes, 4 * 12);
+  EXPECT_GT(r.total_sim_seconds, 0.0);
+  EXPECT_GT(r.min_objective, 0.0);
+}
+
+TEST(EventSimTest, DeterministicForSameSeed) {
+  const Dataset d = TestData();
+  const ClusterConfig cluster = ClusterConfig::WithStragglers(4, 2, 2.0);
+  DynSgdRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  const SimResult a =
+      RunSimulation(d, cluster, rule, sched, loss, FastOptions());
+  const SimResult b =
+      RunSimulation(d, cluster, rule, sched, loss, FastOptions());
+  ASSERT_EQ(a.objective_per_clock.size(), b.objective_per_clock.size());
+  for (size_t i = 0; i < a.objective_per_clock.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.objective_per_clock[i], b.objective_per_clock[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.total_sim_seconds, b.total_sim_seconds);
+}
+
+TEST(EventSimTest, ObjectiveDecreases) {
+  const Dataset d = TestData();
+  const ClusterConfig cluster = ClusterConfig::Homogeneous(4, 2);
+  ConRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  SimOptions opts = FastOptions();
+  opts.max_clocks = 20;
+  const SimResult r = RunSimulation(d, cluster, rule, sched, loss, opts);
+  EXPECT_LT(r.objective_per_clock.back(),
+            0.8 * r.objective_per_clock.front());
+}
+
+TEST(EventSimTest, ConvergenceStopsEarlyAndReportsMetrics) {
+  const Dataset d = TestData();
+  const ClusterConfig cluster = ClusterConfig::Homogeneous(4, 2);
+  ConRule rule;
+  FixedRate sched(1.0);
+  LogisticLoss loss;
+  SimOptions opts = FastOptions();
+  opts.max_clocks = 60;
+  opts.stop_on_convergence = true;
+  opts.objective_tolerance = 0.5;
+  opts.eval_every_pushes = 4;
+  const SimResult r = RunSimulation(d, cluster, rule, sched, loss, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(r.updates_to_converge, r.total_pushes + 1);
+  EXPECT_GT(r.updates_to_converge, 0);
+  EXPECT_LE(r.run_time_seconds, r.total_sim_seconds);
+  EXPECT_NEAR(r.per_update_seconds,
+              r.run_time_seconds /
+                  static_cast<double>(r.updates_to_converge),
+              1e-12);
+}
+
+TEST(EventSimTest, StragglersInflateRunTime) {
+  const Dataset d = TestData();
+  ConRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  SimOptions opts = FastOptions();
+  opts.sync = SyncPolicy::Bsp();
+  const SimResult fast = RunSimulation(
+      d, ClusterConfig::WithStragglers(4, 2, 1.0), rule, sched, loss,
+      opts);
+  const SimResult slow = RunSimulation(
+      d, ClusterConfig::WithStragglers(4, 2, 3.0), rule, sched, loss,
+      opts);
+  // Under BSP every clock waits for the straggler.
+  EXPECT_GT(slow.total_sim_seconds, 1.8 * fast.total_sim_seconds);
+}
+
+TEST(EventSimTest, BspWorkersStayInLockstep) {
+  const Dataset d = TestData();
+  ConRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  SimOptions opts = FastOptions();
+  opts.sync = SyncPolicy::Bsp();
+  const SimResult r = RunSimulation(
+      d, ClusterConfig::WithStragglers(4, 2, 4.0), rule, sched, loss,
+      opts);
+  // All workers completed all clocks despite the barrier.
+  for (const auto& b : r.worker_breakdown) {
+    EXPECT_EQ(b.clocks_completed, opts.max_clocks);
+  }
+  // Fast workers accumulated waiting time; the straggler did not.
+  EXPECT_GT(r.worker_breakdown[0].wait_seconds,
+            r.worker_breakdown[3].wait_seconds);
+}
+
+TEST(EventSimTest, AspNeverWaits) {
+  const Dataset d = TestData();
+  SspRule rule;
+  FixedRate sched(0.01);
+  LogisticLoss loss;
+  SimOptions opts = FastOptions();
+  opts.sync = SyncPolicy::Asp();
+  const SimResult r = RunSimulation(
+      d, ClusterConfig::WithStragglers(4, 2, 4.0), rule, sched, loss,
+      opts);
+  for (const auto& b : r.worker_breakdown) {
+    EXPECT_DOUBLE_EQ(b.wait_seconds, 0.0);
+  }
+}
+
+TEST(EventSimTest, BreakdownCoversComputeAndComm) {
+  const Dataset d = TestData();
+  ConRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  const SimResult r = RunSimulation(d, ClusterConfig::Homogeneous(3, 2),
+                                    rule, sched, loss, FastOptions());
+  for (const auto& b : r.worker_breakdown) {
+    EXPECT_GT(b.compute_seconds, 0.0);
+    EXPECT_GT(b.comm_seconds, 0.0);
+    EXPECT_GT(b.PerClockCompute(), 0.0);
+    EXPECT_GT(b.PerClockComm(), 0.0);
+  }
+}
+
+TEST(EventSimTest, DynSgdReportsStalenessAndMemory) {
+  const Dataset d = TestData();
+  DynSgdRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  SimOptions opts = FastOptions();
+  opts.sync = SyncPolicy::Ssp(2);
+  const SimResult r = RunSimulation(
+      d, ClusterConfig::WithStragglers(6, 2, 2.0), rule, sched, loss,
+      opts);
+  EXPECT_GT(r.mean_staleness, 1.0);
+  EXPECT_LE(r.mean_staleness, 6.0);
+  EXPECT_GT(r.peak_aux_memory_bytes, 0u);
+  EXPECT_GT(r.param_memory_bytes, 0u);
+}
+
+TEST(EventSimTest, MitigationHookReceivesCallbacks) {
+  class CountingMitigation : public StragglerMitigation {
+   public:
+    void OnClockEnd(int worker, int clock, double clock_seconds,
+                    Master* master,
+                    std::vector<LocalWorkerSgd*>* workers) override {
+      (void)clock;
+      (void)master;
+      EXPECT_GE(worker, 0);
+      EXPECT_GT(clock_seconds, 0.0);
+      EXPECT_EQ(workers->size(), 3u);
+      ++calls;
+    }
+    std::string name() const override { return "counting"; }
+    int calls = 0;
+  };
+  const Dataset d = TestData();
+  ConRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  CountingMitigation mitigation;
+  SimOptions opts = FastOptions();
+  RunSimulation(d, ClusterConfig::Homogeneous(3, 1), rule, sched, loss,
+                opts, &mitigation);
+  EXPECT_GT(mitigation.calls, 0);
+}
+
+TEST(EventSimTest, CongestionEpisodesSlowTheRunDeterministically) {
+  const Dataset d = TestData();
+  ConRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  ClusterConfig calm = ClusterConfig::Homogeneous(4, 2);
+  ClusterConfig congested = calm;
+  congested.congestion_probability = 0.2;
+  congested.congestion_seconds = 3.0;
+  const SimResult a =
+      RunSimulation(d, calm, rule, sched, loss, FastOptions());
+  const SimResult b =
+      RunSimulation(d, congested, rule, sched, loss, FastOptions());
+  const SimResult b2 =
+      RunSimulation(d, congested, rule, sched, loss, FastOptions());
+  EXPECT_GT(b.total_sim_seconds, a.total_sim_seconds);
+  EXPECT_DOUBLE_EQ(b.total_sim_seconds, b2.total_sim_seconds);
+}
+
+TEST(EventSimTest, PeakLiveVersionsBoundedByWindow) {
+  const Dataset d = TestData();
+  DynSgdRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  SimOptions opts = FastOptions();
+  opts.sync = SyncPolicy::Ssp(2);
+  opts.eval_every_pushes = 1;
+  const SimResult r = RunSimulation(
+      d, ClusterConfig::WithStragglers(5, 2, 3.0), rule, sched, loss,
+      opts);
+  EXPECT_GE(r.peak_live_versions, 1u);
+  EXPECT_LE(r.peak_live_versions, 2u + 2u);  // s + in-flight slack
+}
+
+TEST(EventSimTest, SummaryStringMentionsConvergence) {
+  SimResult r;
+  r.converged = true;
+  r.run_time_seconds = 12.0;
+  EXPECT_NE(r.Summary().find("converged"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetps

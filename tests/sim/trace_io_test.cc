@@ -1,0 +1,59 @@
+#include "sim/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hetps {
+namespace {
+
+SimResult FakeResult() {
+  SimResult r;
+  WorkerTimeBreakdown b;
+  b.clocks_completed = 4;
+  b.compute_seconds = 8.0;
+  b.comm_seconds = 2.0;
+  b.wait_seconds = 1.0;
+  r.worker_breakdown = {b, b};
+  r.objective_per_clock = {0.7, 0.5, 0.4};
+  return r;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(TraceIoTest, WorkerBreakdownCsv) {
+  const std::string path = testing::TempDir() + "/hetps_breakdown.csv";
+  ASSERT_TRUE(WriteWorkerBreakdownCsv(FakeResult(), path).ok());
+  const std::string content = Slurp(path);
+  EXPECT_NE(content.find("worker,clocks,compute_s"), std::string::npos);
+  EXPECT_NE(content.find("0,4,8,2,1,2,0.5"), std::string::npos);
+  EXPECT_NE(content.find("1,4,8,2,1,2,0.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, ConvergenceCsv) {
+  const std::string path = testing::TempDir() + "/hetps_curve.csv";
+  ASSERT_TRUE(WriteConvergenceCsv(FakeResult(), path).ok());
+  const std::string content = Slurp(path);
+  EXPECT_NE(content.find("clock,objective"), std::string::npos);
+  EXPECT_NE(content.find("0,0.7"), std::string::npos);
+  EXPECT_NE(content.find("2,0.4"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, BadPathErrors) {
+  EXPECT_FALSE(
+      WriteWorkerBreakdownCsv(FakeResult(), "/no/such/dir/x.csv").ok());
+  EXPECT_FALSE(
+      WriteConvergenceCsv(FakeResult(), "/no/such/dir/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace hetps

@@ -1,0 +1,66 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace hetps {
+namespace {
+
+TEST(MetricsTest, CounterIncrements) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("pushes");
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(c->value(), 5);
+  // Same name returns the same counter.
+  EXPECT_EQ(registry.counter("pushes"), c);
+  EXPECT_EQ(registry.counter("pushes")->value(), 5);
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  MetricsRegistry registry;
+  Gauge* g = registry.gauge("memory");
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  g->Set(12.5);
+  g->Set(-3.25);
+  EXPECT_DOUBLE_EQ(g->value(), -3.25);
+}
+
+TEST(MetricsTest, DistributionAccumulates) {
+  MetricsRegistry registry;
+  DistributionMetric* d = registry.distribution("latency");
+  d->Record(1.0);
+  d->Record(3.0);
+  const RunningStat s = d->Snapshot();
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(MetricsTest, CountersAreThreadSafe) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("hits");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < 1000; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), 4000);
+}
+
+TEST(MetricsTest, ReportRendersAllKinds) {
+  MetricsRegistry registry;
+  registry.counter("a.count")->Increment(3);
+  registry.gauge("b.gauge")->Set(1.5);
+  registry.distribution("c.dist")->Record(2.0);
+  const std::string report = registry.Report();
+  EXPECT_NE(report.find("a.count 3"), std::string::npos);
+  EXPECT_NE(report.find("b.gauge 1.5"), std::string::npos);
+  EXPECT_NE(report.find("c.dist count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetps

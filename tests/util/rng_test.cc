@@ -1,0 +1,147 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace hetps {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, BoundedUniformStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, DoubleRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.NextDouble(-2.5, 7.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(77);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, LognormalIsPositive) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_GT(rng.NextLognormal(0.0, 0.5), 0.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(8);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfStaysInRangeAndIsSkewed) {
+  Rng rng(6);
+  const uint64_t n = 1000;
+  int low = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    const uint64_t x = rng.NextZipf(n, 1.2);
+    ASSERT_LT(x, n);
+    if (x < 10) ++low;
+  }
+  // Strong skew: a large share of draws hit the first ten indices.
+  EXPECT_GT(low, samples / 4);
+}
+
+TEST(RngTest, ZipfHandlesSingleElement) {
+  Rng rng(6);
+  EXPECT_EQ(rng.NextZipf(1, 1.2), 0u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(10);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkGivesIndependentStreams) {
+  Rng parent(42);
+  Rng c0 = parent.Fork(0);
+  Rng c1 = parent.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c0.NextUint64() == c1.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+  // Same fork index reproduces the same stream.
+  Rng c0b = parent.Fork(0);
+  Rng c0c = Rng(42).Fork(0);
+  EXPECT_EQ(c0b.NextUint64(), c0c.NextUint64());
+}
+
+TEST(Mix64Test, DeterministicAndSpreading) {
+  EXPECT_EQ(Mix64(1), Mix64(1));
+  EXPECT_NE(Mix64(1), Mix64(2));
+  EXPECT_NE(Mix64(0), 0u);
+}
+
+}  // namespace
+}  // namespace hetps

@@ -1,0 +1,71 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace hetps {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(TrimTest, RemovesWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringPrintfTest, FormatsLikePrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.2f", 1.239), "1.24");
+  EXPECT_EQ(StringPrintf("plain"), "plain");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_FALSE(StartsWith("hello", "lo"));
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "20000"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("20000"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTableDeathTest, RejectsRowWidthMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "Check failed");
+}
+
+}  // namespace
+}  // namespace hetps
