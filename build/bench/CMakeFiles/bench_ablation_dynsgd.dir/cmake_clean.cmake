@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dynsgd.dir/bench_ablation_dynsgd.cc.o"
+  "CMakeFiles/bench_ablation_dynsgd.dir/bench_ablation_dynsgd.cc.o.d"
+  "bench_ablation_dynsgd"
+  "bench_ablation_dynsgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dynsgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

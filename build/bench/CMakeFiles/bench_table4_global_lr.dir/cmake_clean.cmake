@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_global_lr.dir/bench_table4_global_lr.cc.o"
+  "CMakeFiles/bench_table4_global_lr.dir/bench_table4_global_lr.cc.o.d"
+  "bench_table4_global_lr"
+  "bench_table4_global_lr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_global_lr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetps_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/hetps_bench_common.dir/bench_common.cc.o.d"
+  "libhetps_bench_common.a"
+  "libhetps_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetps_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhetps_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetps_train.dir/hetps_train.cc.o"
+  "CMakeFiles/hetps_train.dir/hetps_train.cc.o.d"
+  "hetps_train"
+  "hetps_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetps_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

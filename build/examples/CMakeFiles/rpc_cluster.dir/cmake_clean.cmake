@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_cluster.dir/rpc_cluster.cc.o"
+  "CMakeFiles/rpc_cluster.dir/rpc_cluster.cc.o.d"
+  "rpc_cluster"
+  "rpc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

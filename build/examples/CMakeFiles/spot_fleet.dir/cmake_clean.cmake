@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_fleet.dir/spot_fleet.cc.o"
+  "CMakeFiles/spot_fleet.dir/spot_fleet.cc.o.d"
+  "spot_fleet"
+  "spot_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetps_baselines.dir/flexrr.cc.o"
+  "CMakeFiles/hetps_baselines.dir/flexrr.cc.o.d"
+  "CMakeFiles/hetps_baselines.dir/system_models.cc.o"
+  "CMakeFiles/hetps_baselines.dir/system_models.cc.o.d"
+  "libhetps_baselines.a"
+  "libhetps_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetps_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

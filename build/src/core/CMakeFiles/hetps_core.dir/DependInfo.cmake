@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/consolidation.cc" "src/core/CMakeFiles/hetps_core.dir/consolidation.cc.o" "gcc" "src/core/CMakeFiles/hetps_core.dir/consolidation.cc.o.d"
+  "/root/repo/src/core/dyn_sgd.cc" "src/core/CMakeFiles/hetps_core.dir/dyn_sgd.cc.o" "gcc" "src/core/CMakeFiles/hetps_core.dir/dyn_sgd.cc.o.d"
+  "/root/repo/src/core/learning_rate.cc" "src/core/CMakeFiles/hetps_core.dir/learning_rate.cc.o" "gcc" "src/core/CMakeFiles/hetps_core.dir/learning_rate.cc.o.d"
+  "/root/repo/src/core/param_block.cc" "src/core/CMakeFiles/hetps_core.dir/param_block.cc.o" "gcc" "src/core/CMakeFiles/hetps_core.dir/param_block.cc.o.d"
+  "/root/repo/src/core/regret_bounds.cc" "src/core/CMakeFiles/hetps_core.dir/regret_bounds.cc.o" "gcc" "src/core/CMakeFiles/hetps_core.dir/regret_bounds.cc.o.d"
+  "/root/repo/src/core/sgd_compute.cc" "src/core/CMakeFiles/hetps_core.dir/sgd_compute.cc.o" "gcc" "src/core/CMakeFiles/hetps_core.dir/sgd_compute.cc.o.d"
+  "/root/repo/src/core/sync_policy.cc" "src/core/CMakeFiles/hetps_core.dir/sync_policy.cc.o" "gcc" "src/core/CMakeFiles/hetps_core.dir/sync_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/hetps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/hetps_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hetps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetps_core.dir/consolidation.cc.o"
+  "CMakeFiles/hetps_core.dir/consolidation.cc.o.d"
+  "CMakeFiles/hetps_core.dir/dyn_sgd.cc.o"
+  "CMakeFiles/hetps_core.dir/dyn_sgd.cc.o.d"
+  "CMakeFiles/hetps_core.dir/learning_rate.cc.o"
+  "CMakeFiles/hetps_core.dir/learning_rate.cc.o.d"
+  "CMakeFiles/hetps_core.dir/param_block.cc.o"
+  "CMakeFiles/hetps_core.dir/param_block.cc.o.d"
+  "CMakeFiles/hetps_core.dir/regret_bounds.cc.o"
+  "CMakeFiles/hetps_core.dir/regret_bounds.cc.o.d"
+  "CMakeFiles/hetps_core.dir/sgd_compute.cc.o"
+  "CMakeFiles/hetps_core.dir/sgd_compute.cc.o.d"
+  "CMakeFiles/hetps_core.dir/sync_policy.cc.o"
+  "CMakeFiles/hetps_core.dir/sync_policy.cc.o.d"
+  "libhetps_core.a"
+  "libhetps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhetps_core.a"
+)

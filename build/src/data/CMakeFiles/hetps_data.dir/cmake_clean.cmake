@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetps_data.dir/dataset.cc.o"
+  "CMakeFiles/hetps_data.dir/dataset.cc.o.d"
+  "CMakeFiles/hetps_data.dir/libsvm_io.cc.o"
+  "CMakeFiles/hetps_data.dir/libsvm_io.cc.o.d"
+  "CMakeFiles/hetps_data.dir/sharding.cc.o"
+  "CMakeFiles/hetps_data.dir/sharding.cc.o.d"
+  "CMakeFiles/hetps_data.dir/synthetic.cc.o"
+  "CMakeFiles/hetps_data.dir/synthetic.cc.o.d"
+  "CMakeFiles/hetps_data.dir/transforms.cc.o"
+  "CMakeFiles/hetps_data.dir/transforms.cc.o.d"
+  "libhetps_data.a"
+  "libhetps_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetps_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetps_engine.dir/distributed_trainer.cc.o"
+  "CMakeFiles/hetps_engine.dir/distributed_trainer.cc.o.d"
+  "CMakeFiles/hetps_engine.dir/grid_search.cc.o"
+  "CMakeFiles/hetps_engine.dir/grid_search.cc.o.d"
+  "CMakeFiles/hetps_engine.dir/threaded_trainer.cc.o"
+  "CMakeFiles/hetps_engine.dir/threaded_trainer.cc.o.d"
+  "libhetps_engine.a"
+  "libhetps_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetps_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/loss.cc" "src/math/CMakeFiles/hetps_math.dir/loss.cc.o" "gcc" "src/math/CMakeFiles/hetps_math.dir/loss.cc.o.d"
+  "/root/repo/src/math/sparse_vector.cc" "src/math/CMakeFiles/hetps_math.dir/sparse_vector.cc.o" "gcc" "src/math/CMakeFiles/hetps_math.dir/sparse_vector.cc.o.d"
+  "/root/repo/src/math/vector_ops.cc" "src/math/CMakeFiles/hetps_math.dir/vector_ops.cc.o" "gcc" "src/math/CMakeFiles/hetps_math.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hetps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetps_math.dir/loss.cc.o"
+  "CMakeFiles/hetps_math.dir/loss.cc.o.d"
+  "CMakeFiles/hetps_math.dir/sparse_vector.cc.o"
+  "CMakeFiles/hetps_math.dir/sparse_vector.cc.o.d"
+  "CMakeFiles/hetps_math.dir/vector_ops.cc.o"
+  "CMakeFiles/hetps_math.dir/vector_ops.cc.o.d"
+  "libhetps_math.a"
+  "libhetps_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetps_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

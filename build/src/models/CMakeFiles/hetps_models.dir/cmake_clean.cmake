@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetps_models.dir/kmeans.cc.o"
+  "CMakeFiles/hetps_models.dir/kmeans.cc.o.d"
+  "CMakeFiles/hetps_models.dir/lda.cc.o"
+  "CMakeFiles/hetps_models.dir/lda.cc.o.d"
+  "CMakeFiles/hetps_models.dir/linear_model.cc.o"
+  "CMakeFiles/hetps_models.dir/linear_model.cc.o.d"
+  "CMakeFiles/hetps_models.dir/matrix_factorization.cc.o"
+  "CMakeFiles/hetps_models.dir/matrix_factorization.cc.o.d"
+  "libhetps_models.a"
+  "libhetps_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetps_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

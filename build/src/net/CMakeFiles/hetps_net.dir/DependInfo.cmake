@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/heartbeat.cc" "src/net/CMakeFiles/hetps_net.dir/heartbeat.cc.o" "gcc" "src/net/CMakeFiles/hetps_net.dir/heartbeat.cc.o.d"
+  "/root/repo/src/net/message_bus.cc" "src/net/CMakeFiles/hetps_net.dir/message_bus.cc.o" "gcc" "src/net/CMakeFiles/hetps_net.dir/message_bus.cc.o.d"
+  "/root/repo/src/net/ps_service.cc" "src/net/CMakeFiles/hetps_net.dir/ps_service.cc.o" "gcc" "src/net/CMakeFiles/hetps_net.dir/ps_service.cc.o.d"
+  "/root/repo/src/net/serializer.cc" "src/net/CMakeFiles/hetps_net.dir/serializer.cc.o" "gcc" "src/net/CMakeFiles/hetps_net.dir/serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ps/CMakeFiles/hetps_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/hetps_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hetps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hetps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hetps_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

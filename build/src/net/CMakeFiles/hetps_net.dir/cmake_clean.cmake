@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetps_net.dir/heartbeat.cc.o"
+  "CMakeFiles/hetps_net.dir/heartbeat.cc.o.d"
+  "CMakeFiles/hetps_net.dir/message_bus.cc.o"
+  "CMakeFiles/hetps_net.dir/message_bus.cc.o.d"
+  "CMakeFiles/hetps_net.dir/ps_service.cc.o"
+  "CMakeFiles/hetps_net.dir/ps_service.cc.o.d"
+  "CMakeFiles/hetps_net.dir/serializer.cc.o"
+  "CMakeFiles/hetps_net.dir/serializer.cc.o.d"
+  "libhetps_net.a"
+  "libhetps_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetps_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ps/checkpoint.cc" "src/ps/CMakeFiles/hetps_ps.dir/checkpoint.cc.o" "gcc" "src/ps/CMakeFiles/hetps_ps.dir/checkpoint.cc.o.d"
+  "/root/repo/src/ps/master.cc" "src/ps/CMakeFiles/hetps_ps.dir/master.cc.o" "gcc" "src/ps/CMakeFiles/hetps_ps.dir/master.cc.o.d"
+  "/root/repo/src/ps/parameter_server.cc" "src/ps/CMakeFiles/hetps_ps.dir/parameter_server.cc.o" "gcc" "src/ps/CMakeFiles/hetps_ps.dir/parameter_server.cc.o.d"
+  "/root/repo/src/ps/partition.cc" "src/ps/CMakeFiles/hetps_ps.dir/partition.cc.o" "gcc" "src/ps/CMakeFiles/hetps_ps.dir/partition.cc.o.d"
+  "/root/repo/src/ps/server_shard.cc" "src/ps/CMakeFiles/hetps_ps.dir/server_shard.cc.o" "gcc" "src/ps/CMakeFiles/hetps_ps.dir/server_shard.cc.o.d"
+  "/root/repo/src/ps/worker_client.cc" "src/ps/CMakeFiles/hetps_ps.dir/worker_client.cc.o" "gcc" "src/ps/CMakeFiles/hetps_ps.dir/worker_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hetps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/hetps_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hetps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hetps_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetps_ps.dir/checkpoint.cc.o"
+  "CMakeFiles/hetps_ps.dir/checkpoint.cc.o.d"
+  "CMakeFiles/hetps_ps.dir/master.cc.o"
+  "CMakeFiles/hetps_ps.dir/master.cc.o.d"
+  "CMakeFiles/hetps_ps.dir/parameter_server.cc.o"
+  "CMakeFiles/hetps_ps.dir/parameter_server.cc.o.d"
+  "CMakeFiles/hetps_ps.dir/partition.cc.o"
+  "CMakeFiles/hetps_ps.dir/partition.cc.o.d"
+  "CMakeFiles/hetps_ps.dir/server_shard.cc.o"
+  "CMakeFiles/hetps_ps.dir/server_shard.cc.o.d"
+  "CMakeFiles/hetps_ps.dir/worker_client.cc.o"
+  "CMakeFiles/hetps_ps.dir/worker_client.cc.o.d"
+  "libhetps_ps.a"
+  "libhetps_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetps_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

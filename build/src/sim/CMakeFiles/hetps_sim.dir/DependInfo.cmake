@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster_config.cc" "src/sim/CMakeFiles/hetps_sim.dir/cluster_config.cc.o" "gcc" "src/sim/CMakeFiles/hetps_sim.dir/cluster_config.cc.o.d"
+  "/root/repo/src/sim/event_sim.cc" "src/sim/CMakeFiles/hetps_sim.dir/event_sim.cc.o" "gcc" "src/sim/CMakeFiles/hetps_sim.dir/event_sim.cc.o.d"
+  "/root/repo/src/sim/trace_io.cc" "src/sim/CMakeFiles/hetps_sim.dir/trace_io.cc.o" "gcc" "src/sim/CMakeFiles/hetps_sim.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ps/CMakeFiles/hetps_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hetps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hetps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/hetps_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hetps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

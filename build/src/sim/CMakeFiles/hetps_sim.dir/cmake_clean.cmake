@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetps_sim.dir/cluster_config.cc.o"
+  "CMakeFiles/hetps_sim.dir/cluster_config.cc.o.d"
+  "CMakeFiles/hetps_sim.dir/event_sim.cc.o"
+  "CMakeFiles/hetps_sim.dir/event_sim.cc.o.d"
+  "CMakeFiles/hetps_sim.dir/trace_io.cc.o"
+  "CMakeFiles/hetps_sim.dir/trace_io.cc.o.d"
+  "libhetps_sim.a"
+  "libhetps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetps_util.dir/flags.cc.o"
+  "CMakeFiles/hetps_util.dir/flags.cc.o.d"
+  "CMakeFiles/hetps_util.dir/logging.cc.o"
+  "CMakeFiles/hetps_util.dir/logging.cc.o.d"
+  "CMakeFiles/hetps_util.dir/metrics.cc.o"
+  "CMakeFiles/hetps_util.dir/metrics.cc.o.d"
+  "CMakeFiles/hetps_util.dir/rng.cc.o"
+  "CMakeFiles/hetps_util.dir/rng.cc.o.d"
+  "CMakeFiles/hetps_util.dir/stats.cc.o"
+  "CMakeFiles/hetps_util.dir/stats.cc.o.d"
+  "CMakeFiles/hetps_util.dir/status.cc.o"
+  "CMakeFiles/hetps_util.dir/status.cc.o.d"
+  "CMakeFiles/hetps_util.dir/string_util.cc.o"
+  "CMakeFiles/hetps_util.dir/string_util.cc.o.d"
+  "CMakeFiles/hetps_util.dir/thread_pool.cc.o"
+  "CMakeFiles/hetps_util.dir/thread_pool.cc.o.d"
+  "libhetps_util.a"
+  "libhetps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/consolidation_test.cc.o"
+  "CMakeFiles/core_test.dir/core/consolidation_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/dyn_sgd_test.cc.o"
+  "CMakeFiles/core_test.dir/core/dyn_sgd_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/learning_rate_test.cc.o"
+  "CMakeFiles/core_test.dir/core/learning_rate_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/param_block_test.cc.o"
+  "CMakeFiles/core_test.dir/core/param_block_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/regret_bounds_test.cc.o"
+  "CMakeFiles/core_test.dir/core/regret_bounds_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sgd_compute_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sgd_compute_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sync_policy_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sync_policy_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/models/kmeans_test.cc" "tests/CMakeFiles/models_test.dir/models/kmeans_test.cc.o" "gcc" "tests/CMakeFiles/models_test.dir/models/kmeans_test.cc.o.d"
+  "/root/repo/tests/models/lda_test.cc" "tests/CMakeFiles/models_test.dir/models/lda_test.cc.o" "gcc" "tests/CMakeFiles/models_test.dir/models/lda_test.cc.o.d"
+  "/root/repo/tests/models/linear_model_test.cc" "tests/CMakeFiles/models_test.dir/models/linear_model_test.cc.o" "gcc" "tests/CMakeFiles/models_test.dir/models/linear_model_test.cc.o.d"
+  "/root/repo/tests/models/matrix_factorization_test.cc" "tests/CMakeFiles/models_test.dir/models/matrix_factorization_test.cc.o" "gcc" "tests/CMakeFiles/models_test.dir/models/matrix_factorization_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/hetps_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hetps_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/hetps_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hetps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hetps_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/hetps_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hetps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hetps_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/hetps_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hetps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_test.dir/models/kmeans_test.cc.o"
+  "CMakeFiles/models_test.dir/models/kmeans_test.cc.o.d"
+  "CMakeFiles/models_test.dir/models/lda_test.cc.o"
+  "CMakeFiles/models_test.dir/models/lda_test.cc.o.d"
+  "CMakeFiles/models_test.dir/models/linear_model_test.cc.o"
+  "CMakeFiles/models_test.dir/models/linear_model_test.cc.o.d"
+  "CMakeFiles/models_test.dir/models/matrix_factorization_test.cc.o"
+  "CMakeFiles/models_test.dir/models/matrix_factorization_test.cc.o.d"
+  "models_test"
+  "models_test.pdb"
+  "models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_test.dir/ps/checkpoint_test.cc.o"
+  "CMakeFiles/ps_test.dir/ps/checkpoint_test.cc.o.d"
+  "CMakeFiles/ps_test.dir/ps/master_test.cc.o"
+  "CMakeFiles/ps_test.dir/ps/master_test.cc.o.d"
+  "CMakeFiles/ps_test.dir/ps/parameter_server_test.cc.o"
+  "CMakeFiles/ps_test.dir/ps/parameter_server_test.cc.o.d"
+  "CMakeFiles/ps_test.dir/ps/partition_test.cc.o"
+  "CMakeFiles/ps_test.dir/ps/partition_test.cc.o.d"
+  "CMakeFiles/ps_test.dir/ps/server_shard_test.cc.o"
+  "CMakeFiles/ps_test.dir/ps/server_shard_test.cc.o.d"
+  "CMakeFiles/ps_test.dir/ps/versioned_store_test.cc.o"
+  "CMakeFiles/ps_test.dir/ps/versioned_store_test.cc.o.d"
+  "CMakeFiles/ps_test.dir/ps/worker_client_test.cc.o"
+  "CMakeFiles/ps_test.dir/ps/worker_client_test.cc.o.d"
+  "ps_test"
+  "ps_test.pdb"
+  "ps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
