@@ -70,6 +70,15 @@ class ConsolidationRule {
   /// Theorem 3 bounds by cmax - cmin + 1. 0 for single-version rules.
   virtual size_t LiveVersionCount() const { return 0; }
 
+  /// True if consolidating an empty update changes no rule state. The
+  /// PS facade then skips empty partition pieces entirely — pieces
+  /// emptied by the client-side update filter (§5.3) otherwise inflate
+  /// push_count and generate pointless shard-lock traffic. Version-
+  /// tracking rules (DynSGD) must return false: to them an empty piece
+  /// is still the "worker m finished clock c here" marker that the
+  /// stable-version completion bookkeeping (§6) counts.
+  virtual bool EmptyPushIsNoOp() const { return false; }
+
   /// Fresh instance with the same configuration (each partition clones the
   /// prototype rule).
   virtual std::unique_ptr<ConsolidationRule> Clone() const = 0;
@@ -91,6 +100,7 @@ class SspRule final : public ConsolidationRule {
   void Reset(size_t dim, int num_workers) override;
   void OnPush(int worker, int clock, const SparseVector& update,
               ParamBlock* w) override;
+  bool EmptyPushIsNoOp() const override { return true; }
   std::unique_ptr<ConsolidationRule> Clone() const override;
   std::string name() const override { return "SspSGD"; }
 };
@@ -107,6 +117,7 @@ class ConRule final : public ConsolidationRule {
   void Reset(size_t dim, int num_workers) override;
   void OnPush(int worker, int clock, const SparseVector& update,
               ParamBlock* w) override;
+  bool EmptyPushIsNoOp() const override { return true; }
   std::unique_ptr<ConsolidationRule> Clone() const override;
   std::string name() const override { return "ConSGD"; }
 

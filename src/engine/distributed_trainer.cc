@@ -39,6 +39,9 @@ Result<DistributedTrainResult> TrainDistributed(
   }
 
   MessageBus bus;
+  if (options.fault_plan.enabled()) {
+    bus.SetFaultPlan(options.fault_plan);
+  }
   PsService service(&ps, &bus, "ps");
   HETPS_RETURN_NOT_OK(service.status());
 
@@ -52,10 +55,12 @@ Result<DistributedTrainResult> TrainDistributed(
   Status checkpoint_status;            // written only by worker 0
   std::vector<Status> worker_status(
       static_cast<size_t>(options.num_workers));
+  std::vector<int64_t> worker_retries(
+      static_cast<size_t>(options.num_workers), 0);
 
   auto worker_body = [&](int m) {
     Status& my_status = worker_status[static_cast<size_t>(m)];
-    RpcWorkerClient client(m, &bus, "ps");
+    RpcWorkerClient client(m, &bus, "ps", options.rpc_retry);
     LocalWorkerSgd::Options sgd_opts;
     sgd_opts.batch_size = LocalWorkerSgd::BatchSizeForFraction(
         shards[static_cast<size_t>(m)].size(), options.batch_fraction);
@@ -93,6 +98,7 @@ Result<DistributedTrainResult> TrainDistributed(
         if (!my_status.ok()) return;
       }
     }
+    worker_retries[static_cast<size_t>(m)] = client.retry_count();
   };
 
   std::vector<std::thread> threads;
@@ -113,6 +119,8 @@ Result<DistributedTrainResult> TrainDistributed(
   result.final_objective =
       dataset.ObjectiveSample(loss, result.weights, options.l2, n);
   result.messages = bus.delivered_count();
+  result.faults = bus.fault_stats();
+  for (int64_t r : worker_retries) result.rpc_retries += r;
   result.next_clock = end_clock;
   return result;
 }

@@ -10,6 +10,8 @@
 #include "core/sync_policy.h"
 #include "data/dataset.h"
 #include "math/loss.h"
+#include "net/message_bus.h"
+#include "net/ps_service.h"
 #include "util/status.h"
 
 namespace hetps {
@@ -37,6 +39,12 @@ struct DistributedTrainerOptions {
   int resume_clock = 0;
   size_t eval_sample = 2000;
   uint64_t seed = 11;
+  /// Deterministic fault injection on the bus (drops/delays/duplicates).
+  /// With the default retry policy the run converges through a lossy
+  /// bus; see DESIGN.md "Concurrency & fault model".
+  FaultPlan fault_plan = FaultPlan::None();
+  /// Per-RPC timeout/backoff for the worker clients.
+  RpcRetryPolicy rpc_retry = RpcRetryPolicy();
 };
 
 struct DistributedTrainResult {
@@ -44,6 +52,10 @@ struct DistributedTrainResult {
   std::vector<double> objective_per_clock;  // worker 0
   double final_objective = 0.0;
   int64_t messages = 0;
+  /// Faults the bus injected during the run (all zero without a plan).
+  FaultStats faults;
+  /// RPC attempts beyond the first, summed over all worker clients.
+  int64_t rpc_retries = 0;
   /// Clock after the last one executed (pass as resume_clock).
   int next_clock = 0;
 };

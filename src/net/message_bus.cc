@@ -1,17 +1,35 @@
 #include "net/message_bus.h"
 
+#include <utility>
+
 #include "util/logging.h"
 
 namespace hetps {
 
-MessageBus::~MessageBus() {
+MessageBus::~MessageBus() { Shutdown(); }
+
+void MessageBus::Shutdown() {
+  // Serialize concurrent Shutdown callers: the promise-failing phase is
+  // idempotent under mu_, but std::thread::join must run exactly once.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
+    // Fail every in-flight call *before* joining: a caller blocked in
+    // Await (even with an infinite timeout) wakes with a well-formed
+    // error payload instead of hanging or catching broken_promise.
+    for (auto& [id, promise] : pending_) {
+      promise.set_value(
+          BusReply{Status::Aborted("message bus shut down"), {}});
+    }
+    pending_.clear();
     for (auto& [name, ep] : endpoints_) {
       ep->cv.notify_all();
     }
+    idle_cv_.notify_all();
   }
+  if (joined_) return;
+  joined_ = true;
   for (auto& [name, ep] : endpoints_) {
     if (ep->worker.joinable()) ep->worker.join();
   }
@@ -37,61 +55,172 @@ Status MessageBus::RegisterEndpoint(const std::string& name,
   return Status::OK();
 }
 
+void MessageBus::SetFaultPlan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_plan_ = plan;
+  fault_rng_ = Rng(plan.seed);
+  fault_stats_ = FaultStats();
+}
+
+FaultStats MessageBus::fault_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_stats_;
+}
+
+MessageBus::RequestFaults MessageBus::DecideRequestFaultsLocked() {
+  RequestFaults faults;
+  if (!fault_plan_.enabled()) return faults;
+  if (fault_plan_.drop_request_prob > 0.0 &&
+      fault_rng_.NextBernoulli(fault_plan_.drop_request_prob)) {
+    faults.drop = true;
+    ++fault_stats_.dropped_requests;
+    return faults;  // a dropped message cannot also be delayed/duplicated
+  }
+  if (fault_plan_.duplicate_prob > 0.0 &&
+      fault_rng_.NextBernoulli(fault_plan_.duplicate_prob)) {
+    faults.duplicate = true;
+    ++fault_stats_.duplicated_requests;
+  }
+  if (fault_plan_.delay_prob > 0.0 &&
+      fault_rng_.NextBernoulli(fault_plan_.delay_prob)) {
+    const int lo = fault_plan_.delay_min_us;
+    const int hi = fault_plan_.delay_max_us > lo ? fault_plan_.delay_max_us
+                                                 : lo + 1;
+    faults.delay_us =
+        lo + static_cast<int>(fault_rng_.NextUint64(
+                 static_cast<uint64_t>(hi - lo)));
+    ++fault_stats_.delayed_requests;
+  }
+  return faults;
+}
+
+void MessageBus::DeliverRequest(Envelope envelope,
+                                const RequestFaults& faults) {
+  if (faults.drop) return;  // lost in transit; stats already counted
+  if (faults.delay_us > 0) {
+    // Sleep with no lock held: a slow link stalls the sender, not the
+    // whole bus. Delivery order across senders may reorder — intended.
+    std::this_thread::sleep_for(std::chrono::microseconds(faults.delay_us));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return;  // pending entry (if any) was failed by Shutdown
+  auto it = endpoints_.find(envelope.to);
+  if (it == endpoints_.end()) return;
+  const int copies = faults.duplicate ? 2 : 1;
+  for (int i = 0; i < copies; ++i) {
+    it->second->inbox.push_back(envelope);
+    it->second->cv.notify_one();
+  }
+}
+
 Status MessageBus::Send(const std::string& from, const std::string& to,
                         std::vector<uint8_t> payload) {
   Envelope envelope;
   envelope.from = from;
   envelope.to = to;
   envelope.payload = std::move(payload);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = endpoints_.find(to);
-  if (it == endpoints_.end()) {
-    return Status::NotFound("no endpoint '" + to + "'");
+  RequestFaults faults;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("bus is shut down");
+    }
+    if (endpoints_.find(to) == endpoints_.end()) {
+      return Status::NotFound("no endpoint '" + to + "'");
+    }
+    faults = DecideRequestFaultsLocked();
   }
-  it->second->inbox.push_back(std::move(envelope));
-  it->second->cv.notify_one();
+  DeliverRequest(std::move(envelope), faults);
   return Status::OK();
 }
 
-Result<std::future<std::vector<uint8_t>>> MessageBus::Call(
-    const std::string& from, const std::string& to,
-    std::vector<uint8_t> payload) {
+Result<PendingCall> MessageBus::Call(const std::string& from,
+                                     const std::string& to,
+                                     std::vector<uint8_t> payload) {
   Envelope envelope;
   envelope.from = from;
   envelope.to = to;
   envelope.payload = std::move(payload);
-  std::future<std::vector<uint8_t>> future;
+  PendingCall call;
+  RequestFaults faults;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = endpoints_.find(to);
-    if (it == endpoints_.end()) {
+    if (shutdown_) {
+      return Status::FailedPrecondition("bus is shut down");
+    }
+    if (endpoints_.find(to) == endpoints_.end()) {
       return Status::NotFound("no endpoint '" + to + "'");
     }
     envelope.correlation_id = next_correlation_++;
+    call.correlation_id = envelope.correlation_id;
     auto [pending_it, inserted] =
         pending_.emplace(envelope.correlation_id,
-                         std::promise<std::vector<uint8_t>>());
+                         std::promise<BusReply>());
     HETPS_CHECK(inserted) << "correlation id collision";
-    future = pending_it->second.get_future();
-    it->second->inbox.push_back(std::move(envelope));
-    it->second->cv.notify_one();
+    call.reply = pending_it->second.get_future();
+    faults = DecideRequestFaultsLocked();
   }
-  return future;
+  // The pending entry is registered before any fault/delay handling, so
+  // Shutdown racing a delayed delivery still fails the promise and the
+  // delivery no-ops afterwards.
+  DeliverRequest(std::move(envelope), faults);
+  return call;
+}
+
+BusReply MessageBus::Await(PendingCall* call,
+                           std::chrono::microseconds timeout) {
+  if (call == nullptr || !call->reply.valid()) {
+    return BusReply{
+        Status::InvalidArgument("Await on an empty PendingCall"), {}};
+  }
+  if (timeout.count() > 0 &&
+      call->reply.wait_for(timeout) != std::future_status::ready) {
+    // Deadline hit: reap the pending entry so dropped requests/responses
+    // do not leak map entries. If the reply (or Shutdown) resolved the
+    // promise between wait_for and the lock, the entry is gone and the
+    // future below is already ready with that outcome — it wins.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(call->correlation_id);
+    if (it != pending_.end()) {
+      it->second.set_value(BusReply{
+          Status::DeadlineExceeded("no reply within " +
+                                   std::to_string(timeout.count()) +
+                                   "us"),
+          {}});
+      pending_.erase(it);
+    }
+  }
+  return call->reply.get();
+}
+
+BusReply MessageBus::BlockingCall(const std::string& from,
+                                  const std::string& to,
+                                  std::vector<uint8_t> payload,
+                                  std::chrono::microseconds timeout) {
+  Result<PendingCall> call = Call(from, to, std::move(payload));
+  if (!call.ok()) return BusReply{call.status(), {}};
+  return Await(&call.value(), timeout);
 }
 
 void MessageBus::Flush() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] {
+    if (shutdown_) return true;
     for (const auto& [name, ep] : endpoints_) {
       if (!ep->inbox.empty() || ep->busy) return false;
     }
-    return pending_.empty();
+    return true;
   });
 }
 
 int64_t MessageBus::delivered_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return delivered_;
+}
+
+size_t MessageBus::pending_call_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
 }
 
 void MessageBus::ServiceLoop(Endpoint* endpoint) {
@@ -103,7 +232,7 @@ void MessageBus::ServiceLoop(Endpoint* endpoint) {
         return shutdown_ || !endpoint->inbox.empty();
       });
       if (endpoint->inbox.empty()) {
-        if (shutdown_) return;
+        if (shutdown_) return;  // drained; exit
         continue;
       }
       envelope = std::move(endpoint->inbox.front());
@@ -118,9 +247,22 @@ void MessageBus::ServiceLoop(Endpoint* endpoint) {
       if (envelope.correlation_id != 0) {
         auto it = pending_.find(envelope.correlation_id);
         if (it != pending_.end()) {
-          it->second.set_value(std::move(response));
-          pending_.erase(it);
+          // Response-leg fault: the handler ran (side effects applied)
+          // but the reply is lost; the caller's Await reaps the entry at
+          // its deadline and retries — at-least-once delivery.
+          const bool drop_response =
+              fault_plan_.drop_response_prob > 0.0 &&
+              fault_rng_.NextBernoulli(fault_plan_.drop_response_prob);
+          if (drop_response) {
+            ++fault_stats_.dropped_responses;
+          } else {
+            it->second.set_value(
+                BusReply{Status::OK(), std::move(response)});
+            pending_.erase(it);
+          }
         }
+        // else: duplicate request's second reply, a reply racing an
+        // Await deadline, or shutdown already failed it — discard.
       }
       idle_cv_.notify_all();
     }

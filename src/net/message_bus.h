@@ -1,6 +1,7 @@
 #ifndef HETPS_NET_MESSAGE_BUS_H_
 #define HETPS_NET_MESSAGE_BUS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -13,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace hetps {
@@ -30,10 +32,87 @@ struct Envelope {
   std::vector<uint8_t> payload;
 };
 
+/// Deterministic fault-injection policy (§7.3 regime: the production PS
+/// must survive slow, dropped and duplicated messages). All decisions
+/// come from one seeded RNG, so a given FaultPlan produces the same
+/// fault schedule on every run — failures are reproducible test inputs,
+/// not flakes. Probabilities are per message.
+struct FaultPlan {
+  /// Request lost in transit: the handler never runs; a Call times out.
+  double drop_request_prob = 0.0;
+  /// Reply lost on the way back: the handler DID run (side effects
+  /// applied) but the caller times out — the classic at-least-once
+  /// hazard retries must tolerate (see PsService push dedup).
+  double drop_response_prob = 0.0;
+  /// Request delivered twice (e.g. a network-level retransmit).
+  double duplicate_prob = 0.0;
+  /// Request delayed before delivery (slow link / congestion episode).
+  double delay_prob = 0.0;
+  int delay_min_us = 50;
+  int delay_max_us = 500;
+  uint64_t seed = 0x5eedfa17ULL;  // "seed fault"
+
+  bool enabled() const {
+    return drop_request_prob > 0.0 || drop_response_prob > 0.0 ||
+           duplicate_prob > 0.0 || delay_prob > 0.0;
+  }
+
+  static FaultPlan None() { return FaultPlan(); }
+  /// Convenience: drop `p` of requests and `p` of responses.
+  static FaultPlan DropEverywhere(double p, uint64_t seed) {
+    FaultPlan plan;
+    plan.drop_request_prob = p;
+    plan.drop_response_prob = p;
+    plan.seed = seed;
+    return plan;
+  }
+};
+
+/// Injected-fault counters (monitoring + test assertions).
+struct FaultStats {
+  int64_t dropped_requests = 0;
+  int64_t dropped_responses = 0;
+  int64_t duplicated_requests = 0;
+  int64_t delayed_requests = 0;
+  int64_t total() const {
+    return dropped_requests + dropped_responses + duplicated_requests +
+           delayed_requests;
+  }
+};
+
+/// Outcome of a Call. Exactly one of: OK with the handler's reply bytes,
+/// DeadlineExceeded (no reply within the Await timeout — retryable), or
+/// Aborted (the bus shut down — not retryable). Futures always resolve
+/// to one of these; the bus never abandons a promise (no
+/// std::future_error / broken_promise escapes to callers).
+struct BusReply {
+  Status status;
+  std::vector<uint8_t> payload;
+  bool ok() const { return status.ok(); }
+};
+
+/// An in-flight Call: the reply future plus the correlation id Await
+/// needs to reap the pending-call entry on timeout. Move-only.
+struct PendingCall {
+  uint64_t correlation_id = 0;
+  std::future<BusReply> reply;
+};
+
 /// In-process message bus with named endpoints. Each endpoint owns a
 /// FIFO inbox drained by its own service thread (the "server loop"), so
 /// handlers of one endpoint run strictly sequentially — exactly the
 /// per-partition serialization the PS needs.
+///
+/// ## Concurrency & shutdown contract
+///  - All bus state is guarded by `mu_`; handler execution happens with
+///    no bus lock held (handlers may call back into the bus).
+///  - Shutdown() (also run by the destructor) resolves every pending
+///    call promise with Status::Aborted *before* joining service
+///    threads: a thread blocked in Await never hangs and never sees
+///    std::future_error(broken_promise).
+///  - Faults are injected on the sender path and on the response path
+///    under the active FaultPlan; a dropped request/response leaves the
+///    pending entry in place, and Await reaps it at the deadline.
 class MessageBus {
  public:
   /// Handler for one-way messages and requests. For requests
@@ -51,21 +130,47 @@ class MessageBus {
   /// Registers an endpoint and starts its service thread.
   Status RegisterEndpoint(const std::string& name, Handler handler);
 
-  /// Fire-and-forget delivery. Fails if the target does not exist.
+  /// Installs (or replaces) the fault-injection plan and reseeds the
+  /// fault RNG; resets fault stats. Pass FaultPlan::None() to disable.
+  void SetFaultPlan(const FaultPlan& plan);
+  FaultStats fault_stats() const;
+
+  /// Fire-and-forget delivery (subject to request-leg faults). Fails if
+  /// the target does not exist or the bus is shut down.
   Status Send(const std::string& from, const std::string& to,
               std::vector<uint8_t> payload);
 
-  /// Request/response: delivers to `to` and returns a future for the
-  /// handler's reply bytes.
-  Result<std::future<std::vector<uint8_t>>> Call(
-      const std::string& from, const std::string& to,
-      std::vector<uint8_t> payload);
+  /// Request/response: delivers to `to` and returns the in-flight call.
+  /// The reply future ALWAYS resolves (reply, deadline, or shutdown) —
+  /// see BusReply. Blocks for the injected delay, if any.
+  Result<PendingCall> Call(const std::string& from, const std::string& to,
+                           std::vector<uint8_t> payload);
 
-  /// Blocks until all inboxes are empty and all handlers idle.
+  /// Waits up to `timeout` for the reply (<= 0 waits forever). On
+  /// deadline, reaps the pending entry (so dropped messages do not leak)
+  /// and returns DeadlineExceeded; a reply racing the deadline wins.
+  BusReply Await(PendingCall* call, std::chrono::microseconds timeout);
+
+  /// Call + Await in one step.
+  BusReply BlockingCall(const std::string& from, const std::string& to,
+                        std::vector<uint8_t> payload,
+                        std::chrono::microseconds timeout);
+
+  /// Fails all pending calls with Aborted, stops accepting traffic, and
+  /// joins every service thread (after each drains its inbox).
+  /// Idempotent and safe to race from multiple threads.
+  void Shutdown();
+
+  /// Blocks until all inboxes are empty and all handlers idle. (Does not
+  /// wait for pending calls: with fault injection a dropped request's
+  /// entry is only reaped by Await/Shutdown.)
   void Flush();
 
-  /// Messages delivered so far (both kinds).
+  /// Messages delivered so far (both kinds; duplicates count each time).
   int64_t delivered_count() const;
+
+  /// In-flight (unanswered, unreaped) calls — should drain to 0.
+  size_t pending_call_count() const;
 
  private:
   struct Endpoint {
@@ -76,16 +181,35 @@ class MessageBus {
     bool busy = false;
   };
 
+  /// Sender-side fault decision for one request (requires mu_).
+  struct RequestFaults {
+    bool drop = false;
+    bool duplicate = false;
+    int delay_us = 0;
+  };
+  RequestFaults DecideRequestFaultsLocked();
+
+  /// Applies delay/duplicate/drop, then enqueues. Never holds mu_ while
+  /// sleeping. No-op (beyond stats) for dropped requests and after
+  /// shutdown.
+  void DeliverRequest(Envelope envelope, const RequestFaults& faults);
+
   void ServiceLoop(Endpoint* endpoint);
-  void Dispatch(Envelope envelope);
 
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;
   bool shutdown_ = false;
   uint64_t next_correlation_ = 1;
   int64_t delivered_ = 0;
+  FaultPlan fault_plan_;
+  FaultStats fault_stats_;
+  Rng fault_rng_{fault_plan_.seed};
   std::map<std::string, std::unique_ptr<Endpoint>> endpoints_;
-  std::map<uint64_t, std::promise<std::vector<uint8_t>>> pending_;
+  std::map<uint64_t, std::promise<BusReply>> pending_;
+
+  // Serializes Shutdown() callers (join must happen exactly once).
+  std::mutex shutdown_mu_;
+  bool joined_ = false;
 };
 
 }  // namespace hetps

@@ -1,5 +1,6 @@
 #include "net/ps_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -29,8 +30,13 @@ Status ConsumeStatus(ByteReader* reader) {
 }  // namespace
 
 PsService::PsService(ParameterServer* ps, MessageBus* bus,
-                     std::string endpoint_name)
-    : ps_(ps), endpoint_name_(std::move(endpoint_name)) {
+                     std::string endpoint_name,
+                     const PsServiceOptions& options)
+    : ps_(ps),
+      endpoint_name_(std::move(endpoint_name)),
+      options_(options),
+      last_push_clock_(static_cast<size_t>(ps ? ps->num_workers() : 0),
+                       -1) {
   HETPS_CHECK(ps != nullptr) << "null ParameterServer";
   HETPS_CHECK(bus != nullptr) << "null MessageBus";
   registration_ = bus->RegisterEndpoint(
@@ -102,7 +108,19 @@ std::vector<uint8_t> PsService::HandlePush(ByteReader* reader) {
     st = Status::InvalidArgument("update index out of range");
   }
   if (!st.ok()) return ErrorResponse(st);
+  // At-least-once delivery tolerance: a retried push (lost response or
+  // duplicated request) must not be applied twice. Workers push strictly
+  // increasing clocks, so clock <= last-applied identifies a duplicate;
+  // acknowledge it idempotently.
+  if (options_.dedup_pushes &&
+      clock <= last_push_clock_[static_cast<size_t>(worker)]) {
+    metrics_.counter("rpc.push_duplicates")->Increment();
+    ByteWriter w;
+    w.WriteU8(0);
+    return w.TakeBuffer();
+  }
   ps_->Push(static_cast<int>(worker), static_cast<int>(clock), update);
+  last_push_clock_[static_cast<size_t>(worker)] = clock;
   ByteWriter w;
   w.WriteU8(0);
   return w.TakeBuffer();
@@ -171,20 +189,43 @@ std::vector<uint8_t> PsService::HandleStableVersion(ByteReader* reader) {
 }
 
 RpcWorkerClient::RpcWorkerClient(int worker_id, MessageBus* bus,
-                                 std::string ps_endpoint)
+                                 std::string ps_endpoint,
+                                 const RpcRetryPolicy& retry)
     : worker_id_(worker_id),
       bus_(bus),
       ps_endpoint_(std::move(ps_endpoint)),
-      my_endpoint_("worker-" + std::to_string(worker_id)) {
+      my_endpoint_("worker-" + std::to_string(worker_id)),
+      retry_(retry) {
   HETPS_CHECK(bus != nullptr) << "null MessageBus";
+  HETPS_CHECK(retry_.max_attempts >= 1) << "need at least one attempt";
 }
 
 Result<std::vector<uint8_t>> RpcWorkerClient::Roundtrip(
     std::vector<uint8_t> request) {
-  auto future =
-      bus_->Call(my_endpoint_, ps_endpoint_, std::move(request));
-  if (!future.ok()) return future.status();
-  return future.value().get();
+  std::chrono::microseconds backoff = retry_.initial_backoff;
+  Status last = Status::Internal("rpc never attempted");
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff between attempts: lets a congested service
+      // loop drain instead of hammering it with retransmits.
+      std::this_thread::sleep_for(backoff);
+      const auto next = static_cast<int64_t>(
+          static_cast<double>(backoff.count()) *
+          retry_.backoff_multiplier);
+      backoff = std::min(std::chrono::microseconds(next),
+                         retry_.max_backoff);
+      ++retry_count_;
+    }
+    BusReply reply =
+        bus_->BlockingCall(my_endpoint_, ps_endpoint_, request,
+                           retry_.timeout);
+    if (reply.ok()) return std::move(reply.payload);
+    last = reply.status;
+    // Only a missed deadline (lost request or lost reply) is retryable;
+    // shutdown, unknown endpoint, etc. will not improve with retries.
+    if (!last.IsDeadlineExceeded()) return last;
+  }
+  return last;
 }
 
 Status RpcWorkerClient::Push(int clock, const SparseVector& update) {

@@ -1,6 +1,8 @@
 #ifndef HETPS_NET_PS_SERVICE_H_
 #define HETPS_NET_PS_SERVICE_H_
 
+#include <chrono>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -23,18 +25,31 @@ enum class PsOpCode : uint8_t {
   kStableVersion = 5,
 };
 
+/// Service-side behavior knobs.
+struct PsServiceOptions {
+  /// Exactly-once push application under at-least-once delivery: the
+  /// worker protocol pushes strictly increasing clocks, so a push whose
+  /// clock is <= the last clock applied for that worker is a retry
+  /// duplicate (its response was dropped, or the request was
+  /// retransmitted) and is acknowledged without re-applying. Disable
+  /// only for non-standard clients that intentionally re-push a clock.
+  bool dedup_pushes = true;
+};
+
 /// Serves a ParameterServer over a MessageBus endpoint — the prototype's
 /// "server" role with a real serialization boundary: every push and pull
 /// crosses the bus as bytes (Appendix D's Netty transport, in process).
 ///
 /// One service instance handles all partitions of the wrapped PS; the
-/// bus endpoint's service loop serializes request handling.
+/// bus endpoint's service loop serializes request handling (so the
+/// dedup table and metrics need no extra locking).
 class PsService {
  public:
   /// Registers endpoint `endpoint_name` on `bus`. Both pointers must
   /// outlive the service.
   PsService(ParameterServer* ps, MessageBus* bus,
-            std::string endpoint_name);
+            std::string endpoint_name,
+            const PsServiceOptions& options = PsServiceOptions());
 
   Status status() const { return registration_; }
   const std::string& endpoint() const { return endpoint_name_; }
@@ -53,8 +68,37 @@ class PsService {
 
   ParameterServer* ps_;
   std::string endpoint_name_;
+  PsServiceOptions options_;
   Status registration_;
   MetricsRegistry metrics_;
+  /// Last clock applied per worker (-1 = none); only touched by the
+  /// single service-loop thread.
+  std::vector<int64_t> last_push_clock_;
+};
+
+/// Client-side timeout/retry policy: every RPC waits at most `timeout`
+/// per attempt and retries with exponential backoff on
+/// DeadlineExceeded (lost request or lost reply). Non-deadline errors
+/// (bad request, unknown endpoint, bus shutdown) are returned
+/// immediately — retrying cannot fix those. Push retries are safe
+/// because PsService dedups by (worker, clock).
+struct RpcRetryPolicy {
+  /// Per-attempt reply deadline; <= 0 waits forever (no retries fire).
+  std::chrono::microseconds timeout{std::chrono::milliseconds(1000)};
+  /// Total attempts including the first (>= 1).
+  int max_attempts = 6;
+  /// Backoff before retry k (1-based) is
+  /// min(initial_backoff * multiplier^(k-1), max_backoff).
+  std::chrono::microseconds initial_backoff{200};
+  double backoff_multiplier = 2.0;
+  std::chrono::microseconds max_backoff{std::chrono::milliseconds(20)};
+
+  static RpcRetryPolicy NoRetry() {
+    RpcRetryPolicy p;
+    p.timeout = std::chrono::microseconds(0);  // wait forever
+    p.max_attempts = 1;
+    return p;
+  }
 };
 
 /// Worker-side stub issuing PS operations through the bus. One instance
@@ -65,10 +109,13 @@ class PsService {
 /// the cluster), with a small sleep between probes.
 class RpcWorkerClient {
  public:
-  RpcWorkerClient(int worker_id, MessageBus* bus,
-                  std::string ps_endpoint);
+  RpcWorkerClient(int worker_id, MessageBus* bus, std::string ps_endpoint,
+                  const RpcRetryPolicy& retry = RpcRetryPolicy());
 
   int worker_id() const { return worker_id_; }
+
+  /// Retries performed so far (attempts beyond the first).
+  int64_t retry_count() const { return retry_count_; }
 
   Status Push(int clock, const SparseVector& update);
 
@@ -94,6 +141,8 @@ class RpcWorkerClient {
   MessageBus* bus_;
   std::string ps_endpoint_;
   std::string my_endpoint_;
+  RpcRetryPolicy retry_;
+  int64_t retry_count_ = 0;
 };
 
 }  // namespace hetps

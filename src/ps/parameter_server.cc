@@ -16,6 +16,7 @@ ParameterServer::ParameterServer(int64_t dim, int num_workers,
                                        options.num_servers,
                                        options.partitions_per_server)),
       master_(partitioner_.num_partitions(), num_workers),
+      empty_push_is_noop_(rule_proto.EmptyPushIsNoOp()),
       clock_table_(num_workers) {
   HETPS_CHECK(num_workers > 0) << "need at least one worker";
   const int parts = partitioner_.num_partitions();
@@ -37,10 +38,20 @@ void ParameterServer::Push(int worker, int clock,
           : update;
   const std::vector<SparseVector> pieces =
       partitioner_.SplitByPartition(filtered);
+  // For no-op-on-empty rules (SSP/Con accumulate), empty pieces carry no
+  // information; consolidating them inflates push_count and generates
+  // pointless shard-lock traffic (common when update_filter_epsilon
+  // empties a partition's slice), so they are skipped. Version-tracking
+  // rules (DynSGD) still receive every piece — an empty piece is their
+  // "worker finished this clock here" completion marker (§6). Either
+  // way the clock advances exactly once per whole-update push below,
+  // even if filtering emptied every piece.
   for (int p = 0; p < partitioner_.num_partitions(); ++p) {
-    const bool last = (p + 1 == partitioner_.num_partitions());
-    PushPiece(p, worker, clock, pieces[static_cast<size_t>(p)], last);
+    const SparseVector& piece = pieces[static_cast<size_t>(p)];
+    if (piece.empty() && empty_push_is_noop_) continue;
+    PushPiece(p, worker, clock, piece, /*last_piece=*/false);
   }
+  AdvanceClock(worker, clock);
 }
 
 void ParameterServer::PushPiece(int partition, int worker, int clock,
@@ -53,14 +64,18 @@ void ParameterServer::PushPiece(int partition, int worker, int clock,
     shard->Push(worker, clock, local_piece);
     master_.ReportVersion(partition, shard->CompletedVersionCount());
   }
-  if (last_piece) {
-    bool advanced = false;
-    {
-      std::lock_guard<std::mutex> lock(clock_mu_);
-      advanced = clock_table_.OnPush(worker, clock);
-    }
-    if (advanced) clock_cv_.notify_all();
+  // Lock order: the shard mutex (L2) is released before AdvanceClock
+  // takes clock_mu_ (L1); the two are never nested here.
+  if (last_piece) AdvanceClock(worker, clock);
+}
+
+void ParameterServer::AdvanceClock(int worker, int clock) {
+  bool advanced = false;
+  {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    advanced = clock_table_.OnPush(worker, clock);
   }
+  if (advanced) clock_cv_.notify_all();
 }
 
 bool ParameterServer::CanAdvance(int worker, int next_clock) const {
@@ -106,14 +121,19 @@ std::vector<double> ParameterServer::AssemblePull(int worker,
 
 std::vector<double> ParameterServer::PullPiece(int partition, int worker,
                                                int64_t version) {
-  std::lock_guard<std::mutex> lock(
-      *shard_mu_[static_cast<size_t>(partition)]);
-  ServerShard* shard = shards_[static_cast<size_t>(partition)].get();
+  // Lock order (L1 before L2): snapshot cmax under clock_mu_ *before*
+  // taking the shard mutex. Taking clock_mu_ inside the shard critical
+  // section inverted the SaveCheckpoint order (clock -> shard) and was a
+  // real ABBA deadlock under concurrent pull + checkpoint; regression
+  // test: PsConcurrencyTest.PullsRaceCheckpointsWithoutDeadlock.
   int cmax_now;
   {
     std::lock_guard<std::mutex> clock_lock(clock_mu_);
     cmax_now = clock_table_.cmax();
   }
+  std::lock_guard<std::mutex> lock(
+      *shard_mu_[static_cast<size_t>(partition)]);
+  ServerShard* shard = shards_[static_cast<size_t>(partition)].get();
   if (version >= 0) {
     return shard->PullAtVersion(worker, cmax_now, version);
   }
@@ -193,6 +213,11 @@ size_t ParameterServer::AuxMemoryBytes() const {
 }
 
 Status ParameterServer::SaveCheckpoint(std::ostream& os) const {
+  // Lock order: clock_mu_ (L1) first, then each shard mutex (L2) in
+  // increasing partition index — the documented discipline. Holding L1
+  // across the whole write keeps the clock section consistent with the
+  // shard sections (pushes block on their final clock advance until the
+  // checkpoint finishes).
   std::lock_guard<std::mutex> clock_lock(clock_mu_);
   os << "hetps-checkpoint v1\n";
   os << std::setprecision(17);
@@ -253,12 +278,24 @@ Status ParameterServer::LoadCheckpoint(std::istream& is) {
   for (auto& v : versions) {
     if (!(is >> v)) return Status::IOError("truncated master versions");
   }
-  {
-    std::lock_guard<std::mutex> clock_lock(clock_mu_);
-    clock_table_.Restore(clocks);
+  // --- Stage ------------------------------------------------------------
+  // Decode every shard section into shadow ServerShards before touching
+  // any live state. A truncated or corrupt checkpoint therefore fails
+  // cleanly with the PS exactly as it was — never clocks-restored but
+  // shards-half-loaded.
+  const int parts = partitioner_.num_partitions();
+  std::vector<std::unique_ptr<ServerShard>> staged;
+  staged.reserve(static_cast<size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    // Clone the live shard's rule as the prototype for the staged shard
+    // (LoadState below fully overwrites the cloned state). The brief L2
+    // lock makes the clone race-free against concurrent pushes.
+    std::lock_guard<std::mutex> lock(*shard_mu_[static_cast<size_t>(p)]);
+    staged.push_back(std::make_unique<ServerShard>(
+        p, static_cast<size_t>(partitioner_.PartitionDim(p)),
+        shards_[static_cast<size_t>(p)]->rule(), num_workers_));
   }
-  master_.RestoreVersions(versions);
-  for (int p = 0; p < partitioner_.num_partitions(); ++p) {
+  for (int p = 0; p < parts; ++p) {
     int shard_id = 0;
     int sparse_layout = 0;
     int64_t push_count = 0;
@@ -268,8 +305,7 @@ Status ParameterServer::LoadCheckpoint(std::istream& is) {
       return Status::IOError("bad shard header for partition " +
                              std::to_string(p));
     }
-    std::lock_guard<std::mutex> lock(*shard_mu_[static_cast<size_t>(p)]);
-    ServerShard* shard = shards_[static_cast<size_t>(p)].get();
+    ServerShard* shard = staged[static_cast<size_t>(p)].get();
     ParamBlock* param = shard->mutable_param();
     param->ForceLayout(ParamBlock::Layout::kDense);
     param->Clear();
@@ -288,6 +324,24 @@ Status ParameterServer::LoadCheckpoint(std::istream& is) {
     }
     shard->set_push_count(push_count);
     HETPS_RETURN_NOT_OK(shard->mutable_rule()->LoadState(is));
+  }
+  // --- Commit -----------------------------------------------------------
+  // Everything decoded. Swap the staged state in under the documented
+  // lock order: clock_mu_ (L1) first, then shard mutexes (L2) in
+  // increasing index. Holding L1 across the swap blocks every clock
+  // reader/advancer and every PullPiece (which reads cmax first), so the
+  // restored clock table becomes visible together with the restored
+  // shards on all pull paths.
+  {
+    std::lock_guard<std::mutex> clock_lock(clock_mu_);
+    clock_table_.Restore(clocks);
+    master_.RestoreVersions(versions);
+    for (int p = 0; p < parts; ++p) {
+      std::lock_guard<std::mutex> lock(
+          *shard_mu_[static_cast<size_t>(p)]);
+      shards_[static_cast<size_t>(p)] =
+          std::move(staged[static_cast<size_t>(p)]);
+    }
   }
   clock_cv_.notify_all();
   return Status::OK();

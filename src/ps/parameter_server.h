@@ -38,6 +38,23 @@ struct PsOptions {
 /// The threaded runtime calls Push/PullFull/WaitUntilCanAdvance directly.
 /// The event simulator drives shards piecewise (PushPiece / PullAssemble)
 /// so it can model per-partition message timing.
+///
+/// ## Lock-ordering discipline (enforced; see DESIGN.md §"Concurrency &
+/// fault model")
+///
+/// The facade owns two lock levels plus leaf locks:
+///
+///   L1. `clock_mu_`      — clock table (cmin/cmax, SSP admission)
+///   L2. `shard_mu_[p]`   — one per shard, ordered by partition index
+///   leaf. `Master::mu_`  — internal to Master, never held across calls
+///
+/// A thread may only acquire locks downward: `clock_mu_` strictly before
+/// any `shard_mu_[p]`, and shard mutexes only in increasing partition
+/// order. Acquiring `clock_mu_` while holding any shard mutex is
+/// forbidden — that inversion was a real ABBA deadlock between
+/// SaveCheckpoint (clock→shard) and PullPiece (shard→clock), fixed by
+/// reading cmax *before* taking the shard lock. Code that needs clock
+/// state inside a shard critical section must snapshot it first.
 class ParameterServer {
  public:
   ParameterServer(int64_t dim, int num_workers,
@@ -110,6 +127,11 @@ class ParameterServer {
 
   /// Checkpointing (Appendix D failure recovery); see ps/checkpoint.h for
   /// the file-level helpers. Both ends must use the same configuration.
+  ///
+  /// LoadCheckpoint is transactional: the whole checkpoint is parsed and
+  /// staged into shadow state first and committed only if every section
+  /// decoded cleanly. On any error the live PS is left exactly as it was
+  /// (a truncated or corrupt file can never half-restore the server).
   Status SaveCheckpoint(std::ostream& os) const;
   Status LoadCheckpoint(std::istream& is);
 
@@ -118,16 +140,27 @@ class ParameterServer {
  private:
   std::vector<double> AssemblePull(int worker, int64_t version);
 
+  /// Records `worker`'s push of `clock` in the clock table and wakes
+  /// blocked SSP waiters when cmin advances. Takes L1 only; must be
+  /// called with no shard mutex held.
+  void AdvanceClock(int worker, int clock);
+
   const int num_workers_;
   PsOptions options_;
   Partitioner partitioner_;
   Master master_;
 
+  // Whether the consolidation rule treats empty pushes as no-ops (lets
+  // Push skip filter-emptied pieces). Immutable after construction.
+  bool empty_push_is_noop_ = false;
+
+  // L1 — always acquired before any shard_mu_ (never after).
   mutable std::mutex clock_mu_;
   std::condition_variable clock_cv_;
   ClockTable clock_table_;
 
-  // One mutex per shard; shards_[p] serves partition p.
+  // L2 — one mutex per shard; shards_[p] serves partition p. Multiple
+  // shard mutexes are only ever held together in increasing index order.
   std::vector<std::unique_ptr<ServerShard>> shards_;
   mutable std::vector<std::unique_ptr<std::mutex>> shard_mu_;
 };

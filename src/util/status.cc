@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kNotSupported:
       return "NotSupported";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

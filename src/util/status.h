@@ -21,6 +21,9 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kNotSupported,
+  /// A call exceeded its deadline (retryable; see net/message_bus.h).
+  /// Appended last so serialized status codes stay stable.
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -68,6 +71,9 @@ class Status {
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -82,6 +88,9 @@ class Status {
     return code_ == StatusCode::kFailedPrecondition;
   }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -12,22 +12,30 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
+  if (joined_) return;
+  joined_ = true;
   for (auto& t : threads_) t.join();
+  // Workers drained the queue before exiting; wake any Wait() callers.
+  idle_cv_.notify_all();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    HETPS_CHECK(!shutdown_) << "Submit after shutdown";
+    if (shutdown_) return false;  // refused, not fatal
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {

@@ -15,6 +15,11 @@ namespace hetps {
 ///
 /// Used by the threaded runtime for background server work (e.g. partition
 /// version reporting) and by tests that need controlled concurrency.
+///
+/// Shutdown contract: Shutdown() (also run by the destructor) drains the
+/// queue — every task already accepted runs to completion — then joins
+/// the workers. Submit after shutdown is refused (returns false) rather
+/// than aborting the process, so racing producers degrade gracefully.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -24,10 +29,15 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `task`; returns immediately. Tasks must not throw.
-  void Submit(std::function<void()> task);
+  /// Returns false (task discarded) if the pool is shut down.
+  bool Submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and all workers are idle.
   void Wait();
+
+  /// Stops accepting tasks, runs everything already queued, joins all
+  /// workers. Idempotent; safe to race from multiple threads.
+  void Shutdown();
 
   size_t num_threads() const { return threads_.size(); }
 
@@ -41,6 +51,10 @@ class ThreadPool {
   size_t active_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> threads_;
+
+  // Serializes Shutdown() callers (join must happen exactly once).
+  std::mutex shutdown_mu_;
+  bool joined_ = false;
 };
 
 }  // namespace hetps

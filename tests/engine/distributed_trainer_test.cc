@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "core/consolidation.h"
@@ -97,6 +98,36 @@ TEST(DistributedTrainerTest, ValidatesOptions) {
   EXPECT_FALSE(
       TrainDistributed(Dataset(), loss, sched, rule, FastOptions())
           .ok());
+}
+
+TEST(DistributedTrainerTest, ConvergesOnALossyBus) {
+  // End-to-end robustness check: a seeded fault plan drops >= 10% of
+  // messages (both request and response legs) and injects delays and
+  // duplicates, yet retry/backoff plus server-side push dedup deliver
+  // the same convergence quality as the clean run.
+  const Dataset d = DistData();
+  LogisticLoss loss;
+  FixedRate sched(0.5);
+  DynSgdRule rule;
+  DistributedTrainerOptions opts = FastOptions();
+  opts.fault_plan.drop_request_prob = 0.10;
+  opts.fault_plan.drop_response_prob = 0.05;
+  opts.fault_plan.duplicate_prob = 0.05;
+  opts.fault_plan.delay_prob = 0.10;
+  opts.fault_plan.seed = 77;
+  opts.rpc_retry.timeout = std::chrono::milliseconds(10);
+  opts.rpc_retry.max_attempts = 40;
+  opts.rpc_retry.initial_backoff = std::chrono::microseconds(100);
+
+  auto result = TrainDistributed(d, loss, sched, rule, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Same tolerance as the no-fault run above.
+  EXPECT_LT(result.value().final_objective, 0.5);
+  EXPECT_EQ(result.value().next_clock, 10);
+  // The plan actually fired and the clients actually retried.
+  EXPECT_GT(result.value().faults.dropped_requests, 0);
+  EXPECT_GT(result.value().faults.total(), 0);
+  EXPECT_GT(result.value().rpc_retries, 0);
 }
 
 TEST(DistributedTrainerTest, MatchesSharedMemoryRuntimeQuality) {

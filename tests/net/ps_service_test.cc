@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "core/consolidation.h"
@@ -13,6 +14,8 @@
 
 namespace hetps {
 namespace {
+
+constexpr std::chrono::microseconds kForever{0};
 
 struct RpcHarness {
   explicit RpcHarness(int workers, int64_t dim,
@@ -79,10 +82,9 @@ TEST(PsServiceTest, ServerRejectsMalformedRequests) {
   {
     ByteWriter w;
     w.WriteU8(250);
-    auto f = h.bus.Call("c", "ps", w.TakeBuffer());
-    ASSERT_TRUE(f.ok());
-    const std::vector<uint8_t> response = f.value().get();
-    ByteReader r(response);
+    BusReply reply = h.bus.BlockingCall("c", "ps", w.TakeBuffer(), kForever);
+    ASSERT_TRUE(reply.ok());
+    ByteReader r(reply.payload);
     uint8_t code = 0;
     ASSERT_TRUE(r.ReadU8(&code).ok());
     EXPECT_NE(code, 0);
@@ -92,10 +94,9 @@ TEST(PsServiceTest, ServerRejectsMalformedRequests) {
     ByteWriter w;
     w.WriteU8(static_cast<uint8_t>(PsOpCode::kPush));
     w.WriteI64(0);
-    auto f = h.bus.Call("c", "ps", w.TakeBuffer());
-    ASSERT_TRUE(f.ok());
-    const std::vector<uint8_t> response = f.value().get();
-    ByteReader r(response);
+    BusReply reply = h.bus.BlockingCall("c", "ps", w.TakeBuffer(), kForever);
+    ASSERT_TRUE(reply.ok());
+    ByteReader r(reply.payload);
     uint8_t code = 0;
     ASSERT_TRUE(r.ReadU8(&code).ok());
     EXPECT_NE(code, 0);
@@ -130,6 +131,69 @@ TEST(PsServiceTest, ServiceMetricsCountRequests) {
   EXPECT_NE(report.find("rpc.pull 1"), std::string::npos);
   EXPECT_NE(report.find("rpc.errors 1"), std::string::npos);
   EXPECT_NE(report.find("ps.param_bytes"), std::string::npos);
+}
+
+TEST(PsServiceTest, RetriesRecoverFromLostRequests) {
+  // A lossy bus drops ~30% of requests; the client's timeout+backoff
+  // retry loop must still complete every operation.
+  RpcHarness h(1, 8);
+  FaultPlan plan;
+  plan.drop_request_prob = 0.3;
+  plan.seed = 11;
+  h.bus.SetFaultPlan(plan);
+
+  RpcRetryPolicy retry;
+  retry.timeout = std::chrono::milliseconds(10);
+  retry.max_attempts = 30;
+  retry.initial_backoff = std::chrono::microseconds(100);
+  RpcWorkerClient client(0, &h.bus, "ps", retry);
+
+  for (int c = 0; c < 12; ++c) {
+    ASSERT_TRUE(client.Push(c, SparseVector({2}, {1.0})).ok());
+  }
+  std::vector<double> replica;
+  ASSERT_TRUE(client.Pull(&replica, nullptr).ok());
+  ASSERT_EQ(replica.size(), 8u);
+  EXPECT_GT(h.bus.fault_stats().dropped_requests, 0);
+  EXPECT_GT(client.retry_count(), 0);
+}
+
+TEST(PsServiceTest, DroppedResponsesDontDoubleApplyPushes) {
+  // A dropped *response* means the server already applied the push; the
+  // client times out and retransmits. The (worker, clock) dedup table
+  // must acknowledge the duplicate without re-applying, so the SSP sum
+  // stays exact — at-least-once delivery, exactly-once application.
+  SspRule rule;
+  PsOptions opts;
+  opts.num_servers = 1;
+  opts.sync = SyncPolicy::Asp();
+  ParameterServer ps(4, 1, rule, opts);
+  MessageBus bus;
+  PsService service(&ps, &bus, "ps");
+  ASSERT_TRUE(service.status().ok());
+
+  FaultPlan plan;
+  plan.drop_response_prob = 0.4;
+  plan.duplicate_prob = 0.2;  // duplicated requests must also dedup
+  plan.seed = 23;
+  bus.SetFaultPlan(plan);
+
+  RpcRetryPolicy retry;
+  retry.timeout = std::chrono::milliseconds(10);
+  retry.max_attempts = 30;
+  retry.initial_backoff = std::chrono::microseconds(100);
+  RpcWorkerClient client(0, &bus, "ps", retry);
+
+  const int kPushes = 10;
+  for (int c = 0; c < kPushes; ++c) {
+    ASSERT_TRUE(client.Push(c, SparseVector({0}, {1.0})).ok());
+  }
+  bus.Flush();
+  const std::vector<double> snapshot = ps.Snapshot();
+  EXPECT_DOUBLE_EQ(snapshot[0], static_cast<double>(kPushes));
+  EXPECT_EQ(ps.TotalPushes(), kPushes);
+  EXPECT_GT(bus.fault_stats().dropped_responses, 0);
+  EXPECT_GT(client.retry_count(), 0);
 }
 
 TEST(PsServiceTest, DistributedSgdTrainsOverRpc) {

@@ -113,6 +113,46 @@ TEST(CheckpointTest, RejectsGarbage) {
   EXPECT_FALSE(ps.LoadCheckpoint(truncated).ok());
 }
 
+TEST(CheckpointTest, FailedRestoreLeavesServerUntouched) {
+  // LoadCheckpoint is transactional: any decode failure must leave the
+  // live server exactly as it was — a truncated file can never
+  // half-restore. Truncate a valid checkpoint at every prefix length
+  // that still fails to parse and verify state is bit-identical.
+  DynSgdRule rule;
+  ParameterServer source(16, 2, rule, Options());
+  PushTraffic(&source, 4);
+  std::stringstream buffer;
+  ASSERT_TRUE(source.SaveCheckpoint(buffer).ok());
+  const std::string full = buffer.str();
+
+  ParameterServer target(16, 2, rule, Options());
+  PushTraffic(&target, 2);  // distinct, nontrivial live state
+  const std::vector<double> before = target.Snapshot();
+  const int cmin_before = target.cmin();
+  const int cmax_before = target.cmax();
+  const int64_t pushes_before = target.TotalPushes();
+  const int64_t stable_before = target.StableVersion();
+
+  // A handful of truncation points spread across the file, including
+  // mid-shard ones.
+  for (size_t frac = 1; frac <= 9; ++frac) {
+    const size_t len = full.size() * frac / 10;
+    std::stringstream truncated(full.substr(0, len));
+    const Status s = target.LoadCheckpoint(truncated);
+    ASSERT_FALSE(s.ok()) << "prefix of " << len << " bytes parsed?";
+    EXPECT_EQ(target.Snapshot(), before) << "len=" << len;
+    EXPECT_EQ(target.cmin(), cmin_before);
+    EXPECT_EQ(target.cmax(), cmax_before);
+    EXPECT_EQ(target.TotalPushes(), pushes_before);
+    EXPECT_EQ(target.StableVersion(), stable_before);
+  }
+
+  // After all the failed attempts, a good checkpoint still restores.
+  std::stringstream good(full);
+  ASSERT_TRUE(target.LoadCheckpoint(good).ok());
+  EXPECT_EQ(target.Snapshot(), source.Snapshot());
+}
+
 TEST(CheckpointTest, FileRoundTrip) {
   DynSgdRule rule;
   ParameterServer ps(12, 2, rule, Options());

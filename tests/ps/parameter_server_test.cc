@@ -111,11 +111,41 @@ TEST(ParameterServerTest, UpdateFilterDropsTinyEntries) {
   EXPECT_DOUBLE_EQ(w[1], 0.5);
 }
 
-TEST(ParameterServerTest, TotalPushesCountsPieces) {
+TEST(ParameterServerTest, TotalPushesSkipsEmptyPiecesForNoOpRules) {
   SspRule rule;
   ParameterServer ps(10, 1, rule, SmallOptions());
   ps.Push(0, 0, SparseVector({0}, {1.0}));
-  // One logical push hits all four partitions.
+  // SspRule declares EmptyPushIsNoOp(): the single-key push touches one
+  // partition; the three empty pieces are skipped entirely.
+  EXPECT_EQ(ps.TotalPushes(), 1);
+  // The clock still advanced exactly once.
+  EXPECT_EQ(ps.cmax(), 1);
+  ps.Push(0, 1, SparseVector({0, 3, 5, 8}, {1.0, 1.0, 1.0, 1.0}));
+  // A push spanning all four partitions counts four pieces.
+  EXPECT_EQ(ps.TotalPushes(), 5);
+}
+
+TEST(ParameterServerTest, FilterEmptiedPiecesAreSkippedButClockAdvances) {
+  SspRule rule;
+  PsOptions opts = SmallOptions();
+  opts.update_filter_epsilon = 1e-6;
+  ParameterServer ps(10, 1, rule, opts);
+  // Every entry is below epsilon: the whole push is filtered away.
+  ps.Push(0, 0, SparseVector({0, 3, 5, 8}, {1e-9, 1e-9, 1e-9, 1e-9}));
+  EXPECT_EQ(ps.TotalPushes(), 0);
+  // The worker still finished clock 0 — SSP admission must not stall.
+  EXPECT_EQ(ps.cmax(), 1);
+  EXPECT_EQ(ps.cmin(), 1);
+  EXPECT_TRUE(ps.CanAdvance(0, 2));
+}
+
+TEST(ParameterServerTest, EmptyPiecesStillCountForVersionTrackingRules) {
+  // DynSGD treats an empty piece as the "worker finished this clock
+  // here" marker the stable-version bookkeeping counts, so pieces are
+  // not skipped.
+  DynSgdRule rule;
+  ParameterServer ps(10, 1, rule, SmallOptions());
+  ps.Push(0, 0, SparseVector({0}, {1.0}));
   EXPECT_EQ(ps.TotalPushes(), 4);
 }
 

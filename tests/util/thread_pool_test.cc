@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
+#include <vector>
 
 namespace hetps {
 namespace {
@@ -52,6 +54,65 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
 TEST(ThreadPoolTest, ReportsThreadCount) {
   ThreadPool pool(5);
   EXPECT_EQ(pool.num_threads(), 5u);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRefusedNotFatal) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  EXPECT_TRUE(pool.Submit([&] { counter.fetch_add(1); }));
+  pool.Shutdown();
+  // Refused, returns false — and the lambda is never run.
+  EXPECT_FALSE(pool.Submit([&] { counter.fetch_add(100); }));
+  EXPECT_EQ(counter.load(), 1);  // queued work drained before join
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndRaceSafe) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  std::vector<std::thread> closers;
+  for (int i = 0; i < 4; ++i) {
+    closers.emplace_back([&] { pool.Shutdown(); });
+  }
+  for (auto& t : closers) t.join();
+  pool.Shutdown();  // and again after everyone joined
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitRacesShutdownWithoutCrashing) {
+  for (int round = 0; round < 10; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> accepted{0};
+    std::atomic<int> ran{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 3; ++t) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < 100; ++i) {
+          if (pool.Submit([&] { ran.fetch_add(1); })) {
+            accepted.fetch_add(1);
+          }
+        }
+      });
+    }
+    std::thread closer([&] { pool.Shutdown(); });
+    for (auto& t : submitters) t.join();
+    closer.join();
+    // Every accepted task ran (shutdown drains the queue); refused
+    // tasks never ran.
+    EXPECT_EQ(ran.load(), accepted.load());
+  }
 }
 
 }  // namespace
