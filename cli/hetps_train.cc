@@ -11,6 +11,14 @@
 //   hetps_train simulate [--hl=2] [--workers=30] [--servers=10]
 //                        [--rule=dyn] [--staleness=3] [--lr=2.0]
 //                        [--clocks=60] [--tolerance=0.4]
+//   hetps_train check-obs --metrics=metrics.json [--trace=trace.json]
+//
+// Observability (train and simulate): --metrics_out=metrics.json writes
+// a metric snapshot (counters/gauges/histograms incl. staleness and
+// compute-vs-wait breakdown), --trace_out=trace.json a Chrome trace
+// loadable in chrome://tracing / Perfetto. --report_every=N re-writes
+// metrics_out every N worker-0 clocks; --trace_buffer_kb bounds the
+// per-thread trace ring. `check-obs` validates such files (CI smoke).
 //
 // `--synthetic=url|ctr` generates a dataset instead of reading --data,
 // which makes the tool usable out of the box.
@@ -18,12 +26,17 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 
 #include "core/consolidation.h"
 #include "core/learning_rate.h"
 #include "data/libsvm_io.h"
 #include "data/synthetic.h"
 #include "models/linear_model.h"
+#include "obs/metrics.h"
+#include "obs/run_reporter.h"
+#include "obs/trace.h"
 #include "sim/event_sim.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -54,6 +67,61 @@ Result<Dataset> LoadData(const FlagParser& flags) {
         "pass --data=<libsvm file> or --synthetic=url|ctr");
   }
   return ReadLibSvmFile(path);
+}
+
+/// Reads the observability flags, primes the global metric/trace state,
+/// and hands back a RunReporter (null when no output was requested).
+/// `run_info` annotates metrics.json's "run" object.
+std::unique_ptr<RunReporter> MakeReporter(
+    const FlagParser& flags,
+    std::vector<std::pair<std::string, std::string>> run_info) {
+  RunReporterOptions opts;
+  opts.metrics_out = flags.GetString("metrics_out", "");
+  opts.trace_out = flags.GetString("trace_out", "");
+  opts.report_every =
+      static_cast<int>(flags.GetInt("report_every", 0).value());
+  const int trace_kb =
+      static_cast<int>(flags.GetInt("trace_buffer_kb", 256).value());
+  if (opts.metrics_out.empty() && opts.trace_out.empty()) {
+    return nullptr;
+  }
+  // One run per process invocation: start from clean global state so the
+  // files describe this run only.
+  GlobalMetrics().ResetValues();
+  // Pre-register the RPC-layer fault/retry counters so metrics.json
+  // always carries them (zero for runs that never touch the bus) —
+  // dashboards can key on them unconditionally.
+  GlobalMetrics().counter("bus.delivered");
+  GlobalMetrics().counter("bus.fault.dropped_requests");
+  GlobalMetrics().counter("bus.fault.dropped_responses");
+  GlobalMetrics().counter("bus.fault.duplicated_requests");
+  GlobalMetrics().counter("bus.fault.delayed_requests");
+  GlobalMetrics().counter("rpc.client_retries");
+  if (!opts.trace_out.empty()) {
+    TraceRecorder::Global().Clear();
+    TraceOptions trace_opts;
+    trace_opts.buffer_kb_per_thread =
+        trace_kb > 0 ? static_cast<size_t>(trace_kb) : 256;
+    TraceRecorder::Global().Start(trace_opts);
+  }
+  opts.run_info = std::move(run_info);
+  return std::make_unique<RunReporter>(std::move(opts));
+}
+
+int FinishReport(RunReporter* reporter) {
+  if (reporter == nullptr) return 0;
+  const Status st = reporter->WriteFinal();
+  TraceRecorder::Global().Stop();
+  if (!st.ok()) return Fail(st);
+  if (!reporter->options().metrics_out.empty()) {
+    std::printf("metrics written to %s\n",
+                reporter->options().metrics_out.c_str());
+  }
+  if (!reporter->options().trace_out.empty()) {
+    std::printf("trace written to %s\n",
+                reporter->options().trace_out.c_str());
+  }
+  return 0;
 }
 
 SyncPolicy ParseSync(const FlagParser& flags, Status* st) {
@@ -89,6 +157,19 @@ int RunTrain(const FlagParser& flags) {
       flags.GetDouble("batch-fraction", 0.1).value();
   cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 42).value());
 
+  std::unique_ptr<RunReporter> reporter = MakeReporter(
+      flags, {{"command", "train"},
+              {"loss", cfg.loss},
+              {"rule", cfg.rule},
+              {"protocol", flags.GetString("protocol", "ssp")},
+              {"workers", std::to_string(cfg.num_workers)},
+              {"servers", std::to_string(cfg.num_servers)},
+              {"clocks", std::to_string(cfg.max_clocks)}});
+  if (reporter != nullptr) {
+    RunReporter* rep = reporter.get();
+    cfg.on_epoch = [rep](int epoch) { rep->OnEpoch(epoch); };
+  }
+
   auto model = LinearModel::Train(data.value(), cfg);
   if (!model.ok()) return Fail(model.status());
   std::printf("trained %s/%s in %.2fs wall: objective %.4f, accuracy "
@@ -103,7 +184,7 @@ int RunTrain(const FlagParser& flags) {
     if (!st.ok()) return Fail(st);
     std::printf("model written to %s\n", out.c_str());
   }
-  return 0;
+  return FinishReport(reporter.get());
 }
 
 Result<LinearModel> LoadModel(const FlagParser& flags) {
@@ -170,9 +251,54 @@ int RunSimulate(const FlagParser& flags) {
   options.l2 = flags.GetDouble("l2", 1e-4).value();
   const ClusterConfig cluster =
       ClusterConfig::WithStragglers(workers, servers, hl, 0.2);
+  std::unique_ptr<RunReporter> reporter = MakeReporter(
+      flags, {{"command", "simulate"},
+              {"rule", flags.GetString("rule", "dyn")},
+              {"protocol", flags.GetString("protocol", "ssp")},
+              {"workers", std::to_string(workers)},
+              {"servers", std::to_string(servers)},
+              {"hl", std::to_string(hl)}});
+  if (reporter != nullptr) {
+    RunReporter* rep = reporter.get();
+    options.on_epoch = [rep](int epoch) { rep->OnEpoch(epoch); };
+  }
   const SimResult r = RunSimulation(data.value(), cluster, *rule, sched,
                                     *loss, options);
   std::printf("%s\n", r.Summary().c_str());
+  return FinishReport(reporter.get());
+}
+
+/// `check-obs`: parses and schema-validates previously written
+/// metrics.json / trace.json files; non-zero exit on any failure. CI's
+/// obs-smoke job runs this against a fresh train + simulate.
+int RunCheckObs(const FlagParser& flags) {
+  const std::string metrics_path = flags.GetString("metrics", "");
+  const std::string trace_path = flags.GetString("trace", "");
+  if (metrics_path.empty() && trace_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "pass --metrics=metrics.json and/or --trace=trace.json"));
+  }
+  auto read_file = [](const std::string& path) -> Result<std::string> {
+    std::ifstream in(path);
+    if (!in) return Status::IOError("cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  if (!metrics_path.empty()) {
+    auto text = read_file(metrics_path);
+    if (!text.ok()) return Fail(text.status());
+    Status st = ValidateMetricsJson(text.value());
+    if (!st.ok()) return Fail(st);
+    std::printf("%s: valid hetps.metrics.v1\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    auto text = read_file(trace_path);
+    if (!text.ok()) return Fail(text.status());
+    Status st = ValidateChromeTraceJson(text.value());
+    if (!st.ok()) return Fail(st);
+    std::printf("%s: valid Chrome trace\n", trace_path.c_str());
+  }
   return 0;
 }
 
@@ -182,7 +308,8 @@ int Main(int argc, char** argv) {
   if (!st.ok()) return Fail(st);
   if (flags.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: hetps_train <train|evaluate|predict|simulate> "
+                 "usage: hetps_train "
+                 "<train|evaluate|predict|simulate|check-obs> "
                  "[flags]\n(see the header of cli/hetps_train.cc)\n");
     return 1;
   }
@@ -196,6 +323,8 @@ int Main(int argc, char** argv) {
     rc = RunPredict(flags);
   } else if (command == "simulate") {
     rc = RunSimulate(flags);
+  } else if (command == "check-obs") {
+    rc = RunCheckObs(flags);
   } else {
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return 1;

@@ -1,10 +1,13 @@
 #include "engine/distributed_trainer.h"
 
+#include <chrono>
 #include <thread>
 
 #include "core/sgd_compute.h"
 #include "data/sharding.h"
 #include "net/ps_service.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ps/checkpoint.h"
 #include "ps/parameter_server.h"
 #include "util/logging.h"
@@ -57,9 +60,20 @@ Result<DistributedTrainResult> TrainDistributed(
       static_cast<size_t>(options.num_workers));
   std::vector<int64_t> worker_retries(
       static_cast<size_t>(options.num_workers), 0);
+  // Per-worker slots, each written only by its own thread before join.
+  std::vector<WorkerTimeBreakdown> breakdowns(
+      static_cast<size_t>(options.num_workers));
 
   auto worker_body = [&](int m) {
+    using SteadyClock = std::chrono::steady_clock;
+    auto seconds_since = [](SteadyClock::time_point start) {
+      return std::chrono::duration<double>(SteadyClock::now() - start)
+          .count();
+    };
     Status& my_status = worker_status[static_cast<size_t>(m)];
+    WorkerTimeBreakdown& breakdown = breakdowns[static_cast<size_t>(m)];
+    HistogramMetric* iter_us = GlobalMetrics().histogram(
+        "worker.iter_us", {{"worker", std::to_string(m)}});
     RpcWorkerClient client(m, &bus, "ps", options.rpc_retry);
     LocalWorkerSgd::Options sgd_opts;
     sgd_opts.batch_size = LocalWorkerSgd::BatchSizeForFraction(
@@ -70,13 +84,29 @@ Result<DistributedTrainResult> TrainDistributed(
     // A (re)starting worker pulls the latest parameter from the PS.
     std::vector<double> replica;
     int cp = 0;
-    my_status = client.Pull(&replica, &cp);
+    {
+      const auto pull_start = SteadyClock::now();
+      my_status = client.Pull(&replica, &cp);
+      breakdown.comm_seconds += seconds_since(pull_start);
+    }
     if (!my_status.ok()) return;
     for (int c = start_clock; c < end_clock; ++c) {
+      HETPS_TRACE_SPAN2("worker.clock", "worker", m, "clock", c);
+      const auto iter_start = SteadyClock::now();
       SparseVector update;
-      sgd.RunClock(c, &replica, &update);
-      my_status = client.Push(c, update);
+      {
+        HETPS_TRACE_SPAN1("worker.compute", "worker", m);
+        const auto compute_start = SteadyClock::now();
+        sgd.RunClock(c, &replica, &update);
+        breakdown.compute_seconds += seconds_since(compute_start);
+      }
+      {
+        const auto push_start = SteadyClock::now();
+        my_status = client.Push(c, update);
+        breakdown.comm_seconds += seconds_since(push_start);
+      }
       if (!my_status.ok()) return;
+      ++breakdown.clocks_completed;
       if (m == 0) {
         const size_t n = options.eval_sample == 0 ? dataset.size()
                                                   : options.eval_sample;
@@ -92,10 +122,26 @@ Result<DistributedTrainResult> TrainDistributed(
         }
       }
       if (options.sync.NeedsPull(c, cp)) {
-        my_status = client.WaitUntilCanAdvance(c + 1);
+        {
+          HETPS_TRACE_SPAN1("worker.wait", "worker", m);
+          const auto wait_start = SteadyClock::now();
+          my_status = client.WaitUntilCanAdvance(c + 1);
+          breakdown.wait_seconds += seconds_since(wait_start);
+        }
         if (!my_status.ok()) return;
-        my_status = client.Pull(&replica, &cp);
+        {
+          const auto pull_start = SteadyClock::now();
+          my_status = client.Pull(&replica, &cp);
+          breakdown.comm_seconds += seconds_since(pull_start);
+        }
         if (!my_status.ok()) return;
+      }
+      iter_us->RecordInt(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              SteadyClock::now() - iter_start)
+              .count());
+      if (m == 0 && options.on_epoch) {
+        options.on_epoch(c + 1 - start_clock);
       }
     }
     worker_retries[static_cast<size_t>(m)] = client.retry_count();
@@ -112,6 +158,11 @@ Result<DistributedTrainResult> TrainDistributed(
   HETPS_RETURN_NOT_OK(checkpoint_status);
 
   DistributedTrainResult result;
+  for (int m = 0; m < options.num_workers; ++m) {
+    RecordBreakdown(&GlobalMetrics(), m,
+                    breakdowns[static_cast<size_t>(m)]);
+  }
+  result.worker_breakdown = std::move(breakdowns);
   result.weights = ps.Snapshot();
   result.objective_per_clock = std::move(trace);
   const size_t n =

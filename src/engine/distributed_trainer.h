@@ -2,6 +2,7 @@
 #define HETPS_ENGINE_DISTRIBUTED_TRAINER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "math/loss.h"
 #include "net/message_bus.h"
 #include "net/ps_service.h"
+#include "obs/breakdown.h"
 #include "util/status.h"
 
 namespace hetps {
@@ -45,6 +47,9 @@ struct DistributedTrainerOptions {
   FaultPlan fault_plan = FaultPlan::None();
   /// Per-RPC timeout/backoff for the worker clients.
   RpcRetryPolicy rpc_retry = RpcRetryPolicy();
+  /// Called on worker 0's thread after each of its clocks (1-based
+  /// count); RunReporter::OnEpoch hooks in here. Keep it cheap.
+  std::function<void(int)> on_epoch;
 };
 
 struct DistributedTrainResult {
@@ -58,6 +63,11 @@ struct DistributedTrainResult {
   int64_t rpc_retries = 0;
   /// Clock after the last one executed (pass as resume_clock).
   int next_clock = 0;
+  /// Per-worker compute/comm/wait split (wall seconds) — Figure 6 for
+  /// the RPC runtime. Comm covers push+pull RPCs (retries included);
+  /// wait covers the CanAdvance polling loop. Also published to
+  /// GlobalMetrics() as worker.*_seconds{worker=m} gauges.
+  std::vector<WorkerTimeBreakdown> worker_breakdown;
 };
 
 Result<DistributedTrainResult> TrainDistributed(

@@ -5,6 +5,8 @@
 
 #include "core/sgd_compute.h"
 #include "data/sharding.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ps/parameter_server.h"
 #include "ps/worker_client.h"
 #include "util/logging.h"
@@ -40,9 +42,14 @@ ThreadedTrainResult TrainThreaded(const Dataset& dataset,
 
   ThreadedTrainResult result;
   std::vector<double> trace;  // written only by worker-0 thread
+  // Per-worker slots, each written only by its own thread before join.
+  std::vector<WorkerTimeBreakdown> breakdowns(
+      static_cast<size_t>(options.num_workers));
   Stopwatch watch;
 
   auto worker_body = [&](int m) {
+    HistogramMetric* iter_us = GlobalMetrics().histogram(
+        "worker.iter_us", {{"worker", std::to_string(m)}});
     LocalWorkerSgd::Options sgd_opts;
     sgd_opts.batch_size = LocalWorkerSgd::BatchSizeForFraction(
         shards[static_cast<size_t>(m)].size(), options.batch_fraction);
@@ -56,7 +63,10 @@ ThreadedTrainResult TrainThreaded(const Dataset& dataset,
                                ? 0.0
                                : options.worker_sleep_seconds
                                      [static_cast<size_t>(m)];
+    WorkerTimeBreakdown& breakdown = breakdowns[static_cast<size_t>(m)];
     for (int c = 0; c < options.max_clocks; ++c) {
+      HETPS_TRACE_SPAN2("worker.clock", "worker", m, "clock", c);
+      const auto iter_start = std::chrono::steady_clock::now();
       // The pull decision (Algorithm 1 line 8) depends only on state
       // known before the clock runs, so a prefetch can overlap the
       // admission wait and transfer with this clock's computation.
@@ -65,12 +75,22 @@ ThreadedTrainResult TrainThreaded(const Dataset& dataset,
       if (options.prefetch && will_pull) {
         client.StartPrefetch(c + 1);
       }
-      if (sleep_s > 0.0) {
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(sleep_s));
-      }
       SparseVector update;
-      sgd.RunClock(c, &replica, &update);
+      {
+        // Compute = the injected straggler sleep (emulated slow CPU)
+        // plus the real gradient work.
+        HETPS_TRACE_SPAN1("worker.compute", "worker", m);
+        const auto compute_start = std::chrono::steady_clock::now();
+        if (sleep_s > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(sleep_s));
+        }
+        sgd.RunClock(c, &replica, &update);
+        breakdown.compute_seconds +=
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - compute_start)
+                .count();
+      }
       client.Push(c, update);
       if (m == 0) {
         const size_t n = options.eval_sample == 0 ? dataset.size()
@@ -83,7 +103,16 @@ ThreadedTrainResult TrainThreaded(const Dataset& dataset,
       } else {
         client.MaybePull(c, &replica);
       }
+      iter_us->RecordInt(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - iter_start)
+              .count());
+      if (m == 0 && options.on_epoch) options.on_epoch(c + 1);
     }
+    // Fold in the client's comm/wait split (compute tracked above).
+    breakdown.comm_seconds = client.breakdown().comm_seconds;
+    breakdown.wait_seconds = client.breakdown().wait_seconds;
+    breakdown.clocks_completed = client.breakdown().clocks_completed;
   };
 
   std::vector<std::thread> threads;
@@ -94,6 +123,11 @@ ThreadedTrainResult TrainThreaded(const Dataset& dataset,
   for (auto& t : threads) t.join();
 
   result.wall_seconds = watch.ElapsedSeconds();
+  for (int m = 0; m < options.num_workers; ++m) {
+    RecordBreakdown(&GlobalMetrics(), m,
+                    breakdowns[static_cast<size_t>(m)]);
+  }
+  result.worker_breakdown = std::move(breakdowns);
   result.weights = ps.Snapshot();
   result.objective_per_clock = std::move(trace);
   result.total_pushes =

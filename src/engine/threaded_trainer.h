@@ -2,6 +2,7 @@
 #define HETPS_ENGINE_THREADED_TRAINER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "core/sync_policy.h"
 #include "data/dataset.h"
 #include "math/loss.h"
+#include "obs/breakdown.h"
 #include "ps/partition.h"
 
 namespace hetps {
@@ -40,6 +42,11 @@ struct ThreadedTrainerOptions {
   /// slightly staler replica.
   bool prefetch = false;
   uint64_t seed = 11;
+  /// Called on worker 0's thread after each of its clocks finishes
+  /// (argument: the 1-based clock count). RunReporter::OnEpoch hooks in
+  /// here to snapshot metrics mid-run. Keep it cheap — it runs inside
+  /// the training loop.
+  std::function<void(int)> on_epoch;
 };
 
 struct ThreadedTrainResult {
@@ -50,6 +57,10 @@ struct ThreadedTrainResult {
   double wall_seconds = 0.0;
   int64_t total_pushes = 0;
   double final_objective = 0.0;
+  /// Per-worker compute/comm/wait split (wall seconds) — Figure 6's
+  /// stacked bars for the real runtime. Also published to
+  /// GlobalMetrics() as worker.*_seconds{worker=m} gauges.
+  std::vector<WorkerTimeBreakdown> worker_breakdown;
 };
 
 /// Runs distributed SGD (Algorithm 1 with the chosen consolidation rule)

@@ -61,6 +61,7 @@ Result<LinearModel> LinearModel::Train(const Dataset& dataset,
   options.partition_sync = config.partition_sync;
   options.update_filter_epsilon = config.update_filter_epsilon;
   options.seed = config.seed;
+  options.on_epoch = config.on_epoch;
 
   ThreadedTrainResult stats =
       TrainThreaded(dataset, *loss, *schedule, *rule, options);

@@ -1,6 +1,7 @@
 #ifndef HETPS_MODELS_LINEAR_MODEL_H_
 #define HETPS_MODELS_LINEAR_MODEL_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,6 +35,9 @@ struct LinearModelConfig {
   bool partition_sync = false;
   double update_filter_epsilon = 0.0;
   uint64_t seed = 1;
+  /// Forwarded to ThreadedTrainerOptions::on_epoch — worker 0's per-clock
+  /// hook (RunReporter::OnEpoch plugs in here for periodic metric dumps).
+  std::function<void(int)> on_epoch;
 };
 
 /// A trained linear classifier/regressor.

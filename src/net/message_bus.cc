@@ -2,9 +2,23 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace hetps {
+
+MessageBus::MessageBus()
+    : m_delivered_(GlobalMetrics().counter("bus.delivered")),
+      m_fault_dropped_requests_(
+          GlobalMetrics().counter("bus.fault.dropped_requests")),
+      m_fault_dropped_responses_(
+          GlobalMetrics().counter("bus.fault.dropped_responses")),
+      m_fault_duplicated_requests_(
+          GlobalMetrics().counter("bus.fault.duplicated_requests")),
+      m_fault_delayed_requests_(
+          GlobalMetrics().counter("bus.fault.delayed_requests")),
+      m_inflight_calls_(GlobalMetrics().gauge("bus.inflight_calls")),
+      m_rpc_latency_us_(GlobalMetrics().histogram("bus.rpc_latency_us")) {}
 
 MessageBus::~MessageBus() { Shutdown(); }
 
@@ -23,6 +37,7 @@ void MessageBus::Shutdown() {
           BusReply{Status::Aborted("message bus shut down"), {}});
     }
     pending_.clear();
+    m_inflight_calls_->Set(0.0);
     for (auto& [name, ep] : endpoints_) {
       ep->cv.notify_all();
     }
@@ -74,12 +89,16 @@ MessageBus::RequestFaults MessageBus::DecideRequestFaultsLocked() {
       fault_rng_.NextBernoulli(fault_plan_.drop_request_prob)) {
     faults.drop = true;
     ++fault_stats_.dropped_requests;
+    m_fault_dropped_requests_->Increment();
+    HETPS_TRACE_INSTANT("bus.fault.drop_request");
     return faults;  // a dropped message cannot also be delayed/duplicated
   }
   if (fault_plan_.duplicate_prob > 0.0 &&
       fault_rng_.NextBernoulli(fault_plan_.duplicate_prob)) {
     faults.duplicate = true;
     ++fault_stats_.duplicated_requests;
+    m_fault_duplicated_requests_->Increment();
+    HETPS_TRACE_INSTANT("bus.fault.duplicate_request");
   }
   if (fault_plan_.delay_prob > 0.0 &&
       fault_rng_.NextBernoulli(fault_plan_.delay_prob)) {
@@ -90,6 +109,9 @@ MessageBus::RequestFaults MessageBus::DecideRequestFaultsLocked() {
         lo + static_cast<int>(fault_rng_.NextUint64(
                  static_cast<uint64_t>(hi - lo)));
     ++fault_stats_.delayed_requests;
+    m_fault_delayed_requests_->Increment();
+    HETPS_TRACE_INSTANT1("bus.fault.delay_request", "delay_us",
+                         faults.delay_us);
   }
   return faults;
 }
@@ -158,6 +180,8 @@ Result<PendingCall> MessageBus::Call(const std::string& from,
                          std::promise<BusReply>());
     HETPS_CHECK(inserted) << "correlation id collision";
     call.reply = pending_it->second.get_future();
+    call.sent_at = std::chrono::steady_clock::now();
+    m_inflight_calls_->Set(static_cast<double>(pending_.size()));
     faults = DecideRequestFaultsLocked();
   }
   // The pending entry is registered before any fault/delay handling, so
@@ -188,9 +212,17 @@ BusReply MessageBus::Await(PendingCall* call,
                                    "us"),
           {}});
       pending_.erase(it);
+      m_inflight_calls_->Set(static_cast<double>(pending_.size()));
     }
   }
-  return call->reply.get();
+  BusReply reply = call->reply.get();
+  if (reply.ok() && call->sent_at.time_since_epoch().count() != 0) {
+    m_rpc_latency_us_->RecordInt(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - call->sent_at)
+            .count());
+  }
+  return reply;
 }
 
 BusReply MessageBus::BlockingCall(const std::string& from,
@@ -239,10 +271,17 @@ void MessageBus::ServiceLoop(Endpoint* endpoint) {
       endpoint->inbox.pop_front();
       endpoint->busy = true;
     }
-    std::vector<uint8_t> response = endpoint->handler(envelope);
+    std::vector<uint8_t> response;
+    {
+      HETPS_TRACE_SPAN2("bus.handle", "payload_bytes",
+                        envelope.payload.size(), "correlation",
+                        envelope.correlation_id);
+      response = endpoint->handler(envelope);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++delivered_;
+      m_delivered_->Increment();
       endpoint->busy = false;
       if (envelope.correlation_id != 0) {
         auto it = pending_.find(envelope.correlation_id);
@@ -255,10 +294,13 @@ void MessageBus::ServiceLoop(Endpoint* endpoint) {
               fault_rng_.NextBernoulli(fault_plan_.drop_response_prob);
           if (drop_response) {
             ++fault_stats_.dropped_responses;
+            m_fault_dropped_responses_->Increment();
+            HETPS_TRACE_INSTANT("bus.fault.drop_response");
           } else {
             it->second.set_value(
                 BusReply{Status::OK(), std::move(response)});
             pending_.erase(it);
+            m_inflight_calls_->Set(static_cast<double>(pending_.size()));
           }
         }
         // else: duplicate request's second reply, a reply racing an

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -96,6 +97,9 @@ struct BusReply {
 struct PendingCall {
   uint64_t correlation_id = 0;
   std::future<BusReply> reply;
+  /// When the request left the caller; Await records the round-trip
+  /// into bus.rpc_latency_us for successful replies.
+  std::chrono::steady_clock::time_point sent_at{};
 };
 
 /// In-process message bus with named endpoints. Each endpoint owns a
@@ -121,7 +125,7 @@ class MessageBus {
   using Handler =
       std::function<std::vector<uint8_t>(const Envelope& request)>;
 
-  MessageBus() = default;
+  MessageBus();
   ~MessageBus();
 
   MessageBus(const MessageBus&) = delete;
@@ -210,6 +214,18 @@ class MessageBus {
   // Serializes Shutdown() callers (join must happen exactly once).
   std::mutex shutdown_mu_;
   bool joined_ = false;
+
+  // Telemetry into GlobalMetrics() (cached pointers, created in the
+  // constructor). The bus.fault.* counters mirror FaultStats so PR 1's
+  // fault-injection numbers surface in metrics.json without callers
+  // polling fault_stats().
+  Counter* m_delivered_;
+  Counter* m_fault_dropped_requests_;
+  Counter* m_fault_dropped_responses_;
+  Counter* m_fault_duplicated_requests_;
+  Counter* m_fault_delayed_requests_;
+  Gauge* m_inflight_calls_;
+  HistogramMetric* m_rpc_latency_us_;
 };
 
 }  // namespace hetps

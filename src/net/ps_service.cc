@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace hetps {
@@ -39,6 +40,16 @@ PsService::PsService(ParameterServer* ps, MessageBus* bus,
                        -1) {
   HETPS_CHECK(ps != nullptr) << "null ParameterServer";
   HETPS_CHECK(bus != nullptr) << "null MessageBus";
+  MetricsRegistry& global = GlobalMetrics();
+  handle_push_us_ = global.histogram("rpc.handle_us", {{"op", "push"}});
+  handle_pull_us_ = global.histogram("rpc.handle_us", {{"op", "pull"}});
+  handle_pull_range_us_ =
+      global.histogram("rpc.handle_us", {{"op", "pull_range"}});
+  handle_can_advance_us_ =
+      global.histogram("rpc.handle_us", {{"op", "can_advance"}});
+  handle_stable_version_us_ =
+      global.histogram("rpc.handle_us", {{"op", "stable_version"}});
+  handle_other_us_ = global.histogram("rpc.handle_us", {{"op", "other"}});
   registration_ = bus->RegisterEndpoint(
       endpoint_name_,
       [this](const Envelope& request) { return Handle(request); });
@@ -51,28 +62,35 @@ std::vector<uint8_t> PsService::Handle(const Envelope& request) {
   uint8_t op = 0;
   Status st = reader.ReadU8(&op);
   std::vector<uint8_t> response;
+  const auto start = std::chrono::steady_clock::now();
+  HistogramMetric* handle_us = handle_other_us_;
   if (!st.ok()) {
     response = ErrorResponse(st);
   } else {
     switch (static_cast<PsOpCode>(op)) {
       case PsOpCode::kPush:
         metrics_.counter("rpc.push")->Increment();
+        handle_us = handle_push_us_;
         response = HandlePush(&reader);
         break;
       case PsOpCode::kPull:
         metrics_.counter("rpc.pull")->Increment();
+        handle_us = handle_pull_us_;
         response = HandlePull(&reader);
         break;
       case PsOpCode::kPullRange:
         metrics_.counter("rpc.pull_range")->Increment();
+        handle_us = handle_pull_range_us_;
         response = HandlePullRange(&reader);
         break;
       case PsOpCode::kCanAdvance:
         metrics_.counter("rpc.can_advance")->Increment();
+        handle_us = handle_can_advance_us_;
         response = HandleCanAdvance(&reader);
         break;
       case PsOpCode::kStableVersion:
         metrics_.counter("rpc.stable_version")->Increment();
+        handle_us = handle_stable_version_us_;
         response = HandleStableVersion(&reader);
         break;
       default:
@@ -81,6 +99,10 @@ std::vector<uint8_t> PsService::Handle(const Envelope& request) {
         break;
     }
   }
+  handle_us->RecordInt(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
   if (!response.empty() && response[0] != 0) {
     metrics_.counter("rpc.errors")->Increment();
   }
@@ -195,7 +217,8 @@ RpcWorkerClient::RpcWorkerClient(int worker_id, MessageBus* bus,
       bus_(bus),
       ps_endpoint_(std::move(ps_endpoint)),
       my_endpoint_("worker-" + std::to_string(worker_id)),
-      retry_(retry) {
+      retry_(retry),
+      retries_metric_(GlobalMetrics().counter("rpc.client_retries")) {
   HETPS_CHECK(bus != nullptr) << "null MessageBus";
   HETPS_CHECK(retry_.max_attempts >= 1) << "need at least one attempt";
 }
@@ -215,6 +238,8 @@ Result<std::vector<uint8_t>> RpcWorkerClient::Roundtrip(
       backoff = std::min(std::chrono::microseconds(next),
                          retry_.max_backoff);
       ++retry_count_;
+      retries_metric_->Increment();
+      HETPS_TRACE_INSTANT1("rpc.retry", "worker", worker_id_);
     }
     BusReply reply =
         bus_->BlockingCall(my_endpoint_, ps_endpoint_, request,

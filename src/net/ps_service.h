@@ -71,6 +71,16 @@ class PsService {
   PsServiceOptions options_;
   Status registration_;
   MetricsRegistry metrics_;
+  /// Per-op handler latency quantiles land in GlobalMetrics() (as
+  /// rpc.handle_us{op=...}) so RunReporter's single snapshot sees them;
+  /// the per-instance counters above stay in metrics_ for tests and
+  /// per-server "sources" sections.
+  HistogramMetric* handle_push_us_;
+  HistogramMetric* handle_pull_us_;
+  HistogramMetric* handle_pull_range_us_;
+  HistogramMetric* handle_can_advance_us_;
+  HistogramMetric* handle_stable_version_us_;
+  HistogramMetric* handle_other_us_;
   /// Last clock applied per worker (-1 = none); only touched by the
   /// single service-loop thread.
   std::vector<int64_t> last_push_clock_;
@@ -143,6 +153,9 @@ class RpcWorkerClient {
   std::string my_endpoint_;
   RpcRetryPolicy retry_;
   int64_t retry_count_ = 0;
+  /// Mirrors retry_count_ into GlobalMetrics() ("rpc.client_retries",
+  /// summed across clients) for metrics.json.
+  Counter* retries_metric_;
 };
 
 }  // namespace hetps

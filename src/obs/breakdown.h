@@ -1,0 +1,44 @@
+#ifndef HETPS_OBS_BREAKDOWN_H_
+#define HETPS_OBS_BREAKDOWN_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hetps {
+
+/// Per-worker breakdown of where a run's time went — Figure 6's stacked
+/// bars (compute vs. communication vs. SSP wait). Shared by the event
+/// simulator (virtual seconds) and both real trainers (wall seconds) so
+/// every runtime exports the same schema.
+struct WorkerTimeBreakdown {
+  double compute_seconds = 0.0;
+  double comm_seconds = 0.0;
+  double wait_seconds = 0.0;
+  int clocks_completed = 0;
+
+  double PerClockCompute() const {
+    return clocks_completed ? compute_seconds / clocks_completed : 0.0;
+  }
+  double PerClockComm() const {
+    return clocks_completed ? comm_seconds / clocks_completed : 0.0;
+  }
+};
+
+/// Publishes one worker's breakdown into `registry` as labeled gauges
+/// (worker.compute_seconds{worker=m} etc.) so metrics.json carries the
+/// compute-vs-wait split without a bespoke schema per runtime.
+inline void RecordBreakdown(MetricsRegistry* registry, int worker,
+                            const WorkerTimeBreakdown& b) {
+  const MetricLabels labels = {{"worker", std::to_string(worker)}};
+  registry->gauge("worker.compute_seconds", labels)->Set(b.compute_seconds);
+  registry->gauge("worker.comm_seconds", labels)->Set(b.comm_seconds);
+  registry->gauge("worker.wait_seconds", labels)->Set(b.wait_seconds);
+  registry->gauge("worker.clocks_completed", labels)
+      ->Set(static_cast<double>(b.clocks_completed));
+}
+
+}  // namespace hetps
+
+#endif  // HETPS_OBS_BREAKDOWN_H_

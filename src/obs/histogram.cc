@@ -1,0 +1,155 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace hetps {
+
+BucketedHistogram::BucketedHistogram() : buckets_(kNumBuckets) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+size_t BucketedHistogram::BucketIndex(int64_t value) {
+  if (value < kLinearCutoff) return static_cast<size_t>(value);
+  int e = std::bit_width(static_cast<uint64_t>(value)) - 1;  // 2^e <= v
+  if (e > kMaxExponent) return kNumBuckets - 1;
+  // Sub-bucket within [2^e, 2^(e+1)): width 2^(e - kSubBucketBits).
+  const int64_t sub =
+      (value >> (e - kSubBucketBits)) - kSubBucketsPerOctave;
+  return static_cast<size_t>(kLinearCutoff) +
+         static_cast<size_t>(e - kLinearBits) *
+             static_cast<size_t>(kSubBucketsPerOctave) +
+         static_cast<size_t>(sub);
+}
+
+int64_t BucketedHistogram::BucketLowerBound(size_t index) {
+  if (index < static_cast<size_t>(kLinearCutoff)) {
+    return static_cast<int64_t>(index);
+  }
+  const size_t rel = index - static_cast<size_t>(kLinearCutoff);
+  const int e =
+      kLinearBits + static_cast<int>(rel >> kSubBucketBits);
+  const int64_t sub = static_cast<int64_t>(
+      rel & static_cast<size_t>(kSubBucketsPerOctave - 1));
+  return (int64_t{1} << e) + (sub << (e - kSubBucketBits));
+}
+
+int64_t BucketedHistogram::BucketUpperBound(size_t index) {
+  if (index < static_cast<size_t>(kLinearCutoff)) {
+    return static_cast<int64_t>(index) + 1;
+  }
+  if (index + 1 >= kNumBuckets) return INT64_MAX;
+  return BucketLowerBound(index + 1);
+}
+
+void BucketedHistogram::RecordInt(int64_t value) {
+  if (value < 0) value = 0;
+  if (value >= kLinearCutoff &&
+      std::bit_width(static_cast<uint64_t>(value)) - 1 > kMaxExponent) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const size_t idx = BucketIndex(value);
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(static_cast<double>(value), std::memory_order_relaxed);
+  // CAS loops for the extrema; contention is rare and bounded.
+  int64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur && !min_.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur && !max_.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void BucketedHistogram::Record(double value) {
+  if (std::isnan(value) || value < 0.0) value = 0.0;
+  if (value > 9.0e18) value = 9.0e18;  // stay inside int64
+  RecordInt(std::llround(value));
+}
+
+int64_t BucketedHistogram::min() const {
+  const int64_t v = min_.load(std::memory_order_relaxed);
+  return v == INT64_MAX ? 0 : v;
+}
+
+int64_t BucketedHistogram::max() const {
+  const int64_t v = max_.load(std::memory_order_relaxed);
+  return v == INT64_MIN ? 0 : v;
+}
+
+double BucketedHistogram::mean() const {
+  const int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+int64_t BucketedHistogram::ValueAtQuantile(double q) const {
+  const int64_t total = count();
+  if (total <= 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based.
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(total))));
+  int64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Midpoint of the bucket, clamped to observed extrema so the
+      // first/last buckets do not over-report.
+      const int64_t lo = BucketLowerBound(i);
+      const int64_t hi =
+          i + 1 >= kNumBuckets ? lo : BucketUpperBound(i);
+      int64_t mid = lo + (hi - lo) / 2;
+      mid = std::clamp(mid, min(), max());
+      return mid;
+    }
+  }
+  return max();
+}
+
+void BucketedHistogram::Merge(const BucketedHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const int64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  overflow_.fetch_add(other.overflow_count(), std::memory_order_relaxed);
+  if (other.count() > 0) {
+    int64_t v = other.min();
+    int64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur && !min_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+    v = other.max();
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+void BucketedHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
+}
+
+std::string BucketedHistogram::DebugString() const {
+  std::ostringstream os;
+  os << "hist(count=" << count() << " mean=" << mean()
+     << " min=" << min() << " max=" << max()
+     << " p50=" << ValueAtQuantile(0.50)
+     << " p90=" << ValueAtQuantile(0.90)
+     << " p99=" << ValueAtQuantile(0.99)
+     << " p999=" << ValueAtQuantile(0.999) << ")";
+  return os.str();
+}
+
+}  // namespace hetps

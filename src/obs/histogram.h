@@ -1,0 +1,91 @@
+#ifndef HETPS_OBS_HISTOGRAM_H_
+#define HETPS_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetps {
+
+/// HdrHistogram-style log-linear bucketed histogram over non-negative
+/// integer-valued observations (typically microseconds or bytes).
+///
+/// Layout: values below kLinearCutoff land in exact unit-width buckets;
+/// above it, each power-of-two range [2^e, 2^(e+1)) is divided into
+/// kSubBucketsPerOctave equal sub-buckets, bounding the relative
+/// quantile error by 1/kSubBucketsPerOctave (6.25%) at ~4.7 KB per
+/// histogram. Values above the trackable maximum clamp into the last
+/// bucket (tracked by overflow_count()).
+///
+/// Record() is wait-free — one relaxed fetch_add on the bucket plus
+/// relaxed updates of count/sum and CAS loops for min/max — so it is
+/// safe on the PS push path under TSan with zero lock traffic. Readers
+/// (quantiles, Snapshot, Merge sources) see a possibly-torn but
+/// monotone view, which is the usual monitoring contract.
+class BucketedHistogram {
+ public:
+  static constexpr int kSubBucketBits = 4;                      // 16
+  static constexpr int64_t kSubBucketsPerOctave = 1 << kSubBucketBits;
+  static constexpr int kLinearBits = kSubBucketBits + 1;        // 5
+  static constexpr int64_t kLinearCutoff = 1 << kLinearBits;    // 32
+  static constexpr int kMaxExponent = 39;  // tracks up to ~1.1e12
+  static constexpr size_t kNumBuckets =
+      static_cast<size_t>(kLinearCutoff) +
+      static_cast<size_t>(kMaxExponent - kLinearBits + 1) *
+          static_cast<size_t>(kSubBucketsPerOctave);
+
+  BucketedHistogram();
+
+  /// Records one observation. Negative and NaN values clamp to 0;
+  /// fractional values round to the nearest unit.
+  void Record(double value);
+  void RecordInt(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  int64_t min() const;
+  int64_t max() const;
+  double mean() const;
+  /// Observations that exceeded the trackable range (still counted, in
+  /// the last bucket).
+  int64_t overflow_count() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+  /// Approximate value at quantile q in [0, 1] (bucket midpoint,
+  /// clamped to the recorded min/max). 0 when empty.
+  int64_t ValueAtQuantile(double q) const;
+
+  /// Adds all of `other`'s recorded state into this histogram.
+  void Merge(const BucketedHistogram& other);
+
+  /// Zeroes all state (not linearizable against concurrent Record).
+  void Reset();
+
+  /// Bucket geometry (for tests and expositions).
+  static size_t BucketIndex(int64_t value);
+  static int64_t BucketLowerBound(size_t index);
+  /// Exclusive upper bound.
+  static int64_t BucketUpperBound(size_t index);
+
+  int64_t BucketCount(size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{INT64_MIN};
+  std::atomic<int64_t> overflow_{0};
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_OBS_HISTOGRAM_H_

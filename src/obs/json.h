@@ -1,0 +1,58 @@
+#ifndef HETPS_OBS_JSON_H_
+#define HETPS_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hetps {
+
+/// Minimal JSON document model used by the observability plane: the
+/// RunReporter emits metrics.json / trace.json through JsonEscape and
+/// AppendJsonDouble, and the schema checkers (CLI `check-obs`, the
+/// golden tests, CI) parse the files back with ParseJson. Keeping both
+/// directions in one ~200-line module means the emitter and the
+/// validator can never drift apart — and no third-party JSON dependency
+/// enters the build.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered (duplicate keys rejected at parse time).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an
+/// error. Nesting is limited (64 levels) so corrupt input cannot blow
+/// the stack.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Escapes `s` for inclusion inside a JSON string literal (without the
+/// surrounding quotes).
+std::string JsonEscape(const std::string& s);
+
+/// Appends a JSON-legal rendering of `v` ("%.17g"; NaN/Inf become 0,
+/// which JSON cannot represent).
+void AppendJsonDouble(std::string* out, double v);
+
+}  // namespace hetps
+
+#endif  // HETPS_OBS_JSON_H_

@@ -1,0 +1,307 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace hetps {
+namespace {
+
+/// %.6g rendering for the legacy text report — stable across platforms
+/// (ostream default formatting is locale- and width-dependent).
+std::string Format6g(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; dots and dashes map
+/// to '_'.
+std::string PromName(const std::string& key_name) {
+  std::string out = key_name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// Splits a registry key back into (name, rendered-labels).
+/// Keys look like `name` or `name{k=v,k2=v2}`.
+void SplitKey(const std::string& key, std::string* name,
+              std::string* labels) {
+  const size_t brace = key.find('{');
+  if (brace == std::string::npos) {
+    *name = key;
+    labels->clear();
+    return;
+  }
+  *name = key.substr(0, brace);
+  *labels = key.substr(brace + 1, key.size() - brace - 2);
+}
+
+/// Renders `name{k=v,...}` as a Prometheus series `pname{k="v",...}`.
+std::string PromSeries(const std::string& key) {
+  std::string name, labels;
+  SplitKey(key, &name, &labels);
+  std::string out = PromName(name);
+  if (labels.empty()) return out;
+  out += '{';
+  size_t pos = 0;
+  bool first = true;
+  while (pos < labels.size()) {
+    size_t comma = labels.find(',', pos);
+    if (comma == std::string::npos) comma = labels.size();
+    const std::string pair = labels.substr(pos, comma - pos);
+    const size_t eq = pair.find('=');
+    if (!first) out += ',';
+    first = false;
+    if (eq == std::string::npos) {
+      out += pair;
+    } else {
+      out += pair.substr(0, eq) + "=\"" + pair.substr(eq + 1) + "\"";
+    }
+    pos = comma + 1;
+  }
+  out += '}';
+  return out;
+}
+
+/// Prometheus series with one extra label appended (for quantiles).
+std::string PromSeriesWith(const std::string& key, const std::string& k,
+                           const std::string& v) {
+  std::string series = PromSeries(key);
+  if (series.empty() || series.back() != '}') {
+    return series + "{" + k + "=\"" + v + "\"}";
+  }
+  series.pop_back();
+  return series + "," + k + "=\"" + v + "\"}";
+}
+
+constexpr struct {
+  const char* label;
+  double q;
+} kQuantiles[] = {
+    {"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}};
+
+}  // namespace
+
+std::string MetricsRegistry::Key(const std::string& name,
+                                 const MetricLabels& labels) {
+  if (labels.empty()) return name;
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name + "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i) key += ',';
+    key += sorted[i].first + "=" + sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  return counter(name, {});
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[Key(name, labels)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  return gauge(name, {});
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name,
+                              const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[Key(name, labels)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+DistributionMetric* MetricsRegistry::distribution(
+    const std::string& name) {
+  return distribution(name, {});
+}
+
+DistributionMetric* MetricsRegistry::distribution(
+    const std::string& name, const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = distributions_[Key(name, labels)];
+  if (!slot) slot = std::make_unique<DistributionMetric>();
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::histogram(const std::string& name) {
+  return histogram(name, {});
+}
+
+HistogramMetric* MetricsRegistry::histogram(const std::string& name,
+                                            const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[Key(name, labels)];
+  if (!slot) slot = std::make_unique<HistogramMetric>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string os;
+  for (const auto& [name, c] : counters_) {
+    os += name + ' ' + std::to_string(c->value()) + '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (!g->has_value()) continue;  // unset gauges carry no information
+    os += name + ' ' + Format6g(g->value()) + '\n';
+  }
+  for (const auto& [name, d] : distributions_) {
+    const RunningStat s = d->Snapshot();
+    os += name + " count=" + std::to_string(s.count()) +
+          " mean=" + Format6g(s.mean()) + " min=" + Format6g(s.min()) +
+          " max=" + Format6g(s.max()) +
+          " stddev=" + Format6g(s.stddev()) + '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    os += name + " count=" + std::to_string(h->count()) +
+          " mean=" + Format6g(h->mean()) +
+          " min=" + std::to_string(h->min()) +
+          " max=" + std::to_string(h->max()) +
+          " p50=" + std::to_string(h->ValueAtQuantile(0.5)) +
+          " p90=" + std::to_string(h->ValueAtQuantile(0.9)) +
+          " p99=" + std::to_string(h->ValueAtQuantile(0.99)) +
+          " p999=" + std::to_string(h->ValueAtQuantile(0.999)) + '\n';
+  }
+  return os;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string os;
+  std::string last_family;
+  auto type_line = [&](const std::string& key, const char* type) {
+    std::string name, labels;
+    SplitKey(key, &name, &labels);
+    if (name != last_family) {
+      os += "# TYPE " + PromName(name) + " " + type + "\n";
+      last_family = name;
+    }
+  };
+  for (const auto& [key, c] : counters_) {
+    type_line(key, "counter");
+    os += PromSeries(key) + ' ' + std::to_string(c->value()) + '\n';
+  }
+  last_family.clear();
+  for (const auto& [key, g] : gauges_) {
+    if (!g->has_value()) continue;
+    type_line(key, "gauge");
+    os += PromSeries(key) + ' ' + Format6g(g->value()) + '\n';
+  }
+  last_family.clear();
+  for (const auto& [key, d] : distributions_) {
+    type_line(key, "summary");
+    const RunningStat s = d->Snapshot();
+    std::string name, labels;
+    SplitKey(key, &name, &labels);
+    os += PromSeries(key).insert(PromName(name).size(), "_sum") + ' ' +
+          Format6g(s.sum()) + '\n';
+    os += PromSeries(key).insert(PromName(name).size(), "_count") + ' ' +
+          std::to_string(s.count()) + '\n';
+  }
+  last_family.clear();
+  for (const auto& [key, h] : histograms_) {
+    type_line(key, "summary");
+    std::string name, labels;
+    SplitKey(key, &name, &labels);
+    for (const auto& q : kQuantiles) {
+      os += PromSeriesWith(key, "quantile", q.label) + ' ' +
+            std::to_string(h->ValueAtQuantile(q.q)) + '\n';
+    }
+    os += PromSeries(key).insert(PromName(name).size(), "_sum") + ' ' +
+          Format6g(h->sum()) + '\n';
+    os += PromSeries(key).insert(PromName(name).size(), "_count") + ' ' +
+          std::to_string(h->count()) + '\n';
+  }
+  return os;
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string os = "{";
+  os += "\"counters\":{";
+  bool first = true;
+  for (const auto& [key, c] : counters_) {
+    if (!first) os += ',';
+    first = false;
+    os += '"' + JsonEscape(key) + "\":" + std::to_string(c->value());
+  }
+  os += "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, g] : gauges_) {
+    if (!g->has_value()) continue;
+    if (!first) os += ',';
+    first = false;
+    os += '"' + JsonEscape(key) + "\":";
+    AppendJsonDouble(&os, g->value());
+  }
+  os += "},\"distributions\":{";
+  first = true;
+  for (const auto& [key, d] : distributions_) {
+    if (!first) os += ',';
+    first = false;
+    const RunningStat s = d->Snapshot();
+    os += '"' + JsonEscape(key) +
+          "\":{\"count\":" + std::to_string(s.count()) + ",\"mean\":";
+    AppendJsonDouble(&os, s.mean());
+    os += ",\"min\":";
+    AppendJsonDouble(&os, s.min());
+    os += ",\"max\":";
+    AppendJsonDouble(&os, s.max());
+    os += ",\"stddev\":";
+    AppendJsonDouble(&os, s.stddev());
+    os += '}';
+  }
+  os += "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, h] : histograms_) {
+    if (!first) os += ',';
+    first = false;
+    os += '"' + JsonEscape(key) +
+          "\":{\"count\":" + std::to_string(h->count()) + ",\"sum\":";
+    AppendJsonDouble(&os, h->sum());
+    os += ",\"mean\":";
+    AppendJsonDouble(&os, h->mean());
+    os += ",\"min\":" + std::to_string(h->min()) +
+          ",\"max\":" + std::to_string(h->max()) +
+          ",\"p50\":" + std::to_string(h->ValueAtQuantile(0.5)) +
+          ",\"p90\":" + std::to_string(h->ValueAtQuantile(0.9)) +
+          ",\"p99\":" + std::to_string(h->ValueAtQuantile(0.99)) +
+          ",\"p999\":" + std::to_string(h->ValueAtQuantile(0.999)) +
+          ",\"overflow\":" + std::to_string(h->overflow_count()) + '}';
+  }
+  os += "}}";
+  return os;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, c] : counters_) c->Reset();
+  for (auto& [key, g] : gauges_) g->Reset();
+  for (auto& [key, d] : distributions_) d->Reset();
+  for (auto& [key, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  // Leaked singleton: outlives every static destructor so late metric
+  // writes during shutdown stay safe.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace hetps

@@ -1,0 +1,171 @@
+#ifndef HETPS_OBS_METRICS_H_
+#define HETPS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "util/stats.h"
+
+namespace hetps {
+
+/// Monotonic event counter. Thread-safe, lock-free on the hot path.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins numeric gauge (e.g. current memory bytes).
+///
+/// A default-constructed gauge reads 0.0 but reports
+/// has_value() == false until the first Set(); expositions skip unset
+/// gauges so "never measured" is distinguishable from "measured 0"
+/// (the zero-initialization footgun the bits_{0} encoding had).
+class Gauge {
+ public:
+  Gauge() = default;
+  /// Gauge that starts set to `initial`.
+  explicit Gauge(double initial) { Set(initial); }
+
+  void Set(double v) {
+    bits_.store(Encode(v), std::memory_order_relaxed);
+    set_.store(true, std::memory_order_release);
+  }
+  void Add(double delta) {
+    // Read-modify-write; last-write-wins under races (a gauge, not a
+    // counter — use Counter for exact sums).
+    Set(value() + delta);
+  }
+  double value() const {
+    return Decode(bits_.load(std::memory_order_relaxed));
+  }
+  bool has_value() const { return set_.load(std::memory_order_acquire); }
+  void Reset() {
+    bits_.store(0, std::memory_order_relaxed);
+    set_.store(false, std::memory_order_release);
+  }
+
+ private:
+  static uint64_t Encode(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double Decode(uint64_t bits) {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::atomic<uint64_t> bits_{0};
+  std::atomic<bool> set_{false};
+};
+
+/// Exact-moments distribution (mutex-guarded Welford accumulator):
+/// count/mean/min/max/stddev, no quantiles. For latency-style data that
+/// needs p50/p99, use HistogramMetric instead.
+class DistributionMetric {
+ public:
+  void Record(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stat_.Add(v);
+  }
+  RunningStat Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stat_;
+  }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stat_ = RunningStat();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  RunningStat stat_;
+};
+
+/// Quantile-capable distribution: an HdrHistogram-style bucketed
+/// histogram with wait-free Record and p50/p90/p99/p999 on read — the
+/// upgrade of DistributionMetric for hot-path latency data.
+using HistogramMetric = BucketedHistogram;
+
+/// Label set for one member of a metric family, e.g.
+/// {{"worker", "3"}}. Canonicalized (sorted by key) internally.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// A named collection of metrics — the §7.5 monitoring plane's per-node
+/// registry. Metric objects are created on first use and live as long
+/// as the registry; returned pointers stay valid (ResetValues() clears
+/// values but never destroys metrics). Labeled overloads address one
+/// member of a metric family ("ps.push_us" x partition).
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name);
+  Counter* counter(const std::string& name, const MetricLabels& labels);
+  Gauge* gauge(const std::string& name);
+  Gauge* gauge(const std::string& name, const MetricLabels& labels);
+  DistributionMetric* distribution(const std::string& name);
+  DistributionMetric* distribution(const std::string& name,
+                                   const MetricLabels& labels);
+  HistogramMetric* histogram(const std::string& name);
+  HistogramMetric* histogram(const std::string& name,
+                             const MetricLabels& labels);
+
+  /// Legacy text path: "name value" / "name count=... mean=..." lines,
+  /// sorted, doubles rendered with %.6g. Distributions report
+  /// count/mean/min/max/stddev; histograms add quantiles; unset gauges
+  /// are skipped.
+  std::string Report() const;
+
+  /// Prometheus text exposition (# TYPE lines; '.' sanitized to '_';
+  /// histograms rendered as summaries with quantile labels).
+  std::string PrometheusText() const;
+
+  /// JSON snapshot: {"counters": {...}, "gauges": {...},
+  /// "distributions": {...}, "histograms": {...}}; keys are
+  /// `name{label=value,...}`. Deterministically ordered.
+  std::string JsonSnapshot() const;
+
+  /// Zeroes every metric's value while keeping all returned pointers
+  /// valid (counters -> 0, gauges -> unset, distributions/histograms
+  /// -> empty). Use between runs sharing one process/registry.
+  void ResetValues();
+
+ private:
+  /// Fully-qualified key: name + canonical label rendering.
+  static std::string Key(const std::string& name,
+                         const MetricLabels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<DistributionMetric>>
+      distributions_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+/// Process-wide default registry. All runtime layers (PS, bus, service,
+/// trainers, simulator) record here unless handed an explicit registry,
+/// so one RunReporter snapshot sees the whole system. Call
+/// GlobalMetrics().ResetValues() at run boundaries when numbers must
+/// not accumulate across runs in one process.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace hetps
+
+#endif  // HETPS_OBS_METRICS_H_

@@ -1,0 +1,91 @@
+#ifndef HETPS_OBS_RUN_REPORTER_H_
+#define HETPS_OBS_RUN_REPORTER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace hetps {
+
+/// Where and how often a run's observability artifacts are written.
+struct RunReporterOptions {
+  /// metrics.json destination; empty disables metric snapshots.
+  std::string metrics_out;
+  /// Chrome trace.json destination; empty disables the trace dump.
+  std::string trace_out;
+  /// Snapshot metrics every N epochs (worker-0 clocks) in addition to
+  /// the final write; 0 = final only. Intermediate snapshots overwrite
+  /// metrics_out so the file always holds the freshest state (§7.5's
+  /// monitor semantics: current, not historical).
+  int report_every = 0;
+  /// Extra free-form annotations copied into metrics.json's "run"
+  /// object (rule, protocol, workers, ...).
+  std::vector<std::pair<std::string, std::string>> run_info;
+};
+
+/// Snapshots the metrics registry (plus optional secondary registries)
+/// and the trace recorder into on-disk JSON at epoch boundaries and at
+/// end of run — the §7.5 monitoring plane's reporting surface.
+///
+/// metrics.json schema (validated by ValidateMetricsJson and the golden
+/// test):
+///   {
+///     "schema": "hetps.metrics.v1",
+///     "epoch": <last epoch reported, -1 = final only>,
+///     "final": true|false,
+///     "run": {"key": "value", ...},
+///     "metrics": {"counters": {...}, "gauges": {...},
+///                 "distributions": {...}, "histograms": {...}},
+///     "sources": {"<prefix>": {<same shape as "metrics">}, ...}
+///   }
+class RunReporter {
+ public:
+  explicit RunReporter(RunReporterOptions options,
+                       MetricsRegistry* registry = &GlobalMetrics(),
+                       TraceRecorder* trace = &TraceRecorder::Global());
+
+  /// Attaches a secondary registry (e.g. a PsService's per-instance
+  /// metrics) whose snapshot lands under "sources"/<prefix>.
+  void AddSource(const std::string& prefix,
+                 const MetricsRegistry* registry);
+
+  /// Epoch hook for trainers: writes a metrics snapshot when
+  /// report_every divides `epoch` (and report_every > 0). Thread-safe
+  /// against concurrent metric recording.
+  void OnEpoch(int epoch);
+
+  /// Writes the final metrics.json (final: true) and trace.json.
+  Status WriteFinal();
+
+  Status WriteMetricsJson(const std::string& path, int epoch,
+                          bool final_snapshot) const;
+  Status WriteTraceJson(const std::string& path) const;
+
+  /// Renders the metrics.json document as a string (the writer above,
+  /// without the file).
+  std::string MetricsJsonString(int epoch, bool final_snapshot) const;
+
+  const RunReporterOptions& options() const { return options_; }
+
+ private:
+  RunReporterOptions options_;
+  MetricsRegistry* registry_;
+  TraceRecorder* trace_;
+  std::vector<std::pair<std::string, const MetricsRegistry*>> sources_;
+};
+
+/// Schema checkers used by tests, the CLI `check-obs` command, and CI.
+/// Both parse with obs/json and verify the structural invariants (not
+/// specific values).
+Status ValidateMetricsJson(const std::string& text);
+/// Chrome trace_event checker: top-level object with a "traceEvents"
+/// array whose entries carry name/ph/ts/pid/tid (and dur for "X").
+Status ValidateChromeTraceJson(const std::string& text);
+
+}  // namespace hetps
+
+#endif  // HETPS_OBS_RUN_REPORTER_H_

@@ -1,0 +1,230 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace hetps {
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<uint64_t> g_next_instance_id{1};
+
+/// Per-thread cache of "my buffer in recorder X" so the hot path skips
+/// the registry lock. instance_id disambiguates distinct recorders
+/// (including address reuse after destruction). Stored as void* because
+/// ThreadBuffer is private to TraceRecorder.
+struct TlsSlot {
+  uint64_t instance_id = 0;
+  void* buffer = nullptr;
+};
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked singleton: late spans during static destruction stay safe.
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::TraceRecorder()
+    : instance_id_(g_next_instance_id.fetch_add(
+          1, std::memory_order_relaxed)) {}
+
+TraceRecorder::~TraceRecorder() { Stop(); }
+
+void TraceRecorder::Start(const TraceOptions& options) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const size_t capacity = std::max<size_t>(
+      16, options.buffer_kb_per_thread * 1024 / sizeof(TraceEvent));
+  if (capacity != capacity_events_) {
+    capacity_events_ = capacity;
+    for (auto& buf : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      buf->ring.assign(capacity_events_, TraceEvent());
+      buf->appended = 0;
+    }
+  }
+  if (epoch_us_.load(std::memory_order_relaxed) == 0) {
+    epoch_us_.store(SteadyNowMicros(), std::memory_order_relaxed);
+  }
+  enabled_.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::Stop() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+int64_t TraceRecorder::NowMicros() const {
+  const int64_t epoch = epoch_us_.load(std::memory_order_relaxed);
+  return epoch == 0 ? 0 : SteadyNowMicros() - epoch;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  static thread_local TlsSlot tls;
+  if (tls.instance_id == instance_id_ && tls.buffer != nullptr) {
+    return static_cast<ThreadBuffer*>(tls.buffer);
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (capacity_events_ == 0) return nullptr;  // never started
+  auto buf = std::make_unique<ThreadBuffer>();
+  buf->ring.assign(capacity_events_, TraceEvent());
+  buf->tid = static_cast<uint32_t>(buffers_.size());
+  ThreadBuffer* raw = buf.get();
+  buffers_.push_back(std::move(buf));
+  tls.instance_id = instance_id_;
+  tls.buffer = raw;
+  return raw;
+}
+
+void TraceRecorder::Append(const TraceEvent& ev) {
+  ThreadBuffer* buf = BufferForThisThread();
+  if (buf == nullptr) return;
+  // Uncontended in steady state: only this thread and the (rare)
+  // snapshotter ever take this mutex.
+  std::lock_guard<std::mutex> lock(buf->mu);
+  TraceEvent& slot = buf->ring[buf->appended % buf->ring.size()];
+  slot = ev;
+  if (slot.tid == 0 && slot.pid == 0) slot.tid = buf->tid;
+  ++buf->appended;
+}
+
+void TraceRecorder::AppendComplete(
+    const char* name, std::chrono::steady_clock::time_point start,
+    std::chrono::steady_clock::time_point end, const TraceEvent* proto) {
+  TraceEvent ev;
+  if (proto != nullptr) ev = *proto;
+  ev.name = name;
+  ev.phase = 'X';
+  const int64_t epoch = epoch_us_.load(std::memory_order_relaxed);
+  ev.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                 start.time_since_epoch())
+                 .count() -
+             epoch;
+  ev.dur_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count();
+  Append(ev);
+}
+
+void TraceRecorder::AppendInstant(const char* name,
+                                  const TraceEvent* proto) {
+  TraceEvent ev;
+  if (proto != nullptr) ev = *proto;
+  ev.name = name;
+  ev.phase = 'i';
+  ev.ts_us = NowMicros();
+  ev.dur_us = 0;
+  Append(ev);
+}
+
+void TraceRecorder::AppendExplicit(const TraceEvent& ev) {
+  Append(ev);
+}
+
+size_t TraceRecorder::buffered_count() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  size_t total = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    total += static_cast<size_t>(
+        std::min<uint64_t>(buf->appended, buf->ring.size()));
+  }
+  return total;
+}
+
+int64_t TraceRecorder::appended_count() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  int64_t total = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    total += static_cast<int64_t>(buf->appended);
+  }
+  return total;
+}
+
+int64_t TraceRecorder::dropped_count() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  int64_t dropped = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    if (buf->appended > buf->ring.size()) {
+      dropped +=
+          static_cast<int64_t>(buf->appended - buf->ring.size());
+    }
+  }
+  return dropped;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->appended = 0;
+  }
+}
+
+Status TraceRecorder::WriteJson(std::ostream& os) const {
+  // Snapshot all buffers under their locks, then serialize lock-free.
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      const uint64_t cap = buf->ring.size();
+      const uint64_t n = std::min<uint64_t>(buf->appended, cap);
+      // Oldest-first ring order.
+      const uint64_t start =
+          buf->appended > cap ? buf->appended % cap : 0;
+      for (uint64_t i = 0; i < n; ++i) {
+        events.push_back(buf->ring[(start + i) % cap]);
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (ev.name == nullptr) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(ev.name) << "\",\"ph\":\""
+       << ev.phase << "\",\"ts\":" << ev.ts_us << ",\"pid\":" << ev.pid
+       << ",\"tid\":" << ev.tid;
+    if (ev.phase == 'X') os << ",\"dur\":" << ev.dur_us;
+    if (ev.phase == 'i') os << ",\"s\":\"t\"";
+    os << ",\"cat\":\"hetps\"";
+    if (ev.num_args > 0) {
+      os << ",\"args\":{";
+      for (uint8_t a = 0; a < ev.num_args && a < 2; ++a) {
+        if (a) os << ',';
+        std::string num;
+        AppendJsonDouble(&num, ev.arg_val[a]);
+        os << '"'
+           << JsonEscape(ev.arg_key[a] != nullptr ? ev.arg_key[a] : "arg")
+           << "\":" << num;
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os ? Status::OK() : Status::IOError("trace write failed");
+}
+
+std::string TraceRecorder::ToJsonString() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+}  // namespace hetps

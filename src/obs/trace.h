@@ -1,0 +1,206 @@
+#ifndef HETPS_OBS_TRACE_H_
+#define HETPS_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hetps {
+
+/// One recorded event. `name` and arg keys must be string literals (or
+/// otherwise outlive the recorder) — events store pointers, never copy
+/// strings, so an append is a handful of word writes.
+struct TraceEvent {
+  const char* name = nullptr;
+  char phase = 'X';       // 'X' complete span, 'i' instant
+  uint32_t pid = 0;       // 0 = this process; simulators use their own
+  uint32_t tid = 0;
+  int64_t ts_us = 0;      // microseconds since recorder start (or
+                          // virtual time for simulated events)
+  int64_t dur_us = 0;     // 'X' only
+  uint8_t num_args = 0;
+  const char* arg_key[2] = {nullptr, nullptr};
+  double arg_val[2] = {0.0, 0.0};
+};
+
+struct TraceOptions {
+  /// Ring-buffer capacity per thread in KiB of event storage; the ring
+  /// keeps the most recent events and counts what it overwrote.
+  size_t buffer_kb_per_thread = 256;
+};
+
+/// Low-overhead Chrome trace_event recorder.
+///
+/// Design:
+///  - Disabled (the default), HETPS_TRACE_SPAN costs one relaxed atomic
+///    load — measured within noise on the PS push path (bench_obs).
+///  - Enabled, each thread appends to its own bounded ring buffer. The
+///    append path never allocates and synchronizes only on the owning
+///    thread's buffer mutex, which is uncontended in steady state (the
+///    sole other locker is the snapshotter at run/epoch boundaries) —
+///    the cheapest scheme that stays TSan-clean; see DESIGN.md
+///    "Observability" for why a seqlock ring was rejected.
+///  - Memory is bounded: buffer_kb_per_thread per participating thread,
+///    oldest events overwritten first (dropped_count()).
+///
+/// Output is Chrome trace_event JSON ({"traceEvents": [...]}) loadable
+/// in chrome://tracing and Perfetto. Virtual-time events (the event
+/// simulator) use the same schema with explicit timestamps and pid 1.
+class TraceRecorder {
+ public:
+  /// Process-wide recorder used by the HETPS_TRACE_* macros.
+  static TraceRecorder& Global();
+
+  TraceRecorder();
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Starts recording (idempotent; restarting clears nothing — call
+  /// Clear() first for a fresh trace).
+  void Start(const TraceOptions& options = TraceOptions());
+  /// Stops recording; buffered events remain readable.
+  void Stop();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends a completed span measured in real time.
+  void AppendComplete(const char* name,
+                      std::chrono::steady_clock::time_point start,
+                      std::chrono::steady_clock::time_point end,
+                      const TraceEvent* proto = nullptr);
+  /// Appends an instant event at "now".
+  void AppendInstant(const char* name, const TraceEvent* proto = nullptr);
+  /// Appends an event with explicit (virtual) time — the event
+  /// simulator's path. `ev.name/phase/pid/tid/ts_us/dur_us/args` are
+  /// taken verbatim.
+  void AppendExplicit(const TraceEvent& ev);
+
+  /// Microseconds since Start (0 when never started).
+  int64_t NowMicros() const;
+
+  /// Events currently buffered / appended in total / overwritten.
+  size_t buffered_count() const;
+  int64_t appended_count() const;
+  int64_t dropped_count() const;
+
+  /// Serializes all buffered events as Chrome trace JSON. Safe while
+  /// threads still append (the snapshot is a consistent per-buffer
+  /// prefix). Events are merged across buffers sorted by timestamp.
+  Status WriteJson(std::ostream& os) const;
+  std::string ToJsonString() const;
+
+  /// Discards all buffered events (buffers stay registered).
+  void Clear();
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> ring;  // fixed capacity once sized
+    uint64_t appended = 0;         // total appends; ring idx = n % cap
+    uint32_t tid = 0;
+  };
+
+  ThreadBuffer* BufferForThisThread();
+  void Append(const TraceEvent& ev);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> epoch_us_{0};  // steady_clock offset of Start
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  size_t capacity_events_ = 0;
+  const uint64_t instance_id_;  // distinguishes recorders for TLS caching
+};
+
+/// RAII span: start time captured at construction, appended at
+/// destruction when tracing is enabled. Cost when disabled: one relaxed
+/// load + a branch.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(TraceRecorder::Global().enabled() ? name : nullptr) {
+    if (name_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  TraceSpan(const char* name, const char* k0, double v0)
+      : TraceSpan(name) {
+    if (name_ != nullptr) AddArg(k0, v0);
+  }
+  TraceSpan(const char* name, const char* k0, double v0, const char* k1,
+            double v1)
+      : TraceSpan(name) {
+    if (name_ != nullptr) {
+      AddArg(k0, v0);
+      AddArg(k1, v1);
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceRecorder::Global().AppendComplete(
+          name_, start_, std::chrono::steady_clock::now(), &proto_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void AddArg(const char* key, double value) {
+    if (name_ != nullptr && proto_.num_args < 2) {
+      proto_.arg_key[proto_.num_args] = key;
+      proto_.arg_val[proto_.num_args] = value;
+      ++proto_.num_args;
+    }
+  }
+  bool active() const { return name_ != nullptr; }
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+  TraceEvent proto_;
+};
+
+namespace internal {
+inline void TraceInstant(const char* name) {
+  if (TraceRecorder::Global().enabled()) {
+    TraceRecorder::Global().AppendInstant(name);
+  }
+}
+inline void TraceInstant(const char* name, const char* k0, double v0) {
+  if (TraceRecorder::Global().enabled()) {
+    TraceEvent proto;
+    proto.num_args = 1;
+    proto.arg_key[0] = k0;
+    proto.arg_val[0] = v0;
+    TraceRecorder::Global().AppendInstant(name, &proto);
+  }
+}
+}  // namespace internal
+}  // namespace hetps
+
+#define HETPS_TRACE_CONCAT2(a, b) a##b
+#define HETPS_TRACE_CONCAT(a, b) HETPS_TRACE_CONCAT2(a, b)
+
+/// Scoped span: HETPS_TRACE_SPAN("ps.push");
+#define HETPS_TRACE_SPAN(name) \
+  ::hetps::TraceSpan HETPS_TRACE_CONCAT(hetps_span_, __LINE__)(name)
+/// Scoped span with one/two numeric args (keys must be literals):
+/// HETPS_TRACE_SPAN2("ps.push", "worker", m, "nnz", n);
+#define HETPS_TRACE_SPAN1(name, k0, v0)                            \
+  ::hetps::TraceSpan HETPS_TRACE_CONCAT(hetps_span_, __LINE__)(    \
+      name, k0, static_cast<double>(v0))
+#define HETPS_TRACE_SPAN2(name, k0, v0, k1, v1)                    \
+  ::hetps::TraceSpan HETPS_TRACE_CONCAT(hetps_span_, __LINE__)(    \
+      name, k0, static_cast<double>(v0), k1, static_cast<double>(v1))
+/// Instant event (zero duration marker).
+#define HETPS_TRACE_INSTANT(name) ::hetps::internal::TraceInstant(name)
+#define HETPS_TRACE_INSTANT1(name, k0, v0) \
+  ::hetps::internal::TraceInstant(name, k0, static_cast<double>(v0))
+
+#endif  // HETPS_OBS_TRACE_H_

@@ -1,11 +1,30 @@
 #include "ps/parameter_server.h"
 
+#include <chrono>
 #include <iomanip>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace hetps {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t MicrosSince(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now() - start)
+      .count();
+}
+
+/// Wire-size estimate of a sparse piece: index + value per entry.
+int64_t PieceBytes(const SparseVector& piece) {
+  return static_cast<int64_t>(piece.nnz()) *
+         static_cast<int64_t>(sizeof(int64_t) + sizeof(double));
+}
+
+}  // namespace
 
 ParameterServer::ParameterServer(int64_t dim, int num_workers,
                                  const ConsolidationRule& rule_proto,
@@ -28,10 +47,34 @@ ParameterServer::ParameterServer(int64_t dim, int num_workers,
         num_workers));
     shard_mu_.push_back(std::make_unique<std::mutex>());
   }
+  // Create every metric up front: hot paths record through cached
+  // pointers and never touch the registry again.
+  metrics_ = options.metrics != nullptr ? options.metrics : &GlobalMetrics();
+  push_counter_ = metrics_->counter("ps.push.count");
+  push_bytes_ = metrics_->counter("ps.push.bytes");
+  pull_counter_ = metrics_->counter("ps.pull.count");
+  blocked_workers_ = metrics_->gauge("ps.blocked_workers");
+  blocked_workers_->Set(0.0);
+  admission_wait_us_ = metrics_->histogram("ps.admission_wait_us");
+  push_piece_us_.reserve(static_cast<size_t>(parts));
+  pull_piece_us_.reserve(static_cast<size_t>(parts));
+  for (int p = 0; p < parts; ++p) {
+    const MetricLabels labels = {{"partition", std::to_string(p)}};
+    push_piece_us_.push_back(
+        metrics_->histogram("ps.push_piece_us", labels));
+    pull_piece_us_.push_back(
+        metrics_->histogram("ps.pull_piece_us", labels));
+  }
+  staleness_.reserve(static_cast<size_t>(num_workers));
+  for (int m = 0; m < num_workers; ++m) {
+    staleness_.push_back(metrics_->histogram(
+        "worker.staleness", {{"worker", std::to_string(m)}}));
+  }
 }
 
 void ParameterServer::Push(int worker, int clock,
                            const SparseVector& update) {
+  HETPS_TRACE_SPAN2("ps.push", "worker", worker, "nnz", update.nnz());
   const SparseVector filtered =
       options_.update_filter_epsilon > 0.0
           ? update.Filtered(options_.update_filter_epsilon)
@@ -57,6 +100,7 @@ void ParameterServer::Push(int worker, int clock,
 void ParameterServer::PushPiece(int partition, int worker, int clock,
                                 const SparseVector& local_piece,
                                 bool last_piece) {
+  const Clock::time_point start = Clock::now();
   {
     std::lock_guard<std::mutex> lock(
         *shard_mu_[static_cast<size_t>(partition)]);
@@ -64,6 +108,9 @@ void ParameterServer::PushPiece(int partition, int worker, int clock,
     shard->Push(worker, clock, local_piece);
     master_.ReportVersion(partition, shard->CompletedVersionCount());
   }
+  push_piece_us_[static_cast<size_t>(partition)]->RecordInt(
+      MicrosSince(start));
+  push_bytes_->Increment(PieceBytes(local_piece));
   // Lock order: the shard mutex (L2) is released before AdvanceClock
   // takes clock_mu_ (L1); the two are never nested here.
   if (last_piece) AdvanceClock(worker, clock);
@@ -71,11 +118,20 @@ void ParameterServer::PushPiece(int partition, int worker, int clock,
 
 void ParameterServer::AdvanceClock(int worker, int clock) {
   bool advanced = false;
+  int cmin_after = 0;
   {
     std::lock_guard<std::mutex> lock(clock_mu_);
     advanced = clock_table_.OnPush(worker, clock);
+    cmin_after = clock_table_.cmin();
   }
   if (advanced) clock_cv_.notify_all();
+  push_counter_->Increment();
+  // SSP staleness of this update relative to the slowest worker.
+  // Recorded here (not in the callers) so threaded, RPC and simulated
+  // runtimes all feed the same worker.staleness{worker=m} histogram.
+  const int staleness = clock - cmin_after;
+  staleness_[static_cast<size_t>(worker)]->RecordInt(
+      staleness > 0 ? staleness : 0);
 }
 
 bool ParameterServer::CanAdvance(int worker, int next_clock) const {
@@ -85,14 +141,29 @@ bool ParameterServer::CanAdvance(int worker, int next_clock) const {
 }
 
 void ParameterServer::WaitUntilCanAdvance(int worker, int next_clock) {
-  (void)worker;
-  std::unique_lock<std::mutex> lock(clock_mu_);
-  clock_cv_.wait(lock, [&] {
-    return options_.sync.CanAdvance(next_clock, clock_table_.cmin());
-  });
+  {
+    // Fast path: no wait, no telemetry churn.
+    std::unique_lock<std::mutex> lock(clock_mu_);
+    if (options_.sync.CanAdvance(next_clock, clock_table_.cmin())) {
+      admission_wait_us_->RecordInt(0);
+      return;
+    }
+  }
+  HETPS_TRACE_SPAN2("ps.wait", "worker", worker, "clock", next_clock);
+  const Clock::time_point start = Clock::now();
+  blocked_workers_->Add(1.0);
+  {
+    std::unique_lock<std::mutex> lock(clock_mu_);
+    clock_cv_.wait(lock, [&] {
+      return options_.sync.CanAdvance(next_clock, clock_table_.cmin());
+    });
+  }
+  blocked_workers_->Add(-1.0);
+  admission_wait_us_->RecordInt(MicrosSince(start));
 }
 
 std::vector<double> ParameterServer::PullFull(int worker, int* cmin_out) {
+  HETPS_TRACE_SPAN1("ps.pull", "worker", worker);
   int64_t version = -1;
   if (options_.partition_sync) {
     version = master_.StableVersion();
@@ -126,18 +197,24 @@ std::vector<double> ParameterServer::PullPiece(int partition, int worker,
   // section inverted the SaveCheckpoint order (clock -> shard) and was a
   // real ABBA deadlock under concurrent pull + checkpoint; regression
   // test: PsConcurrencyTest.PullsRaceCheckpointsWithoutDeadlock.
+  const Clock::time_point start = Clock::now();
   int cmax_now;
   {
     std::lock_guard<std::mutex> clock_lock(clock_mu_);
     cmax_now = clock_table_.cmax();
   }
-  std::lock_guard<std::mutex> lock(
-      *shard_mu_[static_cast<size_t>(partition)]);
-  ServerShard* shard = shards_[static_cast<size_t>(partition)].get();
-  if (version >= 0) {
-    return shard->PullAtVersion(worker, cmax_now, version);
+  std::vector<double> block;
+  {
+    std::lock_guard<std::mutex> lock(
+        *shard_mu_[static_cast<size_t>(partition)]);
+    ServerShard* shard = shards_[static_cast<size_t>(partition)].get();
+    block = version >= 0 ? shard->PullAtVersion(worker, cmax_now, version)
+                         : shard->Pull(worker, cmax_now);
   }
-  return shard->Pull(worker, cmax_now);
+  pull_piece_us_[static_cast<size_t>(partition)]->RecordInt(
+      MicrosSince(start));
+  pull_counter_->Increment();
+  return block;
 }
 
 std::vector<double> ParameterServer::PullRange(int worker, int64_t begin,

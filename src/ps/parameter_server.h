@@ -11,6 +11,7 @@
 #include "core/consolidation.h"
 #include "core/sync_policy.h"
 #include "math/sparse_vector.h"
+#include "obs/metrics.h"
 #include "ps/master.h"
 #include "ps/partition.h"
 #include "ps/server_shard.h"
@@ -30,6 +31,11 @@ struct PsOptions {
   /// Version-based partition synchronization through the master (§6);
   /// effective with a deferred-mode DynSGD rule.
   bool partition_sync = false;
+  /// Registry receiving the PS telemetry (per-shard push/pull latency
+  /// histograms, per-worker staleness, admission-wait times). nullptr =
+  /// the process-wide GlobalMetrics(). The metric objects are created
+  /// once at construction, so recording never takes a registry lock.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Thread-safe facade over the partitioned server shards, the global clock
@@ -142,7 +148,10 @@ class ParameterServer {
 
   /// Records `worker`'s push of `clock` in the clock table and wakes
   /// blocked SSP waiters when cmin advances. Takes L1 only; must be
-  /// called with no shard mutex held.
+  /// called with no shard mutex held. Also records the update's SSP
+  /// staleness (clock - cmin) into worker.staleness{worker=m} — the one
+  /// choke point every runtime (threaded, RPC, simulated) pushes
+  /// through.
   void AdvanceClock(int worker, int clock);
 
   const int num_workers_;
@@ -163,6 +172,18 @@ class ParameterServer {
   // shard mutexes are only ever held together in increasing index order.
   std::vector<std::unique_ptr<ServerShard>> shards_;
   mutable std::vector<std::unique_ptr<std::mutex>> shard_mu_;
+
+  // Telemetry (owned by metrics_; pointers cached at construction so
+  // the hot paths never look up by name). All recording is wait-free.
+  MetricsRegistry* metrics_;
+  Counter* push_counter_;
+  Counter* push_bytes_;
+  Counter* pull_counter_;
+  Gauge* blocked_workers_;
+  HistogramMetric* admission_wait_us_;
+  std::vector<HistogramMetric*> push_piece_us_;  // per partition
+  std::vector<HistogramMetric*> pull_piece_us_;  // per partition
+  std::vector<HistogramMetric*> staleness_;      // per worker
 };
 
 }  // namespace hetps

@@ -1,8 +1,19 @@
 #include "ps/worker_client.h"
 
+#include <chrono>
+
 #include "util/logging.h"
 
 namespace hetps {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
 
 WorkerClient::WorkerClient(int worker_id, ParameterServer* ps)
     : worker_id_(worker_id), ps_(ps) {
@@ -12,7 +23,10 @@ WorkerClient::WorkerClient(int worker_id, ParameterServer* ps)
 }
 
 void WorkerClient::Push(int clock, const SparseVector& update) {
+  const Clock::time_point start = Clock::now();
   ps_->Push(worker_id_, clock, update);
+  breakdown_.comm_seconds += SecondsSince(start);
+  ++breakdown_.clocks_completed;
   ++push_count_;
 }
 
@@ -26,9 +40,13 @@ bool WorkerClient::MaybePull(int clock, std::vector<double>* replica) {
 
 void WorkerClient::PullBlocking(int next_clock,
                                 std::vector<double>* replica) {
+  const Clock::time_point wait_start = Clock::now();
   ps_->WaitUntilCanAdvance(worker_id_, next_clock);
+  breakdown_.wait_seconds += SecondsSince(wait_start);
+  const Clock::time_point pull_start = Clock::now();
   int cmin = 0;
   *replica = ps_->PullFull(worker_id_, &cmin);
+  breakdown_.comm_seconds += SecondsSince(pull_start);
   cached_cmin_ = cmin;
   ++pull_count_;
 }
@@ -45,7 +63,12 @@ void WorkerClient::StartPrefetch(int next_clock) {
 
 bool WorkerClient::FinishPrefetch(std::vector<double>* replica) {
   if (!prefetch_.has_value()) return false;
+  // Only the un-overlapped remainder counts as wait: the async pull ran
+  // beside the clock's computation, so the time blocked here is what
+  // prefetching could not hide.
+  const Clock::time_point start = Clock::now();
   PrefetchResult result = prefetch_->get();
+  breakdown_.wait_seconds += SecondsSince(start);
   prefetch_.reset();
   *replica = std::move(result.replica);
   cached_cmin_ = result.cmin;

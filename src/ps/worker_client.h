@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "math/sparse_vector.h"
+#include "obs/breakdown.h"
 #include "ps/parameter_server.h"
 
 namespace hetps {
@@ -54,6 +55,13 @@ class WorkerClient {
   int64_t push_count() const { return push_count_; }
   int64_t pull_count() const { return pull_count_; }
 
+  /// Where this worker's PS-facing time went (Figure 6's comm vs. SSP
+  /// wait; compute_seconds stays 0 — the trainer owns compute).
+  /// Prefetch waits count only the un-overlapped remainder (the block
+  /// inside FinishPrefetch), which is exactly the time prefetching
+  /// failed to hide.
+  const WorkerTimeBreakdown& breakdown() const { return breakdown_; }
+
  private:
   struct PrefetchResult {
     std::vector<double> replica;
@@ -66,6 +74,7 @@ class WorkerClient {
   int64_t push_count_ = 0;
   int64_t pull_count_ = 0;
   std::optional<std::future<PrefetchResult>> prefetch_;
+  WorkerTimeBreakdown breakdown_;
 };
 
 }  // namespace hetps

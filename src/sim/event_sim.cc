@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "data/sharding.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ps/parameter_server.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -49,6 +51,32 @@ struct EventLater {
     return a.seq > b.seq;
   }
 };
+
+/// The simulator shares the Chrome-trace schema with the real runtimes
+/// but stamps *virtual* time: pid 1 marks simulated tracks (pid 0 is the
+/// process's wall-clock tracks) and tid is the simulated worker id, so a
+/// simulated run and a threaded run load side by side in Perfetto.
+constexpr uint32_t kSimPid = 1;
+
+void EmitSimSpan(const char* name, int worker, double start_seconds,
+                 double dur_seconds, const char* k0 = nullptr,
+                 double v0 = 0.0) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  if (!rec.enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = 'X';
+  ev.pid = kSimPid;
+  ev.tid = static_cast<uint32_t>(worker);
+  ev.ts_us = static_cast<int64_t>(start_seconds * 1e6);
+  ev.dur_us = static_cast<int64_t>(dur_seconds * 1e6);
+  if (k0 != nullptr) {
+    ev.num_args = 1;
+    ev.arg_key[0] = k0;
+    ev.arg_val[0] = v0;
+  }
+  rec.AppendExplicit(ev);
+}
 
 struct PushPieceMsg {
   int partition;
@@ -245,6 +273,8 @@ class Simulation {
          static_cast<double>(stats.batches) * cluster_.batch_overhead) *
         prof.compute_multiplier * jitter;
     w.breakdown.compute_seconds += tc;
+    EmitSimSpan("worker.compute", worker, now_, tc, "clock",
+                static_cast<double>(w.clock));
     const double t_send = now_ + tc;
 
     // Report the worker's *compute* time for this clock and let the
@@ -277,6 +307,9 @@ class Simulation {
     }
 
     ++w.breakdown.clocks_completed;
+    if (worker == 0 && options_.on_epoch) {
+      options_.on_epoch(w.clock + 1);
+    }
 
     // Algorithm 1 lines 8-9: refresh the replica only when cp is too
     // stale; the request leaves once the update is sent.
@@ -313,6 +346,8 @@ class Simulation {
       }
     }
     w.breakdown.comm_seconds += max_arrival - now_;
+    EmitSimSpan("worker.push", worker, now_, max_arrival - now_, "clock",
+                static_cast<double>(w.pending_push_clock));
     for (size_t p = 0; p < pieces.size(); ++p) {
       const int64_t id = next_piece_id_++;
       pieces_.emplace(id, PushPieceMsg{static_cast<int>(p), worker,
@@ -364,6 +399,9 @@ class Simulation {
   void GrantPull(int worker) {
     WorkerSim& w = workers_[static_cast<size_t>(worker)];
     w.breakdown.wait_seconds += now_ - w.pull_request_time;
+    EmitSimSpan("worker.wait", worker, w.pull_request_time,
+                now_ - w.pull_request_time, "next_clock",
+                static_cast<double>(w.pending_next_clock));
     const WorkerProfile& prof = cluster_.profile(worker);
     // With partition sync the worker asks the master for the stable
     // version before reading (§6); otherwise each partition serves its
@@ -386,6 +424,8 @@ class Simulation {
       max_arrival = std::max(max_arrival, slot.arrival);
     }
     w.breakdown.comm_seconds += max_arrival - now_;
+    EmitSimSpan("worker.pull", worker, now_, max_arrival - now_,
+                "next_clock", static_cast<double>(w.pending_next_clock));
     w.pending_cmin = ps_->cmin();
     Schedule(max_arrival, EventType::kPullResponse, worker, 0);
   }
@@ -483,9 +523,14 @@ class Simulation {
     }
     r.mean_staleness = ps_->shard(0).rule().ObservedMeanStaleness();
     r.worker_breakdown.reserve(workers_.size());
-    for (const auto& w : workers_) {
-      r.worker_breakdown.push_back(w.breakdown);
+    for (size_t m = 0; m < workers_.size(); ++m) {
+      RecordBreakdown(&GlobalMetrics(), static_cast<int>(m),
+                      workers_[m].breakdown);
+      r.worker_breakdown.push_back(workers_[m].breakdown);
     }
+    GlobalMetrics()
+        .gauge("sim.mean_staleness")
+        ->Set(ps_->shard(0).rule().ObservedMeanStaleness());
     return r;
   }
 

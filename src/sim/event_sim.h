@@ -2,6 +2,7 @@
 #define HETPS_SIM_EVENT_SIM_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "core/sync_policy.h"
 #include "data/dataset.h"
 #include "math/loss.h"
+#include "obs/breakdown.h"
 #include "ps/partition.h"
 #include "sim/cluster_config.h"
 #include "sim/mitigation.h"
@@ -57,21 +59,9 @@ struct SimOptions {
   /// Record the per-clock objective of worker 0 (a fast worker under the
   /// straggler configs) — the paper's convergence curves.
   bool record_clock_objectives = true;
-};
-
-/// Per-worker breakdown of simulated time — Figure 6's stacked bars.
-struct WorkerTimeBreakdown {
-  double compute_seconds = 0.0;
-  double comm_seconds = 0.0;
-  double wait_seconds = 0.0;
-  int clocks_completed = 0;
-
-  double PerClockCompute() const {
-    return clocks_completed ? compute_seconds / clocks_completed : 0.0;
-  }
-  double PerClockComm() const {
-    return clocks_completed ? comm_seconds / clocks_completed : 0.0;
-  }
+  /// Called after each of worker 0's clocks completes (1-based count);
+  /// RunReporter::OnEpoch hooks in here. Runs on the simulator thread.
+  std::function<void(int)> on_epoch;
 };
 
 /// Result of one simulated run — every metric the paper reports.

@@ -10,6 +10,8 @@ namespace hetps {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_vlog_level{0};
+std::atomic<LogSink*> g_log_sink{nullptr};
 
 // Serializes emission so concurrent log lines do not interleave.
 std::mutex& EmitMutex() {
@@ -38,6 +40,14 @@ const char* Basename(const char* path) {
   return slash ? slash + 1 : path;
 }
 
+void EmitToStderr(LogLevel level, const char* file, int line,
+                  const std::string& message) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file),
+               line, message.c_str());
+  std::fflush(stderr);
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -48,22 +58,44 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+void SetVLogLevel(int level) {
+  g_vlog_level.store(level, std::memory_order_relaxed);
+}
+
+int GetVLogLevel() {
+  return g_vlog_level.load(std::memory_order_relaxed);
+}
+
+LogSink* SetLogSink(LogSink* sink) {
+  return g_log_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : LogMessage(level, file, line,
+                 /*force=*/level == LogLevel::kFatal) {}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line,
+                       bool force)
     : level_(level),
-      enabled_(level >= GetLogLevel() || level == LogLevel::kFatal) {
-  if (enabled_) {
-    stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line
-            << "] ";
-  }
-}
+      file_(file),
+      line_(line),
+      enabled_(force || level >= GetLogLevel()) {}
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::lock_guard<std::mutex> lock(EmitMutex());
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
-    std::fflush(stderr);
+    const std::string message = stream_.str();
+    LogSink* sink = g_log_sink.load(std::memory_order_acquire);
+    if (sink != nullptr) {
+      sink->Write(level_, file_, line_, message);
+      // Fatal aborts below; make sure the reason reaches stderr too.
+      if (level_ == LogLevel::kFatal) {
+        EmitToStderr(level_, file_, line_, message);
+      }
+    } else {
+      EmitToStderr(level_, file_, line_, message);
+    }
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

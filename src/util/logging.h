@@ -19,14 +19,40 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Verbosity for HETPS_VLOG(n): messages with n <= level are emitted
+/// (at Debug severity, regardless of the minimum level above).
+/// Defaults to 0, i.e. all VLOGs off. Thread-safe.
+void SetVLogLevel(int level);
+int GetVLogLevel();
+
+/// Destination for formatted log records. Implementations must be
+/// thread-safe: Write may be called concurrently from any thread.
+/// `message` is the user text without the "[I file:line]" prefix.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(LogLevel level, const char* file, int line,
+                     const std::string& message) = 0;
+};
+
+/// Replaces the process-wide sink and returns the previous one
+/// (nullptr = the default stderr writer). The caller keeps ownership
+/// of both; tests typically install a capturing sink and restore the
+/// previous value on teardown. Fatal messages always also reach
+/// stderr so aborts stay diagnosable even with a sink installed.
+LogSink* SetLogSink(LogSink* sink);
+
 namespace internal {
 
-/// Accumulates one log line and emits it (with level tag and source
-/// location) to stderr on destruction. Messages below the process level are
-/// formatted but not emitted; kFatal aborts the process after emitting.
+/// Accumulates one log line and emits it on destruction — to the
+/// installed LogSink, or with a "[<level> file:line]" prefix to stderr
+/// when no sink is set. Messages below the process level are neither
+/// formatted nor emitted; kFatal aborts the process after emitting.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
+  /// `force` bypasses the minimum-level filter (HETPS_VLOG's path).
+  LogMessage(LogLevel level, const char* file, int line, bool force);
   ~LogMessage();
 
   LogMessage(const LogMessage&) = delete;
@@ -40,6 +66,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   bool enabled_;
   std::ostringstream stream_;
 };
@@ -52,10 +80,28 @@ class LogMessage {
   ::hetps::internal::LogMessage(::hetps::LogLevel::k##severity,   \
                                 __FILE__, __LINE__)
 
+/// Verbose logging, off by default: HETPS_VLOG(2) << "shard " << p;
+/// Emits (at Debug severity, ignoring the minimum level) when
+/// SetVLogLevel(n') was called with n' >= n. The streamed operands are
+/// not evaluated when the verbosity check fails.
+#define HETPS_VLOG(n)                                             \
+  if (::hetps::GetVLogLevel() < (n)) {                            \
+  } else                                                          \
+    ::hetps::internal::LogMessage(::hetps::LogLevel::kDebug,      \
+                                  __FILE__, __LINE__, /*force=*/true)
+
 /// Fatal check macro: aborts with a message when `cond` is false.
 #define HETPS_CHECK(cond)                                         \
   if (!(cond)) HETPS_LOG(Fatal) << "Check failed: " #cond " "
 
+/// Debug-only check: identical to HETPS_CHECK in debug builds;
+/// compiles to nothing under NDEBUG (the condition and any streamed
+/// operands are type-checked but never evaluated).
+#ifdef NDEBUG
+#define HETPS_DCHECK(cond) \
+  while (false) HETPS_CHECK(cond)
+#else
 #define HETPS_DCHECK(cond) HETPS_CHECK(cond)
+#endif
 
 #endif  // HETPS_UTIL_LOGGING_H_

@@ -1,96 +1,10 @@
 #ifndef HETPS_UTIL_METRICS_H_
 #define HETPS_UTIL_METRICS_H_
 
-#include <atomic>
-#include <cstdint>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <vector>
-
-#include "util/stats.h"
-
-namespace hetps {
-
-/// Monotonic event counter. Thread-safe, lock-free on the hot path.
-class Counter {
- public:
-  void Increment(int64_t delta = 1) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
-  }
-  int64_t value() const {
-    return value_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<int64_t> value_{0};
-};
-
-/// Last-write-wins numeric gauge (e.g. current memory bytes).
-class Gauge {
- public:
-  void Set(double v) {
-    bits_.store(Encode(v), std::memory_order_relaxed);
-  }
-  double value() const {
-    return Decode(bits_.load(std::memory_order_relaxed));
-  }
-
- private:
-  static uint64_t Encode(double v) {
-    uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(v));
-    __builtin_memcpy(&bits, &v, sizeof(bits));
-    return bits;
-  }
-  static double Decode(uint64_t bits) {
-    double v;
-    __builtin_memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-  std::atomic<uint64_t> bits_{0};
-};
-
-/// Latency/size distribution (mutex-guarded Welford accumulator).
-class DistributionMetric {
- public:
-  void Record(double v) {
-    std::lock_guard<std::mutex> lock(mu_);
-    stat_.Add(v);
-  }
-  RunningStat Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stat_;
-  }
-
- private:
-  mutable std::mutex mu_;
-  RunningStat stat_;
-};
-
-/// A named collection of metrics, as the prototype's monitoring plane
-/// (§7.5 monitors memory/CPU per node) would expose. Metric objects are
-/// created on first use and live as long as the registry; returned
-/// pointers stay valid.
-class MetricsRegistry {
- public:
-  Counter* counter(const std::string& name);
-  Gauge* gauge(const std::string& name);
-  DistributionMetric* distribution(const std::string& name);
-
-  /// Rendered as "name value" lines, sorted; distributions report
-  /// count/mean/max.
-  std::string Report() const;
-
- private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<DistributionMetric>>
-      distributions_;
-};
-
-}  // namespace hetps
+// Compatibility shim: the metrics implementation moved to src/obs/ so
+// it can share the bucketed histogram and exposition code with the
+// rest of the observability plane. Include "obs/metrics.h" directly in
+// new code.
+#include "obs/metrics.h"  // IWYU pragma: export
 
 #endif  // HETPS_UTIL_METRICS_H_

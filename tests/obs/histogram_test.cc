@@ -1,0 +1,145 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hetps {
+namespace {
+
+TEST(BucketedHistogram, EmptyIsSane) {
+  BucketedHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.5), 0.0);
+}
+
+TEST(BucketedHistogram, LinearRegionIsExact) {
+  // Values below the linear cutoff land in unit-width buckets, so
+  // quantiles are exact.
+  BucketedHistogram h;
+  for (int v = 0; v < BucketedHistogram::kLinearCutoff; ++v) {
+    EXPECT_EQ(BucketedHistogram::BucketIndex(v), v) << v;
+    EXPECT_EQ(BucketedHistogram::BucketLowerBound(v), v) << v;
+  }
+  for (int i = 0; i < 100; ++i) h.RecordInt(i % 10);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 9);
+  EXPECT_NEAR(h.ValueAtQuantile(0.5), 4.5, 0.51);
+}
+
+TEST(BucketedHistogram, BucketBoundariesMonotone) {
+  int prev = BucketedHistogram::BucketIndex(0);
+  EXPECT_EQ(prev, 0);
+  for (int64_t v = 1; v < (int64_t{1} << 40); v = v * 2 + 1) {
+    const int idx = BucketedHistogram::BucketIndex(v);
+    EXPECT_GE(idx, prev) << "v=" << v;
+    EXPECT_LT(idx, BucketedHistogram::kNumBuckets) << "v=" << v;
+    // The bucket's range contains the value.
+    EXPECT_LE(BucketedHistogram::BucketLowerBound(idx), v);
+    EXPECT_GT(BucketedHistogram::BucketUpperBound(idx), v);
+    prev = idx;
+  }
+}
+
+TEST(BucketedHistogram, RelativeErrorBound) {
+  // Each octave has 16 sub-buckets, so the worst-case relative
+  // quantile error (bucket midpoint vs. true value) is ~1/32 + eps.
+  BucketedHistogram h;
+  std::mt19937_64 rng(42);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform over [1, 1e9) — stresses every octave.
+    const double u = std::uniform_real_distribution<double>(0, 9)(rng);
+    const int64_t v = static_cast<int64_t>(std::pow(10.0, u));
+    values.push_back(v);
+    h.RecordInt(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const size_t rank = std::min(
+        values.size() - 1,
+        static_cast<size_t>(std::ceil(q * values.size())) - 1);
+    const double exact = static_cast<double>(values[rank]);
+    const double approx = h.ValueAtQuantile(q);
+    EXPECT_NEAR(approx, exact, exact * 0.07 + 1.0)
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+TEST(BucketedHistogram, MeanMinMaxSum) {
+  BucketedHistogram h;
+  h.Record(10.0);
+  h.Record(20.0);
+  h.Record(30.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 60.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 30);
+}
+
+TEST(BucketedHistogram, NegativeAndFractionalClamp) {
+  BucketedHistogram h;
+  h.Record(-5.0);   // clamped to 0
+  h.Record(0.4);    // rounds to 0
+  h.Record(0.6);    // rounds to 1
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 1);
+}
+
+TEST(BucketedHistogram, Merge) {
+  BucketedHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.RecordInt(10);
+  for (int i = 0; i < 100; ++i) b.RecordInt(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_NEAR(a.ValueAtQuantile(0.25), 10, 1.0);
+  EXPECT_NEAR(a.ValueAtQuantile(0.75), 1000, 1000 * 0.07);
+}
+
+TEST(BucketedHistogram, Overflow) {
+  BucketedHistogram h;
+  h.RecordInt(int64_t{1} << 45);  // beyond kMaxExponent octaves
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.overflow_count(), 1);
+  // Still counted in the top bucket so quantiles stay monotone.
+  EXPECT_GT(h.ValueAtQuantile(0.5), 0.0);
+}
+
+TEST(BucketedHistogram, Reset) {
+  BucketedHistogram h;
+  h.RecordInt(7);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.99), 0.0);
+}
+
+TEST(BucketedHistogram, ConcurrentRecord) {
+  BucketedHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.RecordInt((t + 1) * 100 + i % 50);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_EQ(h.min(), 100);
+  EXPECT_EQ(h.max(), 449);
+}
+
+}  // namespace
+}  // namespace hetps

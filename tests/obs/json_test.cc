@@ -1,0 +1,99 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+namespace hetps {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(ParseJson("null").value().is_null());
+  EXPECT_TRUE(ParseJson("true").value().bool_value);
+  EXPECT_FALSE(ParseJson("false").value().bool_value);
+  EXPECT_DOUBLE_EQ(ParseJson("42").value().number_value, 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-1.5e3").value().number_value, -1500.0);
+  EXPECT_EQ(ParseJson("\"hi\"").value().string_value, "hi");
+}
+
+TEST(JsonParse, EscapesRoundTrip) {
+  auto v = ParseJson("\"a\\\"b\\\\c\\n\\t\\u0041\"");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v.value().string_value, "a\"b\\c\n\tA");
+}
+
+TEST(JsonParse, UnicodeEscapeToUtf8) {
+  auto v = ParseJson("\"\\u00e9\\u20ac\"");  // é €
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().string_value, "\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonParse, ArraysAndObjects) {
+  auto v = ParseJson("{\"a\": [1, 2, 3], \"b\": {\"c\": true}}");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const JsonValue& doc = v.value();
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* a = doc.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number_value, 2.0);
+  const JsonValue* b = doc.Find("b");
+  ASSERT_NE(b, nullptr);
+  const JsonValue* c = b->Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->is_bool());
+}
+
+TEST(JsonParse, PreservesInsertionOrder) {
+  auto v = ParseJson("{\"z\":1,\"a\":2,\"m\":3}");
+  ASSERT_TRUE(v.ok());
+  const auto& obj = v.value().object;
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());          // trailing garbage
+  EXPECT_FALSE(ParseJson("{\"a\":1,\"a\":2}").ok());  // duplicate key
+  EXPECT_FALSE(ParseJson("nul").ok());
+}
+
+TEST(JsonParse, DepthLimit) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+  std::string ok(30, '[');
+  ok += std::string(30, ']');
+  EXPECT_TRUE(ParseJson(ok).ok());
+}
+
+TEST(JsonEscapeTest, ControlAndQuotes) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("\n\t"), "\\n\\t");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(AppendJsonDoubleTest, FiniteAndNonFinite) {
+  std::string s;
+  AppendJsonDouble(&s, 1.5);
+  EXPECT_EQ(s, "1.5");
+  s.clear();
+  AppendJsonDouble(&s, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(s, "0");  // NaN is not valid JSON
+  // Round-trips through the parser.
+  s.clear();
+  AppendJsonDouble(&s, 0.1);
+  auto v = ParseJson(s);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v.value().number_value, 0.1);
+}
+
+}  // namespace
+}  // namespace hetps

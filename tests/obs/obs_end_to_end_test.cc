@@ -1,0 +1,210 @@
+// End-to-end check of the observability plane: a real threaded training
+// run and a simulated run must both land metrics.json / trace.json
+// artifacts carrying the promised signals (staleness quantiles,
+// per-partition push/pull latency, compute-vs-wait breakdown, RPC fault
+// counters) — the contract CI's obs-smoke job also verifies via the CLI.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/consolidation.h"
+#include "core/learning_rate.h"
+#include "data/synthetic.h"
+#include "engine/distributed_trainer.h"
+#include "engine/threaded_trainer.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_reporter.h"
+#include "obs/trace.h"
+#include "sim/cluster_config.h"
+#include "sim/event_sim.h"
+
+namespace hetps {
+namespace {
+
+Dataset SmallData() {
+  SyntheticConfig cfg = UrlLikeConfig(0.05, 5);
+  return GenerateSynthetic(cfg);
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class ObsEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GlobalMetrics().ResetValues();
+    TraceRecorder::Global().Clear();
+    TraceOptions topts;
+    topts.buffer_kb_per_thread = 64;
+    TraceRecorder::Global().Start(topts);
+  }
+  void TearDown() override {
+    TraceRecorder::Global().Stop();
+    std::remove(metrics_path_.c_str());
+    std::remove(trace_path_.c_str());
+  }
+
+  void CheckArtifacts(const char* context) {
+    const std::string metrics = Slurp(metrics_path_);
+    const std::string trace = Slurp(trace_path_);
+    ASSERT_FALSE(metrics.empty()) << context;
+    ASSERT_FALSE(trace.empty()) << context;
+    EXPECT_TRUE(ValidateMetricsJson(metrics).ok()) << context;
+    EXPECT_TRUE(ValidateChromeTraceJson(trace).ok()) << context;
+    // The promised signals, by key, inside the parsed document.
+    auto doc = ParseJson(metrics);
+    ASSERT_TRUE(doc.ok()) << context;
+    const JsonValue* hists = doc.value().Find("metrics")->Find(
+        "histograms");
+    ASSERT_NE(hists, nullptr) << context;
+    const JsonValue* staleness = hists->Find("worker.staleness{worker=0}");
+    ASSERT_NE(staleness, nullptr) << context;
+    EXPECT_NE(staleness->Find("p50"), nullptr) << context;
+    EXPECT_NE(staleness->Find("p99"), nullptr) << context;
+    EXPECT_NE(hists->Find("ps.push_piece_us{partition=0}"), nullptr)
+        << context;
+    EXPECT_NE(hists->Find("ps.pull_piece_us{partition=0}"), nullptr)
+        << context;
+    const JsonValue* gauges =
+        doc.value().Find("metrics")->Find("gauges");
+    ASSERT_NE(gauges, nullptr) << context;
+    EXPECT_NE(gauges->Find("worker.compute_seconds{worker=0}"), nullptr)
+        << context;
+    EXPECT_NE(gauges->Find("worker.wait_seconds{worker=0}"), nullptr)
+        << context;
+  }
+
+  // Unique per test: ctest runs each test as its own process in
+  // parallel, so a shared fixed name would race across processes.
+  static std::string UniquePath(const char* suffix) {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return ::testing::TempDir() + "obs_e2e_" + info->name() + suffix;
+  }
+  std::string metrics_path_ = UniquePath("_metrics.json");
+  std::string trace_path_ = UniquePath("_trace.json");
+};
+
+TEST_F(ObsEndToEndTest, ThreadedRunEmitsGoldenArtifacts) {
+  const Dataset data = SmallData();
+  auto rule = MakeConsolidationRule("dyn");
+  auto loss = MakeLoss("logistic");
+  FixedRate sched(0.3);
+
+  RunReporterOptions opts;
+  opts.metrics_out = metrics_path_;
+  opts.trace_out = trace_path_;
+  opts.report_every = 2;
+  opts.run_info = {{"command", "test.threaded"}};
+  RunReporter reporter(opts);
+
+  ThreadedTrainerOptions topts;
+  topts.num_workers = 3;
+  topts.num_servers = 2;
+  topts.max_clocks = 6;
+  topts.eval_sample = 200;
+  int epochs_seen = 0;
+  topts.on_epoch = [&](int epoch) {
+    ++epochs_seen;
+    reporter.OnEpoch(epoch);
+  };
+  const ThreadedTrainResult r =
+      TrainThreaded(data, *loss, sched, *rule, topts);
+  EXPECT_EQ(epochs_seen, 6);
+  ASSERT_EQ(r.worker_breakdown.size(), 3u);
+  EXPECT_EQ(r.worker_breakdown[0].clocks_completed, 6);
+  EXPECT_GT(r.worker_breakdown[0].compute_seconds, 0.0);
+  ASSERT_TRUE(reporter.WriteFinal().ok());
+  CheckArtifacts("threaded");
+}
+
+TEST_F(ObsEndToEndTest, SimulatedRunEmitsGoldenArtifactsInVirtualTime) {
+  const Dataset data = SmallData();
+  auto rule = MakeConsolidationRule("dyn");
+  auto loss = MakeLoss("logistic");
+  FixedRate sched(1.0);
+
+  RunReporterOptions opts;
+  opts.metrics_out = metrics_path_;
+  opts.trace_out = trace_path_;
+  opts.run_info = {{"command", "test.sim"}};
+  RunReporter reporter(opts);
+
+  SimOptions sopts;
+  sopts.max_clocks = 8;
+  sopts.stop_on_convergence = false;
+  sopts.eval_sample = 200;
+  int epochs_seen = 0;
+  sopts.on_epoch = [&](int epoch) {
+    ++epochs_seen;
+    reporter.OnEpoch(epoch);
+  };
+  const ClusterConfig cluster =
+      ClusterConfig::WithStragglers(4, 2, 2.0, 0.25);
+  const SimResult r =
+      RunSimulation(data, cluster, *rule, sched, *loss, sopts);
+  EXPECT_EQ(epochs_seen, 8);
+  ASSERT_EQ(r.worker_breakdown.size(), 4u);
+  ASSERT_TRUE(reporter.WriteFinal().ok());
+  CheckArtifacts("simulated");
+
+  // Virtual-time events are tagged pid 1 so they sit on their own
+  // Perfetto track group, distinct from wall-clock (pid 0) events.
+  auto doc = ParseJson(Slurp(trace_path_));
+  ASSERT_TRUE(doc.ok());
+  const JsonValue* events = doc.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_sim_compute = false;
+  for (const JsonValue& ev : events->array) {
+    const JsonValue* name = ev.Find("name");
+    const JsonValue* pid = ev.Find("pid");
+    if (name != nullptr && pid != nullptr &&
+        name->string_value == "worker.compute" &&
+        pid->number_value == 1.0) {
+      saw_sim_compute = true;
+      const JsonValue* dur = ev.Find("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GT(dur->number_value, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_sim_compute);
+}
+
+TEST_F(ObsEndToEndTest, DistributedRunCarriesRpcCountersAndBreakdown) {
+  const Dataset data = SmallData();
+  auto rule = MakeConsolidationRule("dyn");
+  auto loss = MakeLoss("logistic");
+  FixedRate sched(0.3);
+
+  DistributedTrainerOptions dopts;
+  dopts.num_workers = 2;
+  dopts.num_servers = 2;
+  dopts.max_clocks = 4;
+  dopts.eval_sample = 200;
+  int epochs_seen = 0;
+  dopts.on_epoch = [&](int) { ++epochs_seen; };
+  auto result = TrainDistributed(data, *loss, sched, *rule, dopts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(epochs_seen, 4);
+  ASSERT_EQ(result.value().worker_breakdown.size(), 2u);
+  EXPECT_GT(result.value().worker_breakdown[0].compute_seconds, 0.0);
+  EXPECT_GT(result.value().worker_breakdown[0].comm_seconds, 0.0);
+  // The bus pushed its delivery/fault counters into the global registry.
+  EXPECT_GT(GlobalMetrics().counter("bus.delivered")->value(), 0);
+  const std::string json = GlobalMetrics().JsonSnapshot();
+  EXPECT_NE(json.find("bus.fault.dropped_requests"), std::string::npos);
+  EXPECT_NE(json.find("rpc.client_retries"), std::string::npos);
+  EXPECT_NE(json.find("rpc.handle_us{op=push}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetps

@@ -1,9 +1,43 @@
 #include "util/logging.h"
 
+#include <mutex>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace hetps {
 namespace {
+
+/// Captures log records for assertions; restores the previous sink on
+/// destruction so tests cannot leak a dangling sink.
+class CapturingSink : public LogSink {
+ public:
+  CapturingSink() : previous_(SetLogSink(this)) {}
+  ~CapturingSink() override { SetLogSink(previous_); }
+
+  void Write(LogLevel level, const char* file, int line,
+             const std::string& message) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back({level, file, line, message});
+  }
+
+  struct Record {
+    LogLevel level;
+    std::string file;
+    int line;
+    std::string message;
+  };
+  std::vector<Record> records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+
+ private:
+  LogSink* previous_;
+  mutable std::mutex mu_;
+  std::vector<Record> records_;
+};
 
 TEST(LoggingTest, LevelRoundTrips) {
   const LogLevel prev = GetLogLevel();
@@ -25,6 +59,85 @@ TEST(LoggingTest, CheckPassesOnTrue) {
   HETPS_CHECK(1 + 1 == 2) << "never shown";
   SUCCEED();
 }
+
+TEST(LoggingTest, SinkCapturesRecords) {
+  CapturingSink sink;
+  HETPS_LOG(Info) << "captured " << 7;
+  HETPS_LOG(Debug) << "filtered out";  // below default kInfo level
+  const auto records = sink.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].level, LogLevel::kInfo);
+  EXPECT_EQ(records[0].message, "captured 7");
+  // The sink receives the raw message; the prefix is the emitter's job.
+  EXPECT_EQ(records[0].message.find('['), std::string::npos);
+  EXPECT_NE(records[0].file.find("logging_test.cc"), std::string::npos);
+  EXPECT_GT(records[0].line, 0);
+}
+
+TEST(LoggingTest, SetLogSinkReturnsPrevious) {
+  CapturingSink outer;
+  {
+    CapturingSink inner;
+    HETPS_LOG(Info) << "to inner";
+    ASSERT_EQ(inner.records().size(), 1u);
+  }
+  // inner restored outer on destruction.
+  HETPS_LOG(Info) << "to outer";
+  const auto records = outer.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].message, "to outer");
+}
+
+TEST(LoggingTest, VlogRespectsVerbosity) {
+  CapturingSink sink;
+  const int prev = GetVLogLevel();
+  SetVLogLevel(0);
+  HETPS_VLOG(1) << "hidden";
+  SetVLogLevel(2);
+  // VLOG emits at Debug severity even though the minimum level is kInfo.
+  HETPS_VLOG(1) << "shown " << 1;
+  HETPS_VLOG(2) << "also shown";
+  HETPS_VLOG(3) << "too verbose";
+  SetVLogLevel(prev);
+  const auto records = sink.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].level, LogLevel::kDebug);
+  EXPECT_EQ(records[0].message, "shown 1");
+  EXPECT_EQ(records[1].message, "also shown");
+}
+
+TEST(LoggingTest, VlogOperandsNotEvaluatedWhenOff) {
+  const int prev = GetVLogLevel();
+  SetVLogLevel(0);
+  int evaluations = 0;
+  HETPS_VLOG(5) << [&] {
+    ++evaluations;
+    return "never";
+  }();
+  EXPECT_EQ(evaluations, 0);
+  SetVLogLevel(prev);
+}
+
+TEST(LoggingTest, DcheckPassesOnTrue) {
+  HETPS_DCHECK(2 + 2 == 4) << "never shown";
+  SUCCEED();
+}
+
+#ifdef NDEBUG
+TEST(LoggingTest, DcheckCompiledOutInReleaseBuilds) {
+  int evaluations = 0;
+  // Under NDEBUG the condition must not be evaluated at all.
+  HETPS_DCHECK([&] {
+    ++evaluations;
+    return false;
+  }()) << "never reached";
+  EXPECT_EQ(evaluations, 0);
+}
+#else
+TEST(LoggingDeathTest, DcheckAbortsInDebugBuilds) {
+  EXPECT_DEATH({ HETPS_DCHECK(false) << "dcheck boom"; }, "Check failed");
+}
+#endif
 
 TEST(LoggingDeathTest, CheckAbortsOnFalse) {
   EXPECT_DEATH({ HETPS_CHECK(false) << "boom"; }, "Check failed");

@@ -62,5 +62,117 @@ TEST(MetricsTest, ReportRendersAllKinds) {
   EXPECT_NE(report.find("c.dist count=1"), std::string::npos);
 }
 
+TEST(MetricsTest, ReportIncludesMinAndStddev) {
+  MetricsRegistry registry;
+  DistributionMetric* d = registry.distribution("lat");
+  d->Record(1.0);
+  d->Record(2.0);
+  d->Record(3.0);
+  const std::string report = registry.Report();
+  EXPECT_NE(report.find("min=1"), std::string::npos) << report;
+  EXPECT_NE(report.find("stddev=1"), std::string::npos) << report;
+  // %.6g formatting: no trailing zero spray.
+  registry.gauge("g")->Set(0.3333333333333);
+  EXPECT_NE(registry.Report().find("g 0.333333"), std::string::npos);
+}
+
+TEST(MetricsTest, UnsetGaugeIsDistinguishableAndSkipped) {
+  MetricsRegistry registry;
+  Gauge* g = registry.gauge("maybe");
+  EXPECT_FALSE(g->has_value());
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  // Not rendered until set: "never measured" != "measured 0".
+  EXPECT_EQ(registry.Report().find("maybe"), std::string::npos);
+  g->Set(0.0);
+  EXPECT_TRUE(g->has_value());
+  EXPECT_NE(registry.Report().find("maybe 0"), std::string::npos);
+  g->Reset();
+  EXPECT_FALSE(g->has_value());
+}
+
+TEST(MetricsTest, LabeledFamiliesAreDistinctMembers) {
+  MetricsRegistry registry;
+  Counter* w0 = registry.counter("pushes", {{"worker", "0"}});
+  Counter* w1 = registry.counter("pushes", {{"worker", "1"}});
+  EXPECT_NE(w0, w1);
+  w0->Increment(2);
+  w1->Increment(5);
+  // Labels are canonicalized (sorted by key) — order must not matter.
+  Counter* relabeled =
+      registry.counter("m", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(registry.counter("m", {{"a", "1"}, {"b", "2"}}), relabeled);
+  const std::string report = registry.Report();
+  EXPECT_NE(report.find("pushes{worker=0} 2"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("pushes{worker=1} 5"), std::string::npos);
+}
+
+TEST(MetricsTest, HistogramReportsQuantiles) {
+  MetricsRegistry registry;
+  HistogramMetric* h = registry.histogram("iter_us");
+  for (int i = 1; i <= 100; ++i) h->RecordInt(i);
+  EXPECT_EQ(registry.histogram("iter_us"), h);
+  const std::string report = registry.Report();
+  EXPECT_NE(report.find("iter_us count=100"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("p50="), std::string::npos);
+  EXPECT_NE(report.find("p99="), std::string::npos);
+  EXPECT_GE(h->ValueAtQuantile(0.5), 45);
+  EXPECT_LE(h->ValueAtQuantile(0.5), 55);
+  EXPECT_GE(h->ValueAtQuantile(0.99), 94);
+}
+
+TEST(MetricsTest, PrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.counter("ps.push.count")->Increment(7);
+  registry.gauge("mem.bytes")->Set(42.0);
+  registry.histogram("lat_us", {{"worker", "3"}})->RecordInt(10);
+  const std::string text = registry.PrometheusText();
+  // '.' sanitized to '_', TYPE lines present, labels preserved.
+  EXPECT_NE(text.find("# TYPE ps_push_count counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ps_push_count 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mem_bytes gauge"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("worker=\"3\""), std::string::npos);
+}
+
+TEST(MetricsTest, JsonSnapshotShape) {
+  MetricsRegistry registry;
+  registry.counter("c")->Increment(2);
+  registry.gauge("g")->Set(1.5);
+  registry.distribution("d")->Record(4.0);
+  registry.histogram("h")->RecordInt(8);
+  const std::string json = registry.JsonSnapshot();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"distributions\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"c\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsTest, ResetValuesKeepsPointersValid) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("c");
+  Gauge* g = registry.gauge("g");
+  DistributionMetric* d = registry.distribution("d");
+  HistogramMetric* h = registry.histogram("h");
+  c->Increment(3);
+  g->Set(2.0);
+  d->Record(1.0);
+  h->RecordInt(5);
+  registry.ResetValues();
+  EXPECT_EQ(registry.counter("c"), c);
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_FALSE(g->has_value());
+  EXPECT_EQ(d->Snapshot().count(), 0u);
+  EXPECT_EQ(h->count(), 0);
+  // Recording after reset works on the same objects.
+  c->Increment();
+  EXPECT_EQ(c->value(), 1);
+}
+
 }  // namespace
 }  // namespace hetps
