@@ -4,13 +4,16 @@
 //                        [--loss=logistic|hinge|squared] [--rule=ssp|con|dyn]
 //                        [--protocol=bsp|asp|ssp] [--staleness=3]
 //                        [--workers=4] [--servers=2] [--clocks=20]
-//                        [--lr=0.3] [--decay] [--l2=1e-4]
+//                        [--partitions=2] [--scheme=range|hash|rangehash]
+//                        [--update_filter=0] [--lr=0.3] [--decay] [--l2=1e-4]
 //                        [--batch-fraction=0.1] [--synthetic=url|ctr]
 //   hetps_train evaluate --data=test.libsvm --model=in.model
 //   hetps_train predict  --data=test.libsvm --model=in.model [--out=preds.txt]
 //   hetps_train simulate [--hl=2] [--workers=30] [--servers=10]
 //                        [--rule=dyn] [--staleness=3] [--lr=2.0]
 //                        [--clocks=60] [--tolerance=0.4]
+//                        [--partitions=1] [--scheme=range|hash|rangehash]
+//                        [--update_filter=0]
 //   hetps_train check-obs --metrics=metrics.json [--trace=trace.json]
 //
 // Observability (train and simulate): --metrics_out=metrics.json writes
@@ -124,6 +127,15 @@ int FinishReport(RunReporter* reporter) {
   return 0;
 }
 
+PartitionScheme ParseScheme(const FlagParser& flags, Status* st) {
+  const std::string scheme = flags.GetString("scheme", "rangehash");
+  if (scheme == "range") return PartitionScheme::kRange;
+  if (scheme == "hash") return PartitionScheme::kHash;
+  if (scheme == "rangehash") return PartitionScheme::kRangeHash;
+  *st = Status::InvalidArgument("unknown --scheme: " + scheme);
+  return PartitionScheme::kRangeHash;
+}
+
 SyncPolicy ParseSync(const FlagParser& flags, Status* st) {
   const std::string protocol = flags.GetString("protocol", "ssp");
   const int s =
@@ -149,12 +161,19 @@ int RunTrain(const FlagParser& flags) {
       static_cast<int>(flags.GetInt("workers", 4).value());
   cfg.num_servers =
       static_cast<int>(flags.GetInt("servers", 2).value());
+  cfg.partitions_per_server =
+      static_cast<int>(flags.GetInt("partitions", 2).value());
+  Status scheme_st;
+  cfg.scheme = ParseScheme(flags, &scheme_st);
+  if (!scheme_st.ok()) return Fail(scheme_st);
   cfg.max_clocks = static_cast<int>(flags.GetInt("clocks", 20).value());
   cfg.learning_rate = flags.GetDouble("lr", 0.3).value();
   cfg.decayed_rate = flags.GetBool("decay", false);
   cfg.l2 = flags.GetDouble("l2", 1e-4).value();
   cfg.batch_fraction =
       flags.GetDouble("batch-fraction", 0.1).value();
+  cfg.update_filter_epsilon =
+      flags.GetDouble("update_filter", 0.0).value();
   cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 42).value());
 
   std::unique_ptr<RunReporter> reporter = MakeReporter(
@@ -246,6 +265,13 @@ int RunSimulate(const FlagParser& flags) {
   if (!sync_st.ok()) return Fail(sync_st);
   options.max_clocks =
       static_cast<int>(flags.GetInt("clocks", 60).value());
+  options.partitions_per_server =
+      static_cast<int>(flags.GetInt("partitions", 1).value());
+  Status scheme_st;
+  options.scheme = ParseScheme(flags, &scheme_st);
+  if (!scheme_st.ok()) return Fail(scheme_st);
+  options.update_filter_epsilon =
+      flags.GetDouble("update_filter", 0.0).value();
   options.objective_tolerance =
       flags.GetDouble("tolerance", 0.4).value();
   options.l2 = flags.GetDouble("l2", 1e-4).value();

@@ -70,6 +70,24 @@ class ConsolidationRule {
   /// Theorem 3 bounds by cmax - cmin + 1. 0 for single-version rules.
   virtual size_t LiveVersionCount() const { return 0; }
 
+  /// True if OnPush mutates `w` only at the indices present in `update`
+  /// (pure accumulate rules: w += f(u)). The server shard then captures
+  /// the exact applied delta by diffing the touched entries around the
+  /// push — O(nnz) — and can serve version-aware *delta pulls* (ship only
+  /// what changed since the version a client cached). Rules whose push
+  /// may rewrite entries outside the update's support (DynSGD's Δu
+  /// revision touches the version summary's support) must return false;
+  /// their changed partitions ship whole (dense or sparse, 50% rule).
+  virtual bool PushTouchesOnlyUpdateSupport() const { return false; }
+
+  /// True if MaterializeAtVersion(w, v) is (a) genuinely limited to
+  /// versions < v and (b) time-invariant once v is stable (complete on
+  /// every partition). Version-synchronized pulls (§6) may then use the
+  /// stable version itself as the client-cache content tag. Rules that
+  /// fall back to the live value must return false, otherwise a constant
+  /// stable version would produce false cache hits on changing content.
+  virtual bool SupportsVersionedSnapshots() const { return false; }
+
   /// True if consolidating an empty update changes no rule state. The
   /// PS facade then skips empty partition pieces entirely — pieces
   /// emptied by the client-side update filter (§5.3) otherwise inflate
@@ -101,6 +119,7 @@ class SspRule final : public ConsolidationRule {
   void OnPush(int worker, int clock, const SparseVector& update,
               ParamBlock* w) override;
   bool EmptyPushIsNoOp() const override { return true; }
+  bool PushTouchesOnlyUpdateSupport() const override { return true; }
   std::unique_ptr<ConsolidationRule> Clone() const override;
   std::string name() const override { return "SspSGD"; }
 };
@@ -118,6 +137,7 @@ class ConRule final : public ConsolidationRule {
   void OnPush(int worker, int clock, const SparseVector& update,
               ParamBlock* w) override;
   bool EmptyPushIsNoOp() const override { return true; }
+  bool PushTouchesOnlyUpdateSupport() const override { return true; }
   std::unique_ptr<ConsolidationRule> Clone() const override;
   std::string name() const override { return "ConSGD"; }
 

@@ -80,6 +80,13 @@ class DynSgdRule final : public ConsolidationRule {
   size_t AuxMemoryBytes() const override;
   double ObservedMeanStaleness() const override;
   size_t LiveVersionCount() const override { return versions_.size(); }
+  /// Deferred-mode reads are genuine multi-version snapshots (w + the
+  /// summaries below the version limit) and are time-invariant at any
+  /// stable version, so version-synchronized pulls can cache by stable
+  /// version. Immediate mode falls back to the live value — no tag.
+  bool SupportsVersionedSnapshots() const override {
+    return options_.mode == ApplyMode::kDeferred;
+  }
   std::unique_ptr<ConsolidationRule> Clone() const override;
   Status SaveState(std::ostream& os) const override;
   Status LoadState(std::istream& is) override;

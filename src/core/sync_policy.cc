@@ -56,7 +56,21 @@ bool ClockTable::OnPush(int worker, int clock) {
   HETPS_CHECK(worker >= 0 && worker < num_workers())
       << "worker id out of range";
   // clock counts *finished* clocks: a push at clock c means c+1 finished.
-  clocks_[static_cast<size_t>(worker)] = clock + 1;
+  // The table is monotone per worker: a stale or duplicate push (possible
+  // on the direct in-process WorkerClient::Push path, which bypasses the
+  // PsService (worker, clock) dedup) must never move a worker's clock
+  // backwards — that would corrupt the cmin/cmax invariants (cmin could
+  // no longer be the min of finished clocks, and SSP admission decisions
+  // already taken against the higher clock would become unsound).
+  int& current = clocks_[static_cast<size_t>(worker)];
+  if (clock + 1 <= current) {
+    ++dropped_regressions_;
+    HETPS_LOG(Warning) << "ClockTable: dropped clock regression for worker "
+                       << worker << " (push clock " << clock
+                       << ", already at " << current << ")";
+    return false;
+  }
+  current = clock + 1;
   if (clock + 1 > cmax_) cmax_ = clock + 1;
   bool advanced = false;
   for (;;) {

@@ -57,7 +57,15 @@ class ClockTable {
   /// Advances cmin while all workers have finished it (Algorithm 1 lines
   /// 4-5) and raises cmax (Algorithm 2 lines 14-15). Returns true if cmin
   /// advanced (callers use this to wake blocked pulls).
+  ///
+  /// Monotone per worker: a stale or duplicate push (clock + 1 <= the
+  /// worker's recorded clock) is *dropped* — logged, counted in
+  /// dropped_regressions(), and returns false — instead of moving the
+  /// clock backwards and corrupting the cmin/cmax invariants.
   bool OnPush(int worker, int clock);
+
+  /// Stale/duplicate pushes dropped by OnPush since construction.
+  int64_t dropped_regressions() const { return dropped_regressions_; }
 
   int clock(int worker) const { return clocks_.at(worker); }
   int cmin() const { return cmin_; }
@@ -71,6 +79,7 @@ class ClockTable {
   std::vector<int> clocks_;
   int cmin_ = 0;
   int cmax_ = 0;
+  int64_t dropped_regressions_ = 0;
 };
 
 }  // namespace hetps

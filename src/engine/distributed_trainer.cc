@@ -81,12 +81,19 @@ Result<DistributedTrainResult> TrainDistributed(
     sgd_opts.l2 = options.l2;
     LocalWorkerSgd sgd(&dataset, shards[static_cast<size_t>(m)], &loss,
                        &schedule, sgd_opts);
+    // One pull path per run: the version-aware cached pull (ships only
+    // changed partitions) or the legacy whole-model pull.
+    const auto do_pull = [&](std::vector<double>* replica_out,
+                             int* cp_out) {
+      return options.delta_pull ? client.PullCached(replica_out, cp_out)
+                                : client.Pull(replica_out, cp_out);
+    };
     // A (re)starting worker pulls the latest parameter from the PS.
     std::vector<double> replica;
     int cp = 0;
     {
       const auto pull_start = SteadyClock::now();
-      my_status = client.Pull(&replica, &cp);
+      my_status = do_pull(&replica, &cp);
       breakdown.comm_seconds += seconds_since(pull_start);
     }
     if (!my_status.ok()) return;
@@ -131,7 +138,7 @@ Result<DistributedTrainResult> TrainDistributed(
         if (!my_status.ok()) return;
         {
           const auto pull_start = SteadyClock::now();
-          my_status = client.Pull(&replica, &cp);
+          my_status = do_pull(&replica, &cp);
           breakdown.comm_seconds += seconds_since(pull_start);
         }
         if (!my_status.ok()) return;

@@ -47,6 +47,10 @@ struct DistributedTrainerOptions {
   FaultPlan fault_plan = FaultPlan::None();
   /// Per-RPC timeout/backoff for the worker clients.
   RpcRetryPolicy rpc_retry = RpcRetryPolicy();
+  /// Version-aware pull path (§6): workers pull through the client-side
+  /// partition cache (RpcWorkerClient::PullCached) so only changed
+  /// partitions cross the bus. Off = every pull ships the whole model.
+  bool delta_pull = true;
   /// Called on worker 0's thread after each of its clocks (1-based
   /// count); RunReporter::OnEpoch hooks in here. Keep it cheap.
   std::function<void(int)> on_epoch;

@@ -58,7 +58,7 @@ ThreadedTrainResult TrainThreaded(const Dataset& dataset,
                        &schedule, sgd_opts);
     std::vector<double> replica(static_cast<size_t>(dataset.dimension()),
                                 0.0);
-    WorkerClient client(m, &ps);
+    WorkerClient client(m, &ps, options.delta_pull);
     const double sleep_s = options.worker_sleep_seconds.empty()
                                ? 0.0
                                : options.worker_sleep_seconds

@@ -41,6 +41,11 @@ struct ThreadedTrainerOptions {
   /// and the pull with the clock's computation, at the cost of a
   /// slightly staler replica.
   bool prefetch = false;
+  /// Version-aware pull path (§6): workers cache partition replicas by
+  /// content tag and the PS ships only changed partitions (dense piece
+  /// or sparse delta, whichever is smaller). Off = every pull ships the
+  /// whole model.
+  bool delta_pull = true;
   uint64_t seed = 11;
   /// Called on worker 0's thread after each of its clocks finishes
   /// (argument: the 1-based clock count). RunReporter::OnEpoch hooks in

@@ -58,6 +58,8 @@ Result<LinearModel> LinearModel::Train(const Dataset& dataset,
   options.batch_fraction = config.batch_fraction;
   options.num_servers = config.num_servers;
   options.num_workers = config.num_workers;
+  options.partitions_per_server = config.partitions_per_server;
+  options.scheme = config.scheme;
   options.partition_sync = config.partition_sync;
   options.update_filter_epsilon = config.update_filter_epsilon;
   options.seed = config.seed;

@@ -30,6 +30,11 @@ struct LinearModelConfig {
   SyncPolicy sync = SyncPolicy::Ssp(3);
   int num_workers = 4;
   int num_servers = 2;
+  /// Partition layout, forwarded to the PS (see ps/partition.h). Range
+  /// partitioning keeps cold feature tails in few partitions, which is
+  /// what makes the version-aware pull cache (DESIGN.md §7) pay off.
+  int partitions_per_server = 2;
+  PartitionScheme scheme = PartitionScheme::kRangeHash;
   int max_clocks = 20;
   double batch_fraction = 0.1;
   bool partition_sync = false;

@@ -13,7 +13,11 @@ namespace {
 std::vector<uint8_t> ErrorResponse(const Status& st) {
   ByteWriter w;
   w.WriteU8(static_cast<uint8_t>(st.code()));
-  w.WriteString(st.message());
+  if (!w.WriteString(st.message()).ok()) {
+    // Absurdly long error message (over the wire string cap): replace it
+    // rather than emit a corrupt frame.
+    (void)w.WriteString("(error message exceeded wire cap)");
+  }
   return w.TakeBuffer();
 }
 
@@ -43,6 +47,10 @@ PsService::PsService(ParameterServer* ps, MessageBus* bus,
   MetricsRegistry& global = GlobalMetrics();
   handle_push_us_ = global.histogram("rpc.handle_us", {{"op", "push"}});
   handle_pull_us_ = global.histogram("rpc.handle_us", {{"op", "pull"}});
+  handle_pull_delta_us_ =
+      global.histogram("rpc.handle_us", {{"op", "pull_delta"}});
+  handle_layout_us_ =
+      global.histogram("rpc.handle_us", {{"op", "layout"}});
   handle_pull_range_us_ =
       global.histogram("rpc.handle_us", {{"op", "pull_range"}});
   handle_can_advance_us_ =
@@ -77,6 +85,16 @@ std::vector<uint8_t> PsService::Handle(const Envelope& request) {
         metrics_.counter("rpc.pull")->Increment();
         handle_us = handle_pull_us_;
         response = HandlePull(&reader);
+        break;
+      case PsOpCode::kPullDelta:
+        metrics_.counter("rpc.pull_delta")->Increment();
+        handle_us = handle_pull_delta_us_;
+        response = HandlePullDelta(&reader);
+        break;
+      case PsOpCode::kLayout:
+        metrics_.counter("rpc.layout")->Increment();
+        handle_us = handle_layout_us_;
+        response = HandleLayout(&reader);
         break;
       case PsOpCode::kPullRange:
         metrics_.counter("rpc.pull_range")->Increment();
@@ -162,6 +180,70 @@ std::vector<uint8_t> PsService::HandlePull(ByteReader* reader) {
   w.WriteU8(0);
   w.WriteI64(cmin);
   w.WriteDenseVector(values);
+  return w.TakeBuffer();
+}
+
+std::vector<uint8_t> PsService::HandlePullDelta(ByteReader* reader) {
+  int64_t worker = 0;
+  uint64_t num_tags = 0;
+  Status st = reader->ReadI64(&worker);
+  if (st.ok()) st = reader->ReadU64(&num_tags);
+  if (st.ok() && (worker < 0 || worker >= ps_->num_workers())) {
+    st = Status::InvalidArgument("worker id out of range");
+  }
+  if (st.ok() &&
+      num_tags != static_cast<uint64_t>(ps_->num_partitions())) {
+    st = Status::InvalidArgument("tag count does not match partitions");
+  }
+  if (!st.ok()) return ErrorResponse(st);
+  // Reused decode scratch: the service loop is single-threaded.
+  scratch_tags_.resize(static_cast<size_t>(num_tags));
+  for (auto& tag : scratch_tags_) {
+    st = reader->ReadI64(&tag);
+    if (!st.ok()) return ErrorResponse(st);
+  }
+  DeltaPullResult result =
+      ps_->PullDelta(static_cast<int>(worker), scratch_tags_);
+  ByteWriter w;
+  // Exact-size reservation: status + cmin + count, then per partition
+  // encoding + tag (+ base tag + length prefix) + content bytes (which
+  // PullDelta already accounted as bytes_shipped).
+  w.Reserve(static_cast<size_t>(17 +
+                                result.partitions.size() * (1 + 8 + 8 + 8) +
+                                static_cast<size_t>(result.bytes_shipped)));
+  w.WriteU8(0);
+  w.WriteI64(result.cmin);
+  w.WriteU64(result.partitions.size());
+  for (const PartitionPull& pp : result.partitions) {
+    w.WriteU8(static_cast<uint8_t>(pp.encoding));
+    w.WriteI64(pp.tag);
+    switch (pp.encoding) {
+      case PartitionPull::Encoding::kUnchanged:
+        break;
+      case PartitionPull::Encoding::kDense:
+        w.WriteDenseVector(pp.dense);
+        break;
+      case PartitionPull::Encoding::kSparse:
+        w.WriteSparseVector(pp.sparse);
+        break;
+      case PartitionPull::Encoding::kSparseDelta:
+        w.WriteI64(pp.base_tag);
+        w.WriteSparseVector(pp.sparse);
+        break;
+    }
+  }
+  return w.TakeBuffer();
+}
+
+std::vector<uint8_t> PsService::HandleLayout(ByteReader* reader) {
+  (void)reader;
+  const Partitioner& part = ps_->partitioner();
+  ByteWriter w;
+  w.WriteU8(0);
+  w.WriteU8(static_cast<uint8_t>(part.scheme()));
+  w.WriteI64(part.dim());
+  w.WriteI64(part.num_servers());
+  w.WriteI64(part.num_partitions());
   return w.TakeBuffer();
 }
 
@@ -278,6 +360,158 @@ Status RpcWorkerClient::Pull(std::vector<double>* replica, int* cmin) {
   HETPS_RETURN_NOT_OK(reader.ReadDenseVector(replica));
   if (cmin != nullptr) *cmin = static_cast<int>(cmin64);
   return Status::OK();
+}
+
+Status RpcWorkerClient::EnsureLayout() {
+  if (partitioner_ != nullptr) return Status::OK();
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kLayout));
+  auto response = Roundtrip(w.TakeBuffer());
+  if (!response.ok()) return response.status();
+  ByteReader reader(response.value());
+  HETPS_RETURN_NOT_OK(ConsumeStatus(&reader));
+  uint8_t scheme = 0;
+  int64_t dim = 0;
+  int64_t num_servers = 0;
+  int64_t num_partitions = 0;
+  HETPS_RETURN_NOT_OK(reader.ReadU8(&scheme));
+  HETPS_RETURN_NOT_OK(reader.ReadI64(&dim));
+  HETPS_RETURN_NOT_OK(reader.ReadI64(&num_servers));
+  HETPS_RETURN_NOT_OK(reader.ReadI64(&num_partitions));
+  if (scheme > static_cast<uint8_t>(PartitionScheme::kRangeHash) ||
+      dim <= 0 || num_servers <= 0 || num_partitions < num_servers ||
+      num_partitions > dim) {
+    return Status::InvalidArgument("bad partition-layout handshake");
+  }
+  partitioner_ = std::make_unique<Partitioner>(
+      static_cast<PartitionScheme>(scheme), dim,
+      static_cast<int>(num_servers), static_cast<int>(num_partitions));
+  cache_.assign(static_cast<size_t>(dim), 0.0);
+  cached_tags_.assign(static_cast<size_t>(num_partitions), kNoCachedTag);
+  return Status::OK();
+}
+
+Status RpcWorkerClient::PullCachedOnce(int* cmin, bool* tag_mismatch) {
+  *tag_mismatch = false;
+  ByteWriter w;
+  w.Reserve(17 + cached_tags_.size() * 8);
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kPullDelta));
+  w.WriteI64(worker_id_);
+  w.WriteU64(cached_tags_.size());
+  for (int64_t tag : cached_tags_) w.WriteI64(tag);
+  auto response = Roundtrip(w.TakeBuffer());
+  if (!response.ok()) return response.status();
+  ByteReader reader(response.value());
+  HETPS_RETURN_NOT_OK(ConsumeStatus(&reader));
+  int64_t cmin64 = 0;
+  uint64_t parts = 0;
+  HETPS_RETURN_NOT_OK(reader.ReadI64(&cmin64));
+  HETPS_RETURN_NOT_OK(reader.ReadU64(&parts));
+  if (parts != cached_tags_.size()) {
+    return Status::InvalidArgument("partition count changed mid-stream");
+  }
+  // Partitions arrive in index order (the response carries no explicit
+  // ids); every piece is validated against the handshaken layout before
+  // it touches the cache — the response is still untrusted bytes.
+  int64_t shipped = 0;
+  for (size_t p = 0; p < parts; ++p) {
+    uint8_t encoding = 0;
+    int64_t tag = 0;
+    HETPS_RETURN_NOT_OK(reader.ReadU8(&encoding));
+    HETPS_RETURN_NOT_OK(reader.ReadI64(&tag));
+    const int64_t dim_p = partitioner_->PartitionDim(static_cast<int>(p));
+    bool apply_tag = true;
+    switch (static_cast<PartitionPull::Encoding>(encoding)) {
+      case PartitionPull::Encoding::kUnchanged:
+        break;
+      case PartitionPull::Encoding::kDense: {
+        std::vector<double> dense;
+        HETPS_RETURN_NOT_OK(reader.ReadDenseVector(&dense));
+        if (dense.size() != static_cast<size_t>(dim_p)) {
+          return Status::InvalidArgument("dense piece has wrong length");
+        }
+        for (size_t local = 0; local < dense.size(); ++local) {
+          const int64_t g = partitioner_->GlobalIndex(
+              static_cast<int>(p), static_cast<int64_t>(local));
+          cache_[static_cast<size_t>(g)] = dense[local];
+        }
+        shipped += static_cast<int64_t>(dense.size() * sizeof(double));
+        break;
+      }
+      case PartitionPull::Encoding::kSparse: {
+        SparseVector sv;
+        HETPS_RETURN_NOT_OK(reader.ReadSparseVector(&sv));
+        if (sv.MinimumDimension() > dim_p) {
+          return Status::InvalidArgument("sparse piece index out of range");
+        }
+        for (int64_t local = 0; local < dim_p; ++local) {
+          cache_[static_cast<size_t>(partitioner_->GlobalIndex(
+              static_cast<int>(p), local))] = 0.0;
+        }
+        for (size_t i = 0; i < sv.nnz(); ++i) {
+          const int64_t g =
+              partitioner_->GlobalIndex(static_cast<int>(p), sv.index(i));
+          cache_[static_cast<size_t>(g)] = sv.value(i);
+        }
+        shipped += static_cast<int64_t>(sv.nnz() *
+                                        (sizeof(int64_t) + sizeof(double)));
+        break;
+      }
+      case PartitionPull::Encoding::kSparseDelta: {
+        int64_t base_tag = 0;
+        SparseVector sv;
+        HETPS_RETURN_NOT_OK(reader.ReadI64(&base_tag));
+        HETPS_RETURN_NOT_OK(reader.ReadSparseVector(&sv));
+        if (sv.MinimumDimension() > dim_p) {
+          return Status::InvalidArgument("delta piece index out of range");
+        }
+        if (base_tag != cached_tags_[p]) {
+          // A delta against state we no longer (or never) held — e.g. a
+          // server-side checkpoint restore between pulls. Drop it and
+          // re-pull this partition whole on the caller's retry.
+          *tag_mismatch = true;
+          cached_tags_[p] = kNoCachedTag;
+          apply_tag = false;
+          break;
+        }
+        for (size_t i = 0; i < sv.nnz(); ++i) {
+          const int64_t g =
+              partitioner_->GlobalIndex(static_cast<int>(p), sv.index(i));
+          cache_[static_cast<size_t>(g)] += sv.value(i);
+        }
+        shipped += static_cast<int64_t>(sv.nnz() *
+                                        (sizeof(int64_t) + sizeof(double)));
+        break;
+      }
+      default:
+        return Status::InvalidArgument("unknown partition encoding");
+    }
+    if (apply_tag) cached_tags_[p] = tag;
+  }
+  pulled_bytes_ += shipped;
+  // Baseline: a cache-less kPull ships the whole model dense.
+  pulled_bytes_full_ +=
+      partitioner_->dim() * static_cast<int64_t>(sizeof(double));
+  *cmin = static_cast<int>(cmin64);
+  return Status::OK();
+}
+
+Status RpcWorkerClient::PullCached(std::vector<double>* replica,
+                                   int* cmin) {
+  HETPS_RETURN_NOT_OK(EnsureLayout());
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    bool mismatch = false;
+    int c = 0;
+    HETPS_RETURN_NOT_OK(PullCachedOnce(&c, &mismatch));
+    if (!mismatch) {
+      *replica = cache_;
+      if (cmin != nullptr) *cmin = c;
+      return Status::OK();
+    }
+    // Mismatched partitions had their tags reset; the retry ships them
+    // whole. One round trip normally suffices.
+  }
+  return Status::Internal("delta pull base tags kept mismatching");
 }
 
 Status RpcWorkerClient::PullRange(int64_t begin, int64_t end,

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,14 @@ enum class PsOpCode : uint8_t {
   kPullRange = 3,
   kCanAdvance = 4,
   kStableVersion = 5,
+  /// Version-aware pull: request carries the client's per-partition
+  /// content tags; response ships only changed partitions (dense piece,
+  /// sparse piece, or sparse delta — see ParameterServer::PullDelta).
+  kPullDelta = 6,
+  /// Partition-layout handshake: returns (scheme, dim, num_servers,
+  /// num_partitions) so a client can reconstruct the Partitioner and
+  /// scatter partition-local pieces without out-of-band configuration.
+  kLayout = 7,
 };
 
 /// Service-side behavior knobs.
@@ -62,6 +71,8 @@ class PsService {
   std::vector<uint8_t> Handle(const Envelope& request);
   std::vector<uint8_t> HandlePush(ByteReader* reader);
   std::vector<uint8_t> HandlePull(ByteReader* reader);
+  std::vector<uint8_t> HandlePullDelta(ByteReader* reader);
+  std::vector<uint8_t> HandleLayout(ByteReader* reader);
   std::vector<uint8_t> HandlePullRange(ByteReader* reader);
   std::vector<uint8_t> HandleCanAdvance(ByteReader* reader);
   std::vector<uint8_t> HandleStableVersion(ByteReader* reader);
@@ -77,6 +88,8 @@ class PsService {
   /// per-server "sources" sections.
   HistogramMetric* handle_push_us_;
   HistogramMetric* handle_pull_us_;
+  HistogramMetric* handle_pull_delta_us_;
+  HistogramMetric* handle_layout_us_;
   HistogramMetric* handle_pull_range_us_;
   HistogramMetric* handle_can_advance_us_;
   HistogramMetric* handle_stable_version_us_;
@@ -84,6 +97,10 @@ class PsService {
   /// Last clock applied per worker (-1 = none); only touched by the
   /// single service-loop thread.
   std::vector<int64_t> last_push_clock_;
+  /// Reusable decode scratch for kPullDelta requests (the service loop
+  /// is single-threaded, so one instance suffices and the per-request
+  /// allocation disappears).
+  std::vector<int64_t> scratch_tags_;
 };
 
 /// Client-side timeout/retry policy: every RPC waits at most `timeout`
@@ -132,6 +149,20 @@ class RpcWorkerClient {
   /// Full pull; fills `replica` and `cmin`.
   Status Pull(std::vector<double>* replica, int* cmin);
 
+  /// Version-aware pull through the client-side partition cache: sends
+  /// the cached per-partition content tags, applies the changed pieces
+  /// (whole blocks or sparse deltas) onto the pristine cache, and hands
+  /// back a mutable copy. Transparently performs the kLayout handshake
+  /// on first use. Falls back to re-pulling with cleared tags when a
+  /// delta's base tag no longer matches (e.g. the server restored a
+  /// checkpoint between pulls). Result is bit-identical to Pull().
+  Status PullCached(std::vector<double>* replica, int* cmin);
+
+  /// Cumulative content bytes received by PullCached vs. what cache-less
+  /// full pulls would have cost (tests / experiments).
+  int64_t pulled_bytes() const { return pulled_bytes_; }
+  int64_t pulled_bytes_full() const { return pulled_bytes_full_; }
+
   /// Values of keys [begin, end).
   Status PullRange(int64_t begin, int64_t end,
                    std::vector<double>* values);
@@ -147,6 +178,14 @@ class RpcWorkerClient {
  private:
   Result<std::vector<uint8_t>> Roundtrip(std::vector<uint8_t> request);
 
+  /// Fetches the server's partition layout (kLayout) once and builds the
+  /// local Partitioner + tag map.
+  Status EnsureLayout();
+
+  /// One kPullDelta round trip; sets `*tag_mismatch` when a delta's base
+  /// tag did not match the cache (caller resets tags and retries).
+  Status PullCachedOnce(int* cmin, bool* tag_mismatch);
+
   int worker_id_;
   MessageBus* bus_;
   std::string ps_endpoint_;
@@ -156,6 +195,14 @@ class RpcWorkerClient {
   /// Mirrors retry_count_ into GlobalMetrics() ("rpc.client_retries",
   /// summed across clients) for metrics.json.
   Counter* retries_metric_;
+
+  /// Client partition cache (PullCached): layout handshake result,
+  /// pristine last-received state, and per-partition content tags.
+  std::unique_ptr<Partitioner> partitioner_;
+  std::vector<double> cache_;
+  std::vector<int64_t> cached_tags_;
+  int64_t pulled_bytes_ = 0;
+  int64_t pulled_bytes_full_ = 0;
 };
 
 }  // namespace hetps

@@ -1,11 +1,15 @@
 #include "net/serializer.h"
 
+#include <bit>
+
 namespace hetps {
 namespace {
 
-// Sanity caps so corrupt length prefixes cannot trigger giant
-// allocations.
-constexpr uint64_t kMaxElements = 1ULL << 32;
+// Per-element wire sizes.
+constexpr size_t kWordBytes = sizeof(uint64_t);
+
+constexpr bool kLittleEndianHost =
+    std::endian::native == std::endian::little;
 
 }  // namespace
 
@@ -35,30 +39,76 @@ void ByteWriter::WriteDouble(double v) {
   WriteU64(bits);
 }
 
-void ByteWriter::WriteString(const std::string& s) {
+void ByteWriter::AppendWordsLE(const uint64_t* words, size_t n) {
+  if (n == 0) return;
+  if constexpr (kLittleEndianHost) {
+    // Bulk fast path: the in-memory representation *is* the wire
+    // representation, so the whole array is one memcpy.
+    const size_t old = buffer_.size();
+    buffer_.resize(old + n * kWordBytes);
+    std::memcpy(buffer_.data() + old, words, n * kWordBytes);
+  } else {
+    for (size_t i = 0; i < n; ++i) WriteU64(words[i]);
+  }
+}
+
+Status ByteWriter::WriteString(const std::string& s) {
+  // Checked cap (mirrors the reader's kMaxWireElements discipline): a
+  // string this long would previously have had its size cast to
+  // uint32_t, framing the payload with a wrong length — every later
+  // field then decodes as garbage.
+  if (s.size() > kMaxWireStringBytes) {
+    return Status::InvalidArgument(
+        "string exceeds the wire cap (" +
+        std::to_string(kMaxWireStringBytes) + " bytes)");
+  }
   WriteU32(static_cast<uint32_t>(s.size()));
   buffer_.insert(buffer_.end(), s.begin(), s.end());
+  return Status::OK();
 }
 
 void ByteWriter::WriteSparseVector(const SparseVector& v) {
+  // Columnar: nnz, all indices, all values — two contiguous memcpys on
+  // little-endian hosts (see the header comment on the format).
   WriteU64(v.nnz());
-  for (size_t i = 0; i < v.nnz(); ++i) {
-    WriteI64(v.index(i));
-    WriteDouble(v.value(i));
-  }
+  Reserve(2 * v.nnz() * kWordBytes);
+  static_assert(sizeof(int64_t) == kWordBytes &&
+                    sizeof(double) == kWordBytes,
+                "wire words are 8 bytes");
+  AppendWordsLE(reinterpret_cast<const uint64_t*>(v.indices().data()),
+                v.nnz());
+  AppendWordsLE(reinterpret_cast<const uint64_t*>(v.values().data()),
+                v.nnz());
 }
 
 void ByteWriter::WriteDenseVector(const std::vector<double>& v) {
   WriteU64(v.size());
-  for (double x : v) WriteDouble(x);
+  AppendWordsLE(reinterpret_cast<const uint64_t*>(v.data()), v.size());
 }
 
 Status ByteReader::Take(size_t n, const uint8_t** out) {
-  if (pos_ + n > size_) {
+  if (n > size_ - pos_) {
     return Status::OutOfRange("wire message truncated");
   }
   *out = data_ + pos_;
   pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::ReadWordsLE(uint64_t* words, size_t n) {
+  const uint8_t* p;
+  HETPS_RETURN_NOT_OK(Take(n * kWordBytes, &p));
+  if constexpr (kLittleEndianHost) {
+    std::memcpy(words, p, n * kWordBytes);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t v = 0;
+      for (int b = 0; b < 8; ++b) {
+        v |= static_cast<uint64_t>(p[i * kWordBytes + b]) << (8 * b);
+      }
+      words[i] = v;
+    }
+  }
   return Status::OK();
 }
 
@@ -108,6 +158,9 @@ Status ByteReader::ReadDouble(double* out) {
 Status ByteReader::ReadString(std::string* out) {
   uint32_t len = 0;
   HETPS_RETURN_NOT_OK(ReadU32(&len));
+  if (len > kMaxWireStringBytes) {
+    return Status::OutOfRange("string length prefix exceeds the wire cap");
+  }
   const uint8_t* p;
   HETPS_RETURN_NOT_OK(Take(len, &p));
   out->assign(reinterpret_cast<const char*>(p), len);
@@ -117,38 +170,43 @@ Status ByteReader::ReadString(std::string* out) {
 Status ByteReader::ReadSparseVector(SparseVector* out) {
   uint64_t nnz = 0;
   HETPS_RETURN_NOT_OK(ReadU64(&nnz));
-  if (nnz > kMaxElements || nnz * 16 > remaining()) {
+  if (nnz > kMaxWireElements || nnz * 16 > remaining()) {
     return Status::OutOfRange("sparse vector length prefix exceeds data");
   }
-  SparseVector v;
+  const size_t n = static_cast<size_t>(nnz);
+  std::vector<int64_t> indices(n);
+  std::vector<double> values(n);
+  static_assert(sizeof(int64_t) == kWordBytes &&
+                    sizeof(double) == kWordBytes,
+                "wire words are 8 bytes");
+  HETPS_RETURN_NOT_OK(
+      ReadWordsLE(reinterpret_cast<uint64_t*>(indices.data()), n));
+  HETPS_RETURN_NOT_OK(
+      ReadWordsLE(reinterpret_cast<uint64_t*>(values.data()), n));
+  // Validation stays strict after the bulk read: indices must be
+  // non-negative and strictly increasing (the SparseVector invariant —
+  // a hostile peer must not be able to crash the consolidation path).
   int64_t prev = -1;
-  for (uint64_t i = 0; i < nnz; ++i) {
-    int64_t idx = 0;
-    double value = 0.0;
-    HETPS_RETURN_NOT_OK(ReadI64(&idx));
-    HETPS_RETURN_NOT_OK(ReadDouble(&value));
-    if (idx <= prev) {
+  for (size_t i = 0; i < n; ++i) {
+    if (indices[i] <= prev) {
       return Status::InvalidArgument(
           "sparse vector indices not strictly increasing on the wire");
     }
-    v.PushBack(idx, value);
-    prev = idx;
+    prev = indices[i];
   }
-  *out = std::move(v);
+  *out = SparseVector(std::move(indices), std::move(values));
   return Status::OK();
 }
 
 Status ByteReader::ReadDenseVector(std::vector<double>* out) {
   uint64_t n = 0;
   HETPS_RETURN_NOT_OK(ReadU64(&n));
-  if (n > kMaxElements || n * 8 > remaining()) {
+  if (n > kMaxWireElements || n * 8 > remaining()) {
     return Status::OutOfRange("dense vector length prefix exceeds data");
   }
-  out->resize(n);
-  for (uint64_t i = 0; i < n; ++i) {
-    HETPS_RETURN_NOT_OK(ReadDouble(&(*out)[i]));
-  }
-  return Status::OK();
+  out->resize(static_cast<size_t>(n));
+  return ReadWordsLE(reinterpret_cast<uint64_t*>(out->data()),
+                     static_cast<size_t>(n));
 }
 
 }  // namespace hetps

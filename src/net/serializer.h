@@ -11,8 +11,25 @@
 
 namespace hetps {
 
+/// Hard caps on wire-element counts, shared by writer and reader so the
+/// two ends enforce the same framing discipline:
+///   - a corrupt length prefix can never trigger a giant allocation on
+///     the read side;
+///   - an oversized value can never be silently truncated into a valid-
+///     looking-but-wrong prefix on the write side (WriteString used to
+///     cast size_t to uint32_t, corrupting framing past 4 GiB).
+constexpr uint64_t kMaxWireElements = 1ULL << 32;
+constexpr uint64_t kMaxWireStringBytes = 16ULL << 20;  // 16 MiB
+
 /// Little-endian binary writer for wire messages. Appends to an owned
 /// buffer; cheap to move.
+///
+/// Dense and sparse vectors take bulk `memcpy` fast paths on
+/// little-endian hosts (every target we build for); the portable
+/// byte-at-a-time path remains as the big-endian fallback, producing an
+/// identical byte stream. Sparse vectors use a *columnar* layout —
+/// nnz, then all indices, then all values — precisely so both arrays
+/// are contiguous memcpys instead of 2·nnz interleaved element writes.
 class ByteWriter {
  public:
   void WriteU8(uint8_t v);
@@ -20,19 +37,35 @@ class ByteWriter {
   void WriteU64(uint64_t v);
   void WriteI64(int64_t v);
   void WriteDouble(double v);
-  void WriteString(const std::string& s);
 
-  /// Length-prefixed sparse vector (nnz, then index/value pairs).
+  /// Length-prefixed string. Fails (writing nothing) if the string
+  /// exceeds kMaxWireStringBytes — the old behavior truncated the size
+  /// to uint32_t and emitted a corrupt frame.
+  Status WriteString(const std::string& s);
+
+  /// Columnar sparse vector: nnz, then nnz indices, then nnz values.
   void WriteSparseVector(const SparseVector& v);
 
   /// Length-prefixed dense vector.
   void WriteDenseVector(const std::vector<double>& v);
+
+  /// Pre-sizes the buffer for `n` more bytes (single allocation for a
+  /// message whose size is known up front, e.g. a pull response).
+  void Reserve(size_t n) { buffer_.reserve(buffer_.size() + n); }
+
+  /// Drops the content but keeps the capacity — the reuse hook for
+  /// per-connection scratch writers (PsService).
+  void Clear() { buffer_.clear(); }
 
   const std::vector<uint8_t>& buffer() const { return buffer_; }
   std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
   size_t size() const { return buffer_.size(); }
 
  private:
+  /// Appends `n` raw little-endian u64 words starting at `words`
+  /// (memcpy on little-endian hosts).
+  void AppendWordsLE(const uint64_t* words, size_t n);
+
   std::vector<uint8_t> buffer_;
 };
 
@@ -59,6 +92,10 @@ class ByteReader {
 
  private:
   Status Take(size_t n, const uint8_t** out);
+
+  /// Reads `n` little-endian u64 words into `words` (memcpy on
+  /// little-endian hosts). Bounds-checked like Take.
+  Status ReadWordsLE(uint64_t* words, size_t n);
 
   const uint8_t* data_;
   size_t size_;

@@ -1,8 +1,10 @@
 #include "ps/parameter_server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <iomanip>
 #include <sstream>
+#include <thread>
 
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -24,7 +26,54 @@ int64_t PieceBytes(const SparseVector& piece) {
          static_cast<int64_t>(sizeof(int64_t) + sizeof(double));
 }
 
+// Content-tag layout (see the MakeTag doc comment in the header):
+// [0 | versioned:1 | epoch:14 | value:47], sign bit always clear.
+constexpr int kTagValueBits = 47;
+constexpr int64_t kTagValueMask = (int64_t{1} << kTagValueBits) - 1;
+constexpr int64_t kTagVersionedBit = int64_t{1} << 61;
+constexpr int64_t kTagEpochMask = (int64_t{1} << 14) - 1;
+
+/// Content bytes of a materialized dense block under the 50% rule:
+/// sparse (16 B/nonzero) when less than half full, dense (8 B/key)
+/// otherwise. Mirrors ServerShard::WirePayloadBytes for a vector we
+/// already hold.
+int64_t MaterializedWireBytes(const std::vector<double>& block,
+                              size_t* nnz_out) {
+  size_t nnz = 0;
+  for (double v : block) {
+    if (v != 0.0) ++nnz;
+  }
+  if (nnz_out != nullptr) *nnz_out = nnz;
+  const int64_t dense = static_cast<int64_t>(block.size()) *
+                        static_cast<int64_t>(sizeof(double));
+  const int64_t sparse = static_cast<int64_t>(nnz) *
+                         static_cast<int64_t>(sizeof(int64_t) +
+                                              sizeof(double));
+  return std::min(dense, sparse);
+}
+
 }  // namespace
+
+bool ParameterServer::TagIsVersioned(int64_t tag) {
+  return tag >= 0 && (tag & kTagVersionedBit) != 0;
+}
+
+int64_t ParameterServer::TagValue(int64_t tag) {
+  return tag & kTagValueMask;
+}
+
+int64_t ParameterServer::MakeTag(bool versioned, int64_t value) const {
+  const int64_t epoch =
+      static_cast<int64_t>(pull_epoch_.load(std::memory_order_acquire)) &
+      kTagEpochMask;
+  return (versioned ? kTagVersionedBit : int64_t{0}) |
+         (epoch << kTagValueBits) | (value & kTagValueMask);
+}
+
+bool ParameterServer::TagInCurrentEpoch(int64_t tag, bool versioned) const {
+  if (tag < 0) return false;
+  return (tag & ~kTagValueMask) == (MakeTag(versioned, 0) & ~kTagValueMask);
+}
 
 ParameterServer::ParameterServer(int64_t dim, int num_workers,
                                  const ConsolidationRule& rule_proto,
@@ -36,6 +85,7 @@ ParameterServer::ParameterServer(int64_t dim, int num_workers,
                                        options.partitions_per_server)),
       master_(partitioner_.num_partitions(), num_workers),
       empty_push_is_noop_(rule_proto.EmptyPushIsNoOp()),
+      versioned_snapshots_(rule_proto.SupportsVersionedSnapshots()),
       clock_table_(num_workers) {
   HETPS_CHECK(num_workers > 0) << "need at least one worker";
   const int parts = partitioner_.num_partitions();
@@ -44,7 +94,7 @@ ParameterServer::ParameterServer(int64_t dim, int num_workers,
   for (int p = 0; p < parts; ++p) {
     shards_.push_back(std::make_unique<ServerShard>(
         p, static_cast<size_t>(partitioner_.PartitionDim(p)), rule_proto,
-        num_workers));
+        num_workers, options_.delta_log_depth));
     shard_mu_.push_back(std::make_unique<std::mutex>());
   }
   // Create every metric up front: hot paths record through cached
@@ -53,6 +103,11 @@ ParameterServer::ParameterServer(int64_t dim, int num_workers,
   push_counter_ = metrics_->counter("ps.push.count");
   push_bytes_ = metrics_->counter("ps.push.bytes");
   pull_counter_ = metrics_->counter("ps.pull.count");
+  pull_cache_hit_ = metrics_->counter("pull.cache_hit");
+  pull_partitions_shipped_ = metrics_->counter("pull.partitions_shipped");
+  pull_bytes_shipped_ = metrics_->counter("pull.bytes_shipped");
+  pull_bytes_saved_ = metrics_->counter("pull.bytes_saved");
+  pull_delta_hits_ = metrics_->counter("pull.delta_hits");
   blocked_workers_ = metrics_->gauge("ps.blocked_workers");
   blocked_workers_->Set(0.0);
   admission_wait_us_ = metrics_->histogram("ps.admission_wait_us");
@@ -100,6 +155,16 @@ void ParameterServer::Push(int worker, int clock,
 void ParameterServer::PushPiece(int partition, int worker, int clock,
                                 const SparseVector& local_piece,
                                 bool last_piece) {
+  // Same no-op-on-empty rule as Push() above, applied here so the
+  // per-piece callers (PsService, the event simulator) agree with the
+  // facade: an empty SSP/Con piece must not touch the shard — and in
+  // particular must not bump its data_version, which would make a clean
+  // partition look dirty to the version-aware pull path. The clock
+  // still advances when this was the update's last piece.
+  if (local_piece.empty() && empty_push_is_noop_) {
+    if (last_piece) AdvanceClock(worker, clock);
+    return;
+  }
   const Clock::time_point start = Clock::now();
   {
     std::lock_guard<std::mutex> lock(
@@ -140,26 +205,43 @@ bool ParameterServer::CanAdvance(int worker, int next_clock) const {
   return options_.sync.CanAdvance(next_clock, clock_table_.cmin());
 }
 
-void ParameterServer::WaitUntilCanAdvance(int worker, int next_clock) {
+bool ParameterServer::WaitUntilCanAdvance(int worker, int next_clock,
+                                          const std::atomic<bool>* cancel) {
+  const auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->load(std::memory_order_acquire);
+  };
   {
     // Fast path: no wait, no telemetry churn.
     std::unique_lock<std::mutex> lock(clock_mu_);
     if (options_.sync.CanAdvance(next_clock, clock_table_.cmin())) {
       admission_wait_us_->RecordInt(0);
-      return;
+      return true;
     }
+    if (cancelled()) return false;
   }
   HETPS_TRACE_SPAN2("ps.wait", "worker", worker, "clock", next_clock);
   const Clock::time_point start = Clock::now();
   blocked_workers_->Add(1.0);
+  bool admitted = false;
   {
     std::unique_lock<std::mutex> lock(clock_mu_);
     clock_cv_.wait(lock, [&] {
-      return options_.sync.CanAdvance(next_clock, clock_table_.cmin());
+      return options_.sync.CanAdvance(next_clock, clock_table_.cmin()) ||
+             cancelled();
     });
+    admitted = options_.sync.CanAdvance(next_clock, clock_table_.cmin());
   }
   blocked_workers_->Add(-1.0);
   admission_wait_us_->RecordInt(MicrosSince(start));
+  return admitted;
+}
+
+void ParameterServer::WakeClockWaiters() {
+  // Taking clock_mu_ before notifying closes the gap between a waiter's
+  // predicate check and its wait: a cancel flag set just before this
+  // call is guaranteed visible to every waiter that subsequently wakes.
+  { std::lock_guard<std::mutex> lock(clock_mu_); }
+  clock_cv_.notify_all();
 }
 
 std::vector<double> ParameterServer::PullFull(int worker, int* cmin_out) {
@@ -192,6 +274,13 @@ std::vector<double> ParameterServer::AssemblePull(int worker,
 
 std::vector<double> ParameterServer::PullPiece(int partition, int worker,
                                                int64_t version) {
+  return PullPieceTagged(partition, worker, version, /*tag_out=*/nullptr);
+}
+
+std::vector<double> ParameterServer::PullPieceTagged(int partition,
+                                                     int worker,
+                                                     int64_t version,
+                                                     int64_t* tag_out) {
   // Lock order (L1 before L2): snapshot cmax under clock_mu_ *before*
   // taking the shard mutex. Taking clock_mu_ inside the shard critical
   // section inverted the SaveCheckpoint order (clock -> shard) and was a
@@ -210,11 +299,252 @@ std::vector<double> ParameterServer::PullPiece(int partition, int worker,
     ServerShard* shard = shards_[static_cast<size_t>(partition)].get();
     block = version >= 0 ? shard->PullAtVersion(worker, cmax_now, version)
                          : shard->Pull(worker, cmax_now);
+    if (tag_out != nullptr) {
+      // The tag must be computed under the same shard critical section as
+      // the materialization — a push between the two would stamp content
+      // the client never received.
+      const bool versioned =
+          options_.partition_sync && versioned_snapshots_ && version >= 0;
+      *tag_out = versioned ? MakeTag(true, version)
+                           : MakeTag(false, shard->data_version());
+    }
   }
   pull_piece_us_[static_cast<size_t>(partition)]->RecordInt(
       MicrosSince(start));
   pull_counter_->Increment();
   return block;
+}
+
+PiecePullPlan ParameterServer::PlanPullPiece(int partition, int worker,
+                                             int64_t version,
+                                             int64_t cached_tag) const {
+  (void)worker;  // planning is worker-independent; kept for symmetry
+  const bool versioned =
+      options_.partition_sync && versioned_snapshots_ && version >= 0;
+  PiecePullPlan plan;
+  std::lock_guard<std::mutex> lock(
+      *shard_mu_[static_cast<size_t>(partition)]);
+  const ServerShard& shard = *shards_[static_cast<size_t>(partition)];
+  plan.tag = versioned ? MakeTag(true, version)
+                       : MakeTag(false, shard.data_version());
+  plan.bytes_full = shard.WirePayloadBytes();
+  if (cached_tag == plan.tag) {
+    plan.changed = false;
+    plan.bytes = 0;
+    return plan;
+  }
+  plan.changed = true;
+  plan.bytes = plan.bytes_full;
+  // A delta ship can undercut the whole-block ship when the client's tag
+  // is a live tag from the current epoch and the delta log still reaches
+  // back to it.
+  if (!versioned && TagInCurrentEpoch(cached_tag, /*versioned=*/false)) {
+    SparseVector delta;
+    if (shard.DeltaSince(TagValue(cached_tag), &delta)) {
+      const int64_t delta_bytes = PieceBytes(delta);
+      if (delta_bytes < plan.bytes) plan.bytes = delta_bytes;
+    }
+  }
+  return plan;
+}
+
+void ParameterServer::RecordPlannedPull(const PiecePullPlan& plan) {
+  if (!plan.changed) {
+    pull_cache_hit_->Increment();
+  } else {
+    pull_partitions_shipped_->Increment();
+    pull_bytes_shipped_->Increment(plan.bytes);
+    if (plan.bytes < plan.bytes_full) pull_delta_hits_->Increment();
+  }
+  const int64_t saved = plan.bytes_full - plan.bytes;
+  if (saved > 0) pull_bytes_saved_->Increment(saved);
+}
+
+int64_t ParameterServer::PartitionTag(int partition) const {
+  const bool versioned = options_.partition_sync && versioned_snapshots_;
+  // Master::mu_ is a leaf lock — never held across the shard lock below.
+  const int64_t stable = versioned ? master_.StableVersion() : -1;
+  std::lock_guard<std::mutex> lock(
+      *shard_mu_[static_cast<size_t>(partition)]);
+  return versioned
+             ? MakeTag(true, stable)
+             : MakeTag(false,
+                       shards_[static_cast<size_t>(partition)]
+                           ->data_version());
+}
+
+PartitionPull ParameterServer::BuildPartitionPull(
+    int partition, int worker, int cmax_now, int64_t version,
+    bool use_versioned_tags, int64_t stable_version, int64_t cached_tag,
+    int64_t* bytes_full_out) {
+  const Clock::time_point start = Clock::now();
+  PartitionPull out;
+  out.partition = partition;
+  {
+    std::lock_guard<std::mutex> lock(
+        *shard_mu_[static_cast<size_t>(partition)]);
+    ServerShard* shard = shards_[static_cast<size_t>(partition)].get();
+    out.tag = use_versioned_tags ? MakeTag(true, stable_version)
+                                 : MakeTag(false, shard->data_version());
+    *bytes_full_out = shard->WirePayloadBytes();
+    if (cached_tag == out.tag) {
+      // Cache hit: the client's copy is byte-identical. Still a read at
+      // cmax for the rule's bookkeeping (Algorithm 2 line 18).
+      shard->StampPull(worker, cmax_now);
+      out.encoding = PartitionPull::Encoding::kUnchanged;
+      return out;
+    }
+    // Try the delta ship first (live-tag mode only; versioned snapshots
+    // change wholesale at stable-version boundaries).
+    if (!use_versioned_tags &&
+        TagInCurrentEpoch(cached_tag, /*versioned=*/false)) {
+      SparseVector delta;
+      if (shard->DeltaSince(TagValue(cached_tag), &delta) &&
+          PieceBytes(delta) < *bytes_full_out) {
+        shard->StampPull(worker, cmax_now);
+        out.encoding = PartitionPull::Encoding::kSparseDelta;
+        out.base_tag = cached_tag;
+        out.sparse = std::move(delta);
+        return out;
+      }
+    }
+    // Whole-block ship: materialize, then pick the cheaper layout
+    // (ParamBlock's 50% rule applied to the materialized content).
+    std::vector<double> block =
+        version >= 0 ? shard->PullAtVersion(worker, cmax_now, version)
+                     : shard->Pull(worker, cmax_now);
+    size_t nnz = 0;
+    const int64_t dense_bytes =
+        static_cast<int64_t>(block.size()) *
+        static_cast<int64_t>(sizeof(double));
+    const int64_t wire_bytes = MaterializedWireBytes(block, &nnz);
+    if (wire_bytes < dense_bytes) {
+      out.encoding = PartitionPull::Encoding::kSparse;
+      out.sparse = SparseVector::FromDense(block);
+    } else {
+      out.encoding = PartitionPull::Encoding::kDense;
+      out.dense = std::move(block);
+    }
+  }
+  pull_piece_us_[static_cast<size_t>(partition)]->RecordInt(
+      MicrosSince(start));
+  return out;
+}
+
+ThreadPool* ParameterServer::PullPool() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pull_pool_ == nullptr) {
+    int n = options_.pull_parallelism;
+    if (n <= 0) {
+      n = static_cast<int>(std::thread::hardware_concurrency());
+      if (n <= 0) n = 2;
+    }
+    n = std::min(n, partitioner_.num_partitions());
+    n = std::max(n, 1);
+    pull_pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(n));
+  }
+  return pull_pool_.get();
+}
+
+DeltaPullResult ParameterServer::PullDelta(
+    int worker, const std::vector<int64_t>& cached_tags) {
+  HETPS_TRACE_SPAN1("ps.pull_delta", "worker", worker);
+  const int parts = partitioner_.num_partitions();
+  // L1 snapshot first (documented lock order: never after a shard lock).
+  int cmax_now = 0;
+  int cmin_now = 0;
+  {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    cmax_now = clock_table_.cmax();
+    cmin_now = clock_table_.cmin();
+  }
+  const int64_t stable_version =
+      options_.partition_sync ? master_.StableVersion() : -1;
+  const int64_t version = options_.partition_sync ? stable_version : -1;
+  const bool use_versioned_tags =
+      options_.partition_sync && versioned_snapshots_;
+
+  DeltaPullResult result;
+  result.cmin = cmin_now;
+  result.partitions.resize(static_cast<size_t>(parts));
+  std::vector<int64_t> bytes_full(static_cast<size_t>(parts), 0);
+
+  const auto build_one = [&](int p) {
+    const int64_t cached =
+        static_cast<size_t>(p) < cached_tags.size()
+            ? cached_tags[static_cast<size_t>(p)]
+            : kNoCachedTag;
+    result.partitions[static_cast<size_t>(p)] = BuildPartitionPull(
+        p, worker, cmax_now, version, use_versioned_tags, stable_version,
+        cached, &bytes_full[static_cast<size_t>(p)]);
+  };
+
+  const bool parallel = parts > 1 && options_.pull_parallelism != 1;
+  if (parallel) {
+    // Per-call latch: the pool is shared across concurrent pulls, so we
+    // count down *our* tasks instead of waiting for the pool to drain.
+    // Partition slots are disjoint, so the writes need no extra locking.
+    std::mutex latch_mu;
+    std::condition_variable latch_cv;
+    int remaining = parts;
+    ThreadPool* pool = PullPool();
+    for (int p = 0; p < parts; ++p) {
+      const bool accepted = pool->Submit([&, p] {
+        build_one(p);
+        std::lock_guard<std::mutex> lock(latch_mu);
+        if (--remaining == 0) latch_cv.notify_one();
+      });
+      if (!accepted) {
+        // Pool shut down (only happens during destruction races in
+        // tests): fall back to inline assembly for this partition.
+        build_one(p);
+        std::lock_guard<std::mutex> lock(latch_mu);
+        if (--remaining == 0) latch_cv.notify_one();
+      }
+    }
+    std::unique_lock<std::mutex> lock(latch_mu);
+    latch_cv.wait(lock, [&] { return remaining == 0; });
+  } else {
+    for (int p = 0; p < parts; ++p) build_one(p);
+  }
+
+  // Wire accounting + counters, summed once after assembly (tasks touch
+  // only their own slots above).
+  int64_t hits = 0;
+  int64_t shipped = 0;
+  int64_t delta_ships = 0;
+  for (int p = 0; p < parts; ++p) {
+    const PartitionPull& pp = result.partitions[static_cast<size_t>(p)];
+    result.bytes_full += bytes_full[static_cast<size_t>(p)];
+    switch (pp.encoding) {
+      case PartitionPull::Encoding::kUnchanged:
+        ++hits;
+        break;
+      case PartitionPull::Encoding::kDense:
+        ++shipped;
+        result.bytes_shipped +=
+            static_cast<int64_t>(pp.dense.size()) *
+            static_cast<int64_t>(sizeof(double));
+        break;
+      case PartitionPull::Encoding::kSparse:
+        ++shipped;
+        result.bytes_shipped += PieceBytes(pp.sparse);
+        break;
+      case PartitionPull::Encoding::kSparseDelta:
+        ++shipped;
+        ++delta_ships;
+        result.bytes_shipped += PieceBytes(pp.sparse);
+        break;
+    }
+  }
+  pull_counter_->Increment(parts);
+  pull_cache_hit_->Increment(hits);
+  pull_partitions_shipped_->Increment(shipped);
+  pull_bytes_shipped_->Increment(result.bytes_shipped);
+  pull_delta_hits_->Increment(delta_ships);
+  const int64_t saved = result.bytes_full - result.bytes_shipped;
+  if (saved > 0) pull_bytes_saved_->Increment(saved);
+  return result;
 }
 
 std::vector<double> ParameterServer::PullRange(int worker, int64_t begin,
@@ -370,7 +700,8 @@ Status ParameterServer::LoadCheckpoint(std::istream& is) {
     std::lock_guard<std::mutex> lock(*shard_mu_[static_cast<size_t>(p)]);
     staged.push_back(std::make_unique<ServerShard>(
         p, static_cast<size_t>(partitioner_.PartitionDim(p)),
-        shards_[static_cast<size_t>(p)]->rule(), num_workers_));
+        shards_[static_cast<size_t>(p)]->rule(), num_workers_,
+        options_.delta_log_depth));
   }
   for (int p = 0; p < parts; ++p) {
     int shard_id = 0;
@@ -400,6 +731,10 @@ Status ParameterServer::LoadCheckpoint(std::istream& is) {
       param->ForceLayout(ParamBlock::Layout::kSparse);
     }
     shard->set_push_count(push_count);
+    // data_version tracks pushes 1:1 (ServerShard::Push), so the restored
+    // stamp is the restored push count. The epoch bump at commit below
+    // keeps it from aliasing any pre-restore client tag regardless.
+    shard->set_data_version(push_count);
     HETPS_RETURN_NOT_OK(shard->mutable_rule()->LoadState(is));
   }
   // --- Commit -----------------------------------------------------------
@@ -411,11 +746,20 @@ Status ParameterServer::LoadCheckpoint(std::istream& is) {
   // shards on all pull paths.
   {
     std::lock_guard<std::mutex> clock_lock(clock_mu_);
+    // Hold *all* shard mutexes (increasing index — the documented L2
+    // order) across the epoch bump and the swap. Any concurrent pull
+    // computes its content tag under some shard mutex, so it observes
+    // either (old epoch, old shard) or (new epoch, new shard) for each
+    // partition — never a new-epoch tag naming pre-restore content.
+    std::vector<std::unique_lock<std::mutex>> shard_locks;
+    shard_locks.reserve(static_cast<size_t>(parts));
+    for (int p = 0; p < parts; ++p) {
+      shard_locks.emplace_back(*shard_mu_[static_cast<size_t>(p)]);
+    }
+    pull_epoch_.fetch_add(1, std::memory_order_acq_rel);
     clock_table_.Restore(clocks);
     master_.RestoreVersions(versions);
     for (int p = 0; p < parts; ++p) {
-      std::lock_guard<std::mutex> lock(
-          *shard_mu_[static_cast<size_t>(p)]);
       shards_[static_cast<size_t>(p)] =
           std::move(staged[static_cast<size_t>(p)]);
     }

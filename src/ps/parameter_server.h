@@ -1,6 +1,7 @@
 #ifndef HETPS_PS_PARAMETER_SERVER_H_
 #define HETPS_PS_PARAMETER_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -16,6 +17,7 @@
 #include "ps/partition.h"
 #include "ps/server_shard.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace hetps {
 
@@ -31,11 +33,80 @@ struct PsOptions {
   /// Version-based partition synchronization through the master (§6);
   /// effective with a deferred-mode DynSGD rule.
   bool partition_sync = false;
+  /// Per-shard delta-log depth for version-aware delta pulls (0 disables
+  /// delta capture; unchanged-partition detection still works — it only
+  /// needs the version stamp). See ServerShard.
+  int delta_log_depth = 64;
+  /// Threads used to assemble multi-partition pulls shard-parallel.
+  /// 0 = auto (hardware concurrency, capped at the partition count);
+  /// 1 = serial assembly on the calling thread.
+  int pull_parallelism = 0;
   /// Registry receiving the PS telemetry (per-shard push/pull latency
   /// histograms, per-worker staleness, admission-wait times). nullptr =
   /// the process-wide GlobalMetrics(). The metric objects are created
   /// once at construction, so recording never takes a registry lock.
   MetricsRegistry* metrics = nullptr;
+};
+
+/// Sentinel for "client has no cached replica of this partition".
+constexpr int64_t kNoCachedTag = -1;
+
+/// One partition's share of a version-aware pull response.
+///
+/// `tag` is the partition's *content tag* after this pull: an opaque
+/// int64 that is equal across two pulls iff the materialized content is
+/// byte-identical (see ParameterServer's tag encoding). The client stores
+/// it alongside its cached copy and sends it back on the next pull.
+struct PartitionPull {
+  enum class Encoding : uint8_t {
+    /// Content identical to the client's cached copy — no payload.
+    kUnchanged = 0,
+    /// Whole block, dense layout (`dense` holds PartitionDim(p) values).
+    kDense = 1,
+    /// Whole block, sparse layout (`sparse` holds the nonzeros).
+    kSparse = 2,
+    /// Arithmetic difference since the client's cached copy (`sparse`
+    /// holds the delta; valid only against `base_tag`).
+    kSparseDelta = 3,
+  };
+
+  int partition = 0;
+  Encoding encoding = Encoding::kUnchanged;
+  /// Content tag of the partition after this pull.
+  int64_t tag = kNoCachedTag;
+  /// For kSparseDelta: the cached tag the delta applies on top of. The
+  /// client must verify it still holds that exact tag (a retried or
+  /// reordered RPC could race a newer response) and fall back to a full
+  /// pull on mismatch.
+  int64_t base_tag = kNoCachedTag;
+  std::vector<double> dense;
+  SparseVector sparse;
+};
+
+/// Result of a version-aware pull: the changed partitions (all partitions
+/// are present; unchanged ones carry no payload), the clock floor, and
+/// the wire accounting the comm model / metrics consume.
+struct DeltaPullResult {
+  std::vector<PartitionPull> partitions;
+  int cmin = 0;
+  /// Content bytes this response actually ships (headers excluded).
+  int64_t bytes_shipped = 0;
+  /// Content bytes a cache-less whole-model pull would have shipped.
+  int64_t bytes_full = 0;
+};
+
+/// Size/route plan for one partition of a pull — the simulator asks for
+/// this at grant time to size the per-partition message without
+/// materializing the block.
+struct PiecePullPlan {
+  /// False when the cached tag still matches (no payload needed).
+  bool changed = true;
+  /// Content tag the response would carry.
+  int64_t tag = kNoCachedTag;
+  /// Content bytes the response ships (0 when unchanged).
+  int64_t bytes = 0;
+  /// Content bytes a whole-block ship would cost (50% rule).
+  int64_t bytes_full = 0;
 };
 
 /// Thread-safe facade over the partitioned server shards, the global clock
@@ -83,13 +154,34 @@ class ParameterServer {
   /// True if `worker` may begin `next_clock` under the sync policy.
   bool CanAdvance(int worker, int next_clock) const;
 
-  /// Blocks until CanAdvance holds (condition variable, woken by pushes).
-  void WaitUntilCanAdvance(int worker, int next_clock);
+  /// Blocks until CanAdvance holds (condition variable, woken by pushes)
+  /// or `*cancel` becomes true (checked on every wake; pair with
+  /// WakeClockWaiters()). Returns true if admitted, false if cancelled.
+  /// The default nullptr never cancels — legacy callers block as before.
+  bool WaitUntilCanAdvance(int worker, int next_clock,
+                           const std::atomic<bool>* cancel = nullptr);
+
+  /// Wakes every thread blocked in WaitUntilCanAdvance so it can re-check
+  /// its cancel token. Used by prefetch teardown (WorkerClient dtor).
+  void WakeClockWaiters();
 
   /// Assembles the full dense parameter. When partition_sync is on, pulls
   /// every partition at the master's stable version. Returns the vector
   /// and the current cmin (Algorithm 1's pull returns both).
   std::vector<double> PullFull(int worker, int* cmin_out = nullptr);
+
+  /// Version-aware pull (the tentpole of the client-cache path).
+  ///
+  /// `cached_tags[p]` is the content tag the client holds for partition p
+  /// (kNoCachedTag if none; a short vector is padded with kNoCachedTag).
+  /// For every partition the response carries the new tag plus either
+  /// nothing (kUnchanged), the whole block (dense or sparse, 50% rule),
+  /// or the sparse delta since the cached tag — whichever is smallest.
+  /// Pull state is stamped on *every* partition (a cache hit is still a
+  /// read at cmax, Algorithm 2 line 18). Assembly is shard-parallel when
+  /// options().pull_parallelism allows.
+  DeltaPullResult PullDelta(int worker,
+                            const std::vector<int64_t>& cached_tags);
 
   /// Range pull (the "range push and pull" optimization of Appendix D):
   /// returns the values of keys [begin, end), reading only the partitions
@@ -113,6 +205,28 @@ class ParameterServer {
   /// `version >= 0`, pulls the snapshot at that version.
   std::vector<double> PullPiece(int partition, int worker,
                                 int64_t version = -1);
+
+  /// Plans one partition of a version-aware pull without materializing:
+  /// compares `cached_tag` against the partition's current content tag
+  /// and reports what a response would ship (delta / sparse / dense
+  /// bytes, 50% rule). Does NOT stamp pull state — the simulator calls
+  /// this at grant time to size messages, then PullPieceTagged at read
+  /// time. `version` as in PullPiece.
+  PiecePullPlan PlanPullPiece(int partition, int worker, int64_t version,
+                              int64_t cached_tag) const;
+
+  /// Accounting hook for callers that size messages via PlanPullPiece
+  /// (the event simulator): folds one planned partition response into the
+  /// pull.* counters so simulated and served pulls share a metric
+  /// namespace.
+  void RecordPlannedPull(const PiecePullPlan& plan);
+
+  /// PullPiece plus the partition's content tag (for client caching).
+  std::vector<double> PullPieceTagged(int partition, int worker,
+                                      int64_t version, int64_t* tag_out);
+
+  /// Current content tag of one partition (no pull stamping).
+  int64_t PartitionTag(int partition) const;
 
   /// --- Introspection ---
 
@@ -143,8 +257,48 @@ class ParameterServer {
 
   std::string DebugString() const;
 
+  /// Tag introspection helpers (used by clients, tests and the wire
+  /// layer; tags are otherwise opaque).
+  static bool TagIsVersioned(int64_t tag);
+  static int64_t TagValue(int64_t tag);
+
  private:
   std::vector<double> AssemblePull(int worker, int64_t version);
+
+  /// ## Content-tag encoding
+  ///
+  /// A tag names the byte content of one partition's materialized block:
+  ///
+  ///   bit 61      — versioned bit: 1 = stable-version snapshot tag
+  ///                 (deferred DynSGD under partition_sync), 0 = live tag
+  ///   bits 47..60 — pull epoch (mod 2^14), bumped on every checkpoint
+  ///                 restore so restored state can never alias a tag
+  ///                 handed out before the restore
+  ///   bits 0..46  — value: the shard's data_version (live tags) or the
+  ///                 master's stable version (versioned tags)
+  ///
+  /// Equal tags imply byte-identical content: data_version is a monotone
+  /// per-shard push count (ServerShard), a stable version's snapshot is
+  /// time-invariant (ConsolidationRule::SupportsVersionedSnapshots), and
+  /// the epoch separates pre-/post-restore stamps. The sign bit stays 0,
+  /// so every real tag is >= 0 and kNoCachedTag (-1) never collides.
+  int64_t MakeTag(bool versioned, int64_t value) const;
+  /// High (epoch + versioned) bits of `tag` match the current epoch and
+  /// the expected versioned bit — i.e. TagValue() is comparable.
+  bool TagInCurrentEpoch(int64_t tag, bool versioned) const;
+
+  /// Builds one partition's share of a PullDelta response. Takes only the
+  /// shard mutex (L2); `cmax_now` / `version` / `use_versioned_tags` are
+  /// pre-snapshotted by the caller (L1 before L2 discipline).
+  PartitionPull BuildPartitionPull(int partition, int worker, int cmax_now,
+                                   int64_t version, bool use_versioned_tags,
+                                   int64_t stable_version,
+                                   int64_t cached_tag,
+                                   int64_t* bytes_full_out);
+
+  /// Lazily creates the shared pull-assembly pool (first multi-partition
+  /// PullDelta with pull_parallelism != 1).
+  ThreadPool* PullPool();
 
   /// Records `worker`'s push of `clock` in the clock table and wakes
   /// blocked SSP waiters when cmin advances. Takes L1 only; must be
@@ -162,6 +316,24 @@ class ParameterServer {
   // Whether the consolidation rule treats empty pushes as no-ops (lets
   // Push skip filter-emptied pieces). Immutable after construction.
   bool empty_push_is_noop_ = false;
+  // Whether the rule's MaterializeAtVersion snapshots are genuine and
+  // time-invariant at stable versions (deferred DynSGD). Gates the
+  // versioned tag mode: rules that fall back to the live value would
+  // otherwise produce false cache hits under a constant stable version.
+  bool versioned_snapshots_ = false;
+
+  // Pull-epoch for tag invalidation: bumped on every LoadCheckpoint
+  // commit so tags handed out before a restore can never match tags
+  // computed after it (restored shards restart their version stamps).
+  std::atomic<uint32_t> pull_epoch_{0};
+
+  // Shard-parallel pull assembly. Created lazily under pool_mu_; sized
+  // by options_.pull_parallelism. Tasks synchronize with their issuing
+  // call through a per-call latch (the pool is shared across concurrent
+  // pulls, so ThreadPool::Wait() — which waits for *all* tasks — is not
+  // usable here).
+  std::mutex pool_mu_;
+  std::unique_ptr<ThreadPool> pull_pool_;
 
   // L1 — always acquired before any shard_mu_ (never after).
   mutable std::mutex clock_mu_;
@@ -179,6 +351,15 @@ class ParameterServer {
   Counter* push_counter_;
   Counter* push_bytes_;
   Counter* pull_counter_;
+  // Version-aware pull path accounting (names fixed by the obs schema):
+  // cache_hit counts unchanged partitions, partitions_shipped counts
+  // dense/sparse/delta payloads, bytes_saved = full-ship cost minus
+  // bytes actually shipped.
+  Counter* pull_cache_hit_;
+  Counter* pull_partitions_shipped_;
+  Counter* pull_bytes_shipped_;
+  Counter* pull_bytes_saved_;
+  Counter* pull_delta_hits_;
   Gauge* blocked_workers_;
   HistogramMetric* admission_wait_us_;
   std::vector<HistogramMetric*> push_piece_us_;  // per partition

@@ -1,20 +1,103 @@
 #include "ps/server_shard.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace hetps {
 
 ServerShard::ServerShard(int shard_id, size_t dim,
                          const ConsolidationRule& rule_proto,
-                         int num_workers)
-    : shard_id_(shard_id), param_(dim), rule_(rule_proto.Clone()) {
+                         int num_workers, int delta_log_depth)
+    : shard_id_(shard_id),
+      param_(dim),
+      rule_(rule_proto.Clone()),
+      delta_log_depth_(delta_log_depth) {
   rule_->Reset(dim, num_workers);
+  track_deltas_ =
+      delta_log_depth_ > 0 && rule_->PushTouchesOnlyUpdateSupport();
 }
 
 void ServerShard::Push(int worker, int clock,
                        const SparseVector& local_update) {
+  if (track_deltas_ && !local_update.empty()) {
+    // The rule promises to touch only the update's support, so the exact
+    // applied delta is the before/after difference at those indices —
+    // O(nnz) point reads on either side of the push.
+    std::vector<double> before(local_update.nnz());
+    for (size_t i = 0; i < local_update.nnz(); ++i) {
+      before[i] = param_.At(static_cast<size_t>(local_update.index(i)));
+    }
+    rule_->OnPush(worker, clock, local_update, &param_);
+    SparseVector delta;
+    for (size_t i = 0; i < local_update.nnz(); ++i) {
+      const double after =
+          param_.At(static_cast<size_t>(local_update.index(i)));
+      delta.PushBack(local_update.index(i), after - before[i]);
+    }
+    ++push_count_;
+    ++data_version_;
+    AppendDelta(std::move(delta));
+    return;
+  }
   rule_->OnPush(worker, clock, local_update, &param_);
   ++push_count_;
+  ++data_version_;
+  if (track_deltas_) {
+    // Empty update under a support-local rule: no entry changed; an
+    // explicit empty log record keeps DeltaSince's version chain
+    // contiguous without paying for storage.
+    AppendDelta(SparseVector());
+  }
+}
+
+void ServerShard::AppendDelta(SparseVector delta) {
+  delta_log_bytes_ += delta.MemoryBytes();
+  delta_log_.push_back(LoggedDelta{data_version_, std::move(delta)});
+  // Bound by depth, and by total bytes: once the log outweighs two dense
+  // ships of the block, merging it can no longer beat a whole-block
+  // transfer, so keeping more history is pure overhead.
+  const size_t byte_cap = 2 * param_.dim() * sizeof(double) + 64;
+  while (delta_log_.size() > static_cast<size_t>(delta_log_depth_) ||
+         delta_log_bytes_ > byte_cap) {
+    delta_log_bytes_ -= delta_log_.front().delta.MemoryBytes();
+    delta_log_.pop_front();
+    if (delta_log_.empty()) break;
+  }
+}
+
+bool ServerShard::DeltaSince(int64_t from_version,
+                             SparseVector* out) const {
+  HETPS_CHECK(out != nullptr) << "null delta output";
+  if (!track_deltas_) return false;
+  if (from_version > data_version_) return false;  // alien tag
+  if (from_version == data_version_) {
+    *out = SparseVector();
+    return true;
+  }
+  // The log holds consecutive versions ending at data_version_; it can
+  // cover (from_version, data_version_] iff its oldest entry is
+  // from_version + 1.
+  if (delta_log_.empty() || delta_log_.front().version > from_version + 1) {
+    return false;
+  }
+  SparseVector merged;
+  for (const LoggedDelta& d : delta_log_) {
+    if (d.version <= from_version) continue;
+    merged = merged.empty() ? d.delta : SparseVector::Add(merged, d.delta);
+  }
+  *out = std::move(merged);
+  return true;
+}
+
+int64_t ServerShard::WirePayloadBytes() const {
+  const int64_t dense_bytes =
+      static_cast<int64_t>(param_.dim()) *
+      static_cast<int64_t>(sizeof(double));
+  const int64_t sparse_bytes =
+      static_cast<int64_t>(param_.CountNonZero()) *
+      static_cast<int64_t>(sizeof(int64_t) + sizeof(double));
+  return std::min(dense_bytes, sparse_bytes);
 }
 
 std::vector<double> ServerShard::Pull(int worker, int cmax) {

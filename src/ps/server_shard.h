@@ -2,6 +2,7 @@
 #define HETPS_PS_SERVER_SHARD_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -15,16 +16,35 @@ namespace hetps {
 /// clone of the consolidation rule. Pure logic — serialization of calls is
 /// the caller's job (the facade locks per shard; the simulator is
 /// single-threaded).
+///
+/// ## Version stamps & the delta log (version-aware pull path, §6)
+///
+/// Every push bumps a monotone `data_version()` stamp. The materialized
+/// content of a shard is a pure function of the pushes applied, so two
+/// reads at the same data version are guaranteed byte-identical — that is
+/// what lets a client cache a partition replica keyed by version and skip
+/// re-fetching unchanged partitions.
+///
+/// For accumulate rules (rule().PushTouchesOnlyUpdateSupport()), the shard
+/// additionally keeps a bounded log of the *applied* per-push deltas
+/// (captured by diffing the touched entries around OnPush, O(nnz) extra).
+/// DeltaSince() merges the log into one sparse delta covering
+/// (from_version, data_version], so a pull can ship just the arithmetic
+/// difference instead of the whole block when that is smaller.
 class ServerShard {
  public:
   /// `rule_proto` is cloned; `dim` is the partition-local dimension.
+  /// `delta_log_depth` bounds the per-shard delta log (0 disables delta
+  /// capture entirely — pulls then always ship whole blocks).
   ServerShard(int shard_id, size_t dim, const ConsolidationRule& rule_proto,
-              int num_workers);
+              int num_workers, int delta_log_depth = 64);
 
   int shard_id() const { return shard_id_; }
   size_t dim() const { return param_.dim(); }
 
   /// Consolidates a partition-local update from `worker` at `clock`.
+  /// Bumps data_version() and (for accumulate rules) appends the applied
+  /// delta to the log.
   void Push(int worker, int clock, const SparseVector& local_update);
 
   /// Dense snapshot of this partition, stamping the rule's pull state for
@@ -35,8 +55,33 @@ class ServerShard {
   /// live value). Stamps pull state like Pull().
   std::vector<double> PullAtVersion(int worker, int cmax, int64_t version);
 
+  /// Stamps the rule's pull state without materializing — the cheap half
+  /// of a cache-hit pull (the client keeps its replica; the server must
+  /// still record that the worker read at cmax, Algorithm 2 line 18).
+  void StampPull(int worker, int cmax) { rule_->OnPull(worker, cmax); }
+
   /// Read-only snapshot without stamping pull state (evaluation path).
   std::vector<double> Peek() const;
+
+  /// Monotone content stamp: number of pushes consolidated into this
+  /// shard. Equal stamps imply byte-identical materialized content.
+  int64_t data_version() const { return data_version_; }
+
+  /// Seeds the stamp (checkpoint restore; combined with the facade's
+  /// pull-epoch so restored state can never alias a pre-restore tag).
+  void set_data_version(int64_t v) { data_version_ = v; }
+
+  /// Merges the logged deltas covering (from_version, data_version()]
+  /// into `*out` (entries sorted, zero-sum entries retained — they are
+  /// real writes). Returns false when the log does not reach back to
+  /// `from_version` (evicted, disabled, or rule not delta-capable); the
+  /// caller must ship the whole block instead.
+  bool DeltaSince(int64_t from_version, SparseVector* out) const;
+
+  /// Content bytes of a whole-block ship under the ParamBlock 50% rule:
+  /// min(dense 8 B/key, sparse 16 B/nonzero). Used by the simulator's
+  /// comm model to size pull responses without materializing.
+  int64_t WirePayloadBytes() const;
 
   /// Versions created on this partition.
   int64_t CurrentVersion() const { return rule_->CurrentVersion(); }
@@ -49,8 +94,11 @@ class ServerShard {
   /// Bytes held by the parameter block itself.
   size_t ParamMemoryBytes() const { return param_.MemoryBytes(); }
 
-  /// Bytes of consolidation-rule auxiliary state (multi-version updates).
-  size_t AuxMemoryBytes() const { return rule_->AuxMemoryBytes(); }
+  /// Bytes of consolidation-rule auxiliary state (multi-version updates
+  /// plus the delta log).
+  size_t AuxMemoryBytes() const {
+    return rule_->AuxMemoryBytes() + delta_log_bytes_;
+  }
 
   /// Number of pushes consolidated so far.
   int64_t push_count() const { return push_count_; }
@@ -62,10 +110,26 @@ class ServerShard {
   ConsolidationRule* mutable_rule() { return rule_.get(); }
 
  private:
+  struct LoggedDelta {
+    int64_t version;     // data_version_ after this push was applied
+    SparseVector delta;  // exact entry-wise change of the block
+  };
+
+  void AppendDelta(SparseVector delta);
+
   int shard_id_;
   ParamBlock param_;
   std::unique_ptr<ConsolidationRule> rule_;
   int64_t push_count_ = 0;
+  int64_t data_version_ = 0;
+
+  // Delta log (newest at the back). Kept only when the rule's pushes are
+  // support-local; bounded by depth and by bytes (once the log outweighs
+  // a dense ship of the block it can no longer win).
+  bool track_deltas_ = false;
+  int delta_log_depth_ = 0;
+  size_t delta_log_bytes_ = 0;
+  std::deque<LoggedDelta> delta_log_;
 };
 
 }  // namespace hetps

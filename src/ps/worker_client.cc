@@ -15,14 +15,43 @@ double SecondsSince(Clock::time_point start) {
 
 }  // namespace
 
-WorkerClient::WorkerClient(int worker_id, ParameterServer* ps)
-    : worker_id_(worker_id), ps_(ps) {
+WorkerClient::WorkerClient(int worker_id, ParameterServer* ps,
+                           bool delta_pull)
+    : worker_id_(worker_id), ps_(ps), delta_pull_(delta_pull) {
   HETPS_CHECK(ps != nullptr) << "null ParameterServer";
   HETPS_CHECK(worker_id >= 0 && worker_id < ps->num_workers())
       << "worker id out of range";
+  if (delta_pull_) {
+    cached_tags_.assign(static_cast<size_t>(ps->num_partitions()),
+                        kNoCachedTag);
+  }
+}
+
+WorkerClient::~WorkerClient() { CancelPrefetch(); }
+
+void WorkerClient::CancelPrefetch() {
+  if (!prefetch_.has_value()) return;
+  // The task may be blocked in the SSP admission wait with no push ever
+  // coming (e.g. the trainer aborted): raise the cancel flag, wake every
+  // clock waiter, then join. WaitUntilCanAdvance re-checks the flag on
+  // each wake, so the task returns promptly instead of blocking forever
+  // (and can never touch a PS destroyed after this client).
+  cancel_prefetch_.store(true, std::memory_order_release);
+  ps_->WakeClockWaiters();
+  prefetch_->wait();
+  prefetch_.reset();
+  cancel_prefetch_.store(false, std::memory_order_release);
+  prefetch_clock_ = -1;
 }
 
 void WorkerClient::Push(int clock, const SparseVector& update) {
+  // Overlapping a prefetch for a *later* clock is the intended pipeline
+  // (the push may even be what unblocks the prefetch's admission wait).
+  // Pushing the prefetched clock itself — or a later one — while the
+  // pull is still in flight means the caller's loop lost its ordering.
+  HETPS_CHECK(!prefetch_.has_value() || clock < prefetch_clock_)
+      << "Push(clock=" << clock << ") racing in-flight prefetch for clock "
+      << prefetch_clock_;
   const Clock::time_point start = Clock::now();
   ps_->Push(worker_id_, clock, update);
   breakdown_.comm_seconds += SecondsSince(start);
@@ -38,26 +67,97 @@ bool WorkerClient::MaybePull(int clock, std::vector<double>* replica) {
   return true;
 }
 
+WorkerClient::PrefetchResult WorkerClient::DoPull() {
+  PrefetchResult result;
+  result.valid = true;
+  if (delta_pull_) {
+    DeltaPullResult delta = ps_->PullDelta(worker_id_, cached_tags_);
+    ApplyToCache(delta);
+    result.replica = cache_;  // trainer gets a mutable copy
+    result.cmin = delta.cmin;
+  } else {
+    result.replica = ps_->PullFull(worker_id_, &result.cmin);
+  }
+  return result;
+}
+
+void WorkerClient::ApplyToCache(const DeltaPullResult& result) {
+  const Partitioner& part = ps_->partitioner();
+  if (cache_.empty()) {
+    cache_.assign(static_cast<size_t>(ps_->dim()), 0.0);
+  }
+  for (const PartitionPull& pp : result.partitions) {
+    const int p = pp.partition;
+    const size_t slot = static_cast<size_t>(p);
+    switch (pp.encoding) {
+      case PartitionPull::Encoding::kUnchanged:
+        // Content tag matched: the pristine copy is already current.
+        break;
+      case PartitionPull::Encoding::kDense:
+        for (size_t local = 0; local < pp.dense.size(); ++local) {
+          const int64_t g =
+              part.GlobalIndex(p, static_cast<int64_t>(local));
+          cache_[static_cast<size_t>(g)] = pp.dense[local];
+        }
+        break;
+      case PartitionPull::Encoding::kSparse: {
+        // Whole block in sparse layout: clear the partition's slots,
+        // then scatter the nonzeros.
+        const int64_t dim_p = part.PartitionDim(p);
+        for (int64_t local = 0; local < dim_p; ++local) {
+          cache_[static_cast<size_t>(part.GlobalIndex(p, local))] = 0.0;
+        }
+        for (size_t i = 0; i < pp.sparse.nnz(); ++i) {
+          const int64_t g = part.GlobalIndex(p, pp.sparse.index(i));
+          cache_[static_cast<size_t>(g)] = pp.sparse.value(i);
+        }
+        break;
+      }
+      case PartitionPull::Encoding::kSparseDelta: {
+        // In-process there is no retry or reordering, so the delta's
+        // base must be exactly what we hold; anything else is a server
+        // bug (the RPC client handles mismatch by re-pulling instead).
+        HETPS_CHECK(pp.base_tag == cached_tags_[slot])
+            << "delta base tag mismatch on partition " << p;
+        for (size_t i = 0; i < pp.sparse.nnz(); ++i) {
+          const int64_t g = part.GlobalIndex(p, pp.sparse.index(i));
+          cache_[static_cast<size_t>(g)] += pp.sparse.value(i);
+        }
+        break;
+      }
+    }
+    cached_tags_[slot] = pp.tag;
+  }
+  pulled_bytes_ += result.bytes_shipped;
+  pulled_bytes_full_ += result.bytes_full;
+}
+
 void WorkerClient::PullBlocking(int next_clock,
                                 std::vector<double>* replica) {
+  // A pull on the owner thread while the prefetch task owns the replica
+  // cache would race cache_/cached_tags_ — the caller must finish (or
+  // never start) the prefetch first.
+  HETPS_CHECK(!prefetch_.has_value())
+      << "PullBlocking racing in-flight prefetch";
   const Clock::time_point wait_start = Clock::now();
   ps_->WaitUntilCanAdvance(worker_id_, next_clock);
   breakdown_.wait_seconds += SecondsSince(wait_start);
   const Clock::time_point pull_start = Clock::now();
-  int cmin = 0;
-  *replica = ps_->PullFull(worker_id_, &cmin);
+  PrefetchResult result = DoPull();
   breakdown_.comm_seconds += SecondsSince(pull_start);
-  cached_cmin_ = cmin;
+  *replica = std::move(result.replica);
+  cached_cmin_ = result.cmin;
   ++pull_count_;
 }
 
 void WorkerClient::StartPrefetch(int next_clock) {
   HETPS_CHECK(!prefetch_.has_value()) << "prefetch already in flight";
+  prefetch_clock_ = next_clock;
   prefetch_ = std::async(std::launch::async, [this, next_clock] {
-    ps_->WaitUntilCanAdvance(worker_id_, next_clock);
-    PrefetchResult result;
-    result.replica = ps_->PullFull(worker_id_, &result.cmin);
-    return result;
+    const bool admitted = ps_->WaitUntilCanAdvance(worker_id_, next_clock,
+                                                   &cancel_prefetch_);
+    if (!admitted) return PrefetchResult{};  // cancelled: invalid result
+    return DoPull();
   });
 }
 
@@ -70,6 +170,8 @@ bool WorkerClient::FinishPrefetch(std::vector<double>* replica) {
   PrefetchResult result = prefetch_->get();
   breakdown_.wait_seconds += SecondsSince(start);
   prefetch_.reset();
+  prefetch_clock_ = -1;
+  if (!result.valid) return false;
   *replica = std::move(result.replica);
   cached_cmin_ = result.cmin;
   ++pull_count_;

@@ -1,6 +1,8 @@
 #ifndef HETPS_PS_WORKER_CLIENT_H_
 #define HETPS_PS_WORKER_CLIENT_H_
 
+#include <atomic>
+#include <cstdint>
 #include <future>
 #include <optional>
 #include <vector>
@@ -15,10 +17,39 @@ namespace hetps {
 /// the per-clock update, track the cached cmin (cp), and refresh the
 /// replica only when the SSP policy requires it.
 ///
-/// One instance per worker thread; not shareable across threads.
+/// ## Partition replica cache (version-aware pull path)
+///
+/// With `delta_pull` on (default), the client keeps a *pristine* copy of
+/// the last server state it received (`cache_`) plus one content tag per
+/// partition. A pull sends the tag map; the PS answers per partition
+/// with nothing (tag unchanged), a whole block, or a sparse delta that
+/// is applied on top of the cached copy (ParameterServer::PullDelta).
+/// The pristine copy is required because the trainer mutates the replica
+/// it is handed (local SGD steps), so deltas can never be applied to the
+/// trainer's vector directly.
+///
+/// ## Threading
+///
+/// One instance per worker thread; not shareable across threads. The
+/// only internal concurrency is the prefetch task: between
+/// StartPrefetch() and FinishPrefetch() the background task owns the
+/// replica cache, so the owner thread must not pull in that window
+/// (checked). Push *is* allowed to overlap a prefetch — that is the
+/// entire point of prefetching (Appendix D) — but only for clocks
+/// strictly before the prefetched one (checked): pushing the prefetched
+/// clock itself while its pull is still in flight is a loop-sequencing
+/// bug. The destructor cancels/joins any in-flight prefetch, so a
+/// WorkerClient can be destroyed (and the PS torn down after it) even
+/// while a prefetch is blocked in the SSP admission wait.
 class WorkerClient {
  public:
-  WorkerClient(int worker_id, ParameterServer* ps);
+  /// `delta_pull` enables the partition replica cache; off = every pull
+  /// ships the whole model (the pre-cache behavior, kept for A/B).
+  WorkerClient(int worker_id, ParameterServer* ps, bool delta_pull = true);
+  ~WorkerClient();
+
+  WorkerClient(const WorkerClient&) = delete;
+  WorkerClient& operator=(const WorkerClient&) = delete;
 
   int worker_id() const { return worker_id_; }
 
@@ -45,7 +76,8 @@ class WorkerClient {
   bool prefetch_active() const { return prefetch_.has_value(); }
 
   /// Installs the prefetched replica (blocking until it is ready).
-  /// Returns false — leaving `replica` untouched — if none was started.
+  /// Returns false — leaving `replica` untouched — if none was started
+  /// (or the prefetch was cancelled).
   bool FinishPrefetch(std::vector<double>* replica);
 
   /// cp — the cmin returned by the last pull.
@@ -54,6 +86,15 @@ class WorkerClient {
   /// Pushes and pulls performed (for tests and traces).
   int64_t push_count() const { return push_count_; }
   int64_t pull_count() const { return pull_count_; }
+
+  /// Cumulative wire accounting of this client's pulls: content bytes
+  /// the server actually shipped vs. what cache-less whole-model pulls
+  /// would have cost. Equal when delta_pull is off.
+  int64_t pulled_bytes() const { return pulled_bytes_; }
+  int64_t pulled_bytes_full() const { return pulled_bytes_full_; }
+
+  /// Content tags of the cached partitions (tests / introspection).
+  const std::vector<int64_t>& cached_tags() const { return cached_tags_; }
 
   /// Where this worker's PS-facing time went (Figure 6's comm vs. SSP
   /// wait; compute_seconds stays 0 — the trainer owns compute).
@@ -64,16 +105,39 @@ class WorkerClient {
 
  private:
   struct PrefetchResult {
+    bool valid = false;
     std::vector<double> replica;
     int cmin = 0;
   };
 
+  /// One blocking pull: delta path (updates cache_/cached_tags_) or
+  /// whole-model path. Runs on the owner thread or the prefetch task —
+  /// never both at once (see class comment).
+  PrefetchResult DoPull();
+
+  /// Applies a PullDelta response onto the pristine cache.
+  void ApplyToCache(const DeltaPullResult& result);
+
+  /// Cancels and joins an in-flight prefetch (destructor path).
+  void CancelPrefetch();
+
   int worker_id_;
   ParameterServer* ps_;
+  bool delta_pull_;
   int cached_cmin_ = 0;
   int64_t push_count_ = 0;
   int64_t pull_count_ = 0;
+  int64_t pulled_bytes_ = 0;
+  int64_t pulled_bytes_full_ = 0;
+
+  // Pristine last-received server state (delta_pull only) and its
+  // per-partition content tags.
+  std::vector<double> cache_;
+  std::vector<int64_t> cached_tags_;
+
   std::optional<std::future<PrefetchResult>> prefetch_;
+  int prefetch_clock_ = -1;
+  std::atomic<bool> cancel_prefetch_{false};
   WorkerTimeBreakdown breakdown_;
 };
 

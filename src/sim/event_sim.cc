@@ -101,6 +101,12 @@ struct WorkerSim {
   // Pieces computed at clock start, transmitted at the send event.
   std::vector<SparseVector> pending_push_pieces;
   int pending_push_clock = 0;
+  // Version-aware pull state (delta_pull): pristine copy of the last
+  // values each partition served, plus the content tags they were served
+  // under. The replica drifts during compute, so unchanged partitions
+  // must be re-read from this cache — never from the replica.
+  std::vector<double> pull_cache;
+  std::vector<int64_t> cached_tags;
   Rng rng{0};
   WorkerTimeBreakdown breakdown;
 };
@@ -153,6 +159,12 @@ class Simulation {
           &dataset, shards[static_cast<size_t>(m)], &loss, &schedule,
           sgd_opts);
       w.replica.assign(static_cast<size_t>(dataset.dimension()), 0.0);
+      if (options.delta_pull) {
+        w.pull_cache.assign(static_cast<size_t>(dataset.dimension()), 0.0);
+        w.cached_tags.assign(
+            static_cast<size_t>(ps_->partitioner().num_partitions()),
+            kNoCachedTag);
+      }
       w.rng = master_rng.Fork(static_cast<uint64_t>(m));
       // Stagger start-up (container launch + data loading differ across
       // workers in any real deployment).
@@ -409,18 +421,45 @@ class Simulation {
     // what mixes versions across partitions (Figure 5's desynchrony).
     w.pending_pull_version =
         options_.partition_sync ? ps_->StableVersion() : -1;
-    w.pending_pull.assign(static_cast<size_t>(dataset_.dimension()), 0.0);
+    if (!options_.delta_pull) {
+      w.pending_pull.assign(static_cast<size_t>(dataset_.dimension()),
+                            0.0);
+    }
     double max_arrival = now_;
     const Partitioner& part = ps_->partitioner();
     for (int p = 0; p < part.num_partitions(); ++p) {
-      const double bytes =
-          64.0 + static_cast<double>(part.PartitionDim(p)) * 8.0;
+      double content_bytes =
+          static_cast<double>(part.PartitionDim(p)) * 8.0;
+      bool read_needed = true;
+      if (options_.delta_pull) {
+        // Size the response the way a tag-aware server would at request-
+        // processing time: nothing for an unchanged partition, the delta
+        // or sparse block when cheaper, the dense block otherwise. The
+        // actual read still happens when the link starts serving (below),
+        // mirroring the real service's handling delay.
+        const PiecePullPlan plan = ps_->PlanPullPiece(
+            p, worker, w.pending_pull_version,
+            w.cached_tags[static_cast<size_t>(p)]);
+        ps_->RecordPlannedPull(plan);
+        pull_bytes_shipped_ += plan.bytes;
+        pull_bytes_full_ += plan.bytes_full;
+        content_bytes = static_cast<double>(plan.bytes);
+        read_needed = plan.changed;
+      } else {
+        pull_bytes_shipped_ += static_cast<int64_t>(content_bytes);
+        pull_bytes_full_ += static_cast<int64_t>(content_bytes);
+      }
+      const double bytes = 64.0 + content_bytes;
       // The server reads the block when its link starts serving the
       // response; transit follows.
       const LinkSlot slot =
           ReserveLinkSlot(worker, part.ServerOf(p), now_, bytes,
                           prof.network_multiplier);
-      Schedule(slot.start, EventType::kPullPieceRead, worker, p);
+      // An unchanged partition ships only the response header — there is
+      // nothing to read or apply.
+      if (read_needed) {
+        Schedule(slot.start, EventType::kPullPieceRead, worker, p);
+      }
       max_arrival = std::max(max_arrival, slot.arrival);
     }
     w.breakdown.comm_seconds += max_arrival - now_;
@@ -433,19 +472,40 @@ class Simulation {
   void HandlePullPieceRead(int worker, int partition) {
     WorkerSim& w = workers_[static_cast<size_t>(worker)];
     const Partitioner& part = ps_->partitioner();
-    const std::vector<double> block =
-        ps_->PullPiece(partition, worker, w.pending_pull_version);
+    std::vector<double> block;
+    if (options_.delta_pull) {
+      // Tag-aware read: remember the content tag the read was served
+      // under so the next pull's plan can skip (or delta-ship) this
+      // partition. A push landing between the grant-time plan and this
+      // read makes the tag newer than the plan — exactly the request-
+      // processing race a real service exhibits; the cache stays
+      // coherent because the tag always matches the content read here.
+      int64_t tag = kNoCachedTag;
+      block = ps_->PullPieceTagged(partition, worker,
+                                   w.pending_pull_version, &tag);
+      w.cached_tags[static_cast<size_t>(partition)] = tag;
+    } else {
+      block = ps_->PullPiece(partition, worker, w.pending_pull_version);
+    }
+    std::vector<double>& dst =
+        options_.delta_pull ? w.pull_cache : w.pending_pull;
     for (size_t local = 0; local < block.size(); ++local) {
       const int64_t g =
           part.GlobalIndex(partition, static_cast<int64_t>(local));
-      w.pending_pull[static_cast<size_t>(g)] = block[local];
+      dst[static_cast<size_t>(g)] = block[local];
     }
   }
 
   void HandlePullResponse(int worker) {
     WorkerSim& w = workers_[static_cast<size_t>(worker)];
-    w.replica = std::move(w.pending_pull);
-    w.pending_pull.clear();
+    if (options_.delta_pull) {
+      // Unchanged partitions keep their cached values; the cache stays
+      // pristine while the replica drifts under local SGD.
+      w.replica = w.pull_cache;
+    } else {
+      w.replica = std::move(w.pending_pull);
+      w.pending_pull.clear();
+    }
     w.cp = w.pending_cmin;
     w.clock += 1;
     Schedule(now_, EventType::kStartClock, worker, 0);
@@ -513,6 +573,8 @@ class Simulation {
     } else {
       r.final_objective = last_global_objective_;
     }
+    r.pull_bytes_shipped = pull_bytes_shipped_;
+    r.pull_bytes_full = pull_bytes_full_;
     r.param_memory_bytes = ps_->ParamMemoryBytes();
     r.peak_aux_memory_bytes =
         std::max(peak_aux_bytes_, ps_->AuxMemoryBytes());
@@ -554,6 +616,8 @@ class Simulation {
   int64_t next_seq_ = 0;
   int64_t next_piece_id_ = 0;
   int64_t total_pushes_ = 0;
+  int64_t pull_bytes_shipped_ = 0;
+  int64_t pull_bytes_full_ = 0;
   bool stop_ = false;
   bool converged_ = false;
   double convergence_time_ = 0.0;

@@ -46,6 +46,14 @@ struct SimOptions {
   bool partition_sync = false;
   /// Client-side small-update filter (§5.3); 0 disables.
   double update_filter_epsilon = 0.0;
+  /// Version-aware pull path (§6-style content tags): workers cache a
+  /// per-partition content tag and the comm model charges only the bytes
+  /// a tag-aware server would actually ship — nothing for an unchanged
+  /// partition (header only), a sparse delta or sparse block when that
+  /// undercuts the dense block (ParamBlock's 50% rule), the dense block
+  /// otherwise. Off = the legacy model that ships the full dense block
+  /// on every pull.
+  bool delta_pull = true;
   int partitions_per_server = 1;
   PartitionScheme scheme = PartitionScheme::kRangeHash;
   /// Safety limit on simulated time.
@@ -94,6 +102,12 @@ struct SimResult {
   size_t peak_live_versions = 0;
   /// Observed mean staleness μ (DynSGD; 1.0 otherwise).
   double mean_staleness = 1.0;
+
+  /// Pull-path comm accounting: content bytes the simulated servers
+  /// actually shipped vs. what cache-less full pulls would have cost
+  /// (identical when delta_pull is off).
+  int64_t pull_bytes_shipped = 0;
+  int64_t pull_bytes_full = 0;
 
   std::vector<WorkerTimeBreakdown> worker_breakdown;
 

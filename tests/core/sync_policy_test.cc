@@ -90,6 +90,38 @@ TEST(ClockTableTest, SingleWorkerAdvancesFreely) {
   }
 }
 
+TEST(ClockTableTest, StaleOrDuplicatePushIsDroppedNotRegressed) {
+  // Regression test for the monotonicity fix: under at-least-once RPC
+  // delivery a retried push can re-present an old clock. The table must
+  // drop it (counting it) instead of moving the worker backwards, which
+  // used to let cmax regress and re-admit pulls that were already
+  // rejected.
+  ClockTable table(2);
+  table.OnPush(0, 0);
+  table.OnPush(0, 1);
+  table.OnPush(1, 0);
+  ASSERT_EQ(table.clock(0), 2);
+  ASSERT_EQ(table.cmin(), 1);
+  ASSERT_EQ(table.cmax(), 2);
+  // Duplicate of clock 1 and a stale clock 0: both dropped.
+  EXPECT_FALSE(table.OnPush(0, 1));
+  EXPECT_FALSE(table.OnPush(0, 0));
+  EXPECT_EQ(table.dropped_regressions(), 2);
+  EXPECT_EQ(table.clock(0), 2);
+  EXPECT_EQ(table.cmin(), 1);
+  EXPECT_EQ(table.cmax(), 2);
+  // Fresh pushes still advance normally afterwards.
+  EXPECT_TRUE(table.OnPush(1, 1));
+  EXPECT_EQ(table.cmin(), 2);
+}
+
+TEST(ClockTableTest, DroppedRegressionStartsAtZero) {
+  ClockTable table(3);
+  EXPECT_EQ(table.dropped_regressions(), 0);
+  table.OnPush(0, 0);
+  EXPECT_EQ(table.dropped_regressions(), 0);
+}
+
 TEST(ClockTableDeathTest, RejectsBadWorker) {
   ClockTable table(2);
   EXPECT_DEATH(table.OnPush(2, 0), "out of range");

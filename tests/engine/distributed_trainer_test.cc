@@ -130,6 +130,34 @@ TEST(DistributedTrainerTest, ConvergesOnALossyBus) {
   EXPECT_GT(result.value().rpc_retries, 0);
 }
 
+TEST(DistributedTrainerTest, DeltaPullMatchesFullPullOnALossyBus) {
+  // Cache coherence must not change learning semantics. With a single
+  // worker both runs are step-deterministic (each RPC blocks, pushes
+  // dedup, and PullCached is bit-identical to Pull), so the final
+  // objective must match exactly even on a faulty bus.
+  const Dataset d = DistData();
+  LogisticLoss loss;
+  FixedRate sched(0.5);
+  DynSgdRule rule;
+  double final_obj[2] = {0.0, 0.0};
+  for (int delta = 0; delta <= 1; ++delta) {
+    DistributedTrainerOptions opts = FastOptions();
+    opts.num_workers = 1;
+    opts.delta_pull = delta != 0;
+    opts.fault_plan.drop_request_prob = 0.10;
+    opts.fault_plan.drop_response_prob = 0.05;
+    opts.fault_plan.duplicate_prob = 0.05;
+    opts.fault_plan.seed = 41;
+    opts.rpc_retry.timeout = std::chrono::milliseconds(10);
+    opts.rpc_retry.max_attempts = 40;
+    opts.rpc_retry.initial_backoff = std::chrono::microseconds(100);
+    auto result = TrainDistributed(d, loss, sched, rule, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    final_obj[delta] = result.value().final_objective;
+  }
+  EXPECT_DOUBLE_EQ(final_obj[0], final_obj[1]);
+}
+
 TEST(DistributedTrainerTest, MatchesSharedMemoryRuntimeQuality) {
   // The RPC path and the shared-memory path run the same algorithm and
   // must land in the same quality regime.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 #include "core/consolidation.h"
@@ -10,6 +11,7 @@
 #include "core/learning_rate.h"
 #include "core/sgd_compute.h"
 #include "data/synthetic.h"
+#include "ps/checkpoint.h"
 #include "util/rng.h"
 
 namespace hetps {
@@ -194,6 +196,121 @@ TEST(PsServiceTest, DroppedResponsesDontDoubleApplyPushes) {
   EXPECT_EQ(ps.TotalPushes(), kPushes);
   EXPECT_GT(bus.fault_stats().dropped_responses, 0);
   EXPECT_GT(client.retry_count(), 0);
+}
+
+TEST(PsServiceTest, PullCachedMatchesPullBitForBit) {
+  // The version-aware cached pull must be indistinguishable from a full
+  // pull, round after round, while shipping fewer content bytes.
+  SspRule rule;
+  PsOptions opts;
+  opts.num_servers = 2;
+  opts.partitions_per_server = 2;
+  opts.scheme = PartitionScheme::kRange;
+  opts.sync = SyncPolicy::Asp();
+  ParameterServer ps(64, 2, rule, opts);
+  MessageBus bus;
+  PsService service(&ps, &bus, "ps");
+  ASSERT_TRUE(service.status().ok());
+  RpcWorkerClient cached(0, &bus, "ps");
+  RpcWorkerClient full(1, &bus, "ps");
+
+  Rng rng(88);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<int64_t> idx;
+    std::vector<double> val;
+    for (int64_t key = static_cast<int64_t>(rng.NextUint64(4)); key < 64;
+         key += 4 + static_cast<int64_t>(rng.NextUint64(20))) {
+      idx.push_back(key);
+      val.push_back(rng.NextDouble());
+    }
+    ASSERT_TRUE(cached.Push(round, SparseVector(idx, val)).ok());
+    std::vector<double> a, b;
+    int cmin_a = -1, cmin_b = -1;
+    ASSERT_TRUE(cached.PullCached(&a, &cmin_a).ok());
+    ASSERT_TRUE(full.Pull(&b, &cmin_b).ok());
+    ASSERT_EQ(a, b) << "round " << round;
+    EXPECT_EQ(cmin_a, cmin_b);
+  }
+  EXPECT_LT(cached.pulled_bytes(), cached.pulled_bytes_full());
+}
+
+TEST(PsServiceTest, PullCachedSurvivesLossyBus) {
+  // Delta pulls under at-least-once delivery: dropped requests, dropped
+  // responses, and duplicates must leave the client cache coherent —
+  // every successful pull equals the server snapshot.
+  SspRule rule;
+  PsOptions opts;
+  opts.num_servers = 2;
+  opts.partitions_per_server = 2;
+  opts.scheme = PartitionScheme::kRange;
+  opts.sync = SyncPolicy::Asp();
+  ParameterServer ps(48, 1, rule, opts);
+  MessageBus bus;
+  PsService service(&ps, &bus, "ps");
+  ASSERT_TRUE(service.status().ok());
+
+  FaultPlan plan;
+  plan.drop_request_prob = 0.15;
+  plan.drop_response_prob = 0.15;
+  plan.duplicate_prob = 0.10;
+  plan.seed = 19;
+  bus.SetFaultPlan(plan);
+
+  RpcRetryPolicy retry;
+  retry.timeout = std::chrono::milliseconds(10);
+  retry.max_attempts = 60;
+  retry.initial_backoff = std::chrono::microseconds(100);
+  RpcWorkerClient client(0, &bus, "ps", retry);
+
+  Rng rng(5);
+  for (int round = 0; round < 15; ++round) {
+    const int64_t key = static_cast<int64_t>(rng.NextUint64(48));
+    ASSERT_TRUE(
+        client.Push(round, SparseVector({key}, {1.0})).ok());
+    std::vector<double> replica;
+    int cmin = -1;
+    ASSERT_TRUE(client.PullCached(&replica, &cmin).ok());
+    bus.Flush();
+    ASSERT_EQ(replica, ps.Snapshot()) << "round " << round;
+  }
+  EXPECT_GT(client.retry_count(), 0);
+  EXPECT_GT(bus.fault_stats().total(), 0);
+}
+
+TEST(PsServiceTest, PullCachedRecoversAfterCheckpointRestore) {
+  // A checkpoint restore rewinds shard versions behind the client's
+  // back; the epoch in the content tag invalidates the cache so the next
+  // cached pull re-ships the true (restored) state instead of trusting a
+  // colliding version number.
+  SspRule rule;
+  PsOptions opts;
+  opts.num_servers = 2;
+  opts.sync = SyncPolicy::Asp();
+  ParameterServer ps(16, 1, rule, opts);
+  MessageBus bus;
+  PsService service(&ps, &bus, "ps");
+  ASSERT_TRUE(service.status().ok());
+  RpcWorkerClient client(0, &bus, "ps");
+
+  ASSERT_TRUE(client.Push(0, SparseVector({2}, {1.0})).ok());
+  std::vector<double> replica;
+  int cmin = -1;
+  ASSERT_TRUE(client.PullCached(&replica, &cmin).ok());
+  ASSERT_DOUBLE_EQ(replica[2], 1.0);
+
+  const std::string path =
+      testing::TempDir() + "/hetps_rpc_pull_ckpt.txt";
+  ASSERT_TRUE(SaveCheckpointToFile(ps, path).ok());
+  ASSERT_TRUE(client.Push(1, SparseVector({2, 3}, {5.0, 7.0})).ok());
+  ASSERT_TRUE(client.PullCached(&replica, &cmin).ok());
+  ASSERT_DOUBLE_EQ(replica[2], 6.0);
+  ASSERT_TRUE(RestoreCheckpointFromFile(&ps, path).ok());
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(client.PullCached(&replica, &cmin).ok());
+  EXPECT_EQ(replica, ps.Snapshot());
+  EXPECT_DOUBLE_EQ(replica[2], 1.0);
+  EXPECT_DOUBLE_EQ(replica[3], 0.0);
 }
 
 TEST(PsServiceTest, DistributedSgdTrainsOverRpc) {

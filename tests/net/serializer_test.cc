@@ -106,15 +106,103 @@ TEST(SerializerTest, CorruptLengthPrefixRejected) {
 }
 
 TEST(SerializerTest, NonMonotoneSparseIndicesRejected) {
+  // Columnar wire format: nnz, all indices, then all values.
   ByteWriter w;
   w.WriteU64(2);
   w.WriteI64(5);
-  w.WriteDouble(1.0);
   w.WriteI64(3);  // decreasing
+  w.WriteDouble(1.0);
   w.WriteDouble(2.0);
   ByteReader r(w.buffer());
   SparseVector out;
   EXPECT_TRUE(r.ReadSparseVector(&out).IsInvalidArgument());
+}
+
+TEST(SerializerTest, DuplicateSparseIndicesRejected) {
+  ByteWriter w;
+  w.WriteU64(2);
+  w.WriteI64(4);
+  w.WriteI64(4);  // duplicate
+  w.WriteDouble(1.0);
+  w.WriteDouble(2.0);
+  ByteReader r(w.buffer());
+  SparseVector out;
+  EXPECT_TRUE(r.ReadSparseVector(&out).IsInvalidArgument());
+}
+
+TEST(SerializerTest, NegativeSparseIndexRejected) {
+  ByteWriter w;
+  w.WriteU64(2);
+  w.WriteI64(-1);  // negative index must never reach SparseVector
+  w.WriteI64(3);
+  w.WriteDouble(1.0);
+  w.WriteDouble(2.0);
+  ByteReader r(w.buffer());
+  SparseVector out;
+  EXPECT_TRUE(r.ReadSparseVector(&out).IsInvalidArgument());
+}
+
+TEST(SerializerTest, OversizedStringWriteFailsCleanly) {
+  // The old writer cast size_t to uint32_t, emitting a corrupt frame for
+  // >4 GiB strings; the cap now rejects long before that, and the buffer
+  // stays untouched so the caller can still use the writer.
+  ByteWriter w;
+  std::string big(static_cast<size_t>(kMaxWireStringBytes) + 1, 'x');
+  EXPECT_TRUE(w.WriteString(big).IsInvalidArgument());
+  EXPECT_EQ(w.size(), 0u);
+  ASSERT_TRUE(w.WriteString("still works").ok());
+  ByteReader r(w.buffer());
+  std::string s;
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  EXPECT_EQ(s, "still works");
+}
+
+TEST(SerializerTest, OversizedStringLengthPrefixRejected) {
+  ByteWriter w;
+  w.WriteU32(static_cast<uint32_t>(kMaxWireStringBytes) + 1);
+  ByteReader r(w.buffer());
+  std::string s;
+  EXPECT_TRUE(r.ReadString(&s).IsOutOfRange());
+}
+
+TEST(SerializerTest, LargeVectorsRoundTripThroughBulkPath) {
+  // Exercises the memcpy fast path with enough elements that an off-by-
+  // one in the word count would corrupt or over-read.
+  Rng rng(42);
+  std::vector<int64_t> idx;
+  std::vector<double> val;
+  for (int64_t i = 0; i < 10000; ++i) {
+    idx.push_back(i * 3 + static_cast<int64_t>(rng.NextUint64(3)));
+    val.push_back(rng.NextDouble() - 0.5);
+  }
+  SparseVector sv(idx, val);
+  std::vector<double> dv(4096);
+  for (auto& v : dv) v = rng.NextDouble();
+  ByteWriter w;
+  w.WriteSparseVector(sv);
+  w.WriteDenseVector(dv);
+  ByteReader r(w.buffer());
+  SparseVector sv2;
+  std::vector<double> dv2;
+  ASSERT_TRUE(r.ReadSparseVector(&sv2).ok());
+  ASSERT_TRUE(r.ReadDenseVector(&dv2).ok());
+  EXPECT_TRUE(sv == sv2);
+  EXPECT_EQ(dv, dv2);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializerTest, SparseNnzPrefixLargerThanPayloadRejected) {
+  // Claims 3 elements but ships only 2 — the reader must fail on the
+  // prefix check, not allocate-and-over-read.
+  ByteWriter w;
+  w.WriteU64(3);
+  w.WriteI64(1);
+  w.WriteI64(2);
+  w.WriteDouble(1.0);
+  w.WriteDouble(2.0);
+  ByteReader r(w.buffer());
+  SparseVector out;
+  EXPECT_FALSE(r.ReadSparseVector(&out).ok());
 }
 
 TEST(SerializerFuzzTest, RandomBytesNeverCrashReaders) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 namespace hetps {
@@ -119,6 +120,58 @@ TEST(WorkerClientDeathTest, DoublePrefetchDies) {
   WorkerClient client(0, &ps);
   client.StartPrefetch(0);
   EXPECT_DEATH(client.StartPrefetch(0), "already in flight");
+}
+
+TEST(WorkerClientTest, DestructorCancelsBlockedPrefetch) {
+  // The prefetch task is parked in the SSP admission wait (the peer
+  // never pushes). Destroying the client must cancel the wait and join
+  // the task instead of hanging — the teardown path that used to leave
+  // a detached future blocked on a condition variable the PS was about
+  // to destroy.
+  SspRule rule;
+  ParameterServer ps(4, 2, rule, Options(SyncPolicy::Ssp(0)));
+  {
+    WorkerClient fast(0, &ps);
+    fast.Push(0, SparseVector({0}, {1.0}));
+    fast.StartPrefetch(1);  // blocks: worker 1 never finishes clock 0
+    // Give the task a moment to actually enter the wait.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }  // ~WorkerClient must return
+  SUCCEED();
+}
+
+TEST(WorkerClientTest, PushOfEarlierClockOverlapsPrefetch) {
+  // The intended pipeline: StartPrefetch(c + 1) ... Push(c). The push
+  // here is what unblocks the prefetch's admission wait.
+  SspRule rule;
+  ParameterServer ps(4, 1, rule, Options(SyncPolicy::Ssp(0)));
+  WorkerClient client(0, &ps);
+  client.StartPrefetch(1);  // waits for clock 0 to be pushed
+  client.Push(0, SparseVector({2}, {4.0}));
+  std::vector<double> replica(4, 0.0);
+  ASSERT_TRUE(client.FinishPrefetch(&replica));
+  EXPECT_DOUBLE_EQ(replica[2], 4.0);
+}
+
+TEST(WorkerClientDeathTest, PushRacingPrefetchedClockDies) {
+  SspRule rule;
+  ParameterServer ps(4, 1, rule, Options(SyncPolicy::Asp()));
+  WorkerClient client(0, &ps);
+  client.StartPrefetch(1);
+  // Pushing the prefetched clock itself while the pull is in flight is a
+  // loop-sequencing bug, not a legal overlap.
+  EXPECT_DEATH(client.Push(1, SparseVector({0}, {1.0})),
+               "racing in-flight prefetch");
+}
+
+TEST(WorkerClientDeathTest, PullBlockingDuringPrefetchDies) {
+  SspRule rule;
+  ParameterServer ps(4, 1, rule, Options(SyncPolicy::Asp()));
+  WorkerClient client(0, &ps);
+  client.StartPrefetch(1);
+  std::vector<double> replica;
+  EXPECT_DEATH(client.PullBlocking(1, &replica),
+               "racing in-flight prefetch");
 }
 
 TEST(WorkerClientDeathTest, ValidatesConstruction) {
