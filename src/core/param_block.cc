@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "math/kernels.h"
 #include "util/logging.h"
 
 namespace hetps {
@@ -16,16 +17,37 @@ ParamBlock::ParamBlock(size_t dim, Layout layout)
 }
 
 void ParamBlock::Add(const SparseVector& delta, double scale) {
+  if (delta.empty()) return;
+  // Indices are strictly increasing, so front/back bound them all — one
+  // check instead of one per element in the scatter loop.
+  HETPS_CHECK(delta.index(0) >= 0 &&
+              delta.index(delta.nnz() - 1) <
+                  static_cast<int64_t>(dim_))
+      << "delta index out of block range " << dim_;
+  if (layout_ == Layout::kDense) {
+    kernels::ScatterAxpy(scale, delta.indices().data(),
+                         delta.values().data(), delta.nnz(),
+                         dense_.data());
+    return;
+  }
   for (size_t i = 0; i < delta.nnz(); ++i) {
-    const int64_t idx = delta.index(i);
-    HETPS_CHECK(idx >= 0 && static_cast<size_t>(idx) < dim_)
-        << "delta index " << idx << " out of block range " << dim_;
-    const double v = scale * delta.value(i);
-    if (layout_ == Layout::kDense) {
-      dense_[static_cast<size_t>(idx)] += v;
-    } else {
-      sparse_[idx] += v;
-    }
+    sparse_[delta.index(i)] += scale * delta.value(i);
+  }
+}
+
+void ParamBlock::Gather(const int64_t* indices, size_t n,
+                        double* out) const {
+  if (n == 0) return;
+  HETPS_DCHECK(indices[0] >= 0 &&
+               indices[n - 1] < static_cast<int64_t>(dim_))
+      << "gather index out of block range";
+  if (layout_ == Layout::kDense) {
+    kernels::Gather(indices, n, dense_.data(), out);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    auto it = sparse_.find(indices[i]);
+    out[i] = it == sparse_.end() ? 0.0 : it->second;
   }
 }
 
@@ -47,7 +69,7 @@ void ParamBlock::AddBlock(const ParamBlock& other, double scale) {
 void ParamBlock::AddDense(const std::vector<double>& dense, double scale) {
   HETPS_CHECK(dense.size() == dim_) << "AddDense dim mismatch";
   if (layout_ == Layout::kDense) {
-    for (size_t i = 0; i < dim_; ++i) dense_[i] += scale * dense[i];
+    kernels::Axpy(scale, dense.data(), dense_.data(), dim_);
   } else {
     for (size_t i = 0; i < dim_; ++i) {
       const double v = scale * dense[i];
@@ -58,7 +80,7 @@ void ParamBlock::AddDense(const std::vector<double>& dense, double scale) {
 
 void ParamBlock::Scale(double scale) {
   if (layout_ == Layout::kDense) {
-    for (double& v : dense_) v *= scale;
+    kernels::Scale(scale, dense_.data(), dense_.size());
   } else {
     for (auto& kv : sparse_) kv.second *= scale;
   }
@@ -163,7 +185,7 @@ std::vector<double> ParamBlock::ToDense() const {
 void ParamBlock::AddTo(std::vector<double>* out, double scale) const {
   HETPS_CHECK(out->size() == dim_) << "AddTo dim mismatch";
   if (layout_ == Layout::kDense) {
-    for (size_t i = 0; i < dim_; ++i) (*out)[i] += scale * dense_[i];
+    kernels::Axpy(scale, dense_.data(), out->data(), dim_);
   } else {
     for (const auto& [idx, v] : sparse_) {
       (*out)[static_cast<size_t>(idx)] += scale * v;
@@ -187,12 +209,11 @@ SparseVector ParamBlock::ToSparse(double epsilon) const {
 }
 
 double ParamBlock::SquaredNorm() const {
-  double acc = 0.0;
   if (layout_ == Layout::kDense) {
-    for (double v : dense_) acc += v * v;
-  } else {
-    for (const auto& kv : sparse_) acc += kv.second * kv.second;
+    return kernels::SquaredNorm(dense_.data(), dense_.size());
   }
+  double acc = 0.0;
+  for (const auto& kv : sparse_) acc += kv.second * kv.second;
   return acc;
 }
 

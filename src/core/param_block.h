@@ -46,6 +46,10 @@ class ParamBlock {
   /// Point read; O(1) dense, expected O(1) sparse.
   double At(size_t i) const;
 
+  /// out[i] = this[indices[i]] — bulk point read (delta-log snapshots).
+  /// `indices` must be sorted ascending and in [0, dim).
+  void Gather(const int64_t* indices, size_t n, double* out) const;
+
   /// Point write.
   void Set(size_t i, double value);
 

@@ -8,10 +8,13 @@
 #include "core/learning_rate.h"
 #include "data/dataset.h"
 #include "data/sharding.h"
+#include "math/kernels.h"
 #include "math/loss.h"
 #include "math/sparse_vector.h"
 
 namespace hetps {
+
+class BucketedHistogram;
 
 /// Worker-side mini-batch SGD for one clock (Algorithm 1 lines 3-6):
 /// scans the worker's shard once, updating the local replica after every
@@ -21,6 +24,15 @@ namespace hetps {
 /// One instance per worker; owns no data (the dataset is shared
 /// read-only). L2 regularization is applied lazily on the coordinates
 /// active in each batch, which keeps updates sparse.
+///
+/// Hot-path structure (DESIGN.md §8): per example one gather-dot for the
+/// margin and one fused scatter that accumulates the gradient while
+/// recording first-touches in a *touched-coordinate list*. Batch-local
+/// L2, the replica/update application, scratch-buffer resets and the
+/// end-of-clock sparse emission all walk that list, so per-clock work is
+/// O(shard nnz log nnz), never O(model dimension). The dense scratch
+/// buffers are allocated once (lazily, 64-byte aligned) and kept
+/// all-zero between clocks via touched-list resets.
 class LocalWorkerSgd {
  public:
   struct Options {
@@ -36,6 +48,14 @@ class LocalWorkerSgd {
     /// Sum of nnz over processed examples — the simulator's compute-cost
     /// unit.
     size_t nnz_processed = 0;
+    /// Unique coordinates the clock's update touched (the update's nnz
+    /// before zero-cancellation filtering).
+    size_t coords_touched = 0;
+    /// Dense scratch-buffer writes spent on resets this clock. With the
+    /// touched-list scheme this is O(coords_touched); the pre-kernel
+    /// implementation paid O(dimension) per batch. Tested in
+    /// tests/core/sgd_compute_test.cc (work must not scale with dim).
+    size_t buffer_reset_writes = 0;
     /// Mean per-example loss observed during the clock (on the evolving
     /// replica; a cheap convergence signal).
     double mean_loss = 0.0;
@@ -61,14 +81,42 @@ class LocalWorkerSgd {
   static size_t BatchSizeForFraction(size_t shard_size, double fraction);
 
  private:
+  /// Lazily sizes the dense scratch + stamp arrays (one-time O(dim)
+  /// allocation; per-clock work stays O(nnz)).
+  void EnsureBuffers();
+
+  /// Advances an epoch counter, re-clearing its stamp array on the
+  /// (effectively unreachable) uint32 wraparound.
+  static void BumpEpoch(uint32_t* epoch, std::vector<uint32_t>* stamps);
+
   const Dataset* dataset_;
   DataShard shard_;
   const LossFunction* loss_;
   const LearningRateSchedule* schedule_;
   Options options_;
-  // Dense accumulation buffer reused across clocks.
-  std::vector<double> update_buffer_;
-  std::vector<double> batch_grad_;
+  size_t dim_ = 0;
+
+  // Dense scratch, 64-byte aligned for the vector kernels. Invariants:
+  // batch_grad_ is all-zero between batches, update_buffer_ all-zero
+  // between clocks — maintained by touched-list resets, never dense
+  // fills.
+  kernels::AlignedVector update_buffer_;
+  kernels::AlignedVector batch_grad_;
+
+  // Epoch-stamped touched-coordinate tracking: stamp[j] == current epoch
+  // iff coordinate j was already seen this batch/clock. O(1) membership
+  // without per-batch clearing.
+  std::vector<uint32_t> batch_stamp_;
+  std::vector<uint32_t> clock_stamp_;
+  std::vector<uint32_t> occ_;  // per-batch occurrence counts
+  uint32_t batch_epoch_ = 0;
+  uint32_t clock_epoch_ = 0;
+  std::vector<int64_t> batch_touched_;  // first-occurrence order
+  std::vector<int64_t> clock_touched_;
+
+  // Obs plane (may be null when metrics are disabled in tests).
+  BucketedHistogram* gather_us_ = nullptr;
+  BucketedHistogram* scatter_us_ = nullptr;
 };
 
 }  // namespace hetps

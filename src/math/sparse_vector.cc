@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "math/kernels.h"
 #include "util/logging.h"
 
 namespace hetps {
@@ -44,34 +45,40 @@ double SparseVector::ValueAt(int64_t index) const {
 }
 
 double SparseVector::Dot(const std::vector<double>& dense) const {
-  double acc = 0.0;
   const int64_t dim = static_cast<int64_t>(dense.size());
-  for (size_t i = 0; i < indices_.size(); ++i) {
-    const int64_t idx = indices_[i];
-    if (idx >= dim) break;
-    acc += values_[i] * dense[static_cast<size_t>(idx)];
+  // Indices are strictly increasing, so the in-range prefix (indices
+  // beyond the dense vector count as zero features) is found with one
+  // binary search instead of a per-element branch in the gather loop.
+  size_t n = indices_.size();
+  if (n > 0 && indices_.back() >= dim) {
+    n = static_cast<size_t>(
+        std::lower_bound(indices_.begin(), indices_.end(), dim) -
+        indices_.begin());
   }
-  return acc;
+  return kernels::GatherDot(indices_.data(), values_.data(), n,
+                            dense.data());
 }
 
 void SparseVector::AddTo(std::vector<double>* dense, double scale) const {
+  if (indices_.empty()) return;
   const int64_t dim = static_cast<int64_t>(dense->size());
-  for (size_t i = 0; i < indices_.size(); ++i) {
-    const int64_t idx = indices_[i];
-    HETPS_CHECK(idx < dim) << "sparse index " << idx
-                           << " out of dense range " << dim;
-    (*dense)[static_cast<size_t>(idx)] += scale * values_[i];
-  }
+  // Hoisted out of the scatter loop: indices are sorted, so the last one
+  // is the maximum — one check covers every element (kept in release
+  // builds because the scatter writes memory).
+  HETPS_CHECK(indices_.back() < dim)
+      << "sparse index " << indices_.back() << " out of dense range "
+      << dim;
+  HETPS_DCHECK(indices_.front() >= 0) << "negative sparse index";
+  kernels::ScatterAxpy(scale, indices_.data(), values_.data(),
+                       indices_.size(), dense->data());
 }
 
 void SparseVector::Scale(double scale) {
-  for (double& v : values_) v *= scale;
+  kernels::Scale(scale, values_.data(), values_.size());
 }
 
 double SparseVector::SquaredNorm() const {
-  double acc = 0.0;
-  for (double v : values_) acc += v * v;
-  return acc;
+  return kernels::SquaredNorm(values_.data(), values_.size());
 }
 
 SparseVector SparseVector::Filtered(double epsilon) const {

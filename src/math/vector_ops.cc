@@ -1,26 +1,33 @@
+// Shim over math/kernels.h: the historical BLAS-1 entry points now route
+// through the runtime-dispatched kernel table, so every existing call
+// site picks up the AVX2/FMA paths (or the scalar reference under
+// HETPS_FORCE_ISA=scalar) without changes.
+//
+// The per-call size checks are debug-only (HETPS_DCHECK): they guarded
+// programming errors, not data, and sat on hot paths that run millions
+// of times per training run. Release builds are branch-free here.
 #include "math/vector_ops.h"
 
 #include <cmath>
 
+#include "math/kernels.h"
 #include "util/logging.h"
 
 namespace hetps {
 
 void Axpy(double alpha, const std::vector<double>& x,
           std::vector<double>* y) {
-  HETPS_CHECK(x.size() == y->size()) << "Axpy size mismatch";
-  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+  HETPS_DCHECK(x.size() == y->size()) << "Axpy size mismatch";
+  kernels::Axpy(alpha, x.data(), y->data(), x.size());
 }
 
 double Dot(const std::vector<double>& x, const std::vector<double>& y) {
-  HETPS_CHECK(x.size() == y.size()) << "Dot size mismatch";
-  double acc = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
-  return acc;
+  HETPS_DCHECK(x.size() == y.size()) << "Dot size mismatch";
+  return kernels::Dot(x.data(), y.data(), x.size());
 }
 
 void Scale(double alpha, std::vector<double>* x) {
-  for (double& v : *x) v *= alpha;
+  kernels::Scale(alpha, x->data(), x->size());
 }
 
 double Norm2(const std::vector<double>& x) {
@@ -28,20 +35,13 @@ double Norm2(const std::vector<double>& x) {
 }
 
 double SquaredNorm(const std::vector<double>& x) {
-  double acc = 0.0;
-  for (double v : x) acc += v * v;
-  return acc;
+  return kernels::SquaredNorm(x.data(), x.size());
 }
 
 double SquaredDistance(const std::vector<double>& x,
                        const std::vector<double>& y) {
-  HETPS_CHECK(x.size() == y.size()) << "SquaredDistance size mismatch";
-  double acc = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) {
-    const double d = x[i] - y[i];
-    acc += d * d;
-  }
-  return acc;
+  HETPS_DCHECK(x.size() == y.size()) << "SquaredDistance size mismatch";
+  return kernels::SquaredDistance(x.data(), y.data(), x.size());
 }
 
 void SetZero(std::vector<double>* x) {

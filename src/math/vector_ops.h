@@ -6,7 +6,11 @@
 
 namespace hetps {
 
-/// BLAS-1 style kernels on dense vectors. Sizes must match; checked.
+/// BLAS-1 style operations on dense vectors — a thin shim over the
+/// runtime-dispatched kernel library (math/kernels.h), kept for the
+/// many call sites that predate it. Sizes must match; checked in debug
+/// builds only (HETPS_DCHECK) — release builds are branch-free on these
+/// hot paths.
 
 /// y += alpha * x
 void Axpy(double alpha, const std::vector<double>& x,

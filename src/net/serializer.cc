@@ -96,6 +96,10 @@ Status ByteReader::Take(size_t n, const uint8_t** out) {
 }
 
 Status ByteReader::ReadWordsLE(uint64_t* words, size_t n) {
+  // Mirror AppendWordsLE's n == 0 guard: empty vectors decode into
+  // `vec.data() == nullptr`, and memcpy's pointer arguments are
+  // declared nonnull even for zero lengths (UBSan flags it).
+  if (n == 0) return Status::OK();
   const uint8_t* p;
   HETPS_RETURN_NOT_OK(Take(n * kWordBytes, &p));
   if constexpr (kLittleEndianHost) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <iomanip>
 #include <sstream>
 #include <thread>
@@ -13,6 +14,22 @@ namespace hetps {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Copies a partition-local block into a global dense buffer. Range-based
+/// schemes are one memcpy at the partition's base key; hash striding falls
+/// back to per-key address computation.
+void ScatterBlock(const Partitioner& part, int p,
+                  const std::vector<double>& block, double* out) {
+  int64_t base = 0;
+  if (part.ContiguousKeyRange(p, &base)) {
+    std::memcpy(out + base, block.data(), block.size() * sizeof(double));
+    return;
+  }
+  for (size_t local = 0; local < block.size(); ++local) {
+    const int64_t g = part.GlobalIndex(p, static_cast<int64_t>(local));
+    out[static_cast<size_t>(g)] = block[local];
+  }
+}
 
 int64_t MicrosSince(Clock::time_point start) {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -263,11 +280,7 @@ std::vector<double> ParameterServer::AssemblePull(int worker,
   std::vector<double> out(static_cast<size_t>(partitioner_.dim()), 0.0);
   for (int p = 0; p < partitioner_.num_partitions(); ++p) {
     const std::vector<double> block = PullPiece(p, worker, version);
-    for (size_t local = 0; local < block.size(); ++local) {
-      const int64_t g =
-          partitioner_.GlobalIndex(p, static_cast<int64_t>(local));
-      out[static_cast<size_t>(g)] = block[local];
-    }
+    ScatterBlock(partitioner_, p, block, out.data());
   }
   return out;
 }
@@ -556,6 +569,19 @@ std::vector<double> ParameterServer::PullRange(int worker, int64_t begin,
       options_.partition_sync ? master_.StableVersion() : -1;
   for (int p : partitioner_.PartitionsForRange(begin, end)) {
     const std::vector<double> block = PullPiece(p, worker, version);
+    int64_t base = 0;
+    if (partitioner_.ContiguousKeyRange(p, &base)) {
+      // Copy only the overlap of [base, base + |block|) with [begin, end).
+      const int64_t lo = std::max(base, begin);
+      const int64_t hi =
+          std::min(base + static_cast<int64_t>(block.size()), end);
+      if (lo < hi) {
+        std::memcpy(out.data() + (lo - begin),
+                    block.data() + (lo - base),
+                    static_cast<size_t>(hi - lo) * sizeof(double));
+      }
+      continue;
+    }
     for (size_t local = 0; local < block.size(); ++local) {
       const int64_t g =
           partitioner_.GlobalIndex(p, static_cast<int64_t>(local));
@@ -573,11 +599,7 @@ std::vector<double> ParameterServer::Snapshot() const {
     std::lock_guard<std::mutex> lock(*shard_mu_[static_cast<size_t>(p)]);
     const std::vector<double> block =
         shards_[static_cast<size_t>(p)]->Peek();
-    for (size_t local = 0; local < block.size(); ++local) {
-      const int64_t g =
-          partitioner_.GlobalIndex(p, static_cast<int64_t>(local));
-      out[static_cast<size_t>(g)] = block[local];
-    }
+    ScatterBlock(partitioner_, p, block, out.data());
   }
   return out;
 }

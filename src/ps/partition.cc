@@ -123,6 +123,14 @@ int64_t Partitioner::GlobalIndex(int p, int64_t local) const {
   return boundaries_[static_cast<size_t>(p)] + local;
 }
 
+bool Partitioner::ContiguousKeyRange(int p, int64_t* begin) const {
+  HETPS_CHECK(p >= 0 && p < num_partitions_) << "partition out of range";
+  HETPS_CHECK(begin != nullptr) << "null begin output";
+  if (scheme_ == PartitionScheme::kHash) return false;
+  *begin = boundaries_[static_cast<size_t>(p)];
+  return true;
+}
+
 int64_t Partitioner::PartitionDim(int p) const {
   HETPS_CHECK(p >= 0 && p < num_partitions_) << "partition out of range";
   if (scheme_ == PartitionScheme::kHash) {

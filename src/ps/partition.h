@@ -54,6 +54,13 @@ class Partitioner {
   /// Global key for a partition-local index.
   int64_t GlobalIndex(int p, int64_t local) const;
 
+  /// True iff partition `p` maps local indices onto a contiguous global
+  /// key range; writes that range's first key to `*begin` (range and
+  /// range-hash schemes). Hash striding is non-contiguous, so replica
+  /// assembly must fall back to per-key GlobalIndex there. Enables bulk
+  /// memcpy/kernel application of partition-sized pieces.
+  bool ContiguousKeyRange(int p, int64_t* begin) const;
+
   /// Number of keys stored by partition `p`.
   int64_t PartitionDim(int p) const;
 

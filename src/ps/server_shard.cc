@@ -23,18 +23,19 @@ void ServerShard::Push(int worker, int clock,
   if (track_deltas_ && !local_update.empty()) {
     // The rule promises to touch only the update's support, so the exact
     // applied delta is the before/after difference at those indices —
-    // O(nnz) point reads on either side of the push.
-    std::vector<double> before(local_update.nnz());
-    for (size_t i = 0; i < local_update.nnz(); ++i) {
-      before[i] = param_.At(static_cast<size_t>(local_update.index(i)));
-    }
+    // two bulk gathers over the support on either side of the push
+    // (vector kernels on dense blocks; the scratch buffer is reused
+    // across pushes so the steady state allocates nothing).
+    const size_t nnz = local_update.nnz();
+    const int64_t* const idx = local_update.indices().data();
+    delta_scratch_.resize(nnz);
+    param_.Gather(idx, nnz, delta_scratch_.data());
     rule_->OnPush(worker, clock, local_update, &param_);
-    SparseVector delta;
-    for (size_t i = 0; i < local_update.nnz(); ++i) {
-      const double after =
-          param_.At(static_cast<size_t>(local_update.index(i)));
-      delta.PushBack(local_update.index(i), after - before[i]);
-    }
+    std::vector<double> after(nnz);
+    param_.Gather(idx, nnz, after.data());
+    for (size_t i = 0; i < nnz; ++i) after[i] -= delta_scratch_[i];
+    SparseVector delta(std::vector<int64_t>(idx, idx + nnz),
+                       std::move(after));
     ++push_count_;
     ++data_version_;
     AppendDelta(std::move(delta));

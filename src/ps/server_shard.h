@@ -130,6 +130,11 @@ class ServerShard {
   int delta_log_depth_ = 0;
   size_t delta_log_bytes_ = 0;
   std::deque<LoggedDelta> delta_log_;
+
+  // Reusable before-snapshot buffer for delta capture in Push() — sized
+  // to the largest update seen, so steady-state pushes allocate only the
+  // logged delta itself.
+  std::vector<double> delta_scratch_;
 };
 
 }  // namespace hetps

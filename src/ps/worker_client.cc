@@ -1,7 +1,10 @@
 #include "ps/worker_client.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 
+#include "math/kernels.h"
 #include "util/logging.h"
 
 namespace hetps {
@@ -89,27 +92,45 @@ void WorkerClient::ApplyToCache(const DeltaPullResult& result) {
   for (const PartitionPull& pp : result.partitions) {
     const int p = pp.partition;
     const size_t slot = static_cast<size_t>(p);
+    // Range-based schemes map a partition onto one contiguous global key
+    // interval, so whole pieces apply with memcpy / vector kernels at the
+    // base offset; hash striding falls back to per-key GlobalIndex.
+    int64_t base = 0;
+    const bool contiguous = part.ContiguousKeyRange(p, &base);
     switch (pp.encoding) {
       case PartitionPull::Encoding::kUnchanged:
         // Content tag matched: the pristine copy is already current.
         break;
       case PartitionPull::Encoding::kDense:
-        for (size_t local = 0; local < pp.dense.size(); ++local) {
-          const int64_t g =
-              part.GlobalIndex(p, static_cast<int64_t>(local));
-          cache_[static_cast<size_t>(g)] = pp.dense[local];
+        if (contiguous) {
+          std::memcpy(cache_.data() + base, pp.dense.data(),
+                      pp.dense.size() * sizeof(double));
+        } else {
+          for (size_t local = 0; local < pp.dense.size(); ++local) {
+            const int64_t g =
+                part.GlobalIndex(p, static_cast<int64_t>(local));
+            cache_[static_cast<size_t>(g)] = pp.dense[local];
+          }
         }
         break;
       case PartitionPull::Encoding::kSparse: {
         // Whole block in sparse layout: clear the partition's slots,
         // then scatter the nonzeros.
         const int64_t dim_p = part.PartitionDim(p);
-        for (int64_t local = 0; local < dim_p; ++local) {
-          cache_[static_cast<size_t>(part.GlobalIndex(p, local))] = 0.0;
-        }
-        for (size_t i = 0; i < pp.sparse.nnz(); ++i) {
-          const int64_t g = part.GlobalIndex(p, pp.sparse.index(i));
-          cache_[static_cast<size_t>(g)] = pp.sparse.value(i);
+        if (contiguous) {
+          std::fill(cache_.begin() + base, cache_.begin() + base + dim_p,
+                    0.0);
+          kernels::ScatterAxpy(1.0, pp.sparse.indices().data(),
+                               pp.sparse.values().data(), pp.sparse.nnz(),
+                               cache_.data() + base);
+        } else {
+          for (int64_t local = 0; local < dim_p; ++local) {
+            cache_[static_cast<size_t>(part.GlobalIndex(p, local))] = 0.0;
+          }
+          for (size_t i = 0; i < pp.sparse.nnz(); ++i) {
+            const int64_t g = part.GlobalIndex(p, pp.sparse.index(i));
+            cache_[static_cast<size_t>(g)] = pp.sparse.value(i);
+          }
         }
         break;
       }
@@ -119,9 +140,15 @@ void WorkerClient::ApplyToCache(const DeltaPullResult& result) {
         // bug (the RPC client handles mismatch by re-pulling instead).
         HETPS_CHECK(pp.base_tag == cached_tags_[slot])
             << "delta base tag mismatch on partition " << p;
-        for (size_t i = 0; i < pp.sparse.nnz(); ++i) {
-          const int64_t g = part.GlobalIndex(p, pp.sparse.index(i));
-          cache_[static_cast<size_t>(g)] += pp.sparse.value(i);
+        if (contiguous) {
+          kernels::ScatterAxpy(1.0, pp.sparse.indices().data(),
+                               pp.sparse.values().data(), pp.sparse.nnz(),
+                               cache_.data() + base);
+        } else {
+          for (size_t i = 0; i < pp.sparse.nnz(); ++i) {
+            const int64_t g = part.GlobalIndex(p, pp.sparse.index(i));
+            cache_[static_cast<size_t>(g)] += pp.sparse.value(i);
+          }
         }
         break;
       }

@@ -1,6 +1,7 @@
 #include "sim/event_sim.h"
 
 #include <algorithm>
+#include <cstring>
 #include <queue>
 #include <sstream>
 #include <unordered_map>
@@ -489,6 +490,13 @@ class Simulation {
     }
     std::vector<double>& dst =
         options_.delta_pull ? w.pull_cache : w.pending_pull;
+    int64_t base = 0;
+    if (part.ContiguousKeyRange(partition, &base)) {
+      // Range-based schemes: the piece lands as one contiguous memcpy.
+      std::memcpy(dst.data() + base, block.data(),
+                  block.size() * sizeof(double));
+      return;
+    }
     for (size_t local = 0; local < block.size(); ++local) {
       const int64_t g =
           part.GlobalIndex(partition, static_cast<int64_t>(local));

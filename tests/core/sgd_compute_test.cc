@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "data/synthetic.h"
+#include "math/kernels.h"
+#include "obs/metrics.h"
 
 namespace hetps {
 namespace {
@@ -112,6 +116,203 @@ TEST(LocalWorkerSgdTest, ShardNnzSumsFeatureCounts) {
     expected += d.example(i).features.nnz();
   }
   EXPECT_EQ(sgd.ShardNnz(), expected);
+}
+
+/// Line-for-line reimplementation of the pre-kernel RunClock (three
+/// passes over each batch, dense O(dim) gradient/update fills, FromDense
+/// emission). The touched-list rewrite promises the same per-coordinate
+/// floating-point op sequence, so under a scalar-forced dispatch table
+/// the two must agree *bitwise*; under AVX2 dispatch only the gather-dot
+/// margins reassociate, so agreement is within 1e-9.
+struct LegacyReferenceSgd {
+  const Dataset* dataset;
+  DataShard shard;
+  const LossFunction* loss;
+  const LearningRateSchedule* schedule;
+  LocalWorkerSgd::Options options;
+  std::vector<double> update_buffer;
+  std::vector<double> batch_grad;
+
+  LegacyReferenceSgd(const Dataset* d, DataShard s, const LossFunction* l,
+                     const LearningRateSchedule* sch,
+                     LocalWorkerSgd::Options o)
+      : dataset(d), shard(std::move(s)), loss(l), schedule(sch),
+        options(o) {
+    const size_t dim = static_cast<size_t>(d->dimension());
+    update_buffer.assign(dim, 0.0);
+    batch_grad.assign(dim, 0.0);
+  }
+
+  void RunClock(int clock, std::vector<double>* replica,
+                SparseVector* update) {
+    const double eta = schedule->Rate(clock);
+    std::fill(update_buffer.begin(), update_buffer.end(), 0.0);
+    const auto& indices = shard.example_indices;
+    size_t pos = 0;
+    while (pos < indices.size()) {
+      const size_t batch_end =
+          std::min(pos + options.batch_size, indices.size());
+      const size_t b = batch_end - pos;
+      std::fill(batch_grad.begin(), batch_grad.end(), 0.0);
+      const double inv_b = 1.0 / static_cast<double>(b);
+      for (size_t k = pos; k < batch_end; ++k) {
+        const Example& ex = dataset->example(indices[k]);
+        AccumulateExampleGradient(*loss, ex.features, ex.label, *replica,
+                                  inv_b, &batch_grad);
+      }
+      for (size_t k = pos; k < batch_end; ++k) {
+        const Example& ex = dataset->example(indices[k]);
+        for (size_t i = 0; i < ex.features.nnz(); ++i) {
+          const size_t j = static_cast<size_t>(ex.features.index(i));
+          batch_grad[j] += options.l2 * (*replica)[j] * inv_b;
+        }
+      }
+      for (size_t k = pos; k < batch_end; ++k) {
+        const Example& ex = dataset->example(indices[k]);
+        for (size_t i = 0; i < ex.features.nnz(); ++i) {
+          const size_t j = static_cast<size_t>(ex.features.index(i));
+          const double g = batch_grad[j];
+          if (g != 0.0) {
+            (*replica)[j] -= eta * g;
+            update_buffer[j] -= eta * g;
+            batch_grad[j] = 0.0;
+          }
+        }
+      }
+      pos = batch_end;
+    }
+    *update = SparseVector::FromDense(update_buffer, 0.0);
+  }
+};
+
+TEST(LocalWorkerSgdTest, MatchesLegacyReferenceBitwiseUnderScalar) {
+  Dataset d = SmallSet();
+  LogisticLoss loss;
+  FixedRate rate(0.3);
+  LocalWorkerSgd::Options opts;
+  opts.batch_size = 7;  // uneven final batch
+  opts.l2 = 1e-3;
+  const kernels::KernelIsa installed =
+      kernels::SetKernelIsaForTesting(kernels::KernelIsa::kScalar);
+  ASSERT_EQ(installed, kernels::KernelIsa::kScalar);
+  const size_t dim = static_cast<size_t>(d.dimension());
+  std::vector<double> replica_a(dim, 0.0);
+  std::vector<double> replica_b(dim, 0.0);
+  LegacyReferenceSgd legacy(&d, FullShard(d), &loss, &rate, opts);
+  LocalWorkerSgd rewritten(&d, FullShard(d), &loss, &rate, opts);
+  for (int c = 0; c < 4; ++c) {
+    SparseVector ua;
+    SparseVector ub;
+    legacy.RunClock(c, &replica_a, &ua);
+    rewritten.RunClock(c, &replica_b, &ub);
+    ASSERT_EQ(ua.nnz(), ub.nnz()) << "clock " << c;
+    for (size_t i = 0; i < ua.nnz(); ++i) {
+      EXPECT_EQ(ua.index(i), ub.index(i)) << "clock " << c;
+      EXPECT_EQ(ua.value(i), ub.value(i))
+          << "clock " << c << " coord " << ua.index(i);
+    }
+    for (size_t j = 0; j < dim; ++j) {
+      EXPECT_EQ(replica_a[j], replica_b[j])
+          << "clock " << c << " coord " << j;
+    }
+  }
+  kernels::ResetKernelIsaForTesting();
+}
+
+TEST(LocalWorkerSgdTest, MatchesLegacyReferenceUnderDispatchedIsa) {
+  // Whatever table cpuid picked: the only reassociated quantity is the
+  // per-example gather-dot margin, so trajectories agree to ~1e-9 over
+  // a few clocks on a small problem.
+  Dataset d = SmallSet();
+  LogisticLoss loss;
+  FixedRate rate(0.3);
+  LocalWorkerSgd::Options opts;
+  opts.batch_size = 7;
+  opts.l2 = 1e-3;
+  const size_t dim = static_cast<size_t>(d.dimension());
+  std::vector<double> replica_a(dim, 0.0);
+  std::vector<double> replica_b(dim, 0.0);
+  LegacyReferenceSgd legacy(&d, FullShard(d), &loss, &rate, opts);
+  LocalWorkerSgd rewritten(&d, FullShard(d), &loss, &rate, opts);
+  for (int c = 0; c < 4; ++c) {
+    SparseVector ua;
+    SparseVector ub;
+    legacy.RunClock(c, &replica_a, &ua);
+    rewritten.RunClock(c, &replica_b, &ub);
+    for (size_t j = 0; j < dim; ++j) {
+      EXPECT_NEAR(replica_a[j], replica_b[j], 1e-9)
+          << "clock " << c << " coord " << j;
+    }
+  }
+}
+
+TEST(LocalWorkerSgdTest, ScratchWorkIsIndependentOfModelDimension) {
+  // The PR-4 bugfix: per-clock dense-buffer writes must scale with the
+  // shard's touched coordinates, not the model dimension. Run the same
+  // examples embedded in models 16x apart in dimension and require
+  // identical reset-write counts (the pre-rewrite trainer paid
+  // O(dim) fills per batch, so its counts would differ by ~16x).
+  SyntheticConfig small_cfg;
+  small_cfg.num_examples = 40;
+  small_cfg.num_features = 1 << 10;
+  small_cfg.avg_nnz = 8;
+  small_cfg.seed = 11;
+  small_cfg.margin_gap = 0.0;
+  Dataset small = GenerateSynthetic(small_cfg);
+  // Same examples, much bigger model: re-declare the dimension.
+  std::vector<Example> copies;
+  for (size_t i = 0; i < small.size(); ++i) {
+    copies.push_back(small.example(i));
+  }
+  Dataset big(std::move(copies), 1 << 14);
+
+  LogisticLoss loss;
+  FixedRate rate(0.2);
+  LocalWorkerSgd::Options opts;
+  opts.batch_size = 8;
+  size_t resets[2];
+  size_t touched[2];
+  const Dataset* sets[2] = {&small, &big};
+  for (int s = 0; s < 2; ++s) {
+    const Dataset& d = *sets[s];
+    LocalWorkerSgd sgd(&d, FullShard(d), &loss, &rate, opts);
+    std::vector<double> replica(static_cast<size_t>(d.dimension()), 0.0);
+    SparseVector update;
+    const auto stats = sgd.RunClock(0, &replica, &update);
+    resets[s] = stats.buffer_reset_writes;
+    touched[s] = stats.coords_touched;
+    // Never more than two writes per processed nnz (one per batch
+    // touch, one per clock touch).
+    EXPECT_LE(stats.buffer_reset_writes, 2 * stats.nnz_processed);
+  }
+  EXPECT_EQ(resets[0], resets[1]);
+  EXPECT_EQ(touched[0], touched[1]);
+}
+
+TEST(LocalWorkerSgdTest, ReportsKernelIsaAndStageHistograms) {
+  Dataset d = SmallSet();
+  LogisticLoss loss;
+  FixedRate rate(0.1);
+  LocalWorkerSgd sgd(&d, FullShard(d), &loss, &rate, {});
+  // Constructor publishes the resolved dispatch table as an info gauge.
+  Gauge* isa_gauge = GlobalMetrics().gauge(
+      "compute.kernel_isa",
+      {{"isa", kernels::KernelIsaName(kernels::ActiveKernelIsa())}});
+  EXPECT_TRUE(isa_gauge->has_value());
+  EXPECT_EQ(isa_gauge->value(), 1.0);
+
+  BucketedHistogram* gather = GlobalMetrics().histogram("compute.gather_us");
+  BucketedHistogram* scatter =
+      GlobalMetrics().histogram("compute.scatter_us");
+  const int64_t gather_before = gather->count();
+  const int64_t scatter_before = scatter->count();
+  std::vector<double> replica(static_cast<size_t>(d.dimension()), 0.0);
+  SparseVector update;
+  const auto stats = sgd.RunClock(0, &replica, &update);
+  EXPECT_EQ(gather->count() - gather_before,
+            static_cast<int64_t>(stats.batches));
+  EXPECT_EQ(scatter->count() - scatter_before,
+            static_cast<int64_t>(stats.batches));
 }
 
 TEST(BatchSizeForFractionTest, TenPercentRule) {
