@@ -14,6 +14,8 @@
 //                        [--clocks=60] [--tolerance=0.4]
 //                        [--partitions=1] [--scheme=range|hash|rangehash]
 //                        [--update_filter=0]
+//                        [--kill_worker=-1] [--kill_at_clock=-1]
+//                        [--heartbeat_timeout=0] [--evict_dead_workers=1]
 //   hetps_train check-obs --metrics=metrics.json [--trace=trace.json]
 //
 // Observability (train and simulate): --metrics_out=metrics.json writes
@@ -275,6 +277,29 @@ int RunSimulate(const FlagParser& flags) {
   options.objective_tolerance =
       flags.GetDouble("tolerance", 0.4).value();
   options.l2 = flags.GetDouble("l2", 1e-4).value();
+  // Liveness / failure injection (see DESIGN.md "Failure model & worker
+  // eviction"): --kill_worker/--kill_at_clock crash-stop one worker,
+  // --heartbeat_timeout arms eviction, --evict_dead_workers=0 shows the
+  // stall instead.
+  options.kill_worker =
+      static_cast<int>(flags.GetInt("kill_worker", -1).value());
+  if (options.kill_worker >= workers) {
+    return Fail(Status::InvalidArgument(
+        "--kill_worker=" + std::to_string(options.kill_worker) +
+        " is out of range for --workers=" + std::to_string(workers)));
+  }
+  options.kill_at_clock =
+      static_cast<int>(flags.GetInt("kill_at_clock", -1).value());
+  options.heartbeat_timeout_seconds =
+      flags.GetDouble("heartbeat_timeout", 0.0).value();
+  options.evict_dead_workers = flags.GetBool("evict_dead_workers", true);
+  if (options.kill_worker >= 0 &&
+      options.heartbeat_timeout_seconds <= 0.0) {
+    // A kill without the liveness plane stalls until max_sim_seconds;
+    // bound the demonstration.
+    options.max_sim_seconds =
+        flags.GetDouble("max_sim_seconds", 600.0).value();
+  }
   const ClusterConfig cluster =
       ClusterConfig::WithStragglers(workers, servers, hl, 0.2);
   std::unique_ptr<RunReporter> reporter = MakeReporter(
@@ -291,6 +316,14 @@ int RunSimulate(const FlagParser& flags) {
   const SimResult r = RunSimulation(data.value(), cluster, *rule, sched,
                                     *loss, options);
   std::printf("%s\n", r.Summary().c_str());
+  if (options.kill_worker >= 0 || r.workers_evicted > 0) {
+    std::printf(
+        "liveness: evicted=%d failed_over_examples=%lld "
+        "blocked_at_end=%d\n",
+        r.workers_evicted,
+        static_cast<long long>(r.examples_failed_over),
+        r.workers_blocked_at_end);
+  }
   return FinishReport(reporter.get());
 }
 

@@ -49,4 +49,28 @@ void ReassignFraction(DataShard* from, DataShard* to, double fraction) {
   from->example_indices.resize(keep);
 }
 
+size_t ReassignAcross(DataShard* from, const std::vector<DataShard*>& to) {
+  if (to.empty()) {
+    from->example_indices.clear();
+    return 0;
+  }
+  const size_t total = from->example_indices.size();
+  const size_t base = total / to.size();
+  const size_t extra = total % to.size();
+  size_t next = 0;
+  for (size_t r = 0; r < to.size(); ++r) {
+    const size_t count = base + (r < extra ? 1 : 0);
+    to[r]->example_indices.insert(to[r]->example_indices.end(),
+                                  from->example_indices.begin() +
+                                      static_cast<std::ptrdiff_t>(next),
+                                  from->example_indices.begin() +
+                                      static_cast<std::ptrdiff_t>(next +
+                                                                  count));
+    next += count;
+  }
+  HETPS_CHECK(next == total) << "failover split did not cover shard";
+  from->example_indices.clear();
+  return total;
+}
+
 }  // namespace hetps

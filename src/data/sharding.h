@@ -36,6 +36,13 @@ std::vector<DataShard> SplitData(size_t dataset_size, size_t num_workers,
 /// straggler-mitigation baseline.
 void ReassignFraction(DataShard* from, DataShard* to, double fraction);
 
+/// Empties `from` into the `to` shards, splitting as evenly as possible
+/// (earlier shards get the remainder). The failover primitive: an evicted
+/// worker's entire shard is spread across the survivors so every example
+/// keeps contributing to the objective. Returns the number of examples
+/// moved (0 when `to` is empty — the shard is then simply lost).
+size_t ReassignAcross(DataShard* from, const std::vector<DataShard*>& to);
+
 }  // namespace hetps
 
 #endif  // HETPS_DATA_SHARDING_H_

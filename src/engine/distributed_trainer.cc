@@ -1,6 +1,10 @@
 #include "engine/distributed_trainer.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <memory>
+#include <mutex>
 #include <thread>
 
 #include "core/sgd_compute.h"
@@ -29,6 +33,9 @@ Result<DistributedTrainResult> TrainDistributed(
   if (options.resume && options.resume_clock < 0) {
     return Status::InvalidArgument("resume_clock must be >= 0");
   }
+  if (options.fault_plan.fault_worker >= options.num_workers) {
+    return Status::InvalidArgument("fault_worker out of range");
+  }
 
   PsOptions ps_opts;
   ps_opts.num_servers = options.num_servers;
@@ -45,12 +52,75 @@ Result<DistributedTrainResult> TrainDistributed(
   if (options.fault_plan.enabled()) {
     bus.SetFaultPlan(options.fault_plan);
   }
-  PsService service(&ps, &bus, "ps");
-  HETPS_RETURN_NOT_OK(service.status());
 
   const std::vector<DataShard> shards =
       SplitData(dataset.size(), static_cast<size_t>(options.num_workers),
                 ShardingPolicy::kContiguous);
+
+  // --- Shard-failover mailbox -------------------------------------------
+  // When the liveness plane evicts a worker, its data shard is spread
+  // across the survivors so every example keeps contributing. The service
+  // loop (on_evict) round-robins the orphaned example indices into
+  // per-survivor mailboxes; each survivor drains its mailbox into its
+  // local SGD shard at the next clock boundary. `owned` mirrors each
+  // worker's full entitlement (initial shard + adopted examples) so a
+  // cascading eviction re-fails-over adopted examples exactly once:
+  // grants go to BOTH owned[r] and pending[r], orphans are taken from
+  // owned[victim] only.
+  const size_t n_workers = static_cast<size_t>(options.num_workers);
+  std::mutex failover_mu;
+  std::vector<std::vector<size_t>> owned(n_workers);
+  std::vector<std::vector<size_t>> pending(n_workers);
+  for (size_t m = 0; m < n_workers; ++m) {
+    owned[m] = shards[m].example_indices;
+  }
+  std::unique_ptr<std::atomic<bool>[]> evicted(
+      new std::atomic<bool>[n_workers]);
+  for (size_t m = 0; m < n_workers; ++m) evicted[m].store(false);
+  std::vector<int> evicted_order;             // guarded by failover_mu
+  int64_t shard_reassignments = 0;            // guarded by failover_mu
+  int64_t examples_failed_over = 0;           // guarded by failover_mu
+
+  PsServiceOptions svc_opts;
+  svc_opts.liveness.heartbeat_timeout_seconds = options.heartbeat_timeout;
+  svc_opts.liveness.evict_dead_workers = options.evict_dead_workers;
+  svc_opts.liveness.virtual_seconds_per_request =
+      options.virtual_seconds_per_request;
+  svc_opts.liveness.now_fn = options.heartbeat_now_fn;
+  svc_opts.liveness.on_evict = [&](int victim) {
+    std::lock_guard<std::mutex> lock(failover_mu);
+    evicted[static_cast<size_t>(victim)].store(true,
+                                               std::memory_order_release);
+    evicted_order.push_back(victim);
+    std::vector<size_t> orphans =
+        std::move(owned[static_cast<size_t>(victim)]);
+    owned[static_cast<size_t>(victim)].clear();
+    pending[static_cast<size_t>(victim)].clear();
+    std::vector<size_t> survivors;
+    for (size_t m = 0; m < n_workers; ++m) {
+      if (!evicted[m].load(std::memory_order_acquire)) survivors.push_back(m);
+    }
+    if (survivors.empty() || orphans.empty()) return;
+    for (size_t i = 0; i < orphans.size(); ++i) {
+      const size_t r = survivors[i % survivors.size()];
+      owned[r].push_back(orphans[i]);
+      pending[r].push_back(orphans[i]);
+    }
+    const int64_t touched = static_cast<int64_t>(
+        std::min(survivors.size(), orphans.size()));
+    shard_reassignments += touched;
+    examples_failed_over += static_cast<int64_t>(orphans.size());
+    GlobalMetrics()
+        .counter("ps.shard_reassignments")
+        ->Increment(touched);
+    HETPS_TRACE_INSTANT1("ps.shard_failover", "worker", victim);
+    HETPS_LOG(Info) << "failover: worker " << victim << "'s "
+                    << orphans.size() << " examples spread across "
+                    << survivors.size() << " survivors";
+  };
+
+  PsService service(&ps, &bus, "ps", svc_opts);
+  HETPS_RETURN_NOT_OK(service.status());
   const int start_clock = options.resume ? options.resume_clock : 0;
   const int end_clock = start_clock + options.max_clocks;
 
@@ -72,6 +142,15 @@ Result<DistributedTrainResult> TrainDistributed(
     };
     Status& my_status = worker_status[static_cast<size_t>(m)];
     WorkerTimeBreakdown& breakdown = breakdowns[static_cast<size_t>(m)];
+    // An RPC rejected because *this* worker was evicted is the liveness
+    // plane working as designed (e.g. a hung worker waking up after its
+    // eviction), not a run failure: clear the status so the run's
+    // verdict comes from the survivors.
+    const auto evicted_by_design = [&]() {
+      return my_status.IsFailedPrecondition() &&
+             evicted[static_cast<size_t>(m)].load(
+                 std::memory_order_acquire);
+    };
     HistogramMetric* iter_us = GlobalMetrics().histogram(
         "worker.iter_us", {{"worker", std::to_string(m)}});
     RpcWorkerClient client(m, &bus, "ps", options.rpc_retry);
@@ -96,8 +175,48 @@ Result<DistributedTrainResult> TrainDistributed(
       my_status = do_pull(&replica, &cp);
       breakdown.comm_seconds += seconds_since(pull_start);
     }
-    if (!my_status.ok()) return;
+    if (!my_status.ok()) {
+      if (evicted_by_design()) my_status = Status::OK();
+      return;
+    }
     for (int c = start_clock; c < end_clock; ++c) {
+      // Injected process faults (FaultPlan.fault_worker), applied just
+      // before this clock starts.
+      if (m == options.fault_plan.fault_worker &&
+          c == options.fault_plan.kill_at_clock) {
+        if (options.fault_plan.hang_seconds > 0.0) {
+          // Temporary hang: go silent for hang_seconds of virtual time.
+          // The clock only advances while other workers' requests tick
+          // the service, so this needs no wall-clock sleep. Own-eviction
+          // is an exit condition — once evicted, ticks may stop (the
+          // survivors finish) and the resume time would never arrive.
+          const double resume_at =
+              service.LivenessNow() + options.fault_plan.hang_seconds;
+          while (service.LivenessNow() < resume_at &&
+                 !evicted[static_cast<size_t>(m)].load(
+                     std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+        } else {
+          // Crash-stop: the worker simply stops sending, forever. Not an
+          // error — the run's verdict is the survivors' business.
+          HETPS_LOG(Warning) << "fault injection: killing worker " << m
+                             << " before clock " << c;
+          return;
+        }
+      }
+      // Adopt examples failed over from evicted workers (drained at clock
+      // boundaries so a batch never changes mid-compute).
+      {
+        std::lock_guard<std::mutex> lock(failover_mu);
+        std::vector<size_t>& pend = pending[static_cast<size_t>(m)];
+        if (!pend.empty()) {
+          std::vector<size_t>& mine =
+              sgd.mutable_shard()->example_indices;
+          mine.insert(mine.end(), pend.begin(), pend.end());
+          pend.clear();
+        }
+      }
       HETPS_TRACE_SPAN2("worker.clock", "worker", m, "clock", c);
       const auto iter_start = SteadyClock::now();
       SparseVector update;
@@ -112,7 +231,10 @@ Result<DistributedTrainResult> TrainDistributed(
         my_status = client.Push(c, update);
         breakdown.comm_seconds += seconds_since(push_start);
       }
-      if (!my_status.ok()) return;
+      if (!my_status.ok()) {
+        if (evicted_by_design()) my_status = Status::OK();
+        return;
+      }
       ++breakdown.clocks_completed;
       if (m == 0) {
         const size_t n = options.eval_sample == 0 ? dataset.size()
@@ -135,13 +257,19 @@ Result<DistributedTrainResult> TrainDistributed(
           my_status = client.WaitUntilCanAdvance(c + 1);
           breakdown.wait_seconds += seconds_since(wait_start);
         }
-        if (!my_status.ok()) return;
+        if (!my_status.ok()) {
+          if (evicted_by_design()) my_status = Status::OK();
+          return;
+        }
         {
           const auto pull_start = SteadyClock::now();
           my_status = do_pull(&replica, &cp);
           breakdown.comm_seconds += seconds_since(pull_start);
         }
-        if (!my_status.ok()) return;
+        if (!my_status.ok()) {
+          if (evicted_by_design()) my_status = Status::OK();
+          return;
+        }
       }
       iter_us->RecordInt(
           std::chrono::duration_cast<std::chrono::microseconds>(
@@ -180,6 +308,14 @@ Result<DistributedTrainResult> TrainDistributed(
   result.faults = bus.fault_stats();
   for (int64_t r : worker_retries) result.rpc_retries += r;
   result.next_clock = end_clock;
+  {
+    // Workers have joined, but the service loop (which runs on_evict) is
+    // still live until `bus` is destroyed — snapshot under the lock.
+    std::lock_guard<std::mutex> lock(failover_mu);
+    result.evicted_workers = evicted_order;
+    result.shard_reassignments = shard_reassignments;
+    result.examples_failed_over = examples_failed_over;
+  }
   return result;
 }
 

@@ -54,6 +54,20 @@ struct DistributedTrainerOptions {
   /// Called on worker 0's thread after each of its clocks (1-based
   /// count); RunReporter::OnEpoch hooks in here. Keep it cheap.
   std::function<void(int)> on_epoch;
+  /// Heartbeat-driven worker eviction (the SSP liveness repair): evict a
+  /// worker whose last request is older than this many *virtual* seconds
+  /// — time advances with every request the service handles
+  /// (virtual_seconds_per_request each), so detection needs no
+  /// wall-clock sleeps. <= 0 disables the liveness plane, restoring the
+  /// pre-repair behavior where one dead worker pins cmin forever.
+  double heartbeat_timeout = 0.0;
+  /// When false, dead workers are only counted as suspected, never
+  /// evicted (A/B knob for demonstrating the deadlock).
+  bool evict_dead_workers = true;
+  /// Scale of the request-tick virtual clock.
+  double virtual_seconds_per_request = 1e-3;
+  /// Overrides the virtual clock with caller-supplied time (tests).
+  std::function<double()> heartbeat_now_fn;
 };
 
 struct DistributedTrainResult {
@@ -72,6 +86,12 @@ struct DistributedTrainResult {
   /// wait covers the CanAdvance polling loop. Also published to
   /// GlobalMetrics() as worker.*_seconds{worker=m} gauges.
   std::vector<WorkerTimeBreakdown> worker_breakdown;
+  /// Workers evicted by the heartbeat plane, in eviction order.
+  std::vector<int> evicted_workers;
+  /// Survivor shards that received examples from evicted workers.
+  int64_t shard_reassignments = 0;
+  /// Examples moved off evicted workers' shards onto survivors.
+  int64_t examples_failed_over = 0;
 };
 
 Result<DistributedTrainResult> TrainDistributed(

@@ -14,15 +14,27 @@ void HeartbeatMonitor::Register(const std::string& node, double now) {
   last_beat_[node] = now;
 }
 
+bool HeartbeatMonitor::Unregister(const std::string& node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_beat_.erase(node) > 0;
+}
+
 void HeartbeatMonitor::Beat(const std::string& node, double now) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = last_beat_.find(node);
   if (it == last_beat_.end()) {
-    last_beat_[node] = now;
+    // Unknown (never registered, or evicted): counted no-op. A late beat
+    // must never resurrect an unregistered node.
+    ++unknown_beats_;
     return;
   }
   // Heartbeats may arrive out of order; keep the freshest.
   if (now > it->second) it->second = now;
+}
+
+int64_t HeartbeatMonitor::unknown_beats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return unknown_beats_;
 }
 
 bool HeartbeatMonitor::IsAlive(const std::string& node,

@@ -20,12 +20,25 @@ class HeartbeatMonitor {
  public:
   explicit HeartbeatMonitor(double timeout_seconds);
 
-  /// Registers a node; it starts alive as of `now`.
+  /// Registers a node; it starts alive as of `now`. Membership changes
+  /// only ever happen through Register/Unregister — a rejoining node must
+  /// be explicitly re-registered.
   void Register(const std::string& node, double now);
 
-  /// Records a heartbeat. Unknown nodes are auto-registered (a restarted
-  /// node re-joins this way).
+  /// Removes a node from monitoring (evicted or deliberately departed).
+  /// Returns false if it was not registered. After this, late beats from
+  /// the node are counted no-ops — they can never resurrect it.
+  bool Unregister(const std::string& node);
+
+  /// Records a heartbeat. A beat from an unknown node (never registered,
+  /// or already unregistered/evicted) is a no-op counted in
+  /// unknown_beats(): silently auto-registering here would let a single
+  /// late beat from an evicted worker resurrect it behind the eviction
+  /// logic's back.
   void Beat(const std::string& node, double now);
+
+  /// Beats from unknown nodes dropped by Beat() since construction.
+  int64_t unknown_beats() const;
 
   /// True if the node reported within the timeout window ending at `now`.
   bool IsAlive(const std::string& node, double now) const;
@@ -43,6 +56,7 @@ class HeartbeatMonitor {
   const double timeout_seconds_;
   mutable std::mutex mu_;
   std::map<std::string, double> last_beat_;
+  int64_t unknown_beats_ = 0;
 };
 
 }  // namespace hetps

@@ -53,6 +53,19 @@ struct FaultPlan {
   int delay_max_us = 500;
   uint64_t seed = 0x5eedfa17ULL;  // "seed fault"
 
+  /// --- Worker process faults (interpreted by the runtimes, not the
+  /// bus): crash-stop and temporary-hang injection for the liveness /
+  /// eviction machinery. ---
+  /// Worker the process fault applies to (-1 = none).
+  int fault_worker = -1;
+  /// Kill fault_worker just before it starts this clock: it stops
+  /// sending forever (crash-stop). -1 disables.
+  int kill_at_clock = -1;
+  /// Instead of dying, fault_worker goes silent for this many (virtual)
+  /// seconds before resuming — exercises false-suspicion vs. eviction
+  /// timing. 0 disables.
+  double hang_seconds = 0.0;
+
   bool enabled() const {
     return drop_request_prob > 0.0 || drop_response_prob > 0.0 ||
            duplicate_prob > 0.0 || delay_prob > 0.0;

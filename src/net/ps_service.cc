@@ -32,6 +32,24 @@ Status ConsumeStatus(ByteReader* reader) {
   return Status(static_cast<StatusCode>(code), std::move(message));
 }
 
+/// Parses "worker-<id>" endpoint names; -1 for anything else (servers,
+/// test drivers — only worker endpoints participate in liveness).
+int ParseWorkerId(const std::string& endpoint) {
+  constexpr const char kPrefix[] = "worker-";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (endpoint.size() <= kPrefixLen ||
+      endpoint.compare(0, kPrefixLen, kPrefix) != 0) {
+    return -1;
+  }
+  int id = 0;
+  for (size_t i = kPrefixLen; i < endpoint.size(); ++i) {
+    const char c = endpoint[i];
+    if (c < '0' || c > '9') return -1;
+    id = id * 10 + (c - '0');
+  }
+  return id;
+}
+
 }  // namespace
 
 PsService::PsService(ParameterServer* ps, MessageBus* bus,
@@ -44,6 +62,17 @@ PsService::PsService(ParameterServer* ps, MessageBus* bus,
                        -1) {
   HETPS_CHECK(ps != nullptr) << "null ParameterServer";
   HETPS_CHECK(bus != nullptr) << "null MessageBus";
+  if (options_.liveness.heartbeat_timeout_seconds > 0.0) {
+    monitor_ = std::make_unique<HeartbeatMonitor>(
+        options_.liveness.heartbeat_timeout_seconds);
+    workers_suspected_ = GlobalMetrics().counter("ps.workers_suspected");
+    // All workers start alive as of t0 — a worker that dies before its
+    // first request still times out.
+    const double t0 = LivenessNow();
+    for (int m = 0; m < ps_->num_workers(); ++m) {
+      monitor_->Register("worker-" + std::to_string(m), t0);
+    }
+  }
   MetricsRegistry& global = GlobalMetrics();
   handle_push_us_ = global.histogram("rpc.handle_us", {{"op", "push"}});
   handle_pull_us_ = global.histogram("rpc.handle_us", {{"op", "pull"}});
@@ -63,7 +92,50 @@ PsService::PsService(ParameterServer* ps, MessageBus* bus,
       [this](const Envelope& request) { return Handle(request); });
 }
 
+double PsService::LivenessNow() const {
+  if (monitor_ == nullptr) return 0.0;
+  if (options_.liveness.now_fn) return options_.liveness.now_fn();
+  return static_cast<double>(ticks_.load(std::memory_order_relaxed)) *
+         options_.liveness.virtual_seconds_per_request;
+}
+
+void PsService::SweepDeadWorkers(double now) {
+  for (const std::string& node : monitor_->SuspectedDead(now)) {
+    const int worker = ParseWorkerId(node);
+    if (worker < 0) continue;
+    // Stop monitoring either way: the suspicion is terminal, and late
+    // beats from the node become counted no-ops (never a resurrection).
+    monitor_->Unregister(node);
+    workers_suspected_->Increment();
+    if (!options_.liveness.evict_dead_workers) {
+      HETPS_LOG(Warning) << "PsService: worker " << worker
+                         << " suspected dead (eviction disabled)";
+      continue;
+    }
+    if (ps_->EvictWorker(worker) && options_.liveness.on_evict) {
+      options_.liveness.on_evict(worker);
+    }
+  }
+}
+
 std::vector<uint8_t> PsService::Handle(const Envelope& request) {
+  if (monitor_ != nullptr) {
+    // Every handled request advances the virtual clock and beats for its
+    // sender; the sweep runs before dispatch so an evicted sender's own
+    // request is already rejected below.
+    ticks_.fetch_add(1, std::memory_order_relaxed);
+    const double now = LivenessNow();
+    monitor_->Beat(request.from, now);
+    SweepDeadWorkers(now);
+    const int sender = ParseWorkerId(request.from);
+    if (sender >= 0 && sender < ps_->num_workers() &&
+        !ps_->IsWorkerLive(sender)) {
+      metrics_.counter("rpc.evicted_sender_rejects")->Increment();
+      return ErrorResponse(Status::FailedPrecondition(
+          "worker " + std::to_string(sender) +
+          " has been evicted (missed heartbeats)"));
+    }
+  }
   metrics_.distribution("rpc.request_bytes")
       ->Record(static_cast<double>(request.payload.size()));
   ByteReader reader(request.payload);
@@ -543,11 +615,21 @@ Result<bool> RpcWorkerClient::CanAdvance(int next_clock) {
 }
 
 Status RpcWorkerClient::WaitUntilCanAdvance(int next_clock) {
+  int64_t denied = 0;
   for (;;) {
     Result<bool> admitted = CanAdvance(next_clock);
     if (!admitted.ok()) return admitted.status();
     if (admitted.value()) return Status::OK();
-    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    ++denied;
+    if (retry_.max_admission_probes > 0 &&
+        denied >= retry_.max_admission_probes) {
+      return Status::DeadlineExceeded(
+          "admission denied after " + std::to_string(denied) +
+          " probes waiting for clock " + std::to_string(next_clock));
+    }
+    if (retry_.admission_probe_sleep.count() > 0) {
+      std::this_thread::sleep_for(retry_.admission_probe_sleep);
+    }
   }
 }
 

@@ -1,12 +1,15 @@
 #ifndef HETPS_NET_PS_SERVICE_H_
 #define HETPS_NET_PS_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "net/heartbeat.h"
 #include "net/message_bus.h"
 #include "net/serializer.h"
 #include "ps/parameter_server.h"
@@ -34,6 +37,40 @@ enum class PsOpCode : uint8_t {
   kLayout = 7,
 };
 
+/// Heartbeat-driven worker liveness (the SSP liveness repair: one dead
+/// worker must not pin cmin and stall every survivor forever).
+///
+/// Every request a worker sends — pushes, pulls, *and admission probes*
+/// (RpcWorkerClient::WaitUntilCanAdvance polls kCanAdvance, so a blocked
+/// survivor keeps beating) — doubles as a heartbeat for its `Envelope.from`
+/// endpoint. The service sweeps the monitor on every handled request and
+/// evicts workers whose last beat is older than the timeout; requests from
+/// evicted senders are rejected with FailedPrecondition so a zombie can
+/// never rejoin behind the eviction's back.
+///
+/// Time is *virtual* by default: each handled request advances a tick
+/// counter, and now = ticks * virtual_seconds_per_request. That makes the
+/// timeout deterministic under test schedulers and needs no wall-clock
+/// sleeps — a dead worker is detected because the survivors' traffic keeps
+/// ticking while its own beats stop. Inject `now_fn` to supply real time
+/// (or any other clock) instead.
+struct PsLivenessOptions {
+  /// Evict a worker whose last heartbeat is older than this many
+  /// (virtual) seconds. <= 0 disables the whole liveness plane.
+  double heartbeat_timeout_seconds = 0.0;
+  /// When false, timed-out workers are only counted/logged as suspected
+  /// (ps.workers_suspected), never evicted — the pre-repair behavior,
+  /// kept for the deadlock-demonstration tests and A/B runs.
+  bool evict_dead_workers = true;
+  /// Scale of the request-tick virtual clock (ignored when now_fn set).
+  double virtual_seconds_per_request = 1e-3;
+  /// Overrides the request-tick clock with caller-supplied time.
+  std::function<double()> now_fn;
+  /// Called (from the service loop, no PS locks held) after a worker is
+  /// successfully evicted — the trainer hooks shard failover here.
+  std::function<void(int)> on_evict;
+};
+
 /// Service-side behavior knobs.
 struct PsServiceOptions {
   /// Exactly-once push application under at-least-once delivery: the
@@ -43,6 +80,8 @@ struct PsServiceOptions {
   /// retransmitted) and is acknowledged without re-applying. Disable
   /// only for non-standard clients that intentionally re-push a clock.
   bool dedup_pushes = true;
+  /// Heartbeat-driven eviction; off by default (timeout <= 0).
+  PsLivenessOptions liveness;
 };
 
 /// Serves a ParameterServer over a MessageBus endpoint — the prototype's
@@ -67,8 +106,25 @@ class PsService {
   /// and request/response byte-size distributions.
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Current liveness time: now_fn() when injected, else the request-tick
+  /// virtual clock. 0 when the liveness plane is disabled.
+  double LivenessNow() const;
+
+  /// Requests handled so far (drives the virtual clock).
+  int64_t requests_handled() const {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+  /// The liveness monitor (nullptr when disabled); test introspection.
+  const HeartbeatMonitor* heartbeat_monitor() const {
+    return monitor_.get();
+  }
+
  private:
   std::vector<uint8_t> Handle(const Envelope& request);
+  /// Evicts (or counts, when eviction is disabled) every worker whose
+  /// last heartbeat predates now - timeout. Runs on the service loop.
+  void SweepDeadWorkers(double now);
   std::vector<uint8_t> HandlePush(ByteReader* reader);
   std::vector<uint8_t> HandlePull(ByteReader* reader);
   std::vector<uint8_t> HandlePullDelta(ByteReader* reader);
@@ -101,6 +157,13 @@ class PsService {
   /// is single-threaded, so one instance suffices and the per-request
   /// allocation disappears).
   std::vector<int64_t> scratch_tags_;
+  /// Liveness plane (nullptr when liveness.heartbeat_timeout_seconds
+  /// <= 0). The monitor is thread-safe; the sweep runs on the service
+  /// loop. ticks_ is atomic so LivenessNow() is callable from any
+  /// thread (e.g. a hung worker spinning on virtual time).
+  std::unique_ptr<HeartbeatMonitor> monitor_;
+  std::atomic<int64_t> ticks_{0};
+  Counter* workers_suspected_ = nullptr;
 };
 
 /// Client-side timeout/retry policy: every RPC waits at most `timeout`
@@ -119,6 +182,12 @@ struct RpcRetryPolicy {
   std::chrono::microseconds initial_backoff{200};
   double backoff_multiplier = 2.0;
   std::chrono::microseconds max_backoff{std::chrono::milliseconds(20)};
+  /// Sleep between WaitUntilCanAdvance admission probes (0 = busy-poll).
+  std::chrono::microseconds admission_probe_sleep{200};
+  /// Give up admission polling with DeadlineExceeded after this many
+  /// denied probes (0 = poll forever — the pre-eviction behavior, which
+  /// deadlocks when a dead worker pins cmin and eviction is disabled).
+  int64_t max_admission_probes = 0;
 
   static RpcRetryPolicy NoRetry() {
     RpcRetryPolicy p;
@@ -170,7 +239,9 @@ class RpcWorkerClient {
   /// Single admission probe.
   Result<bool> CanAdvance(int next_clock);
 
-  /// Polls CanAdvance until it holds.
+  /// Polls CanAdvance until it holds. Returns DeadlineExceeded after
+  /// retry.max_admission_probes denied probes (0 = forever), or
+  /// FailedPrecondition when the service has evicted this worker.
   Status WaitUntilCanAdvance(int next_clock);
 
   Result<int64_t> StableVersion();

@@ -8,7 +8,8 @@ namespace hetps {
 
 Master::Master(int num_partitions, int num_workers)
     : versions_(static_cast<size_t>(num_partitions), 0),
-      clock_times_(static_cast<size_t>(num_workers), 0.0) {
+      clock_times_(static_cast<size_t>(num_workers), 0.0),
+      worker_live_(static_cast<size_t>(num_workers), 1) {
   HETPS_CHECK(num_partitions > 0) << "need at least one partition";
   HETPS_CHECK(num_workers > 0) << "need at least one worker";
 }
@@ -31,7 +32,30 @@ int64_t Master::PartitionVersion(int p) const {
 
 void Master::ReportClockTime(int worker, double seconds) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (worker_live_.at(static_cast<size_t>(worker)) == 0) return;
   clock_times_.at(static_cast<size_t>(worker)) = seconds;
+}
+
+void Master::MarkWorkerDead(int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  worker_live_.at(static_cast<size_t>(worker)) = 0;
+}
+
+void Master::MarkWorkerLive(int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  worker_live_.at(static_cast<size_t>(worker)) = 1;
+}
+
+bool Master::IsWorkerLive(int worker) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return worker_live_.at(static_cast<size_t>(worker)) != 0;
+}
+
+int Master::num_live_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (char alive : worker_live_) n += alive != 0 ? 1 : 0;
+  return n;
 }
 
 double Master::LastClockTime(int worker) const {
@@ -43,8 +67,9 @@ std::vector<int> Master::DetectStragglers(double threshold) const {
   std::lock_guard<std::mutex> lock(mu_);
   double fastest = 0.0;
   bool any = false;
-  for (double t : clock_times_) {
-    if (t > 0.0 && (!any || t < fastest)) {
+  for (size_t m = 0; m < clock_times_.size(); ++m) {
+    const double t = clock_times_[m];
+    if (worker_live_[m] != 0 && t > 0.0 && (!any || t < fastest)) {
       fastest = t;
       any = true;
     }
@@ -52,7 +77,7 @@ std::vector<int> Master::DetectStragglers(double threshold) const {
   std::vector<int> out;
   if (!any) return out;
   for (size_t m = 0; m < clock_times_.size(); ++m) {
-    if (clock_times_[m] > threshold * fastest) {
+    if (worker_live_[m] != 0 && clock_times_[m] > threshold * fastest) {
       out.push_back(static_cast<int>(m));
     }
   }
@@ -69,6 +94,11 @@ void Master::RestoreVersions(const std::vector<int64_t>& versions) {
   HETPS_CHECK(versions.size() == versions_.size())
       << "version snapshot size mismatch";
   versions_ = versions;
+  // The restored run starts its timing history fresh: pre-crash clock
+  // times belong to a dead timing regime and would misclassify
+  // stragglers on the restarted cluster. Membership restarts full, too.
+  std::fill(clock_times_.begin(), clock_times_.end(), 0.0);
+  std::fill(worker_live_.begin(), worker_live_.end(), 1);
 }
 
 int Master::FastestWorker() const {
@@ -77,7 +107,7 @@ int Master::FastestWorker() const {
   double fastest = 0.0;
   for (size_t m = 0; m < clock_times_.size(); ++m) {
     const double t = clock_times_[m];
-    if (t > 0.0 && (best < 0 || t < fastest)) {
+    if (worker_live_[m] != 0 && t > 0.0 && (best < 0 || t < fastest)) {
       fastest = t;
       best = static_cast<int>(m);
     }

@@ -29,21 +29,34 @@ class Master {
 
   int64_t PartitionVersion(int p) const;
 
-  /// Worker `m` reports the duration of its last clock.
+  /// Worker `m` reports the duration of its last clock. Reports from
+  /// dead workers are dropped — a late report must not re-pollute the
+  /// straggler statistics after eviction.
   void ReportClockTime(int worker, double seconds);
 
   /// Last reported clock time, or 0 if none.
   double LastClockTime(int worker) const;
 
-  /// Workers whose last clock was more than `threshold` times the fastest
-  /// worker's (FlexRR flags >1.2x).
+  /// Worker liveness (driven by the heartbeat/eviction machinery). Dead
+  /// workers are excluded from the straggler statistics: their frozen
+  /// clock times would otherwise misclassify the cluster forever.
+  void MarkWorkerDead(int worker);
+  void MarkWorkerLive(int worker);
+  bool IsWorkerLive(int worker) const;
+  int num_live_workers() const;
+
+  /// *Live* workers whose last clock was more than `threshold` times the
+  /// fastest live worker's (FlexRR flags >1.2x).
   std::vector<int> DetectStragglers(double threshold = 1.2) const;
 
-  /// Index of the worker with the smallest last clock time (-1 if no
-  /// reports yet).
+  /// Index of the live worker with the smallest last clock time (-1 if
+  /// no reports yet).
   int FastestWorker() const;
 
-  /// Checkpointing accessors.
+  /// Checkpointing accessors. RestoreVersions also resets the per-worker
+  /// clock times and revives every worker: the restored run's timing
+  /// regime has nothing to do with the pre-crash one, and stale times
+  /// would misclassify stragglers on the restarted run.
   std::vector<int64_t> VersionSnapshot() const;
   void RestoreVersions(const std::vector<int64_t>& versions);
 
@@ -51,6 +64,7 @@ class Master {
   mutable std::mutex mu_;
   std::vector<int64_t> versions_;
   std::vector<double> clock_times_;
+  std::vector<char> worker_live_;
 };
 
 }  // namespace hetps

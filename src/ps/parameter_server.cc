@@ -125,6 +125,10 @@ ParameterServer::ParameterServer(int64_t dim, int num_workers,
   pull_bytes_shipped_ = metrics_->counter("pull.bytes_shipped");
   pull_bytes_saved_ = metrics_->counter("pull.bytes_saved");
   pull_delta_hits_ = metrics_->counter("pull.delta_hits");
+  worker_evicted_ = metrics_->counter("ps.worker_evicted");
+  worker_readmitted_ = metrics_->counter("ps.worker_readmitted");
+  cmin_repairs_ = metrics_->counter("ps.cmin_repairs");
+  evicted_pushes_dropped_ = metrics_->counter("ps.evicted_pushes_dropped");
   blocked_workers_ = metrics_->gauge("ps.blocked_workers");
   blocked_workers_->Set(0.0);
   admission_wait_us_ = metrics_->histogram("ps.admission_wait_us");
@@ -147,6 +151,13 @@ ParameterServer::ParameterServer(int64_t dim, int num_workers,
 void ParameterServer::Push(int worker, int clock,
                            const SparseVector& update) {
   HETPS_TRACE_SPAN2("ps.push", "worker", worker, "nnz", update.nnz());
+  // Membership guard: a push that raced its sender's eviction must not
+  // touch shard state — the worker's data shard has already been handed
+  // to the survivors, so its gradient would double-count that data.
+  if (!IsWorkerLive(worker)) {
+    evicted_pushes_dropped_->Increment();
+    return;
+  }
   const SparseVector filtered =
       options_.update_filter_epsilon > 0.0
           ? update.Filtered(options_.update_filter_epsilon)
@@ -180,6 +191,13 @@ void ParameterServer::PushPiece(int partition, int worker, int clock,
   // still advances when this was the update's last piece.
   if (local_piece.empty() && empty_push_is_noop_) {
     if (last_piece) AdvanceClock(worker, clock);
+    return;
+  }
+  // Same membership guard as Push(), for the piecewise callers (PsService,
+  // the event simulator). Counted once per logical push (on the final
+  // piece) so both paths agree on ps.evicted_pushes_dropped.
+  if (!IsWorkerLive(worker)) {
+    if (last_piece) evicted_pushes_dropped_->Increment();
     return;
   }
   const Clock::time_point start = Clock::now();
@@ -217,9 +235,59 @@ void ParameterServer::AdvanceClock(int worker, int clock) {
 }
 
 bool ParameterServer::CanAdvance(int worker, int next_clock) const {
-  (void)worker;
   std::lock_guard<std::mutex> lock(clock_mu_);
+  if (!clock_table_.is_live(worker)) return false;
   return options_.sync.CanAdvance(next_clock, clock_table_.cmin());
+}
+
+bool ParameterServer::EvictWorker(int worker) {
+  HETPS_CHECK(worker >= 0 && worker < num_workers_)
+      << "worker id out of range";
+  bool evicted = false;
+  bool repaired = false;
+  {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    if (!clock_table_.is_live(worker)) return false;
+    repaired = clock_table_.EvictWorker(worker);
+    // EvictWorker refuses the last live worker; re-check membership to
+    // tell a refusal apart from "evicted but cmin unchanged".
+    evicted = !clock_table_.is_live(worker);
+  }
+  if (!evicted) return false;
+  // Wake *everyone*: survivors re-check against the repaired cmin, the
+  // victim's own WaitUntilCanAdvance observes its eviction and returns
+  // false instead of blocking forever.
+  clock_cv_.notify_all();
+  master_.MarkWorkerDead(worker);
+  worker_evicted_->Increment();
+  if (repaired) cmin_repairs_->Increment();
+  HETPS_TRACE_INSTANT1("ps.worker_evicted", "worker", worker);
+  HETPS_LOG(Info) << "ParameterServer: evicted worker " << worker
+                  << (repaired ? " (cmin repaired)" : "");
+  return true;
+}
+
+bool ParameterServer::ReadmitWorker(int worker, int clock) {
+  HETPS_CHECK(worker >= 0 && worker < num_workers_)
+      << "worker id out of range";
+  {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    if (!clock_table_.ReadmitWorker(worker, clock)) return false;
+  }
+  master_.MarkWorkerLive(worker);
+  worker_readmitted_->Increment();
+  HETPS_TRACE_INSTANT1("ps.worker_readmitted", "worker", worker);
+  return true;
+}
+
+bool ParameterServer::IsWorkerLive(int worker) const {
+  std::lock_guard<std::mutex> lock(clock_mu_);
+  return clock_table_.is_live(worker);
+}
+
+int ParameterServer::num_live_workers() const {
+  std::lock_guard<std::mutex> lock(clock_mu_);
+  return clock_table_.num_live();
 }
 
 bool ParameterServer::WaitUntilCanAdvance(int worker, int next_clock,
@@ -228,8 +296,10 @@ bool ParameterServer::WaitUntilCanAdvance(int worker, int next_clock,
     return cancel != nullptr && cancel->load(std::memory_order_acquire);
   };
   {
-    // Fast path: no wait, no telemetry churn.
+    // Fast path: no wait, no telemetry churn. An evicted worker is never
+    // admitted — it must not re-enter the training loop.
     std::unique_lock<std::mutex> lock(clock_mu_);
+    if (!clock_table_.is_live(worker)) return false;
     if (options_.sync.CanAdvance(next_clock, clock_table_.cmin())) {
       admission_wait_us_->RecordInt(0);
       return true;
@@ -242,11 +312,16 @@ bool ParameterServer::WaitUntilCanAdvance(int worker, int next_clock,
   bool admitted = false;
   {
     std::unique_lock<std::mutex> lock(clock_mu_);
+    // Own-eviction is a wake condition: EvictWorker notify_all()s, and the
+    // victim must fall out of the wait rather than sleep on a cmin that
+    // will never admit it.
     clock_cv_.wait(lock, [&] {
-      return options_.sync.CanAdvance(next_clock, clock_table_.cmin()) ||
+      return !clock_table_.is_live(worker) ||
+             options_.sync.CanAdvance(next_clock, clock_table_.cmin()) ||
              cancelled();
     });
-    admitted = options_.sync.CanAdvance(next_clock, clock_table_.cmin());
+    admitted = clock_table_.is_live(worker) &&
+               options_.sync.CanAdvance(next_clock, clock_table_.cmin());
   }
   blocked_workers_->Add(-1.0);
   admission_wait_us_->RecordInt(MicrosSince(start));

@@ -152,7 +152,28 @@ class ParameterServer {
   void Push(int worker, int clock, const SparseVector& update);
 
   /// True if `worker` may begin `next_clock` under the sync policy.
+  /// Always false for an evicted worker.
   bool CanAdvance(int worker, int next_clock) const;
+
+  /// --- Worker liveness & eviction (the SSP liveness repair) ---
+
+  /// Removes `worker` from the live membership: its clock-table entry
+  /// stops pinning cmin (ClockTable::EvictWorker), subsequent pushes
+  /// from it are dropped and counted (ps.evicted_pushes_dropped), and
+  /// every thread blocked in WaitUntilCanAdvance is woken — survivors
+  /// re-check the repaired cmin, the victim observes its own eviction.
+  /// Returns true if the worker was live (false = no-op). Emits
+  /// ps.worker_evicted, and ps.cmin_repairs when the eviction advanced
+  /// cmin.
+  bool EvictWorker(int worker);
+
+  /// Re-adds an evicted worker as of `clock` finished clocks (must be
+  /// >= cmin(); a rejoining worker pulls before resuming). Returns
+  /// false if the worker was already live.
+  bool ReadmitWorker(int worker, int clock);
+
+  bool IsWorkerLive(int worker) const;
+  int num_live_workers() const;
 
   /// Blocks until CanAdvance holds (condition variable, woken by pushes)
   /// or `*cancel` becomes true (checked on every wake; pair with
@@ -360,6 +381,10 @@ class ParameterServer {
   Counter* pull_bytes_shipped_;
   Counter* pull_bytes_saved_;
   Counter* pull_delta_hits_;
+  Counter* worker_evicted_;
+  Counter* worker_readmitted_;
+  Counter* cmin_repairs_;
+  Counter* evicted_pushes_dropped_;
   Gauge* blocked_workers_;
   HistogramMetric* admission_wait_us_;
   std::vector<HistogramMetric*> push_piece_us_;  // per partition

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "data/sharding.h"
+#include "net/heartbeat.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ps/parameter_server.h"
@@ -36,6 +37,9 @@ enum class EventType : int {
   kPullRequest = 3,
   kPullPieceRead = 4,
   kPullResponse = 5,
+  /// Periodic heartbeat sweep (liveness plane): suspects and evicts
+  /// workers whose last event is older than the timeout.
+  kHeartbeatSweep = 6,
 };
 
 struct Event {
@@ -93,6 +97,10 @@ struct WorkerSim {
   int clock = 0;
   int cp = 0;  // cached cmin (Algorithm 1's cp)
   bool done = false;
+  /// Crash-stopped by fault injection: emits no further events.
+  bool killed = false;
+  /// Evicted by the liveness plane: out of the membership for good.
+  bool evicted = false;
   double pull_request_time = 0.0;
   int pending_next_clock = 0;
   std::vector<double> pending_pull;
@@ -178,6 +186,15 @@ class Simulation {
                                  : 0.0;
       Schedule(stagger, EventType::kStartClock, m, 0);
     }
+    if (options.heartbeat_timeout_seconds > 0.0) {
+      monitor_ = std::make_unique<HeartbeatMonitor>(
+          options.heartbeat_timeout_seconds);
+      for (int m = 0; m < cluster.num_workers; ++m) {
+        monitor_->Register(NodeName(m), 0.0);
+      }
+      Schedule(options.heartbeat_timeout_seconds / 2.0,
+               EventType::kHeartbeatSweep, 0, 0);
+    }
   }
 
   SimResult Run() {
@@ -204,6 +221,9 @@ class Simulation {
           break;
         case EventType::kPullResponse:
           HandlePullResponse(ev.worker);
+          break;
+        case EventType::kHeartbeatSweep:
+          HandleHeartbeatSweep();
           break;
       }
     }
@@ -265,10 +285,33 @@ class Simulation {
     return dataset_.ObjectiveSample(loss_, w, options_.l2, n);
   }
 
+  static std::string NodeName(int worker) {
+    return "worker-" + std::to_string(worker);
+  }
+
+  /// Every worker event doubles as a heartbeat at simulated time now_.
+  void Beat(int worker) {
+    if (monitor_ != nullptr) monitor_->Beat(NodeName(worker), now_);
+  }
+
   void HandleStartClock(int worker) {
     WorkerSim& w = workers_[static_cast<size_t>(worker)];
+    // Injected crash-stop: the worker dies just before starting this
+    // clock — no push, no pull, no further heartbeats.
+    if (worker == options_.kill_worker && options_.kill_at_clock >= 0 &&
+        w.clock == options_.kill_at_clock && !w.killed) {
+      w.killed = true;
+      HETPS_LOG(Warning) << "sim fault: killing worker " << worker
+                         << " before clock " << w.clock;
+      return;
+    }
+    if (w.evicted) return;
+    Beat(worker);
     if (w.clock >= options_.max_clocks) {
       w.done = true;
+      // Orderly departure: stop monitoring a finished worker so the
+      // sweep never mistakes run completion for death.
+      if (monitor_ != nullptr) monitor_->Unregister(NodeName(worker));
       return;
     }
     const WorkerProfile& prof = cluster_.profile(worker);
@@ -376,6 +419,10 @@ class Simulation {
     HETPS_CHECK(it != pieces_.end()) << "missing push piece";
     PushPieceMsg msg = std::move(it->second);
     pieces_.erase(it);
+    Beat(msg.worker);
+    // A piece from an evicted worker still arrives here (it was in
+    // flight at eviction time); the PS drops it and counts
+    // ps.evicted_pushes_dropped.
     ps_->PushPiece(msg.partition, msg.worker, msg.clock, msg.piece,
                    msg.last);
     if (!msg.last) return;
@@ -389,6 +436,8 @@ class Simulation {
 
   void HandlePullRequest(int worker) {
     WorkerSim& w = workers_[static_cast<size_t>(worker)];
+    if (w.evicted) return;
+    Beat(worker);
     if (options_.sync.CanAdvance(w.pending_next_clock, ps_->cmin())) {
       GrantPull(worker);
     } else {
@@ -400,6 +449,11 @@ class Simulation {
     for (size_t i = 0; i < blocked_.size();) {
       const int worker = blocked_[i];
       WorkerSim& w = workers_[static_cast<size_t>(worker)];
+      if (w.evicted) {
+        // Evicted while parked: its pull is never granted.
+        blocked_.erase(blocked_.begin() + static_cast<long>(i));
+        continue;
+      }
       if (options_.sync.CanAdvance(w.pending_next_clock, ps_->cmin())) {
         blocked_.erase(blocked_.begin() + static_cast<long>(i));
         GrantPull(worker);
@@ -407,6 +461,68 @@ class Simulation {
         ++i;
       }
     }
+  }
+
+  void HandleHeartbeatSweep() {
+    // A worker parked on the admission gate emits no events, but its
+    // standing pull request is continuous liveness evidence — refresh its
+    // beat so gate blockage is never mistaken for death.
+    for (int worker : blocked_) Beat(worker);
+    for (const std::string& node : monitor_->SuspectedDead(now_)) {
+      // node is always "worker-<m>" (only workers are registered).
+      const int victim = std::stoi(node.substr(node.rfind('-') + 1));
+      monitor_->Unregister(node);
+      GlobalMetrics().counter("ps.workers_suspected")->Increment();
+      if (!options_.evict_dead_workers) {
+        HETPS_LOG(Warning) << "sim: worker " << victim
+                           << " suspected dead (eviction disabled)";
+        continue;
+      }
+      if (!ps_->EvictWorker(victim)) continue;
+      WorkerSim& w = workers_[static_cast<size_t>(victim)];
+      w.evicted = true;
+      ++workers_evicted_;
+      FailOverShard(victim);
+      // The eviction repaired cmin; parked survivors may now pass.
+      GrantBlockedPulls();
+    }
+    // Keep sweeping while anyone still has events to emit; once every
+    // worker is done/killed/evicted the queue must be allowed to drain.
+    bool anyone_active = false;
+    for (const WorkerSim& w : workers_) {
+      if (!w.done && !w.killed && !w.evicted) anyone_active = true;
+    }
+    if (anyone_active) {
+      Schedule(now_ + monitor_->timeout_seconds() / 2.0,
+               EventType::kHeartbeatSweep, 0, 0);
+    }
+  }
+
+  /// Spreads the evicted worker's remaining shard across the survivors
+  /// (ReassignAcross splits as evenly as possible) so every example keeps
+  /// contributing to the objective.
+  void FailOverShard(int victim) {
+    std::vector<DataShard*> survivors;
+    for (size_t m = 0; m < workers_.size(); ++m) {
+      const WorkerSim& s = workers_[m];
+      if (static_cast<int>(m) == victim || s.killed || s.evicted) continue;
+      survivors.push_back(workers_[m].sgd->mutable_shard());
+    }
+    const size_t moved = ReassignAcross(
+        workers_[static_cast<size_t>(victim)].sgd->mutable_shard(),
+        survivors);
+    examples_failed_over_ += static_cast<int64_t>(moved);
+    if (moved > 0) {
+      GlobalMetrics()
+          .counter("ps.shard_reassignments")
+          ->Increment(static_cast<int64_t>(
+              std::min(survivors.size(),
+                       static_cast<size_t>(moved))));
+      HETPS_TRACE_INSTANT1("ps.shard_failover", "worker", victim);
+    }
+    HETPS_LOG(Info) << "sim failover: worker " << victim << "'s " << moved
+                    << " examples spread across " << survivors.size()
+                    << " survivors";
   }
 
   void GrantPull(int worker) {
@@ -506,6 +622,8 @@ class Simulation {
 
   void HandlePullResponse(int worker) {
     WorkerSim& w = workers_[static_cast<size_t>(worker)];
+    if (w.evicted) return;
+    Beat(worker);
     if (options_.delta_pull) {
       // Unchanged partitions keep their cached values; the cache stays
       // pristine while the replica drifts under local SGD.
@@ -592,6 +710,9 @@ class Simulation {
           r.peak_live_versions, ps_->shard(p).rule().LiveVersionCount());
     }
     r.mean_staleness = ps_->shard(0).rule().ObservedMeanStaleness();
+    r.workers_evicted = workers_evicted_;
+    r.examples_failed_over = examples_failed_over_;
+    r.workers_blocked_at_end = static_cast<int>(blocked_.size());
     r.worker_breakdown.reserve(workers_.size());
     for (size_t m = 0; m < workers_.size(); ++m) {
       RecordBreakdown(&GlobalMetrics(), static_cast<int>(m),
@@ -619,6 +740,10 @@ class Simulation {
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::unordered_map<int64_t, PushPieceMsg> pieces_;
   std::vector<int> blocked_;
+  /// Liveness plane (nullptr when heartbeat_timeout_seconds <= 0).
+  std::unique_ptr<HeartbeatMonitor> monitor_;
+  int workers_evicted_ = 0;
+  int64_t examples_failed_over_ = 0;
 
   double now_ = 0.0;
   int64_t next_seq_ = 0;

@@ -70,6 +70,22 @@ struct SimOptions {
   /// Called after each of worker 0's clocks completes (1-based count);
   /// RunReporter::OnEpoch hooks in here. Runs on the simulator thread.
   std::function<void(int)> on_epoch;
+  /// --- Liveness / failure injection (the SSP liveness repair) ---
+  /// Crash-stop `kill_worker` just before it starts clock
+  /// `kill_at_clock`: it emits no further events — pushes, pulls and
+  /// heartbeats all cease. -1 disables.
+  int kill_worker = -1;
+  int kill_at_clock = -1;
+  /// Evict workers whose last event is older than this many *simulated*
+  /// seconds (heartbeats ride on every worker event; a worker parked on
+  /// the SSP admission gate counts as alive — its standing pull request
+  /// is liveness evidence). <= 0 disables the liveness plane: a killed
+  /// worker then pins cmin and the survivors block until
+  /// max_sim_seconds.
+  double heartbeat_timeout_seconds = 0.0;
+  /// When false, dead workers are only counted as suspected, never
+  /// evicted (A/B knob for demonstrating the deadlock).
+  bool evict_dead_workers = true;
 };
 
 /// Result of one simulated run — every metric the paper reports.
@@ -110,6 +126,16 @@ struct SimResult {
   int64_t pull_bytes_full = 0;
 
   std::vector<WorkerTimeBreakdown> worker_breakdown;
+
+  /// --- Liveness / failover accounting ---
+  /// Workers the heartbeat plane evicted during the run.
+  int workers_evicted = 0;
+  /// Examples moved off evicted workers' shards onto survivors.
+  int64_t examples_failed_over = 0;
+  /// Workers still parked on the SSP admission gate when the run ended —
+  /// nonzero means the run deadlocked (ended by max_sim_seconds, not by
+  /// finishing).
+  int workers_blocked_at_end = 0;
 
   std::string Summary() const;
 };

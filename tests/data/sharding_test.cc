@@ -94,5 +94,50 @@ TEST(ReassignFractionTest, FullFractionEmptiesShard) {
   EXPECT_EQ(to.size(), 2u);
 }
 
+TEST(ReassignAcrossTest, SplitsEvenlyWithRemainderToEarlierShards) {
+  DataShard from;
+  from.example_indices = {0, 1, 2, 3, 4, 5, 6};
+  DataShard a, b, c;
+  a.example_indices = {100};
+  const size_t moved = ReassignAcross(&from, {&a, &b, &c});
+  EXPECT_EQ(moved, 7u);
+  EXPECT_TRUE(from.example_indices.empty());
+  // 7 = 3 + 2 + 2: the extra example goes to the earliest survivor.
+  EXPECT_EQ(a.size(), 4u);  // kept its own {100} plus 3 orphans
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(c.size(), 2u);
+  // Exact cover: every orphan landed exactly once.
+  std::set<size_t> seen;
+  for (const DataShard* s : {&a, &b, &c}) {
+    for (size_t idx : s->example_indices) seen.insert(idx);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+  for (size_t idx = 0; idx < 7; ++idx) EXPECT_TRUE(seen.count(idx));
+}
+
+TEST(ReassignAcrossTest, EmptySurvivorsDropsTheShard) {
+  DataShard from;
+  from.example_indices = {0, 1};
+  EXPECT_EQ(ReassignAcross(&from, {}), 0u);
+  EXPECT_TRUE(from.example_indices.empty());
+}
+
+TEST(ReassignAcrossTest, EmptySourceIsNoOp) {
+  DataShard from;
+  DataShard to;
+  to.example_indices = {5};
+  EXPECT_EQ(ReassignAcross(&from, {&to}), 0u);
+  EXPECT_EQ(to.size(), 1u);
+}
+
+TEST(ReassignAcrossTest, SingleSurvivorInheritsEverything) {
+  DataShard from;
+  from.example_indices = {3, 1, 4};
+  DataShard to;
+  EXPECT_EQ(ReassignAcross(&from, {&to}), 3u);
+  EXPECT_EQ(to.size(), 3u);
+  EXPECT_TRUE(from.example_indices.empty());
+}
+
 }  // namespace
 }  // namespace hetps

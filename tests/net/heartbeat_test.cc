@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace hetps {
 namespace {
 
@@ -25,6 +31,7 @@ TEST(HeartbeatTest, BeatsExtendLife) {
 
 TEST(HeartbeatTest, OutOfOrderBeatsKeepFreshest) {
   HeartbeatMonitor monitor(5.0);
+  monitor.Register("n", 0.0);
   monitor.Beat("n", 10.0);
   monitor.Beat("n", 7.0);  // late-arriving older beat
   EXPECT_DOUBLE_EQ(monitor.SecondsSinceLastBeat("n", 11.0), 1.0);
@@ -56,6 +63,84 @@ TEST(HeartbeatTest, RestartedNodeRejoinsViaBeat) {
 
 TEST(HeartbeatDeathTest, RejectsNonPositiveTimeout) {
   EXPECT_DEATH(HeartbeatMonitor(0.0), "positive");
+}
+
+// A beat from a node nobody registered must NOT create membership: an
+// evicted (unregistered) worker's in-flight RPCs would otherwise
+// resurrect it behind the sweeper's back. The beat is a counted no-op.
+TEST(HeartbeatTest, UnknownBeatIsCountedNoOp) {
+  HeartbeatMonitor monitor(5.0);
+  EXPECT_EQ(monitor.unknown_beats(), 0);
+  monitor.Beat("ghost", 1.0);
+  monitor.Beat("ghost", 2.0);
+  EXPECT_EQ(monitor.unknown_beats(), 2);
+  EXPECT_EQ(monitor.node_count(), 0u);
+  EXPECT_FALSE(monitor.IsAlive("ghost", 2.0));
+  EXPECT_DOUBLE_EQ(monitor.SecondsSinceLastBeat("ghost", 2.0), -1.0);
+  EXPECT_TRUE(monitor.SuspectedDead(100.0).empty());
+}
+
+TEST(HeartbeatTest, UnregisterRemovesNode) {
+  HeartbeatMonitor monitor(5.0);
+  monitor.Register("w", 0.0);
+  EXPECT_TRUE(monitor.IsAlive("w", 1.0));
+  EXPECT_TRUE(monitor.Unregister("w"));
+  EXPECT_FALSE(monitor.Unregister("w"));  // idempotent: already gone
+  EXPECT_EQ(monitor.node_count(), 0u);
+  EXPECT_FALSE(monitor.IsAlive("w", 1.0));
+  // An unregistered node never shows up as suspected-dead...
+  EXPECT_TRUE(monitor.SuspectedDead(100.0).empty());
+  // ...and its late beats are counted no-ops, not a re-join.
+  monitor.Beat("w", 2.0);
+  EXPECT_EQ(monitor.unknown_beats(), 1);
+  EXPECT_FALSE(monitor.IsAlive("w", 2.0));
+}
+
+// Exercised under TSan by the sanitizer CI leg: readers, beaters and an
+// unregistering thread race on the same monitor.
+TEST(HeartbeatTest, ConcurrentBeatsAndUnregisterAreSafe) {
+  HeartbeatMonitor monitor(5.0);
+  constexpr int kNodes = 8;
+  for (int n = 0; n < kNodes; ++n) {
+    monitor.Register("w" + std::to_string(n), 0.0);
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&monitor, &stop, t] {
+      double now = 1.0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        monitor.Beat("w" + std::to_string(t), now);
+        monitor.Beat("ghost", now);  // permanent counted no-op
+        now += 0.5;
+      }
+    });
+  }
+  threads.emplace_back([&monitor, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int n = 0; n < kNodes; ++n) {
+        monitor.IsAlive("w" + std::to_string(n), 2.0);
+      }
+      monitor.SuspectedDead(1000.0);
+      monitor.node_count();
+    }
+  });
+  threads.emplace_back([&monitor, &stop] {
+    for (int n = 4; n < kNodes; ++n) {
+      monitor.Unregister("w" + std::to_string(n));
+    }
+    while (!stop.load(std::memory_order_relaxed)) {
+      monitor.Beat("w4", 3.0);  // unregistered: counted no-op forever
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(monitor.node_count(), 4u);
+  EXPECT_GT(monitor.unknown_beats(), 0);
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_TRUE(monitor.IsAlive("w" + std::to_string(n), 2.0));
+  }
 }
 
 }  // namespace

@@ -88,5 +88,43 @@ INSTANTIATE_TEST_SUITE_P(
                       TrafficCase{104, 2, 30, 4, true},
                       TrafficCase{105, 5, 16, 6, false}));
 
+// Regression (liveness PR): restoring a checkpoint must wipe the
+// master's per-worker timing history and revive evicted workers. Before
+// the fix, stale clock_times_ survived LoadCheckpoint, so the restored
+// run misclassified stragglers from its very first clock, and an
+// eviction taken before the save poisoned membership after it.
+TEST(CheckpointLivenessTest, RestoreResetsTimingAndMembership) {
+  DynSgdRule rule;
+  PsOptions opts;
+  opts.num_servers = 2;
+  opts.partitions_per_server = 2;
+  opts.sync = SyncPolicy::Ssp(2);
+  ParameterServer ps(16, 3, rule, opts);
+
+  ps.Push(0, 0, SparseVector({0}, {1.0}));
+  ps.Push(1, 0, SparseVector({8}, {2.0}));
+  ps.master()->ReportClockTime(0, 1.0);
+  ps.master()->ReportClockTime(1, 9.0);  // pre-crash straggler
+  std::stringstream buffer;
+  ASSERT_TRUE(ps.SaveCheckpoint(buffer).ok());
+
+  // Post-save history that must NOT survive the restore: an eviction and
+  // more timing reports.
+  ASSERT_TRUE(ps.EvictWorker(2));
+  ps.master()->ReportClockTime(0, 50.0);
+
+  ASSERT_TRUE(ps.LoadCheckpoint(buffer).ok());
+  EXPECT_TRUE(ps.IsWorkerLive(2));
+  EXPECT_EQ(ps.num_live_workers(), 3);
+  EXPECT_TRUE(ps.master()->DetectStragglers().empty());
+  EXPECT_EQ(ps.master()->FastestWorker(), -1);
+  EXPECT_DOUBLE_EQ(ps.master()->LastClockTime(1), 0.0);
+  // The revived worker participates in the admission gate again: it
+  // pins cmin until it pushes.
+  EXPECT_EQ(ps.cmin(), 0);
+  ps.Push(2, 0, SparseVector({4}, {3.0}));
+  EXPECT_EQ(ps.cmin(), 1);
+}
+
 }  // namespace
 }  // namespace hetps

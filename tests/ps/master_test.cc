@@ -50,6 +50,57 @@ TEST(MasterTest, IgnoresUnreportedWorkersInDetection) {
   EXPECT_TRUE(master.DetectStragglers().empty());
 }
 
+TEST(MasterTest, DeadWorkersLeaveStragglerStatistics) {
+  Master master(1, 4);
+  master.ReportClockTime(0, 1.0);
+  master.ReportClockTime(1, 1.1);
+  master.ReportClockTime(2, 1.5);
+  master.ReportClockTime(3, 2.5);
+  ASSERT_EQ(master.DetectStragglers(1.2).size(), 2u);
+  // Worker 3 dies: its frozen 2.5s clock time must stop counting as a
+  // straggler signal (it would otherwise trigger shard moves forever).
+  master.MarkWorkerDead(3);
+  EXPECT_FALSE(master.IsWorkerLive(3));
+  EXPECT_EQ(master.num_live_workers(), 3);
+  const auto stragglers = master.DetectStragglers(1.2);
+  ASSERT_EQ(stragglers.size(), 1u);
+  EXPECT_EQ(stragglers[0], 2);
+  // The fastest worker dying must not pin the baseline either.
+  master.MarkWorkerDead(0);
+  EXPECT_EQ(master.FastestWorker(), 1);
+  // Late clock-time reports from a dead worker are dropped.
+  master.ReportClockTime(3, 0.1);
+  EXPECT_DOUBLE_EQ(master.LastClockTime(3), 2.5);
+  // Revival restores participation.
+  master.MarkWorkerLive(3);
+  master.ReportClockTime(3, 0.9);
+  EXPECT_EQ(master.FastestWorker(), 3);
+  EXPECT_EQ(master.num_live_workers(), 3);
+}
+
+TEST(MasterTest, RestoreVersionsResetsClockTimesAndRevives) {
+  // Regression: RestoreVersions used to leave stale clock_times_ behind,
+  // so a restored run inherited the pre-crash timing regime and
+  // misclassified stragglers from its very first clock.
+  Master master(2, 3);
+  master.ReportClockTime(0, 1.0);
+  master.ReportClockTime(1, 9.0);  // pre-crash straggler
+  master.MarkWorkerDead(2);
+  master.ReportVersion(0, 4);
+  master.ReportVersion(1, 6);
+
+  master.RestoreVersions({4, 6});
+  EXPECT_EQ(master.PartitionVersion(0), 4);
+  EXPECT_EQ(master.PartitionVersion(1), 6);
+  // Timing state is gone: no reports yet on the restored run.
+  EXPECT_TRUE(master.DetectStragglers().empty());
+  EXPECT_EQ(master.FastestWorker(), -1);
+  EXPECT_DOUBLE_EQ(master.LastClockTime(1), 0.0);
+  // Full membership again — a checkpoint predates eviction decisions.
+  EXPECT_TRUE(master.IsWorkerLive(2));
+  EXPECT_EQ(master.num_live_workers(), 3);
+}
+
 TEST(MasterDeathTest, ValidatesConstruction) {
   EXPECT_DEATH(Master(0, 1), "partition");
   EXPECT_DEATH(Master(1, 0), "worker");

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "core/dyn_sgd.h"
+#include "obs/metrics.h"
 
 namespace hetps {
 namespace {
@@ -225,6 +227,89 @@ TEST(ParameterServerTest, ConcurrentPushesAreSafe) {
     EXPECT_DOUBLE_EQ(w[static_cast<size_t>(16 + m)], 50.0);
   }
   EXPECT_EQ(ps.cmin(), 50);
+}
+
+TEST(ParameterServerTest, EvictionUnblocksWaitingSurvivor) {
+  // The liveness hole end to end at PS granularity: under SSP(1) with
+  // two workers, worker 1 dies at clock 0 while worker 0 runs ahead and
+  // blocks at the admission gate. EvictWorker must repair cmin and wake
+  // the blocked survivor — without it this test would hang forever.
+  SspRule rule;
+  PsOptions opts = SmallOptions();
+  opts.sync = SyncPolicy::Ssp(1);
+  ParameterServer ps(4, 2, rule, opts);
+  ps.Push(0, 0, SparseVector({0}, {1.0}));
+  ps.Push(0, 1, SparseVector({0}, {1.0}));
+  ASSERT_FALSE(ps.CanAdvance(0, 2));  // worker 1 pins cmin at 0
+  const int64_t repairs_before =
+      GlobalMetrics().counter("ps.cmin_repairs")->value();
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] { admitted = ps.WaitUntilCanAdvance(0, 2); });
+  EXPECT_TRUE(ps.EvictWorker(1));
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(ps.cmin(), 2);
+  EXPECT_FALSE(ps.IsWorkerLive(1));
+  EXPECT_EQ(ps.num_live_workers(), 1);
+  EXPECT_EQ(GlobalMetrics().counter("ps.cmin_repairs")->value(),
+            repairs_before + 1);
+  // Evicting again is a no-op.
+  EXPECT_FALSE(ps.EvictWorker(1));
+}
+
+TEST(ParameterServerTest, VictimsOwnWaitReturnsNotAdmitted) {
+  SspRule rule;
+  PsOptions opts = SmallOptions();
+  opts.sync = SyncPolicy::Ssp(1);
+  ParameterServer ps(4, 2, rule, opts);
+  ps.Push(1, 0, SparseVector());
+  ps.Push(1, 1, SparseVector());
+  // Worker 1 blocks at clock 2 (worker 0 is behind), then gets evicted:
+  // its wait must return false (not admitted), never true.
+  std::atomic<bool> admitted{true};
+  std::thread victim([&] { admitted = ps.WaitUntilCanAdvance(1, 2); });
+  EXPECT_TRUE(ps.EvictWorker(1));
+  victim.join();
+  EXPECT_FALSE(admitted.load());
+  // And once evicted, the fast path refuses immediately too.
+  EXPECT_FALSE(ps.WaitUntilCanAdvance(1, 2));
+  EXPECT_FALSE(ps.CanAdvance(1, 1));
+}
+
+TEST(ParameterServerTest, EvictedPushesAreDroppedAndCounted) {
+  SspRule rule;
+  ParameterServer ps(4, 2, rule, SmallOptions());
+  ps.Push(0, 0, SparseVector({0}, {1.0}));
+  ASSERT_TRUE(ps.EvictWorker(1));
+  const int64_t dropped_before =
+      GlobalMetrics().counter("ps.evicted_pushes_dropped")->value();
+  // A late push from the dead worker: state and clocks must not move.
+  ps.Push(1, 0, SparseVector({1}, {5.0}));
+  EXPECT_DOUBLE_EQ(ps.Snapshot()[1], 0.0);
+  EXPECT_EQ(ps.cmin(), 1);
+  EXPECT_EQ(GlobalMetrics().counter("ps.evicted_pushes_dropped")->value(),
+            dropped_before + 1);
+}
+
+TEST(ParameterServerTest, ReadmitRestoresMembership) {
+  SspRule rule;
+  PsOptions opts = SmallOptions();
+  opts.sync = SyncPolicy::Ssp(1);
+  ParameterServer ps(4, 2, rule, opts);
+  ps.Push(0, 0, SparseVector());
+  ps.EvictWorker(1);
+  ASSERT_EQ(ps.cmin(), 1);
+  EXPECT_TRUE(ps.ReadmitWorker(1, ps.cmin()));
+  EXPECT_TRUE(ps.IsWorkerLive(1));
+  EXPECT_EQ(ps.num_live_workers(), 2);
+  // The readmitted worker participates in the gate again: its pushes
+  // count and it pins cmin until it catches up.
+  ps.Push(0, 1, SparseVector());
+  EXPECT_EQ(ps.cmin(), 1);
+  ps.Push(1, 1, SparseVector());
+  EXPECT_EQ(ps.cmin(), 2);
+  // Readmitting a live worker is a no-op.
+  EXPECT_FALSE(ps.ReadmitWorker(1, ps.cmin()));
 }
 
 TEST(ParameterServerTest, DebugStringDescribesSetup) {

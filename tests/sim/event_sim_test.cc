@@ -249,5 +249,102 @@ TEST(EventSimTest, SummaryStringMentionsConvergence) {
   EXPECT_NE(r.Summary().find("converged"), std::string::npos);
 }
 
+TEST(EventSimLivenessTest, KilledWorkerIsEvictedAndRunCompletes) {
+  // The liveness hole in simulated time: worker 3 crash-stops at clock 3
+  // under SSP(3). With the heartbeat plane on, the survivors must evict
+  // it, inherit its shard, and run to completion.
+  const Dataset d = TestData();
+  const ClusterConfig cluster = ClusterConfig::Homogeneous(4, 2);
+  ConRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  SimOptions opts = FastOptions();
+  opts.sync = SyncPolicy::Ssp(3);
+  opts.kill_worker = 3;
+  opts.kill_at_clock = 3;
+  opts.heartbeat_timeout_seconds = 10.0;
+  const SimResult r = RunSimulation(d, cluster, rule, sched, loss, opts);
+  EXPECT_EQ(r.workers_evicted, 1);
+  EXPECT_GT(r.examples_failed_over, 0);
+  EXPECT_EQ(r.workers_blocked_at_end, 0);
+  // The survivors all finished their clocks despite the dead peer.
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_EQ(r.worker_breakdown[static_cast<size_t>(m)].clocks_completed,
+              opts.max_clocks)
+        << "worker " << m;
+  }
+  // The victim stopped at its kill clock.
+  EXPECT_LT(r.worker_breakdown[3].clocks_completed, opts.max_clocks);
+}
+
+TEST(EventSimLivenessTest, EvictionDisabledDeadlocksTheCluster) {
+  // A/B control for the test above: same kill, liveness plane off. The
+  // survivors exhaust the staleness window and park on the admission
+  // gate until max_sim_seconds cuts the run — the demonstrated deadlock.
+  const Dataset d = TestData();
+  const ClusterConfig cluster = ClusterConfig::Homogeneous(4, 2);
+  ConRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  SimOptions opts = FastOptions();
+  opts.sync = SyncPolicy::Ssp(3);
+  opts.kill_worker = 3;
+  opts.kill_at_clock = 3;
+  opts.heartbeat_timeout_seconds = 0.0;  // liveness plane off
+  opts.max_sim_seconds = 5000.0;         // bound the stalled run
+  const SimResult r = RunSimulation(d, cluster, rule, sched, loss, opts);
+  EXPECT_EQ(r.workers_evicted, 0);
+  EXPECT_GT(r.workers_blocked_at_end, 0);
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_LT(r.worker_breakdown[static_cast<size_t>(m)].clocks_completed,
+              opts.max_clocks)
+        << "worker " << m << " should have stalled";
+  }
+}
+
+TEST(EventSimLivenessTest, SuspectOnlyModeCountsButNeverEvicts) {
+  const Dataset d = TestData();
+  const ClusterConfig cluster = ClusterConfig::Homogeneous(4, 2);
+  ConRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  SimOptions opts = FastOptions();
+  opts.sync = SyncPolicy::Ssp(3);
+  opts.kill_worker = 3;
+  opts.kill_at_clock = 3;
+  opts.heartbeat_timeout_seconds = 10.0;
+  opts.evict_dead_workers = false;  // suspect, log, do nothing
+  opts.max_sim_seconds = 5000.0;
+  const SimResult r = RunSimulation(d, cluster, rule, sched, loss, opts);
+  EXPECT_EQ(r.workers_evicted, 0);
+  EXPECT_GT(r.workers_blocked_at_end, 0);
+}
+
+TEST(EventSimLivenessTest, HealthyRunEvictsNobody) {
+  // No fault injected: the heartbeat plane must be inert — same curve as
+  // a run without it (liveness is observability until somebody dies).
+  const Dataset d = TestData();
+  const ClusterConfig cluster = ClusterConfig::WithStragglers(4, 2, 3.0);
+  ConRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  SimOptions plain = FastOptions();
+  plain.sync = SyncPolicy::Ssp(3);
+  SimOptions guarded = plain;
+  // Generous timeout: a 3x straggler parked on the gate still counts as
+  // alive (its standing pull request is refreshed at every sweep).
+  guarded.heartbeat_timeout_seconds = 120.0;
+  const SimResult a = RunSimulation(d, cluster, rule, sched, loss, plain);
+  const SimResult b =
+      RunSimulation(d, cluster, rule, sched, loss, guarded);
+  EXPECT_EQ(b.workers_evicted, 0);
+  EXPECT_EQ(b.examples_failed_over, 0);
+  EXPECT_EQ(b.workers_blocked_at_end, 0);
+  ASSERT_EQ(a.objective_per_clock.size(), b.objective_per_clock.size());
+  for (size_t i = 0; i < a.objective_per_clock.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.objective_per_clock[i], b.objective_per_clock[i]);
+  }
+}
+
 }  // namespace
 }  // namespace hetps
