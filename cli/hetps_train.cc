@@ -17,30 +17,48 @@
 //                        [--kill_worker=-1] [--kill_at_clock=-1]
 //                        [--heartbeat_timeout=0] [--evict_dead_workers=1]
 //   hetps_train check-obs --metrics=metrics.json [--trace=trace.json]
+//                         [--timeseries=timeseries.json]
+//                         [--flightrec=flightrec.json]
+//   hetps_train inspect  --timeseries=timeseries.json
+//                        [--flightrec=flightrec.json]
 //
 // Observability (train and simulate): --metrics_out=metrics.json writes
 // a metric snapshot (counters/gauges/histograms incl. staleness and
 // compute-vs-wait breakdown), --trace_out=trace.json a Chrome trace
-// loadable in chrome://tracing / Perfetto. --report_every=N re-writes
+// loadable in chrome://tracing / Perfetto (with causal client->server
+// flow arrows on RPCs). --timeseries_out=timeseries.json records
+// windowed per-clock metric deltas (per-worker wait/compute over time);
+// --flightrec_out=flightrec.json arms the black-box flight recorder
+// (evictions, cmin repairs, faults, retries), dumped on eviction /
+// abnormal exit and at end of run. --report_every=N re-writes
 // metrics_out every N worker-0 clocks; --trace_buffer_kb bounds the
-// per-thread trace ring. `check-obs` validates such files (CI smoke).
+// per-thread trace ring; --flightrec_events bounds the flight ring.
+// `check-obs` validates such files (CI smoke); `inspect` renders a
+// human-readable heterogeneity report from them.
 //
 // `--synthetic=url|ctr` generates a dataset instead of reading --data,
 // which makes the tool usable out of the box.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/consolidation.h"
 #include "core/learning_rate.h"
 #include "data/libsvm_io.h"
 #include "data/synthetic.h"
 #include "models/linear_model.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/run_reporter.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/event_sim.h"
 #include "util/flags.h"
@@ -83,11 +101,16 @@ std::unique_ptr<RunReporter> MakeReporter(
   RunReporterOptions opts;
   opts.metrics_out = flags.GetString("metrics_out", "");
   opts.trace_out = flags.GetString("trace_out", "");
+  opts.timeseries_out = flags.GetString("timeseries_out", "");
+  opts.flightrec_out = flags.GetString("flightrec_out", "");
   opts.report_every =
       static_cast<int>(flags.GetInt("report_every", 0).value());
   const int trace_kb =
       static_cast<int>(flags.GetInt("trace_buffer_kb", 256).value());
-  if (opts.metrics_out.empty() && opts.trace_out.empty()) {
+  const int flightrec_events =
+      static_cast<int>(flags.GetInt("flightrec_events", 4096).value());
+  if (opts.metrics_out.empty() && opts.trace_out.empty() &&
+      opts.timeseries_out.empty() && opts.flightrec_out.empty()) {
     return nullptr;
   }
   // One run per process invocation: start from clean global state so the
@@ -109,6 +132,12 @@ std::unique_ptr<RunReporter> MakeReporter(
         trace_kb > 0 ? static_cast<size_t>(trace_kb) : 256;
     TraceRecorder::Global().Start(trace_opts);
   }
+  if (!opts.flightrec_out.empty()) {
+    FlightRecorder::Global().Clear();
+    FlightRecorder::Global().Start(
+        flightrec_events > 0 ? static_cast<size_t>(flightrec_events)
+                             : 4096);
+  }
   opts.run_info = std::move(run_info);
   return std::make_unique<RunReporter>(std::move(opts));
 }
@@ -117,6 +146,7 @@ int FinishReport(RunReporter* reporter) {
   if (reporter == nullptr) return 0;
   const Status st = reporter->WriteFinal();
   TraceRecorder::Global().Stop();
+  FlightRecorder::Global().Stop();
   if (!st.ok()) return Fail(st);
   if (!reporter->options().metrics_out.empty()) {
     std::printf("metrics written to %s\n",
@@ -125,6 +155,14 @@ int FinishReport(RunReporter* reporter) {
   if (!reporter->options().trace_out.empty()) {
     std::printf("trace written to %s\n",
                 reporter->options().trace_out.c_str());
+  }
+  if (!reporter->options().timeseries_out.empty()) {
+    std::printf("timeseries written to %s\n",
+                reporter->options().timeseries_out.c_str());
+  }
+  if (!reporter->options().flightrec_out.empty()) {
+    std::printf("flight record written to %s\n",
+                reporter->options().flightrec_out.c_str());
   }
   return 0;
 }
@@ -312,6 +350,12 @@ int RunSimulate(const FlagParser& flags) {
   if (reporter != nullptr) {
     RunReporter* rep = reporter.get();
     options.on_epoch = [rep](int epoch) { rep->OnEpoch(epoch); };
+    if (rep->timeseries() != nullptr) {
+      // The simulator stamps windows with virtual time (SnapshotAt);
+      // the reporter must not also close wall-clock windows.
+      options.timeseries = rep->timeseries();
+      rep->UseExternalTimeSeriesClock();
+    }
   }
   const SimResult r = RunSimulation(data.value(), cluster, *rule, sched,
                                     *loss, options);
@@ -333,9 +377,12 @@ int RunSimulate(const FlagParser& flags) {
 int RunCheckObs(const FlagParser& flags) {
   const std::string metrics_path = flags.GetString("metrics", "");
   const std::string trace_path = flags.GetString("trace", "");
-  if (metrics_path.empty() && trace_path.empty()) {
+  const std::string timeseries_path = flags.GetString("timeseries", "");
+  const std::string flightrec_path = flags.GetString("flightrec", "");
+  if (metrics_path.empty() && trace_path.empty() &&
+      timeseries_path.empty() && flightrec_path.empty()) {
     return Fail(Status::InvalidArgument(
-        "pass --metrics=metrics.json and/or --trace=trace.json"));
+        "pass --metrics= / --trace= / --timeseries= / --flightrec="));
   }
   auto read_file = [](const std::string& path) -> Result<std::string> {
     std::ifstream in(path);
@@ -358,6 +405,176 @@ int RunCheckObs(const FlagParser& flags) {
     if (!st.ok()) return Fail(st);
     std::printf("%s: valid Chrome trace\n", trace_path.c_str());
   }
+  if (!timeseries_path.empty()) {
+    auto text = read_file(timeseries_path);
+    if (!text.ok()) return Fail(text.status());
+    Status st = ValidateTimeSeriesJson(text.value());
+    if (!st.ok()) return Fail(st);
+    std::printf("%s: valid hetps.timeseries.v1\n",
+                timeseries_path.c_str());
+  }
+  if (!flightrec_path.empty()) {
+    auto text = read_file(flightrec_path);
+    if (!text.ok()) return Fail(text.status());
+    Status st = ValidateFlightRecJson(text.value());
+    if (!st.ok()) return Fail(st);
+    std::printf("%s: valid hetps.flightrec.v1\n",
+                flightrec_path.c_str());
+  }
+  return 0;
+}
+
+/// Splits a rendered series key "worker.wait_us{worker=3}" into its
+/// base name and the value of its `worker` label (-1 when absent).
+int WorkerLabelOf(const std::string& series, std::string* base) {
+  const size_t brace = series.find('{');
+  if (base != nullptr) *base = series.substr(0, brace);
+  if (brace == std::string::npos) return -1;
+  const size_t pos = series.find("worker=", brace);
+  if (pos == std::string::npos) return -1;
+  return std::atoi(series.c_str() + pos + 7);
+}
+
+double MeanOf(const std::vector<double>& v, size_t begin, size_t end) {
+  if (begin >= end) return 0.0;
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) sum += v[i];
+  return sum / static_cast<double>(end - begin);
+}
+
+/// `inspect`: renders timeseries.json (+ optional flightrec.json) into
+/// a human-readable heterogeneity report — per-worker wait/compute over
+/// time, the straggler callout, and the chronological flight record.
+int RunInspect(const FlagParser& flags) {
+  const std::string timeseries_path = flags.GetString("timeseries", "");
+  const std::string flightrec_path = flags.GetString("flightrec", "");
+  if (timeseries_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "pass --timeseries=timeseries.json [--flightrec=...]"));
+  }
+  auto read_file = [](const std::string& path) -> Result<std::string> {
+    std::ifstream in(path);
+    if (!in) return Status::IOError("cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  auto text = read_file(timeseries_path);
+  if (!text.ok()) return Fail(text.status());
+  Status valid = ValidateTimeSeriesJson(text.value());
+  if (!valid.ok()) return Fail(valid);
+  auto parsed = ParseJson(text.value());
+  if (!parsed.ok()) return Fail(parsed.status());
+  const JsonValue& doc = parsed.value();
+
+  // Per-worker chronological per-window phase means (µs). A window
+  // without a worker's series (no clock finished in it) is skipped for
+  // that worker, so each vector is that worker's own timeline.
+  std::map<int, std::vector<double>> wait_means;
+  std::map<int, std::vector<double>> compute_means;
+  const JsonValue* windows = doc.Find("windows");
+  for (const JsonValue& window : windows->array) {
+    const JsonValue* hists = window.Find("histograms");
+    if (hists == nullptr || !hists->is_object()) continue;
+    for (const auto& [series, h] : hists->object) {
+      std::string base;
+      const int worker = WorkerLabelOf(series, &base);
+      if (worker < 0) continue;
+      const double count = h.Find("count")->number_value;
+      if (count <= 0) continue;
+      const double mean = h.Find("sum")->number_value / count;
+      if (base == "worker.wait_us") {
+        wait_means[worker].push_back(mean);
+      } else if (base == "worker.compute_us") {
+        compute_means[worker].push_back(mean);
+      }
+    }
+  }
+
+  std::printf("heterogeneity report: %s\n", timeseries_path.c_str());
+  std::printf("windows: %zu (dropped %.0f)\n", windows->array.size(),
+              doc.Find("dropped_windows")->number_value);
+  if (wait_means.empty() && compute_means.empty()) {
+    std::printf("no worker.wait_us / worker.compute_us series found "
+                "(run with --timeseries_out on a training command)\n");
+  } else {
+    std::printf("%8s %8s %14s %14s %14s\n", "worker", "windows",
+                "wait:early us", "wait:late us", "compute us");
+    for (const auto& [worker, waits] : wait_means) {
+      const size_t half = waits.size() / 2;
+      const std::vector<double>& computes = compute_means[worker];
+      std::printf("%8d %8zu %14.0f %14.0f %14.0f\n", worker,
+                  waits.size(), MeanOf(waits, 0, half ? half : 1),
+                  MeanOf(waits, half, waits.size()),
+                  MeanOf(computes, 0, computes.size()));
+    }
+    // Callouts: the slowest computer is the straggler; the worker whose
+    // wait grows most is the one the admission gate parks behind it
+    // (under SSP the *survivors* wait on a dead or slow peer).
+    int slow_worker = -1;
+    double slow_compute = -1.0;
+    for (const auto& [worker, computes] : compute_means) {
+      const double mean = MeanOf(computes, 0, computes.size());
+      if (mean > slow_compute) {
+        slow_compute = mean;
+        slow_worker = worker;
+      }
+    }
+    int blocked_worker = -1;
+    double blocked_growth = -1.0;
+    for (const auto& [worker, waits] : wait_means) {
+      const size_t half = waits.size() / 2;
+      if (half == 0) continue;
+      const double growth = MeanOf(waits, half, waits.size()) -
+                            MeanOf(waits, 0, half);
+      if (growth > blocked_growth) {
+        blocked_growth = growth;
+        blocked_worker = worker;
+      }
+    }
+    if (slow_worker >= 0) {
+      std::printf("slowest compute: worker %d (mean %.0f us/clock)\n",
+                  slow_worker, slow_compute);
+    }
+    if (blocked_worker >= 0 && blocked_growth > 0.0) {
+      std::printf("most gate-blocked: worker %d (wait grew %.0f us "
+                  "from early to late windows)\n",
+                  blocked_worker, blocked_growth);
+    }
+  }
+
+  if (!flightrec_path.empty()) {
+    auto fr_text = read_file(flightrec_path);
+    if (!fr_text.ok()) return Fail(fr_text.status());
+    Status fr_valid = ValidateFlightRecJson(fr_text.value());
+    if (!fr_valid.ok()) return Fail(fr_valid);
+    auto fr_parsed = ParseJson(fr_text.value());
+    if (!fr_parsed.ok()) return Fail(fr_parsed.status());
+    const JsonValue& fr = fr_parsed.value();
+    const JsonValue* events = fr.Find("events");
+    const JsonValue* reason = fr.Find("dump_reason");
+    std::printf("\nflight record: %s (%zu events, last dump: %s)\n",
+                flightrec_path.c_str(), events->array.size(),
+                reason != nullptr && reason->is_string()
+                    ? reason->string_value.c_str()
+                    : "?");
+    for (const JsonValue& ev : events->array) {
+      const JsonValue* note = ev.Find("note");
+      std::printf("  %12.3fms  %-18s",
+                  ev.Find("ts_us")->number_value / 1000.0,
+                  ev.Find("kind")->string_value.c_str());
+      const double worker = ev.Find("worker")->number_value;
+      const double clock = ev.Find("clock")->number_value;
+      const double value = ev.Find("value")->number_value;
+      if (worker >= 0) std::printf(" worker=%.0f", worker);
+      if (clock >= 0) std::printf(" clock=%.0f", clock);
+      if (value != 0.0) std::printf(" value=%g", value);
+      if (note != nullptr && note->is_string()) {
+        std::printf(" (%s)", note->string_value.c_str());
+      }
+      std::printf("\n");
+    }
+  }
   return 0;
 }
 
@@ -368,7 +585,7 @@ int Main(int argc, char** argv) {
   if (flags.positional().empty()) {
     std::fprintf(stderr,
                  "usage: hetps_train "
-                 "<train|evaluate|predict|simulate|check-obs> "
+                 "<train|evaluate|predict|simulate|check-obs|inspect> "
                  "[flags]\n(see the header of cli/hetps_train.cc)\n");
     return 1;
   }
@@ -384,6 +601,8 @@ int Main(int argc, char** argv) {
     rc = RunSimulate(flags);
   } else if (command == "check-obs") {
     rc = RunCheckObs(flags);
+  } else if (command == "inspect") {
+    rc = RunInspect(flags);
   } else {
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return 1;

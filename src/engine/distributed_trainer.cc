@@ -10,6 +10,7 @@
 #include "core/sgd_compute.h"
 #include "data/sharding.h"
 #include "net/ps_service.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ps/checkpoint.h"
@@ -114,6 +115,9 @@ Result<DistributedTrainResult> TrainDistributed(
         .counter("ps.shard_reassignments")
         ->Increment(touched);
     HETPS_TRACE_INSTANT1("ps.shard_failover", "worker", victim);
+    FlightRecorder::Global().Record(
+        "shard_failover", victim, /*clock=*/-1,
+        static_cast<double>(orphans.size()));
     HETPS_LOG(Info) << "failover: worker " << victim << "'s "
                     << orphans.size() << " examples spread across "
                     << survivors.size() << " survivors";
@@ -153,6 +157,15 @@ Result<DistributedTrainResult> TrainDistributed(
     };
     HistogramMetric* iter_us = GlobalMetrics().histogram(
         "worker.iter_us", {{"worker", std::to_string(m)}});
+    // Live per-clock phase histograms: the end-of-run breakdown gauges
+    // only show totals, but the TimeSeriesRecorder needs per-window
+    // deltas to draw a straggler's wait time *diverging over time*.
+    HistogramMetric* wait_us = GlobalMetrics().histogram(
+        "worker.wait_us", {{"worker", std::to_string(m)}});
+    HistogramMetric* compute_us = GlobalMetrics().histogram(
+        "worker.compute_us", {{"worker", std::to_string(m)}});
+    TraceRecorder::Global().NameThisThread("worker-" +
+                                           std::to_string(m));
     RpcWorkerClient client(m, &bus, "ps", options.rpc_retry);
     LocalWorkerSgd::Options sgd_opts;
     sgd_opts.batch_size = LocalWorkerSgd::BatchSizeForFraction(
@@ -190,6 +203,8 @@ Result<DistributedTrainResult> TrainDistributed(
           // the service, so this needs no wall-clock sleep. Own-eviction
           // is an exit condition — once evicted, ticks may stop (the
           // survivors finish) and the resume time would never arrive.
+          FlightRecorder::Global().Record(
+              "fault.hang", m, c, options.fault_plan.hang_seconds);
           const double resume_at =
               service.LivenessNow() + options.fault_plan.hang_seconds;
           while (service.LivenessNow() < resume_at &&
@@ -202,6 +217,7 @@ Result<DistributedTrainResult> TrainDistributed(
           // error — the run's verdict is the survivors' business.
           HETPS_LOG(Warning) << "fault injection: killing worker " << m
                              << " before clock " << c;
+          FlightRecorder::Global().Record("fault.kill", m, c);
           return;
         }
       }
@@ -224,7 +240,9 @@ Result<DistributedTrainResult> TrainDistributed(
         HETPS_TRACE_SPAN1("worker.compute", "worker", m);
         const auto compute_start = SteadyClock::now();
         sgd.RunClock(c, &replica, &update);
-        breakdown.compute_seconds += seconds_since(compute_start);
+        const double secs = seconds_since(compute_start);
+        breakdown.compute_seconds += secs;
+        compute_us->RecordInt(static_cast<int64_t>(secs * 1e6));
       }
       {
         const auto push_start = SteadyClock::now();
@@ -255,7 +273,9 @@ Result<DistributedTrainResult> TrainDistributed(
           HETPS_TRACE_SPAN1("worker.wait", "worker", m);
           const auto wait_start = SteadyClock::now();
           my_status = client.WaitUntilCanAdvance(c + 1);
-          breakdown.wait_seconds += seconds_since(wait_start);
+          const double secs = seconds_since(wait_start);
+          breakdown.wait_seconds += secs;
+          wait_us->RecordInt(static_cast<int64_t>(secs * 1e6));
         }
         if (!my_status.ok()) {
           if (evicted_by_design()) my_status = Status::OK();
@@ -287,8 +307,15 @@ Result<DistributedTrainResult> TrainDistributed(
     threads.emplace_back(worker_body, m);
   }
   for (auto& t : threads) t.join();
-  for (const Status& st : worker_status) {
-    HETPS_RETURN_NOT_OK(st);
+  for (size_t m = 0; m < worker_status.size(); ++m) {
+    if (!worker_status[m].ok()) {
+      // Abnormal worker exit: capture the black box before the error
+      // propagates (the caller may tear the process down).
+      FlightRecorder::Global().Record("worker_error",
+                                      static_cast<int>(m));
+      FlightRecorder::Global().DumpNow("worker_error");
+      return worker_status[m];
+    }
   }
   HETPS_RETURN_NOT_OK(checkpoint_status);
 

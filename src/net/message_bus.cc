@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -66,7 +67,12 @@ Status MessageBus::RegisterEndpoint(const std::string& name,
   ep->handler = std::move(handler);
   Endpoint* raw = ep.get();
   endpoints_[name] = std::move(ep);
-  raw->worker = std::thread([this, raw] { ServiceLoop(raw); });
+  raw->worker = std::thread([this, raw, name] {
+    // Label the service thread's trace track (no-op before the
+    // recorder's first Start — naming needs a ring-buffer tid).
+    TraceRecorder::Global().NameThisThread("bus:" + name);
+    ServiceLoop(raw);
+  });
   return Status::OK();
 }
 
@@ -91,6 +97,7 @@ MessageBus::RequestFaults MessageBus::DecideRequestFaultsLocked() {
     ++fault_stats_.dropped_requests;
     m_fault_dropped_requests_->Increment();
     HETPS_TRACE_INSTANT("bus.fault.drop_request");
+    FlightRecorder::Global().Record("fault.drop_request");
     return faults;  // a dropped message cannot also be delayed/duplicated
   }
   if (fault_plan_.duplicate_prob > 0.0 &&
@@ -99,6 +106,7 @@ MessageBus::RequestFaults MessageBus::DecideRequestFaultsLocked() {
     ++fault_stats_.duplicated_requests;
     m_fault_duplicated_requests_->Increment();
     HETPS_TRACE_INSTANT("bus.fault.duplicate_request");
+    FlightRecorder::Global().Record("fault.duplicate_request");
   }
   if (fault_plan_.delay_prob > 0.0 &&
       fault_rng_.NextBernoulli(fault_plan_.delay_prob)) {
@@ -112,6 +120,9 @@ MessageBus::RequestFaults MessageBus::DecideRequestFaultsLocked() {
     m_fault_delayed_requests_->Increment();
     HETPS_TRACE_INSTANT1("bus.fault.delay_request", "delay_us",
                          faults.delay_us);
+    FlightRecorder::Global().Record("fault.delay_request", /*worker=*/-1,
+                                    /*clock=*/-1,
+                                    static_cast<double>(faults.delay_us));
   }
   return faults;
 }
@@ -158,10 +169,13 @@ Status MessageBus::Send(const std::string& from, const std::string& to,
 
 Result<PendingCall> MessageBus::Call(const std::string& from,
                                      const std::string& to,
-                                     std::vector<uint8_t> payload) {
+                                     std::vector<uint8_t> payload,
+                                     uint64_t parent_span_id) {
   Envelope envelope;
   envelope.from = from;
   envelope.to = to;
+  envelope.trace_id = NextTraceId();
+  envelope.parent_span_id = parent_span_id;
   envelope.payload = std::move(payload);
   PendingCall call;
   RequestFaults faults;
@@ -175,6 +189,7 @@ Result<PendingCall> MessageBus::Call(const std::string& from,
     }
     envelope.correlation_id = next_correlation_++;
     call.correlation_id = envelope.correlation_id;
+    call.trace_id = envelope.trace_id;
     auto [pending_it, inserted] =
         pending_.emplace(envelope.correlation_id,
                          std::promise<BusReply>());
@@ -229,8 +244,18 @@ BusReply MessageBus::BlockingCall(const std::string& from,
                                   const std::string& to,
                                   std::vector<uint8_t> payload,
                                   std::chrono::microseconds timeout) {
-  Result<PendingCall> call = Call(from, to, std::move(payload));
+  // The client half of the causal stitch: the bus.rpc slice covers the
+  // whole round trip, and the flow-start inside it carries the request's
+  // trace_id — the server's rpc.handle slice emits the matching finish.
+  TraceSpan span("bus.rpc");
+  Result<PendingCall> call =
+      Call(from, to, std::move(payload), span.span_id());
   if (!call.ok()) return BusReply{call.status(), {}};
+  if (span.active()) {
+    span.AddArg("trace_id", static_cast<double>(call.value().trace_id));
+    TraceRecorder::Global().AppendFlowStart("rpc",
+                                            call.value().trace_id);
+  }
   return Await(&call.value(), timeout);
 }
 
@@ -296,6 +321,7 @@ void MessageBus::ServiceLoop(Endpoint* endpoint) {
             ++fault_stats_.dropped_responses;
             m_fault_dropped_responses_->Increment();
             HETPS_TRACE_INSTANT("bus.fault.drop_response");
+            FlightRecorder::Global().Record("fault.drop_response");
           } else {
             it->second.set_value(
                 BusReply{Status::OK(), std::move(response)});

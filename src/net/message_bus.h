@@ -30,6 +30,14 @@ struct Envelope {
   std::string to;
   uint64_t correlation_id = 0;  // 0 = one-way message
   bool is_response = false;
+  /// Causal-tracing metadata (carried even when tracing is disabled —
+  /// minting an id is one relaxed fetch_add). trace_id names this RPC:
+  /// the client's flow-start and the server's flow-finish both carry it,
+  /// which is what stitches a `bus.rpc` slice to its `rpc.handle` slice
+  /// in one Chrome trace. parent_span_id is the client span that issued
+  /// the call (0 = untraced caller), surfaced as a server-span arg.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
   std::vector<uint8_t> payload;
 };
 
@@ -109,6 +117,8 @@ struct BusReply {
 /// needs to reap the pending-call entry on timeout. Move-only.
 struct PendingCall {
   uint64_t correlation_id = 0;
+  /// The request envelope's trace id (flow correlation; see Envelope).
+  uint64_t trace_id = 0;
   std::future<BusReply> reply;
   /// When the request left the caller; Await records the round-trip
   /// into bus.rpc_latency_us for successful replies.
@@ -159,9 +169,12 @@ class MessageBus {
 
   /// Request/response: delivers to `to` and returns the in-flight call.
   /// The reply future ALWAYS resolves (reply, deadline, or shutdown) —
-  /// see BusReply. Blocks for the injected delay, if any.
+  /// see BusReply. Blocks for the injected delay, if any. The request
+  /// envelope is stamped with a fresh trace_id and the caller's
+  /// `parent_span_id` (0 = untraced caller).
   Result<PendingCall> Call(const std::string& from, const std::string& to,
-                           std::vector<uint8_t> payload);
+                           std::vector<uint8_t> payload,
+                           uint64_t parent_span_id = 0);
 
   /// Waits up to `timeout` for the reply (<= 0 waits forever). On
   /// deadline, reaps the pending entry (so dropped messages do not leak)

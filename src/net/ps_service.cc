@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -107,6 +108,11 @@ void PsService::SweepDeadWorkers(double now) {
     // beats from the node become counted no-ops (never a resurrection).
     monitor_->Unregister(node);
     workers_suspected_->Increment();
+    FlightRecorder::Global().Record("worker_suspected", worker,
+                                    /*clock=*/-1, /*value=*/now,
+                                    options_.liveness.evict_dead_workers
+                                        ? nullptr
+                                        : "eviction disabled");
     if (!options_.liveness.evict_dead_workers) {
       HETPS_LOG(Warning) << "PsService: worker " << worker
                          << " suspected dead (eviction disabled)";
@@ -119,6 +125,16 @@ void PsService::SweepDeadWorkers(double now) {
 }
 
 std::vector<uint8_t> PsService::Handle(const Envelope& request) {
+  // Server half of the causal stitch: the flow-finish carries the
+  // request envelope's trace_id, binding this rpc.handle slice to the
+  // client's bus.rpc slice in the merged Chrome trace.
+  TraceSpan rpc_span("rpc.handle");
+  if (rpc_span.active() && request.trace_id != 0) {
+    rpc_span.AddArg("trace_id", static_cast<double>(request.trace_id));
+    rpc_span.AddArg("parent_span",
+                    static_cast<double>(request.parent_span_id));
+    TraceRecorder::Global().AppendFlowFinish("rpc", request.trace_id);
+  }
   if (monitor_ != nullptr) {
     // Every handled request advances the virtual clock and beats for its
     // sender; the sweep runs before dispatch so an evicted sender's own
@@ -394,6 +410,9 @@ Result<std::vector<uint8_t>> RpcWorkerClient::Roundtrip(
       ++retry_count_;
       retries_metric_->Increment();
       HETPS_TRACE_INSTANT1("rpc.retry", "worker", worker_id_);
+      FlightRecorder::Global().Record("rpc_retry", worker_id_,
+                                      /*clock=*/-1,
+                                      static_cast<double>(attempt));
     }
     BusReply reply =
         bus_->BlockingCall(my_endpoint_, ps_endpoint_, request,

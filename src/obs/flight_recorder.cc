@@ -1,0 +1,212 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace hetps {
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  // Leaked singleton: late events during static destruction stay safe.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder() = default;
+
+void FlightRecorder::Start(size_t capacity_events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t capacity = std::max<size_t>(16, capacity_events);
+  if (capacity != ring_.size()) {
+    ring_.assign(capacity, FlightEvent());
+    appended_ = 0;
+  }
+  if (epoch_us_ == 0) epoch_us_ = SteadyNowMicros();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::Stop() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+int64_t FlightRecorder::NowLocked() const {
+  if (now_fn_) return now_fn_();
+  return epoch_us_ == 0 ? 0 : SteadyNowMicros() - epoch_us_;
+}
+
+void FlightRecorder::Record(const char* kind, int worker, int64_t clock,
+                            double value, const char* note) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return;
+  FlightEvent& slot = ring_[static_cast<size_t>(appended_) % ring_.size()];
+  slot.seq = appended_;
+  slot.ts_us = NowLocked();
+  slot.kind = kind;
+  slot.worker = worker;
+  slot.clock = clock;
+  slot.value = value;
+  slot.note = note;
+  ++appended_;
+}
+
+void FlightRecorder::SetNowFn(std::function<int64_t()> now_fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_fn_ = std::move(now_fn);
+}
+
+void FlightRecorder::SetDumpPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dump_path_ = path;
+}
+
+void FlightRecorder::DumpNow(const char* reason) {
+  if (!enabled()) return;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = dump_path_;
+    last_dump_reason_ = reason;
+  }
+  if (path.empty()) return;
+  // Best effort by design: the black box must never take the run down.
+  (void)WriteToFile(path);
+}
+
+size_t FlightRecorder::buffered_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<size_t>(
+      std::min<int64_t>(appended_, static_cast<int64_t>(ring_.size())));
+}
+
+int64_t FlightRecorder::appended_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+int64_t FlightRecorder::dropped_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t cap = static_cast<int64_t>(ring_.size());
+  return appended_ > cap ? appended_ - cap : 0;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  appended_ = 0;
+  last_dump_reason_ = nullptr;
+}
+
+Status FlightRecorder::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t cap = static_cast<int64_t>(ring_.size());
+  const int64_t n = std::min<int64_t>(appended_, cap);
+  const int64_t dropped = appended_ > cap ? appended_ - cap : 0;
+  os << "{\"schema\":\"hetps.flightrec.v1\",\"appended\":" << appended_
+     << ",\"dropped\":" << dropped << ",\"dump_reason\":\""
+     << JsonEscape(last_dump_reason_ != nullptr ? last_dump_reason_
+                                                : "final")
+     << "\",\"events\":[";
+  // Oldest-first ring order.
+  const int64_t start = appended_ > cap ? appended_ % cap : 0;
+  bool first = true;
+  for (int64_t i = 0; i < n; ++i) {
+    const FlightEvent& ev = ring_[static_cast<size_t>((start + i) % cap)];
+    if (ev.kind == nullptr) continue;
+    if (!first) os << ',';
+    first = false;
+    std::string num;
+    AppendJsonDouble(&num, ev.value);
+    os << "{\"seq\":" << ev.seq << ",\"ts_us\":" << ev.ts_us
+       << ",\"kind\":\"" << JsonEscape(ev.kind)
+       << "\",\"worker\":" << ev.worker << ",\"clock\":" << ev.clock
+       << ",\"value\":" << num;
+    if (ev.note != nullptr) {
+      os << ",\"note\":\"" << JsonEscape(ev.note) << '"';
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os ? Status::OK() : Status::IOError("flightrec write failed");
+}
+
+std::string FlightRecorder::ToJsonString() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+Status FlightRecorder::WriteToFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::IOError("cannot open " + path);
+  HETPS_RETURN_NOT_OK(WriteJson(file));
+  file.flush();
+  return file ? Status::OK() : Status::IOError("failed writing " + path);
+}
+
+Status ValidateFlightRecJson(const std::string& text) {
+  auto parsed = ParseJson(text);
+  HETPS_RETURN_NOT_OK(parsed.status());
+  const JsonValue& doc = parsed.value();
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("flightrec.json: not an object");
+  }
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string_value != "hetps.flightrec.v1") {
+    return Status::InvalidArgument(
+        "flightrec.json: schema is not \"hetps.flightrec.v1\"");
+  }
+  for (const char* field : {"appended", "dropped"}) {
+    const JsonValue* v = doc.Find(field);
+    if (v == nullptr || !v->is_number()) {
+      return Status::InvalidArgument(
+          std::string("flightrec.json: missing numeric \"") + field +
+          "\"");
+    }
+  }
+  const JsonValue* events = doc.Find("events");
+  if (events == nullptr || !events->is_array()) {
+    return Status::InvalidArgument(
+        "flightrec.json: missing \"events\" array");
+  }
+  double last_seq = -1.0;
+  size_t i = 0;
+  for (const JsonValue& ev : events->array) {
+    const std::string context = "events[" + std::to_string(i++) + "]";
+    if (!ev.is_object()) {
+      return Status::InvalidArgument(context + " is not an object");
+    }
+    const JsonValue* kind = ev.Find("kind");
+    if (kind == nullptr || !kind->is_string() ||
+        kind->string_value.empty()) {
+      return Status::InvalidArgument(context + ": bad \"kind\"");
+    }
+    for (const char* field : {"seq", "ts_us", "worker", "clock", "value"}) {
+      const JsonValue* v = ev.Find(field);
+      if (v == nullptr || !v->is_number()) {
+        return Status::InvalidArgument(context + ": missing numeric \"" +
+                                       field + "\"");
+      }
+    }
+    const double seq = ev.Find("seq")->number_value;
+    if (seq <= last_seq) {
+      return Status::InvalidArgument(context + ": seq not increasing");
+    }
+    last_seq = seq;
+  }
+  return Status::OK();
+}
+
+}  // namespace hetps

@@ -1,0 +1,112 @@
+#ifndef HETPS_OBS_FLIGHT_RECORDER_H_
+#define HETPS_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hetps {
+
+/// One annotated system event. `kind` and `note` must be string
+/// literals (the ring stores pointers, never copies) — the same
+/// zero-allocation contract as TraceEvent.
+struct FlightEvent {
+  int64_t seq = 0;     // global append order (monotone, survives wrap)
+  int64_t ts_us = 0;   // wall time since Start, or virtual time
+  const char* kind = nullptr;  // "worker_evicted", "cmin_repair", ...
+  int worker = -1;     // subject worker (-1 = n/a)
+  int64_t clock = -1;  // subject clock (-1 = n/a)
+  double value = 0.0;  // kind-specific payload (timeout, count, ...)
+  const char* note = nullptr;  // optional literal annotation
+};
+
+/// Black-box recorder for *rare, load-bearing* system events —
+/// evictions, cmin repairs, shard failovers, RPC retries, injected
+/// faults, clock advances — kept in a bounded ring and dumped to
+/// flightrec.json when something goes wrong (eviction, fault, abnormal
+/// exit) or at end of run. Where the trace answers "what was every
+/// thread doing", the flight record answers "what did the *system*
+/// decide, in what order" — the suspect → evict → reassign sequence a
+/// postmortem starts from.
+///
+/// Lock-light: disabled (the default) Record() is one relaxed atomic
+/// load + branch, so the hooks can sit on the PS push path. Enabled,
+/// appends take one uncontended mutex around a ring-slot write — the
+/// recorded events are orders of magnitude rarer than trace spans, so
+/// the TraceRecorder's per-thread-ring machinery would be overkill.
+///
+/// flightrec.json schema (`hetps.flightrec.v1`, checked by
+/// ValidateFlightRecJson):
+///   {"schema": "hetps.flightrec.v1", "appended": N, "dropped": D,
+///    "dump_reason": "...",
+///    "events": [{"seq": s, "ts_us": t, "kind": "...", "worker": m,
+///                "clock": c, "value": v, "note": "..."}, ...]}
+class FlightRecorder {
+ public:
+  /// Process-wide recorder all runtime hooks write to.
+  static FlightRecorder& Global();
+
+  FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Starts recording into a ring of `capacity_events` slots
+  /// (idempotent; resizing clears the ring).
+  void Start(size_t capacity_events = 4096);
+  void Stop();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one event. No-op (one relaxed load) when disabled.
+  void Record(const char* kind, int worker = -1, int64_t clock = -1,
+              double value = 0.0, const char* note = nullptr);
+
+  /// Overrides the event clock (virtual time for the simulator; pass
+  /// nullptr to restore wall time since Start). The function is called
+  /// under the recorder mutex and must not re-enter the recorder.
+  void SetNowFn(std::function<int64_t()> now_fn);
+
+  /// Where DumpNow writes; empty disables event-triggered dumps.
+  void SetDumpPath(const std::string& path);
+  /// Black-box dump: immediately writes the ring to the dump path
+  /// (best effort; no-op when disabled or no path is set).
+  void DumpNow(const char* reason);
+
+  size_t buffered_count() const;
+  int64_t appended_count() const;
+  int64_t dropped_count() const;
+
+  Status WriteJson(std::ostream& os) const;
+  std::string ToJsonString() const;
+  Status WriteToFile(const std::string& path) const;
+
+  /// Discards all buffered events (recording state unchanged).
+  void Clear();
+
+ private:
+  int64_t NowLocked() const;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<FlightEvent> ring_;  // fixed capacity once Start()ed
+  int64_t appended_ = 0;           // ring idx = appended_ % capacity
+  int64_t epoch_us_ = 0;           // steady_clock offset of Start
+  std::function<int64_t()> now_fn_;
+  std::string dump_path_;
+  const char* last_dump_reason_ = nullptr;
+};
+
+/// Structural checker for flightrec.json (CLI `check-obs`, tests, CI).
+/// Rejects unknown schema versions and non-monotone sequence numbers.
+Status ValidateFlightRecJson(const std::string& text);
+
+}  // namespace hetps
+
+#endif  // HETPS_OBS_FLIGHT_RECORDER_H_

@@ -69,22 +69,17 @@ std::string PromSeries(const std::string& key) {
   return out;
 }
 
-/// Prometheus series with one extra label appended (for quantiles).
-std::string PromSeriesWith(const std::string& key, const std::string& k,
-                           const std::string& v) {
-  std::string series = PromSeries(key);
+/// Appends one label to an already-rendered Prometheus series (the
+/// `le` label on `_bucket` lines).
+std::string SeriesWithLabel(const std::string& series, const std::string& k,
+                            const std::string& v) {
   if (series.empty() || series.back() != '}') {
     return series + "{" + k + "=\"" + v + "\"}";
   }
-  series.pop_back();
-  return series + "," + k + "=\"" + v + "\"}";
+  std::string out = series;
+  out.pop_back();
+  return out + "," + k + "=\"" + v + "\"}";
 }
-
-constexpr struct {
-  const char* label;
-  double q;
-} kQuantiles[] = {
-    {"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}};
 
 }  // namespace
 
@@ -216,19 +211,54 @@ std::string MetricsRegistry::PrometheusText() const {
   }
   last_family.clear();
   for (const auto& [key, h] : histograms_) {
-    type_line(key, "summary");
+    type_line(key, "histogram");
     std::string name, labels;
     SplitKey(key, &name, &labels);
-    for (const auto& q : kQuantiles) {
-      os += PromSeriesWith(key, "quantile", q.label) + ' ' +
-            std::to_string(h->ValueAtQuantile(q.q)) + '\n';
+    const std::string bucket_series =
+        PromSeries(key).insert(PromName(name).size(), "_bucket");
+    // Cumulative buckets per the exposition format. Empty buckets are
+    // elided (legal: the next emitted `le` carries their cumulative
+    // count), which keeps the text proportional to occupied range, not
+    // the ~600-bucket geometry.
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < BucketedHistogram::kNumBuckets; ++i) {
+      const int64_t in_bucket = h->BucketCount(i);
+      if (in_bucket == 0) continue;
+      cumulative += in_bucket;
+      os += SeriesWithLabel(
+                bucket_series, "le",
+                std::to_string(BucketedHistogram::BucketUpperBound(i))) +
+            ' ' + std::to_string(cumulative) + '\n';
     }
+    os += SeriesWithLabel(bucket_series, "le", "+Inf") + ' ' +
+          std::to_string(h->count()) + '\n';
     os += PromSeries(key).insert(PromName(name).size(), "_sum") + ' ' +
           Format6g(h->sum()) + '\n';
     os += PromSeries(key).insert(PromName(name).size(), "_count") + ' ' +
           std::to_string(h->count()) + '\n';
   }
   return os;
+}
+
+MetricsSnapshot MetricsRegistry::SnapshotValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [key, c] : counters_) {
+    snap.counters[key] = c->value();
+  }
+  for (const auto& [key, g] : gauges_) {
+    if (g->has_value()) snap.gauges[key] = g->value();
+  }
+  for (const auto& [key, d] : distributions_) {
+    const RunningStat s = d->Snapshot();
+    snap.histograms[key] = MetricsSnapshot::CountSum{
+        static_cast<int64_t>(s.count()), s.sum()};
+  }
+  for (const auto& [key, h] : histograms_) {
+    snap.histograms[key] =
+        MetricsSnapshot::CountSum{h->count(), h->sum()};
+  }
+  return snap;
 }
 
 std::string MetricsRegistry::JsonSnapshot() const {

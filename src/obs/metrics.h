@@ -108,6 +108,23 @@ using HistogramMetric = BucketedHistogram;
 /// {{"worker", "3"}}. Canonicalized (sorted by key) internally.
 using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 
+/// Point-in-time numeric view of every metric in a registry, keyed by
+/// the registry's `name{label=value,...}` rendering — the
+/// TimeSeriesRecorder's delta base. Histograms and distributions
+/// collapse to (count, sum); quantiles stay on the JsonSnapshot path.
+struct MetricsSnapshot {
+  struct CountSum {
+    int64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, int64_t> counters;
+  /// Set gauges only (unset gauges carry no information).
+  std::map<std::string, double> gauges;
+  /// Histograms and distributions share this map; their registry key
+  /// spaces do not overlap in practice.
+  std::map<std::string, CountSum> histograms;
+};
+
 /// A named collection of metrics — the §7.5 monitoring plane's per-node
 /// registry. Metric objects are created on first use and live as long
 /// as the registry; returned pointers stay valid (ResetValues() clears
@@ -132,9 +149,16 @@ class MetricsRegistry {
   /// are skipped.
   std::string Report() const;
 
-  /// Prometheus text exposition (# TYPE lines; '.' sanitized to '_';
-  /// histograms rendered as summaries with quantile labels).
+  /// Prometheus text exposition (# TYPE lines; '.' sanitized to '_').
+  /// Bucketed histograms render as `histogram` families with cumulative
+  /// `_bucket{le="..."}` lines plus `_sum`/`_count`; distributions stay
+  /// `summary` families (`_sum`/`_count` only — no quantile sketch).
   std::string PrometheusText() const;
+
+  /// Structured numeric snapshot of every metric (see MetricsSnapshot).
+  /// One registry lock acquisition; values are relaxed-atomic reads, so
+  /// concurrent recorders see the usual monitoring-grade consistency.
+  MetricsSnapshot SnapshotValues() const;
 
   /// JSON snapshot: {"counters": {...}, "gauges": {...},
   /// "distributions": {...}, "histograms": {...}}; keys are

@@ -8,7 +8,16 @@ namespace hetps {
 
 RunReporter::RunReporter(RunReporterOptions options,
                          MetricsRegistry* registry, TraceRecorder* trace)
-    : options_(std::move(options)), registry_(registry), trace_(trace) {}
+    : options_(std::move(options)), registry_(registry), trace_(trace) {
+  if (!options_.timeseries_out.empty()) {
+    timeseries_ = std::make_unique<TimeSeriesRecorder>(registry_);
+  }
+  if (!options_.flightrec_out.empty()) {
+    // Event-triggered black-box dumps and the final write share one
+    // destination, so a crash between them still leaves a file.
+    FlightRecorder::Global().SetDumpPath(options_.flightrec_out);
+  }
+}
 
 void RunReporter::AddSource(const std::string& prefix,
                             const MetricsRegistry* registry) {
@@ -16,6 +25,9 @@ void RunReporter::AddSource(const std::string& prefix,
 }
 
 void RunReporter::OnEpoch(int epoch) {
+  if (timeseries_ != nullptr && !external_ts_clock_) {
+    timeseries_->Snapshot(epoch);
+  }
   if (options_.report_every <= 0 || options_.metrics_out.empty()) return;
   if (epoch % options_.report_every != 0) return;
   // Best effort mid-run; the final write surfaces persistent IO errors.
@@ -31,6 +43,19 @@ Status RunReporter::WriteFinal() {
   }
   if (!options_.trace_out.empty()) {
     HETPS_RETURN_NOT_OK(WriteTraceJson(options_.trace_out));
+  }
+  if (timeseries_ != nullptr) {
+    // Flush window: whatever accumulated since the last epoch hook
+    // (e.g. the victim's final partial clock) still lands in a window.
+    // An external clock owner (the simulator) writes its own flush
+    // window with a virtual timestamp instead.
+    if (!external_ts_clock_) timeseries_->Snapshot(/*epoch=*/-1);
+    HETPS_RETURN_NOT_OK(
+        timeseries_->WriteToFile(options_.timeseries_out));
+  }
+  if (!options_.flightrec_out.empty()) {
+    HETPS_RETURN_NOT_OK(
+        FlightRecorder::Global().WriteToFile(options_.flightrec_out));
   }
   return Status::OK();
 }
@@ -183,6 +208,8 @@ Status ValidateChromeTraceJson(const std::string& text) {
         "trace.json: missing \"traceEvents\" array");
   }
   size_t index = 0;
+  bool have_last_ts = false;
+  double last_ts = 0.0;
   for (const JsonValue& ev : events->array) {
     const std::string context = "traceEvents[" + std::to_string(index) +
                                 "]";
@@ -209,6 +236,26 @@ Status ValidateChromeTraceJson(const std::string& text) {
         return Status::InvalidArgument(context + ": negative dur");
       }
     }
+    if (ph->string_value == "s" || ph->string_value == "f") {
+      // Flow halves correlate by id; a flow event without one can
+      // never bind and renders as a dangling arrow.
+      const JsonValue* id = ev.Find("id");
+      if (id == nullptr || (!id->is_string() && !id->is_number()) ||
+          (id->is_string() && id->string_value.empty())) {
+        return Status::InvalidArgument(context + ": flow event without"
+                                       " \"id\"");
+      }
+    }
+    if (ph->string_value == "M") continue;  // metadata: ts is nominal
+    // The writer merges per-thread rings sorted by timestamp, so
+    // out-of-order events mean a corrupt or hand-edited file.
+    const double ts = ev.Find("ts")->number_value;
+    if (have_last_ts && ts < last_ts) {
+      return Status::InvalidArgument(context +
+                                     ": timestamps out of order");
+    }
+    have_last_ts = true;
+    last_ts = ts;
   }
   return Status::OK();
 }

@@ -5,7 +5,11 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/status.h"
 
@@ -17,6 +21,15 @@ struct RunReporterOptions {
   std::string metrics_out;
   /// Chrome trace.json destination; empty disables the trace dump.
   std::string trace_out;
+  /// timeseries.json destination; empty disables windowed snapshots.
+  /// When set, every OnEpoch call closes one TimeSeriesRecorder window
+  /// (cadence = the trainer's epoch hook, i.e. worker-0 clocks).
+  std::string timeseries_out;
+  /// flightrec.json destination; empty disables the flight-record dump.
+  /// When set, the global FlightRecorder's dump path is pointed here so
+  /// event-triggered black-box dumps (eviction, fault, abnormal exit)
+  /// land in the same file the final write refreshes.
+  std::string flightrec_out;
   /// Snapshot metrics every N epochs (worker-0 clocks) in addition to
   /// the final write; 0 = final only. Intermediate snapshots overwrite
   /// metrics_out so the file always holds the freshest state (§7.5's
@@ -54,11 +67,14 @@ class RunReporter {
                  const MetricsRegistry* registry);
 
   /// Epoch hook for trainers: writes a metrics snapshot when
-  /// report_every divides `epoch` (and report_every > 0). Thread-safe
+  /// report_every divides `epoch` (and report_every > 0), and closes
+  /// one time-series window when timeseries_out is set. Thread-safe
   /// against concurrent metric recording.
   void OnEpoch(int epoch);
 
-  /// Writes the final metrics.json (final: true) and trace.json.
+  /// Writes the final metrics.json (final: true), trace.json,
+  /// timeseries.json (after a final flush window, epoch -1), and
+  /// flightrec.json.
   Status WriteFinal();
 
   Status WriteMetricsJson(const std::string& path, int epoch,
@@ -69,12 +85,25 @@ class RunReporter {
   /// without the file).
   std::string MetricsJsonString(int epoch, bool final_snapshot) const;
 
+  /// The windowed recorder behind timeseries_out (nullptr when
+  /// disabled) — the simulator drives SnapshotAt through this.
+  TimeSeriesRecorder* timeseries() { return timeseries_.get(); }
+
+  /// Tells the reporter that someone else (the event simulator) closes
+  /// time-series windows with explicit timestamps: OnEpoch stops
+  /// wall-clock snapshotting and WriteFinal skips the flush window
+  /// (the external clock owner writes its own), but the final file
+  /// write still happens here.
+  void UseExternalTimeSeriesClock() { external_ts_clock_ = true; }
+
   const RunReporterOptions& options() const { return options_; }
 
  private:
   RunReporterOptions options_;
   MetricsRegistry* registry_;
   TraceRecorder* trace_;
+  std::unique_ptr<TimeSeriesRecorder> timeseries_;
+  bool external_ts_clock_ = false;
   std::vector<std::pair<std::string, const MetricsRegistry*>> sources_;
 };
 

@@ -1,0 +1,215 @@
+#include "obs/timeseries.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace hetps {
+
+TimeSeriesRecorder::TimeSeriesRecorder(const MetricsRegistry* registry,
+                                       TimeSeriesOptions options)
+    : registry_(registry),
+      options_(options),
+      start_(std::chrono::steady_clock::now()) {
+  if (options_.max_windows == 0) options_.max_windows = 1;
+}
+
+void TimeSeriesRecorder::Snapshot(int epoch) {
+  SnapshotAt(epoch,
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now() - start_)
+                 .count());
+}
+
+void TimeSeriesRecorder::SnapshotAt(int epoch, int64_t ts_us) {
+  MetricsSnapshot now = registry_->SnapshotValues();
+  std::lock_guard<std::mutex> lock(mu_);
+  Window w;
+  w.index = next_index_++;
+  w.epoch = epoch;
+  w.ts_us = ts_us;
+  for (const auto& [key, value] : now.counters) {
+    int64_t delta = value;
+    if (have_prev_) {
+      auto it = prev_.counters.find(key);
+      if (it != prev_.counters.end()) delta -= it->second;
+    }
+    if (delta != 0) w.counter_deltas[key] = delta;
+  }
+  w.gauges = now.gauges;
+  for (const auto& [key, cs] : now.histograms) {
+    MetricsSnapshot::CountSum delta = cs;
+    if (have_prev_) {
+      auto it = prev_.histograms.find(key);
+      if (it != prev_.histograms.end()) {
+        delta.count -= it->second.count;
+        delta.sum -= it->second.sum;
+      }
+    }
+    if (delta.count != 0) w.histogram_deltas[key] = delta;
+  }
+  prev_ = std::move(now);
+  have_prev_ = true;
+  windows_.push_back(std::move(w));
+  while (windows_.size() > options_.max_windows) {
+    windows_.pop_front();
+    ++dropped_;
+  }
+}
+
+size_t TimeSeriesRecorder::window_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return windows_.size();
+}
+
+int64_t TimeSeriesRecorder::dropped_windows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TimeSeriesRecorder::Clear() {
+  MetricsSnapshot now = registry_->SnapshotValues();
+  std::lock_guard<std::mutex> lock(mu_);
+  windows_.clear();
+  next_index_ = 0;
+  dropped_ = 0;
+  prev_ = std::move(now);
+  have_prev_ = true;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Status TimeSeriesRecorder::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"schema\":\"hetps.timeseries.v1\",\"max_windows\":"
+     << options_.max_windows << ",\"dropped_windows\":" << dropped_
+     << ",\"windows\":[";
+  bool first_window = true;
+  for (const Window& w : windows_) {
+    if (!first_window) os << ',';
+    first_window = false;
+    os << "{\"index\":" << w.index << ",\"epoch\":" << w.epoch
+       << ",\"ts_us\":" << w.ts_us << ",\"counters\":{";
+    bool first = true;
+    for (const auto& [key, delta] : w.counter_deltas) {
+      if (!first) os << ',';
+      first = false;
+      os << '"' << JsonEscape(key) << "\":" << delta;
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const auto& [key, value] : w.gauges) {
+      if (!first) os << ',';
+      first = false;
+      std::string num;
+      AppendJsonDouble(&num, value);
+      os << '"' << JsonEscape(key) << "\":" << num;
+    }
+    os << "},\"histograms\":{";
+    first = true;
+    for (const auto& [key, cs] : w.histogram_deltas) {
+      if (!first) os << ',';
+      first = false;
+      std::string num;
+      AppendJsonDouble(&num, cs.sum);
+      os << '"' << JsonEscape(key) << "\":{\"count\":" << cs.count
+         << ",\"sum\":" << num << '}';
+    }
+    os << "}}";
+  }
+  os << "]}";
+  return os ? Status::OK() : Status::IOError("timeseries write failed");
+}
+
+std::string TimeSeriesRecorder::ToJsonString() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+Status TimeSeriesRecorder::WriteToFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::IOError("cannot open " + path);
+  HETPS_RETURN_NOT_OK(WriteJson(file));
+  file.flush();
+  return file ? Status::OK() : Status::IOError("failed writing " + path);
+}
+
+Status ValidateTimeSeriesJson(const std::string& text) {
+  auto parsed = ParseJson(text);
+  HETPS_RETURN_NOT_OK(parsed.status());
+  const JsonValue& doc = parsed.value();
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("timeseries.json: not an object");
+  }
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string_value != "hetps.timeseries.v1") {
+    return Status::InvalidArgument(
+        "timeseries.json: schema is not \"hetps.timeseries.v1\"");
+  }
+  for (const char* field : {"max_windows", "dropped_windows"}) {
+    const JsonValue* v = doc.Find(field);
+    if (v == nullptr || !v->is_number()) {
+      return Status::InvalidArgument(
+          std::string("timeseries.json: missing numeric \"") + field +
+          "\"");
+    }
+  }
+  const JsonValue* windows = doc.Find("windows");
+  if (windows == nullptr || !windows->is_array()) {
+    return Status::InvalidArgument(
+        "timeseries.json: missing \"windows\" array");
+  }
+  double last_index = -1.0;
+  size_t i = 0;
+  for (const JsonValue& w : windows->array) {
+    const std::string context = "windows[" + std::to_string(i++) + "]";
+    if (!w.is_object()) {
+      return Status::InvalidArgument(context + " is not an object");
+    }
+    for (const char* field : {"index", "epoch", "ts_us"}) {
+      const JsonValue* v = w.Find(field);
+      if (v == nullptr || !v->is_number()) {
+        return Status::InvalidArgument(context + ": missing numeric \"" +
+                                       field + "\"");
+      }
+    }
+    const double index = w.Find("index")->number_value;
+    if (index <= last_index) {
+      return Status::InvalidArgument(context +
+                                     ": window index not increasing");
+    }
+    last_index = index;
+    for (const char* section : {"counters", "gauges", "histograms"}) {
+      const JsonValue* s = w.Find(section);
+      if (s == nullptr || !s->is_object()) {
+        return Status::InvalidArgument(context + ": missing object \"" +
+                                       section + "\"");
+      }
+    }
+    for (const auto& [name, c] : w.Find("counters")->object) {
+      if (!c.is_number()) {
+        return Status::InvalidArgument(context + ": counter " + name +
+                                       " is not a number");
+      }
+    }
+    for (const auto& [name, g] : w.Find("gauges")->object) {
+      if (!g.is_number()) {
+        return Status::InvalidArgument(context + ": gauge " + name +
+                                       " is not a number");
+      }
+    }
+    for (const auto& [name, h] : w.Find("histograms")->object) {
+      if (!h.is_object() || h.Find("count") == nullptr ||
+          !h.Find("count")->is_number() || h.Find("sum") == nullptr ||
+          !h.Find("sum")->is_number()) {
+        return Status::InvalidArgument(context + ": histogram " + name +
+                                       " needs numeric count/sum");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hetps

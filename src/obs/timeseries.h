@@ -1,0 +1,102 @@
+#ifndef HETPS_OBS_TIMESERIES_H_
+#define HETPS_OBS_TIMESERIES_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace hetps {
+
+struct TimeSeriesOptions {
+  /// Bounded window ring: oldest windows are discarded beyond this
+  /// (dropped_windows() counts them), so an arbitrarily long run cannot
+  /// grow the recorder without bound.
+  size_t max_windows = 512;
+};
+
+/// Windowed time-series view of a MetricsRegistry — the "straggler
+/// timeline" the cumulative end-of-run snapshot cannot show.
+///
+/// Each Snapshot() call closes one window: counters and histogram
+/// (count, sum) pairs are recorded as *deltas* against the previous
+/// snapshot, gauges as their current value. A worker whose
+/// `worker.wait_us{worker=m}` delta-mean rises window over window is
+/// drifting into straggler territory *at that point in the run* — the
+/// per-window signal Dynamic SSP / staleness-aware schedulers adapt on,
+/// and what `hetps_train inspect` renders.
+///
+/// Thread-safe: Snapshot/WriteJson serialize on one mutex; the metrics
+/// being snapshotted use their own relaxed-atomic reads.
+///
+/// timeseries.json schema (`hetps.timeseries.v1`, checked by
+/// ValidateTimeSeriesJson):
+///   {
+///     "schema": "hetps.timeseries.v1",
+///     "max_windows": N, "dropped_windows": D,
+///     "windows": [
+///       {"index": i, "epoch": e, "ts_us": t,
+///        "counters": {"name": delta, ...},           // nonzero deltas
+///        "gauges": {"name": value, ...},             // current values
+///        "histograms": {"name": {"count": dc, "sum": ds}, ...}}
+///     ]
+///   }
+class TimeSeriesRecorder {
+ public:
+  explicit TimeSeriesRecorder(
+      const MetricsRegistry* registry = &GlobalMetrics(),
+      TimeSeriesOptions options = TimeSeriesOptions());
+
+  /// Closes one window at "now": deltas since the previous Snapshot
+  /// (or since construction for the first). `epoch` is a free-form
+  /// caller tag (worker-0 clock; -1 = final flush).
+  void Snapshot(int epoch);
+  /// Same, with an explicit timestamp — the event simulator's
+  /// virtual-time path.
+  void SnapshotAt(int epoch, int64_t ts_us);
+
+  size_t window_count() const;
+  int64_t dropped_windows() const;
+
+  Status WriteJson(std::ostream& os) const;
+  std::string ToJsonString() const;
+  Status WriteToFile(const std::string& path) const;
+
+  /// Drops all windows and rebases deltas on the registry's current
+  /// state (for registry reuse across runs in one process).
+  void Clear();
+
+ private:
+  struct Window {
+    int64_t index = 0;
+    int epoch = 0;
+    int64_t ts_us = 0;
+    std::map<std::string, int64_t> counter_deltas;
+    std::map<std::string, double> gauges;
+    std::map<std::string, MetricsSnapshot::CountSum> histogram_deltas;
+  };
+
+  mutable std::mutex mu_;
+  const MetricsRegistry* registry_;
+  TimeSeriesOptions options_;
+  std::chrono::steady_clock::time_point start_;
+  MetricsSnapshot prev_;
+  bool have_prev_ = false;
+  std::deque<Window> windows_;
+  int64_t next_index_ = 0;
+  int64_t dropped_ = 0;
+};
+
+/// Structural checker for timeseries.json (CLI `check-obs`, tests, CI).
+/// Rejects unknown schema versions and non-monotone window indices.
+Status ValidateTimeSeriesJson(const std::string& text);
+
+}  // namespace hetps
+
+#endif  // HETPS_OBS_TIMESERIES_H_

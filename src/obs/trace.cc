@@ -25,7 +25,13 @@ struct TlsSlot {
   void* buffer = nullptr;
 };
 
+std::atomic<uint64_t> g_next_trace_id{1};
+
 }  // namespace
+
+uint64_t NextTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
 
 TraceRecorder& TraceRecorder::Global() {
   // Leaked singleton: late spans during static destruction stay safe.
@@ -53,6 +59,17 @@ void TraceRecorder::Start(const TraceOptions& options) {
   }
   if (epoch_us_.load(std::memory_order_relaxed) == 0) {
     epoch_us_.store(SteadyNowMicros(), std::memory_order_relaxed);
+  }
+  // Default name for pid 0 (the real process's wall-clock tracks) so a
+  // trace that also holds simulated tracks (pid 1) labels both; kept
+  // only if nobody set a name explicitly.
+  bool have_pid0 = false;
+  for (const TrackName& track : track_names_) {
+    if (track.is_process && track.pid == 0) have_pid0 = true;
+  }
+  if (!have_pid0) {
+    track_names_.push_back(
+        TrackName{/*is_process=*/true, /*pid=*/0, /*tid=*/0, "hetps"});
   }
   enabled_.store(true, std::memory_order_release);
 }
@@ -128,6 +145,52 @@ void TraceRecorder::AppendExplicit(const TraceEvent& ev) {
   Append(ev);
 }
 
+void TraceRecorder::AppendFlowStart(const char* name, uint64_t flow_id) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = 's';
+  ev.ts_us = NowMicros();
+  ev.flow_id = flow_id;
+  Append(ev);
+}
+
+void TraceRecorder::AppendFlowFinish(const char* name, uint64_t flow_id) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = 'f';
+  ev.ts_us = NowMicros();
+  ev.flow_id = flow_id;
+  Append(ev);
+}
+
+void TraceRecorder::SetTrackName(bool is_process, uint32_t pid,
+                                 uint32_t tid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (TrackName& entry : track_names_) {
+    if (entry.is_process == is_process && entry.pid == pid &&
+        (is_process || entry.tid == tid)) {
+      entry.name = name;
+      return;
+    }
+  }
+  track_names_.push_back(TrackName{is_process, pid, tid, name});
+}
+
+void TraceRecorder::SetProcessName(uint32_t pid, const std::string& name) {
+  SetTrackName(/*is_process=*/true, pid, /*tid=*/0, name);
+}
+
+void TraceRecorder::SetThreadName(uint32_t pid, uint32_t tid,
+                                  const std::string& name) {
+  SetTrackName(/*is_process=*/false, pid, tid, name);
+}
+
+void TraceRecorder::NameThisThread(const std::string& name) {
+  ThreadBuffer* buf = BufferForThisThread();
+  if (buf == nullptr) return;
+  SetThreadName(/*pid=*/0, buf->tid, name);
+}
+
 size_t TraceRecorder::buffered_count() const {
   std::lock_guard<std::mutex> lock(registry_mu_);
   size_t total = 0;
@@ -191,8 +254,25 @@ Status TraceRecorder::WriteJson(std::ostream& os) const {
                    [](const TraceEvent& a, const TraceEvent& b) {
                      return a.ts_us < b.ts_us;
                    });
+  std::vector<TrackName> names;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    names = track_names_;
+  }
   os << "{\"traceEvents\":[";
   bool first = true;
+  // Metadata first: naming events apply to the whole track, so viewers
+  // expect them before the named track's slices.
+  for (const TrackName& track : names) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\""
+       << (track.is_process ? "process_name" : "thread_name")
+       << "\",\"ph\":\"M\",\"ts\":0,\"pid\":" << track.pid
+       << ",\"tid\":" << track.tid
+       << ",\"cat\":\"__metadata\",\"args\":{\"name\":\""
+       << JsonEscape(track.name) << "\"}}";
+  }
   for (const TraceEvent& ev : events) {
     if (ev.name == nullptr) continue;
     if (!first) os << ',';
@@ -202,6 +282,12 @@ Status TraceRecorder::WriteJson(std::ostream& os) const {
        << ",\"tid\":" << ev.tid;
     if (ev.phase == 'X') os << ",\"dur\":" << ev.dur_us;
     if (ev.phase == 'i') os << ",\"s\":\"t\"";
+    if (ev.phase == 's' || ev.phase == 'f') {
+      // String ids survive full 64-bit range (JSON numbers would not);
+      // "bp":"e" binds the finish to its enclosing slice.
+      os << ",\"id\":\"" << ev.flow_id << '"';
+      if (ev.phase == 'f') os << ",\"bp\":\"e\"";
+    }
     os << ",\"cat\":\"hetps\"";
     if (ev.num_args > 0) {
       os << ",\"args\":{";

@@ -19,16 +19,24 @@ namespace hetps {
 /// strings, so an append is a handful of word writes.
 struct TraceEvent {
   const char* name = nullptr;
-  char phase = 'X';       // 'X' complete span, 'i' instant
+  char phase = 'X';       // 'X' complete span, 'i' instant,
+                          // 's'/'f' flow start/finish
   uint32_t pid = 0;       // 0 = this process; simulators use their own
   uint32_t tid = 0;
   int64_t ts_us = 0;      // microseconds since recorder start (or
                           // virtual time for simulated events)
   int64_t dur_us = 0;     // 'X' only
+  uint64_t flow_id = 0;   // 's'/'f' only: correlates the two halves
   uint8_t num_args = 0;
   const char* arg_key[2] = {nullptr, nullptr};
   double arg_val[2] = {0.0, 0.0};
 };
+
+/// Mints a process-unique non-zero id for trace/flow correlation —
+/// Envelope.trace_id, TraceSpan::span_id(), and the simulator's flow
+/// ids all draw from this one sequence so ids never collide within a
+/// trace file.
+uint64_t NextTraceId();
 
 struct TraceOptions {
   /// Ring-buffer capacity per thread in KiB of event storage; the ring
@@ -85,6 +93,23 @@ class TraceRecorder {
   /// taken verbatim.
   void AppendExplicit(const TraceEvent& ev);
 
+  /// Flow start ('s') / finish ('f') at "now" on the calling thread's
+  /// track. Emit the start inside the client span and the finish inside
+  /// the server span with the same `flow_id` and Perfetto draws one
+  /// arrow between the two slices — the causal stitch for an RPC that
+  /// crosses threads (or, with AppendExplicit, simulated processes).
+  void AppendFlowStart(const char* name, uint64_t flow_id);
+  void AppendFlowFinish(const char* name, uint64_t flow_id);
+
+  /// Chrome metadata ('M') naming: label a pid / (pid, tid) so
+  /// about://tracing and Perfetto show "worker-3" instead of a raw
+  /// integer. Last writer wins per track; names are copied.
+  void SetProcessName(uint32_t pid, const std::string& name);
+  void SetThreadName(uint32_t pid, uint32_t tid, const std::string& name);
+  /// Names the calling thread's own track (pid 0, its ring-buffer tid).
+  /// No-op before the first Start (no tid assigned yet).
+  void NameThisThread(const std::string& name);
+
   /// Microseconds since Start (0 when never started).
   int64_t NowMicros() const;
 
@@ -110,13 +135,24 @@ class TraceRecorder {
     uint32_t tid = 0;
   };
 
+  /// One named track; serialized as a ph:"M" metadata event.
+  struct TrackName {
+    bool is_process = false;
+    uint32_t pid = 0;
+    uint32_t tid = 0;
+    std::string name;
+  };
+
   ThreadBuffer* BufferForThisThread();
   void Append(const TraceEvent& ev);
+  void SetTrackName(bool is_process, uint32_t pid, uint32_t tid,
+                    const std::string& name);
 
   std::atomic<bool> enabled_{false};
   std::atomic<int64_t> epoch_us_{0};  // steady_clock offset of Start
   mutable std::mutex registry_mu_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<TrackName> track_names_;  // guarded by registry_mu_
   size_t capacity_events_ = 0;
   const uint64_t instance_id_;  // distinguishes recorders for TLS caching
 };
@@ -160,9 +196,18 @@ class TraceSpan {
   }
   bool active() const { return name_ != nullptr; }
 
+  /// Lazily-minted id identifying this span across process boundaries
+  /// (Envelope.parent_span_id). 0 when tracing is disabled, so the
+  /// disabled path never touches the id counter.
+  uint64_t span_id() {
+    if (name_ != nullptr && span_id_ == 0) span_id_ = NextTraceId();
+    return span_id_;
+  }
+
  private:
   const char* name_;
   std::chrono::steady_clock::time_point start_;
+  uint64_t span_id_ = 0;
   TraceEvent proto_;
 };
 

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -224,7 +225,13 @@ void ParameterServer::AdvanceClock(int worker, int clock) {
     advanced = clock_table_.OnPush(worker, clock);
     cmin_after = clock_table_.cmin();
   }
-  if (advanced) clock_cv_.notify_all();
+  if (advanced) {
+    clock_cv_.notify_all();
+    // One event per (worker, clock) actually advanced — the flight
+    // record's progress spine a postmortem reads eviction order against.
+    FlightRecorder::Global().Record("clock_advance", worker, clock,
+                                    static_cast<double>(cmin_after));
+  }
   push_counter_->Increment();
   // SSP staleness of this update relative to the slowest worker.
   // Recorded here (not in the callers) so threaded, RPC and simulated
@@ -245,6 +252,7 @@ bool ParameterServer::EvictWorker(int worker) {
       << "worker id out of range";
   bool evicted = false;
   bool repaired = false;
+  int cmin_after = 0;
   {
     std::lock_guard<std::mutex> lock(clock_mu_);
     if (!clock_table_.is_live(worker)) return false;
@@ -252,6 +260,7 @@ bool ParameterServer::EvictWorker(int worker) {
     // EvictWorker refuses the last live worker; re-check membership to
     // tell a refusal apart from "evicted but cmin unchanged".
     evicted = !clock_table_.is_live(worker);
+    cmin_after = clock_table_.cmin();
   }
   if (!evicted) return false;
   // Wake *everyone*: survivors re-check against the repaired cmin, the
@@ -262,6 +271,14 @@ bool ParameterServer::EvictWorker(int worker) {
   worker_evicted_->Increment();
   if (repaired) cmin_repairs_->Increment();
   HETPS_TRACE_INSTANT1("ps.worker_evicted", "worker", worker);
+  FlightRecorder::Global().Record("worker_evicted", worker, cmin_after,
+                                  repaired ? 1.0 : 0.0);
+  if (repaired) {
+    FlightRecorder::Global().Record("cmin_repair", worker, cmin_after);
+  }
+  // Black-box semantics: an eviction is exactly the moment a postmortem
+  // needs the ring on disk, not at (a possibly never-reached) end of run.
+  FlightRecorder::Global().DumpNow("worker_evicted");
   HETPS_LOG(Info) << "ParameterServer: evicted worker " << worker
                   << (repaired ? " (cmin repaired)" : "");
   return true;
@@ -277,6 +294,7 @@ bool ParameterServer::ReadmitWorker(int worker, int clock) {
   master_.MarkWorkerLive(worker);
   worker_readmitted_->Increment();
   HETPS_TRACE_INSTANT1("ps.worker_readmitted", "worker", worker);
+  FlightRecorder::Global().Record("worker_readmitted", worker, clock);
   return true;
 }
 

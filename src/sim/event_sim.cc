@@ -9,7 +9,9 @@
 
 #include "data/sharding.h"
 #include "net/heartbeat.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "ps/parameter_server.h"
 #include "util/logging.h"
@@ -63,16 +65,21 @@ struct EventLater {
 /// simulated run and a threaded run load side by side in Perfetto.
 constexpr uint32_t kSimPid = 1;
 
-void EmitSimSpan(const char* name, int worker, double start_seconds,
-                 double dur_seconds, const char* k0 = nullptr,
-                 double v0 = 0.0) {
+/// Simulated *server* tracks live far above the worker tids so the two
+/// families never collide (a cluster with 10000 workers is outside this
+/// simulator's regime).
+constexpr uint32_t kSimServerTidBase = 10000;
+
+void EmitSimSpanTid(const char* name, uint32_t tid, double start_seconds,
+                    double dur_seconds, const char* k0 = nullptr,
+                    double v0 = 0.0) {
   TraceRecorder& rec = TraceRecorder::Global();
   if (!rec.enabled()) return;
   TraceEvent ev;
   ev.name = name;
   ev.phase = 'X';
   ev.pid = kSimPid;
-  ev.tid = static_cast<uint32_t>(worker);
+  ev.tid = tid;
   ev.ts_us = static_cast<int64_t>(start_seconds * 1e6);
   ev.dur_us = static_cast<int64_t>(dur_seconds * 1e6);
   if (k0 != nullptr) {
@@ -83,12 +90,42 @@ void EmitSimSpan(const char* name, int worker, double start_seconds,
   rec.AppendExplicit(ev);
 }
 
+void EmitSimSpan(const char* name, int worker, double start_seconds,
+                 double dur_seconds, const char* k0 = nullptr,
+                 double v0 = 0.0) {
+  EmitSimSpanTid(name, static_cast<uint32_t>(worker), start_seconds,
+                 dur_seconds, k0, v0);
+}
+
+/// One half of a causal flow arrow ('s' starts it, 'f' ends it). The
+/// event must fall *inside* the slice it should bind to — Chrome binds a
+/// flow event to the slice enclosing its timestamp on that track — so
+/// callers pass a mid-slice timestamp, not the slice edge.
+void EmitSimFlow(char phase, uint64_t flow_id, uint32_t tid,
+                 double ts_seconds) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  if (!rec.enabled()) return;
+  TraceEvent ev;
+  ev.name = "rpc";
+  ev.phase = phase;
+  ev.pid = kSimPid;
+  ev.tid = tid;
+  ev.ts_us = static_cast<int64_t>(ts_seconds * 1e6);
+  ev.flow_id = flow_id;
+  rec.AppendExplicit(ev);
+}
+
 struct PushPieceMsg {
   int partition;
   int worker;
   int clock;
   SparseVector piece;
   bool last;
+  /// Causal-flow correlation, carried only by the last piece (0 =
+  /// untraced): the flow minted inside the worker.push slice finishes in
+  /// the server's rpc.handle slice when this piece lands.
+  uint64_t flow_id = 0;
+  double send_time = 0.0;
 };
 
 struct WorkerSim {
@@ -118,6 +155,11 @@ struct WorkerSim {
   std::vector<int64_t> cached_tags;
   Rng rng{0};
   WorkerTimeBreakdown breakdown;
+  // Live per-clock phase histograms in virtual µs — same series the
+  // threaded trainer records, so time-series windows from a simulated
+  // and a threaded run are directly comparable.
+  HistogramMetric* wait_us = nullptr;
+  HistogramMetric* compute_us = nullptr;
 };
 
 /// One simulated run. Single-threaded; time advances through the event
@@ -174,6 +216,10 @@ class Simulation {
             static_cast<size_t>(ps_->partitioner().num_partitions()),
             kNoCachedTag);
       }
+      w.wait_us = GlobalMetrics().histogram(
+          "worker.wait_us", {{"worker", std::to_string(m)}});
+      w.compute_us = GlobalMetrics().histogram(
+          "worker.compute_us", {{"worker", std::to_string(m)}});
       w.rng = master_rng.Fork(static_cast<uint64_t>(m));
       // Stagger start-up (container launch + data loading differ across
       // workers in any real deployment).
@@ -195,7 +241,28 @@ class Simulation {
       Schedule(options.heartbeat_timeout_seconds / 2.0,
                EventType::kHeartbeatSweep, 0, 0);
     }
+
+    // Name the simulated tracks so Perfetto shows "worker-3" instead of
+    // a bare tid (the real runtimes name their threads the same way).
+    TraceRecorder& rec = TraceRecorder::Global();
+    rec.SetProcessName(kSimPid, "hetps sim (virtual time)");
+    for (int m = 0; m < cluster.num_workers; ++m) {
+      rec.SetThreadName(kSimPid, static_cast<uint32_t>(m),
+                        "worker-" + std::to_string(m));
+    }
+    for (int s = 0; s < cluster.num_servers; ++s) {
+      rec.SetThreadName(kSimPid, kSimServerTidBase +
+                                     static_cast<uint32_t>(s),
+                        "server-" + std::to_string(s));
+    }
+    // Flight-recorder events raised during the run (kills, suspicions,
+    // evictions, cmin repairs) must carry *virtual* timestamps to line
+    // up with the simulated trace; the destructor restores wall time.
+    FlightRecorder::Global().SetNowFn(
+        [this] { return static_cast<int64_t>(now_ * 1e6); });
   }
+
+  ~Simulation() { FlightRecorder::Global().SetNowFn(nullptr); }
 
   SimResult Run() {
     while (!queue_.empty() && !stop_) {
@@ -301,6 +368,7 @@ class Simulation {
     if (worker == options_.kill_worker && options_.kill_at_clock >= 0 &&
         w.clock == options_.kill_at_clock && !w.killed) {
       w.killed = true;
+      FlightRecorder::Global().Record("fault.kill", worker, w.clock);
       HETPS_LOG(Warning) << "sim fault: killing worker " << worker
                          << " before clock " << w.clock;
       return;
@@ -329,6 +397,7 @@ class Simulation {
          static_cast<double>(stats.batches) * cluster_.batch_overhead) *
         prof.compute_multiplier * jitter;
     w.breakdown.compute_seconds += tc;
+    w.compute_us->RecordInt(static_cast<int64_t>(tc * 1e6));
     EmitSimSpan("worker.compute", worker, now_, tc, "clock",
                 static_cast<double>(w.clock));
     const double t_send = now_ + tc;
@@ -363,6 +432,10 @@ class Simulation {
     }
 
     ++w.breakdown.clocks_completed;
+    if (worker == 0 && options_.timeseries != nullptr) {
+      options_.timeseries->SnapshotAt(
+          w.clock + 1, static_cast<int64_t>(now_ * 1e6));
+    }
     if (worker == 0 && options_.on_epoch) {
       options_.on_epoch(w.clock + 1);
     }
@@ -404,12 +477,24 @@ class Simulation {
     w.breakdown.comm_seconds += max_arrival - now_;
     EmitSimSpan("worker.push", worker, now_, max_arrival - now_, "clock",
                 static_cast<double>(w.pending_push_clock));
+    // Client half of the causal link: the flow starts mid-slice inside
+    // worker.push and finishes inside the rpc.handle slice the server
+    // track gets when the last piece lands (HandlePushArrive).
+    uint64_t flow_id = 0;
+    if (TraceRecorder::Global().enabled() && !pieces.empty()) {
+      flow_id = NextTraceId();
+      EmitSimFlow('s', flow_id, static_cast<uint32_t>(worker),
+                  now_ + (max_arrival - now_) * 0.5);
+    }
     for (size_t p = 0; p < pieces.size(); ++p) {
       const int64_t id = next_piece_id_++;
-      pieces_.emplace(id, PushPieceMsg{static_cast<int>(p), worker,
-                                       w.pending_push_clock,
-                                       std::move(pieces[p]),
-                                       p == last_idx});
+      PushPieceMsg msg{static_cast<int>(p), worker, w.pending_push_clock,
+                       std::move(pieces[p]), p == last_idx};
+      if (msg.last) {
+        msg.flow_id = flow_id;
+        msg.send_time = now_;
+      }
+      pieces_.emplace(id, std::move(msg));
       Schedule(arrivals[p], EventType::kPushArrive, worker, id);
     }
   }
@@ -426,6 +511,20 @@ class Simulation {
     ps_->PushPiece(msg.partition, msg.worker, msg.clock, msg.piece,
                    msg.last);
     if (!msg.last) return;
+    if (msg.flow_id != 0) {
+      // Server half of the causal link: an rpc.handle slice on the
+      // owning server's track covering transit + handling, with the
+      // flow-finish bound mid-slice (see EmitSimFlow).
+      const uint32_t server_tid =
+          kSimServerTidBase +
+          static_cast<uint32_t>(
+              ps_->partitioner().ServerOf(msg.partition));
+      EmitSimSpanTid("rpc.handle", server_tid, msg.send_time,
+                     now_ - msg.send_time, "worker",
+                     static_cast<double>(msg.worker));
+      EmitSimFlow('f', msg.flow_id, server_tid,
+                  msg.send_time + (now_ - msg.send_time) * 0.5);
+    }
     ++total_pushes_;
     if (options_.eval_every_pushes > 0 &&
         total_pushes_ % options_.eval_every_pushes == 0) {
@@ -473,6 +572,9 @@ class Simulation {
       const int victim = std::stoi(node.substr(node.rfind('-') + 1));
       monitor_->Unregister(node);
       GlobalMetrics().counter("ps.workers_suspected")->Increment();
+      FlightRecorder::Global().Record(
+          "worker_suspected", victim, /*clock=*/-1, /*value=*/0.0,
+          options_.evict_dead_workers ? nullptr : "eviction disabled");
       if (!options_.evict_dead_workers) {
         HETPS_LOG(Warning) << "sim: worker " << victim
                            << " suspected dead (eviction disabled)";
@@ -512,6 +614,9 @@ class Simulation {
         workers_[static_cast<size_t>(victim)].sgd->mutable_shard(),
         survivors);
     examples_failed_over_ += static_cast<int64_t>(moved);
+    FlightRecorder::Global().Record("shard_failover", victim,
+                                    /*clock=*/-1,
+                                    static_cast<double>(moved));
     if (moved > 0) {
       GlobalMetrics()
           .counter("ps.shard_reassignments")
@@ -528,6 +633,8 @@ class Simulation {
   void GrantPull(int worker) {
     WorkerSim& w = workers_[static_cast<size_t>(worker)];
     w.breakdown.wait_seconds += now_ - w.pull_request_time;
+    w.wait_us->RecordInt(
+        static_cast<int64_t>((now_ - w.pull_request_time) * 1e6));
     EmitSimSpan("worker.wait", worker, w.pull_request_time,
                 now_ - w.pull_request_time, "next_clock",
                 static_cast<double>(w.pending_next_clock));
@@ -668,6 +775,12 @@ class Simulation {
   }
 
   SimResult Finalize() {
+    if (options_.timeseries != nullptr) {
+      // Flush window: whatever accumulated since worker 0's last clock
+      // (e.g. the victim's tail) still lands in a window.
+      options_.timeseries->SnapshotAt(
+          /*epoch=*/-1, static_cast<int64_t>(now_ * 1e6));
+    }
     SimResult r;
     r.converged = converged_;
     r.total_pushes = total_pushes_;

@@ -19,6 +19,8 @@
 
 namespace hetps {
 
+class TimeSeriesRecorder;
+
 /// Options controlling one simulated training run.
 struct SimOptions {
   SyncPolicy sync = SyncPolicy::Ssp(3);
@@ -70,6 +72,13 @@ struct SimOptions {
   /// Called after each of worker 0's clocks completes (1-based count);
   /// RunReporter::OnEpoch hooks in here. Runs on the simulator thread.
   std::function<void(int)> on_epoch;
+  /// When set, the simulator closes one time-series window per worker-0
+  /// clock via SnapshotAt, stamped with *virtual* time — so windows line
+  /// up with the simulated trace and flight record instead of with the
+  /// (milliseconds-long) wall clock of the simulation itself. The owner
+  /// must not also close windows through RunReporter::OnEpoch (see
+  /// RunReporter::UseExternalTimeSeriesClock).
+  TimeSeriesRecorder* timeseries = nullptr;
   /// --- Liveness / failure injection (the SSP liveness repair) ---
   /// Crash-stop `kill_worker` just before it starts clock
   /// `kill_at_clock`: it emits no further events — pushes, pulls and

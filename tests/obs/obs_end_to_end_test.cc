@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -16,9 +18,11 @@
 #include "data/synthetic.h"
 #include "engine/distributed_trainer.h"
 #include "engine/threaded_trainer.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/run_reporter.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/cluster_config.h"
 #include "sim/event_sim.h"
@@ -204,6 +208,126 @@ TEST_F(ObsEndToEndTest, DistributedRunCarriesRpcCountersAndBreakdown) {
   EXPECT_NE(json.find("bus.fault.dropped_requests"), std::string::npos);
   EXPECT_NE(json.find("rpc.client_retries"), std::string::npos);
   EXPECT_NE(json.find("rpc.handle_us{op=push}"), std::string::npos);
+}
+
+TEST_F(ObsEndToEndTest, LossyKillRunStitchesAllFourArtifacts) {
+  // The issue's acceptance scenario: a lossy bus plus a crash-stopped
+  // worker must yield (a) one Chrome trace whose client bus.rpc span
+  // flow-links to the server's rpc.handle span, (b) a valid
+  // timeseries.json with per-window worker signals, and (c) a
+  // flightrec.json whose kill → suspect → evict → reassign events
+  // appear in causal (seq) order.
+  SyntheticConfig cfg;
+  cfg.num_examples = 400;
+  cfg.num_features = 150;
+  cfg.avg_nnz = 8;
+  cfg.seed = 51;
+  const Dataset data = GenerateSynthetic(cfg);
+  auto rule = MakeConsolidationRule("dyn");
+  auto loss = MakeLoss("logistic");
+  FixedRate sched(0.5);
+
+  const std::string timeseries_path = UniquePath("_timeseries.json");
+  const std::string flightrec_path = UniquePath("_flightrec.json");
+
+  RunReporterOptions opts;
+  opts.metrics_out = metrics_path_;
+  opts.trace_out = trace_path_;
+  opts.timeseries_out = timeseries_path;
+  opts.flightrec_out = flightrec_path;
+  opts.run_info = {{"command", "test.lossy_kill"}};
+  RunReporter reporter(opts);
+
+  FlightRecorder::Global().Clear();
+  FlightRecorder::Global().Start(4096);
+
+  DistributedTrainerOptions dopts;
+  dopts.num_workers = 4;
+  dopts.num_servers = 2;
+  dopts.max_clocks = 10;
+  dopts.eval_sample = 400;
+  dopts.sync = SyncPolicy::Ssp(3);
+  dopts.fault_plan = FaultPlan::DropEverywhere(0.05, 77);
+  dopts.fault_plan.fault_worker = 2;
+  dopts.fault_plan.kill_at_clock = 3;
+  dopts.heartbeat_timeout = 2.0;
+  dopts.rpc_retry.timeout = std::chrono::milliseconds(10);
+  dopts.rpc_retry.max_attempts = 40;
+  dopts.rpc_retry.initial_backoff = std::chrono::microseconds(100);
+  dopts.on_epoch = [&](int epoch) { reporter.OnEpoch(epoch); };
+
+  auto result = TrainDistributed(data, *loss, sched, *rule, dopts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().evicted_workers.size(), 1u);
+  EXPECT_EQ(result.value().evicted_workers[0], 2);
+  ASSERT_TRUE(reporter.WriteFinal().ok());
+  FlightRecorder::Global().Stop();
+
+  // (a) Causal trace: at least one flow id appears on both a client
+  // "s" half and a server "f" half — the cross-process stitch.
+  const std::string trace_text = Slurp(trace_path_);
+  ASSERT_TRUE(ValidateChromeTraceJson(trace_text).ok()) << trace_text;
+  auto trace_doc = ParseJson(trace_text);
+  ASSERT_TRUE(trace_doc.ok());
+  std::set<std::string> start_ids, finish_ids;
+  for (const JsonValue& ev :
+       trace_doc.value().Find("traceEvents")->array) {
+    const JsonValue* ph = ev.Find("ph");
+    const JsonValue* id = ev.Find("id");
+    if (ph == nullptr || id == nullptr) continue;
+    if (ph->string_value == "s") start_ids.insert(id->string_value);
+    if (ph->string_value == "f") finish_ids.insert(id->string_value);
+  }
+  bool linked = false;
+  for (const std::string& id : start_ids) {
+    if (finish_ids.count(id) != 0) linked = true;
+  }
+  EXPECT_TRUE(linked) << "no client->server flow link: " << start_ids.size()
+                      << " starts, " << finish_ids.size() << " finishes";
+
+  // (b) Windowed time series: one window per worker-0 clock plus the
+  // final flush window, carrying per-worker wait histograms.
+  const std::string ts_text = Slurp(timeseries_path);
+  ASSERT_TRUE(ValidateTimeSeriesJson(ts_text).ok()) << ts_text;
+  auto ts_doc = ParseJson(ts_text);
+  ASSERT_TRUE(ts_doc.ok());
+  const auto& windows = ts_doc.value().Find("windows")->array;
+  ASSERT_GE(windows.size(), 3u);
+  EXPECT_DOUBLE_EQ(windows.back().Find("epoch")->number_value, -1.0);
+  bool saw_wait = false;
+  for (const JsonValue& w : windows) {
+    for (const auto& [key, value] : w.Find("histograms")->object) {
+      if (key.rfind("worker.wait_us{worker=", 0) == 0) saw_wait = true;
+    }
+  }
+  EXPECT_TRUE(saw_wait) << ts_text;
+
+  // (c) Flight record: the postmortem sequence in causal order.
+  const std::string fr_text = Slurp(flightrec_path);
+  ASSERT_TRUE(ValidateFlightRecJson(fr_text).ok()) << fr_text;
+  auto fr_doc = ParseJson(fr_text);
+  ASSERT_TRUE(fr_doc.ok());
+  double kill_seq = -1, suspect_seq = -1, evict_seq = -1,
+         failover_seq = -1;
+  for (const JsonValue& ev : fr_doc.value().Find("events")->array) {
+    const std::string& kind = ev.Find("kind")->string_value;
+    const double seq = ev.Find("seq")->number_value;
+    if (kind == "fault.kill" && kill_seq < 0) kill_seq = seq;
+    if (kind == "worker_suspected" && suspect_seq < 0) suspect_seq = seq;
+    if (kind == "worker_evicted" && evict_seq < 0) evict_seq = seq;
+    if (kind == "shard_failover" && failover_seq < 0) failover_seq = seq;
+  }
+  ASSERT_GE(kill_seq, 0.0) << fr_text;
+  ASSERT_GE(suspect_seq, 0.0) << fr_text;
+  ASSERT_GE(evict_seq, 0.0) << fr_text;
+  ASSERT_GE(failover_seq, 0.0) << fr_text;
+  EXPECT_LT(kill_seq, suspect_seq);
+  EXPECT_LT(suspect_seq, evict_seq);
+  EXPECT_LT(evict_seq, failover_seq);
+
+  FlightRecorder::Global().Clear();
+  std::remove(timeseries_path.c_str());
+  std::remove(flightrec_path.c_str());
 }
 
 }  // namespace

@@ -178,5 +178,112 @@ TEST(ValidateChromeTraceJsonTest, RejectsMalformed) {
                   .ok());
 }
 
+TEST(ValidateChromeTraceJsonTest, FlowEventsRequireAnId) {
+  // A flow half without an id renders as a dangling arrow — reject.
+  EXPECT_FALSE(ValidateChromeTraceJson(
+                   "{\"traceEvents\":[{\"name\":\"rpc\",\"ph\":\"s\","
+                   "\"ts\":1,\"pid\":0,\"tid\":0}]}")
+                   .ok());
+  EXPECT_FALSE(ValidateChromeTraceJson(
+                   "{\"traceEvents\":[{\"name\":\"rpc\",\"ph\":\"f\","
+                   "\"ts\":1,\"pid\":0,\"tid\":0,\"id\":\"\"}]}")
+                   .ok());
+  EXPECT_TRUE(ValidateChromeTraceJson(
+                  "{\"traceEvents\":["
+                  "{\"name\":\"rpc\",\"ph\":\"s\",\"ts\":1,\"pid\":0,"
+                  "\"tid\":0,\"id\":\"7\"},"
+                  "{\"name\":\"rpc\",\"ph\":\"f\",\"ts\":2,\"pid\":1,"
+                  "\"tid\":0,\"id\":\"7\",\"bp\":\"e\"}]}")
+                  .ok());
+}
+
+TEST(ValidateChromeTraceJsonTest, TimestampOrdering) {
+  // Data events must be non-decreasing in ts (the writer merges the
+  // per-thread rings sorted).
+  EXPECT_FALSE(ValidateChromeTraceJson(
+                   "{\"traceEvents\":["
+                   "{\"name\":\"a\",\"ph\":\"i\",\"ts\":10,\"pid\":0,"
+                   "\"tid\":0},"
+                   "{\"name\":\"b\",\"ph\":\"i\",\"ts\":5,\"pid\":0,"
+                   "\"tid\":0}]}")
+                   .ok());
+  // Metadata events carry nominal timestamps and are exempt.
+  EXPECT_TRUE(ValidateChromeTraceJson(
+                  "{\"traceEvents\":["
+                  "{\"name\":\"a\",\"ph\":\"i\",\"ts\":10,\"pid\":0,"
+                  "\"tid\":0},"
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,"
+                  "\"pid\":0,\"tid\":0},"
+                  "{\"name\":\"b\",\"ph\":\"i\",\"ts\":11,\"pid\":0,"
+                  "\"tid\":0}]}")
+                  .ok());
+}
+
+TEST(RunReporter, WritesTimeSeriesAndFlightRecorder) {
+  MetricsRegistry reg;
+  Counter* pushes = reg.counter("ps.push.count");
+  TraceRecorder trace;
+
+  RunReporterOptions opt;
+  opt.timeseries_out = TempPath("reporter_timeseries.json");
+  opt.flightrec_out = TempPath("reporter_flightrec.json");
+  RunReporter reporter(opt, &reg, &trace);
+  ASSERT_NE(reporter.timeseries(), nullptr);
+
+  FlightRecorder::Global().Clear();
+  FlightRecorder::Global().Start(64);
+  FlightRecorder::Global().Record("worker_evicted", 2, 5);
+
+  pushes->Increment(3);
+  reporter.OnEpoch(1);
+  pushes->Increment(4);
+  reporter.OnEpoch(2);
+  pushes->Increment(1);
+  ASSERT_TRUE(reporter.WriteFinal().ok());
+  FlightRecorder::Global().Stop();
+
+  const std::string ts_text = ReadFileOrDie(opt.timeseries_out);
+  ASSERT_TRUE(ValidateTimeSeriesJson(ts_text).ok()) << ts_text;
+  auto ts_doc = ParseJson(ts_text);
+  ASSERT_TRUE(ts_doc.ok());
+  const auto& windows = ts_doc.value().Find("windows")->array;
+  // Two epoch windows plus the final flush window (epoch -1).
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_DOUBLE_EQ(windows[2].Find("epoch")->number_value, -1.0);
+  EXPECT_DOUBLE_EQ(
+      windows[1].Find("counters")->Find("ps.push.count")->number_value,
+      4.0);
+
+  const std::string fr_text = ReadFileOrDie(opt.flightrec_out);
+  ASSERT_TRUE(ValidateFlightRecJson(fr_text).ok()) << fr_text;
+  EXPECT_NE(fr_text.find("worker_evicted"), std::string::npos);
+
+  FlightRecorder::Global().Clear();
+  std::remove(opt.timeseries_out.c_str());
+  std::remove(opt.flightrec_out.c_str());
+}
+
+TEST(RunReporter, ExternalTimeSeriesClockSkipsInternalWindows) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("c");
+  TraceRecorder trace;
+  RunReporterOptions opt;
+  opt.timeseries_out = TempPath("reporter_ts_external.json");
+  RunReporter reporter(opt, &reg, &trace);
+  reporter.UseExternalTimeSeriesClock();
+
+  c->Increment();
+  reporter.OnEpoch(1);  // must NOT close a window
+  reporter.timeseries()->SnapshotAt(/*epoch=*/1, /*ts_us=*/400);
+  ASSERT_TRUE(reporter.WriteFinal().ok());  // must NOT add a flush window
+
+  auto doc = ParseJson(ReadFileOrDie(opt.timeseries_out));
+  ASSERT_TRUE(doc.ok());
+  const auto& windows = doc.value().Find("windows")->array;
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(windows[0].Find("ts_us")->number_value, 400.0);
+  std::remove(opt.timeseries_out.c_str());
+}
+
 }  // namespace
 }  // namespace hetps

@@ -1,0 +1,205 @@
+#include "obs/timeseries.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace hetps {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(TimeSeriesRecorder, WindowsHoldDeltasNotTotals) {
+  MetricsRegistry reg;
+  Counter* pushes = reg.counter("ps.push.count");
+  HistogramMetric* wait = reg.histogram("worker.wait_us",
+                                        {{"worker", "2"}});
+  Gauge* blocked = reg.gauge("ps.blocked_workers");
+
+  TimeSeriesRecorder rec(&reg);
+  pushes->Increment(10);
+  wait->RecordInt(100);
+  wait->RecordInt(300);
+  blocked->Set(1);
+  rec.Snapshot(/*epoch=*/1);
+
+  pushes->Increment(5);
+  wait->RecordInt(1000);
+  blocked->Set(3);
+  rec.Snapshot(/*epoch=*/2);
+
+  EXPECT_EQ(rec.window_count(), 2u);
+  auto doc = ParseJson(rec.ToJsonString());
+  ASSERT_TRUE(doc.ok());
+  const auto& windows = doc.value().Find("windows")->array;
+  ASSERT_EQ(windows.size(), 2u);
+
+  // First window: absolute values (deltas against an empty baseline).
+  const JsonValue& w0 = windows[0];
+  EXPECT_DOUBLE_EQ(w0.Find("epoch")->number_value, 1.0);
+  EXPECT_DOUBLE_EQ(
+      w0.Find("counters")->Find("ps.push.count")->number_value, 10.0);
+  const JsonValue* h0 =
+      w0.Find("histograms")->Find("worker.wait_us{worker=2}");
+  ASSERT_NE(h0, nullptr);
+  EXPECT_DOUBLE_EQ(h0->Find("count")->number_value, 2.0);
+  EXPECT_DOUBLE_EQ(h0->Find("sum")->number_value, 400.0);
+
+  // Second window: only the movement since the first.
+  const JsonValue& w1 = windows[1];
+  EXPECT_DOUBLE_EQ(
+      w1.Find("counters")->Find("ps.push.count")->number_value, 5.0);
+  const JsonValue* h1 =
+      w1.Find("histograms")->Find("worker.wait_us{worker=2}");
+  ASSERT_NE(h1, nullptr);
+  EXPECT_DOUBLE_EQ(h1->Find("count")->number_value, 1.0);
+  EXPECT_DOUBLE_EQ(h1->Find("sum")->number_value, 1000.0);
+  // Gauges are levels, not flows: current value, not a delta.
+  EXPECT_DOUBLE_EQ(
+      w1.Find("gauges")->Find("ps.blocked_workers")->number_value, 3.0);
+}
+
+TEST(TimeSeriesRecorder, QuietMetricsAreElided) {
+  MetricsRegistry reg;
+  Counter* active = reg.counter("active");
+  reg.counter("idle");  // never incremented
+  TimeSeriesRecorder rec(&reg);
+  active->Increment();
+  rec.Snapshot(1);
+  active->Increment();
+  rec.Snapshot(2);
+  const std::string json = rec.ToJsonString();
+  EXPECT_NE(json.find("\"active\""), std::string::npos) << json;
+  // A counter that never moved adds nothing to any window.
+  EXPECT_EQ(json.find("\"idle\""), std::string::npos) << json;
+}
+
+TEST(TimeSeriesRecorder, BoundedRingDropsOldestWindows) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("c");
+  TimeSeriesOptions opt;
+  opt.max_windows = 4;
+  TimeSeriesRecorder rec(&reg, opt);
+  for (int i = 0; i < 10; ++i) {
+    c->Increment();
+    rec.Snapshot(i);
+  }
+  EXPECT_EQ(rec.window_count(), 4u);
+  EXPECT_EQ(rec.dropped_windows(), 6);
+  auto doc = ParseJson(rec.ToJsonString());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_DOUBLE_EQ(doc.value().Find("dropped_windows")->number_value,
+                   6.0);
+  const auto& windows = doc.value().Find("windows")->array;
+  ASSERT_EQ(windows.size(), 4u);
+  // Survivors are the newest windows and keep their original indices.
+  EXPECT_DOUBLE_EQ(windows.front().Find("index")->number_value, 6.0);
+  EXPECT_DOUBLE_EQ(windows.back().Find("index")->number_value, 9.0);
+}
+
+TEST(TimeSeriesRecorder, SnapshotAtUsesExplicitTimestamps) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("c");
+  TimeSeriesRecorder rec(&reg);
+  c->Increment();
+  rec.SnapshotAt(/*epoch=*/1, /*ts_us=*/1500000);
+  c->Increment();
+  rec.SnapshotAt(/*epoch=*/-1, /*ts_us=*/2750000);
+  auto doc = ParseJson(rec.ToJsonString());
+  ASSERT_TRUE(doc.ok());
+  const auto& windows = doc.value().Find("windows")->array;
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(windows[0].Find("ts_us")->number_value, 1500000.0);
+  EXPECT_DOUBLE_EQ(windows[1].Find("ts_us")->number_value, 2750000.0);
+  EXPECT_DOUBLE_EQ(windows[1].Find("epoch")->number_value, -1.0);
+}
+
+TEST(TimeSeriesRecorder, ClearRebasesDeltas) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("c");
+  TimeSeriesRecorder rec(&reg);
+  c->Increment(100);
+  rec.Snapshot(1);
+  rec.Clear();
+  EXPECT_EQ(rec.window_count(), 0u);
+  // Post-Clear snapshot must not re-report the pre-Clear increments.
+  c->Increment(7);
+  rec.Snapshot(2);
+  auto doc = ParseJson(rec.ToJsonString());
+  ASSERT_TRUE(doc.ok());
+  const auto& windows = doc.value().Find("windows")->array;
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(windows[0].Find("counters")->Find("c")->number_value,
+                   7.0);
+}
+
+TEST(TimeSeriesRecorder, WriteToFileRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("c")->Increment();
+  TimeSeriesRecorder rec(&reg);
+  rec.Snapshot(1);
+  const std::string path = TempPath("timeseries_roundtrip.json");
+  ASSERT_TRUE(rec.WriteToFile(path).ok());
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(ValidateTimeSeriesJson(buf.str()).ok()) << buf.str();
+  std::remove(path.c_str());
+}
+
+TEST(ValidateTimeSeriesJsonTest, AcceptsRealOutput) {
+  MetricsRegistry reg;
+  reg.counter("c")->Increment();
+  reg.histogram("h")->RecordInt(5);
+  TimeSeriesRecorder rec(&reg);
+  rec.Snapshot(1);
+  rec.Snapshot(2);
+  const std::string json = rec.ToJsonString();
+  EXPECT_TRUE(ValidateTimeSeriesJson(json).ok())
+      << ValidateTimeSeriesJson(json).ToString() << "\n" << json;
+}
+
+TEST(ValidateTimeSeriesJsonTest, RejectsAdversarialInputs) {
+  // Truncated mid-document (a crashed writer).
+  EXPECT_FALSE(ValidateTimeSeriesJson(
+                   "{\"schema\":\"hetps.timeseries.v1\",\"max_windows\""
+                   ":512,\"dropped_windows\":0,\"windows\":[{\"index\"")
+                   .ok());
+  // Unknown schema version must be rejected, not best-effort parsed.
+  EXPECT_FALSE(ValidateTimeSeriesJson(
+                   "{\"schema\":\"hetps.timeseries.v2\",\"max_windows\""
+                   ":512,\"dropped_windows\":0,\"windows\":[]}")
+                   .ok());
+  // Out-of-order window indices (corrupt or hand-edited file).
+  EXPECT_FALSE(
+      ValidateTimeSeriesJson(
+          "{\"schema\":\"hetps.timeseries.v1\",\"max_windows\":512,"
+          "\"dropped_windows\":0,\"windows\":["
+          "{\"index\":1,\"epoch\":1,\"ts_us\":0,\"counters\":{},"
+          "\"gauges\":{},\"histograms\":{}},"
+          "{\"index\":0,\"epoch\":2,\"ts_us\":1,\"counters\":{},"
+          "\"gauges\":{},\"histograms\":{}}]}")
+          .ok());
+  // Histogram entry without numeric count/sum.
+  EXPECT_FALSE(
+      ValidateTimeSeriesJson(
+          "{\"schema\":\"hetps.timeseries.v1\",\"max_windows\":512,"
+          "\"dropped_windows\":0,\"windows\":["
+          "{\"index\":0,\"epoch\":1,\"ts_us\":0,\"counters\":{},"
+          "\"gauges\":{},\"histograms\":{\"h\":{\"count\":\"x\"}}}]}")
+          .ok());
+  // Not an object at all.
+  EXPECT_FALSE(ValidateTimeSeriesJson("[]").ok());
+  EXPECT_FALSE(ValidateTimeSeriesJson("garbage").ok());
+}
+
+}  // namespace
+}  // namespace hetps

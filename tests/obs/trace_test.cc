@@ -20,6 +20,16 @@ TraceOptions SmallBuffers() {
   return o;
 }
 
+/// Start() injects process_name/thread_name metadata ("M") events;
+/// most assertions care about the data events only.
+std::vector<const JsonValue*> DataEvents(const JsonValue& doc) {
+  std::vector<const JsonValue*> out;
+  for (const JsonValue& ev : doc.Find("traceEvents")->array) {
+    if (ev.Find("ph")->string_value != "M") out.push_back(&ev);
+  }
+  return out;
+}
+
 TEST(TraceRecorder, DisabledRecordsNothing) {
   TraceRecorder rec;
   {
@@ -47,13 +57,12 @@ TEST(TraceRecorder, RecordsSpansAndInstants) {
   ASSERT_TRUE(ValidateChromeTraceJson(json).ok()) << json;
   auto doc = ParseJson(json);
   ASSERT_TRUE(doc.ok());
-  const JsonValue* events = doc.value().Find("traceEvents");
-  ASSERT_NE(events, nullptr);
-  ASSERT_EQ(events->array.size(), 2u);
-  EXPECT_EQ(events->array[0].Find("name")->string_value, "span.a");
-  EXPECT_EQ(events->array[0].Find("ph")->string_value, "X");
-  EXPECT_DOUBLE_EQ(events->array[0].Find("dur")->number_value, 250.0);
-  EXPECT_EQ(events->array[1].Find("ph")->string_value, "i");
+  const auto events = DataEvents(doc.value());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0]->Find("name")->string_value, "span.a");
+  EXPECT_EQ(events[0]->Find("ph")->string_value, "X");
+  EXPECT_DOUBLE_EQ(events[0]->Find("dur")->number_value, 250.0);
+  EXPECT_EQ(events[1]->Find("ph")->string_value, "i");
 }
 
 TEST(TraceRecorder, ArgsSerialized) {
@@ -72,7 +81,9 @@ TEST(TraceRecorder, ArgsSerialized) {
   rec.AppendExplicit(ev);
   auto doc = ParseJson(rec.ToJsonString());
   ASSERT_TRUE(doc.ok());
-  const JsonValue& e = doc.value().Find("traceEvents")->array[0];
+  const auto events = DataEvents(doc.value());
+  ASSERT_EQ(events.size(), 1u);
+  const JsonValue& e = *events[0];
   const JsonValue* args = e.Find("args");
   ASSERT_NE(args, nullptr);
   EXPECT_DOUBLE_EQ(args->Find("worker")->number_value, 3.0);
@@ -98,10 +109,10 @@ TEST(TraceRecorder, RingWraparoundKeepsNewest) {
   // The surviving events are the newest `cap` ones, oldest-first.
   auto doc = ParseJson(rec.ToJsonString());
   ASSERT_TRUE(doc.ok());
-  const auto& events = doc.value().Find("traceEvents")->array;
+  const auto events = DataEvents(doc.value());
   ASSERT_EQ(events.size(), cap);
-  EXPECT_DOUBLE_EQ(events.front().Find("ts")->number_value, 10.0);
-  EXPECT_DOUBLE_EQ(events.back().Find("ts")->number_value, total - 1.0);
+  EXPECT_DOUBLE_EQ(events.front()->Find("ts")->number_value, 10.0);
+  EXPECT_DOUBLE_EQ(events.back()->Find("ts")->number_value, total - 1.0);
 }
 
 TEST(TraceRecorder, MultiThreadedAppendIsClean) {
@@ -147,10 +158,10 @@ TEST(TraceRecorder, ThreadsGetDistinctTids) {
   b.join();
   auto doc = ParseJson(rec.ToJsonString());
   ASSERT_TRUE(doc.ok());
-  const auto& events = doc.value().Find("traceEvents")->array;
+  const auto events = DataEvents(doc.value());
   ASSERT_EQ(events.size(), 2u);
-  EXPECT_NE(events[0].Find("tid")->number_value,
-            events[1].Find("tid")->number_value);
+  EXPECT_NE(events[0]->Find("tid")->number_value,
+            events[1]->Find("tid")->number_value);
 }
 
 TEST(TraceRecorder, ClearDiscardsEvents) {
@@ -186,6 +197,109 @@ TEST(TraceSpanTest, DisabledSpanIsInactive) {
   TraceSpan span("never.recorded");
   EXPECT_FALSE(span.active());
   span.AddArg("k", 1.0);  // must be a no-op, not a crash
+}
+
+TEST(TraceRecorder, FlowEventsCarryIdAndBindPoint) {
+  TraceRecorder rec;
+  rec.Start();
+  const uint64_t flow = NextTraceId();
+  EXPECT_NE(flow, 0u);
+  rec.AppendFlowStart("rpc", flow);
+  rec.AppendFlowFinish("rpc", flow);
+  const std::string json = rec.ToJsonString();
+  ASSERT_TRUE(ValidateChromeTraceJson(json).ok()) << json;
+  auto doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok());
+  const auto events = DataEvents(doc.value());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0]->Find("ph")->string_value, "s");
+  EXPECT_EQ(events[1]->Find("ph")->string_value, "f");
+  // Both halves correlate by the same (string) id; the finish binds to
+  // its enclosing slice.
+  const JsonValue* id0 = events[0]->Find("id");
+  const JsonValue* id1 = events[1]->Find("id");
+  ASSERT_NE(id0, nullptr);
+  ASSERT_NE(id1, nullptr);
+  EXPECT_EQ(id0->string_value, std::to_string(flow));
+  EXPECT_EQ(id1->string_value, id0->string_value);
+  EXPECT_EQ(events[0]->Find("bp"), nullptr);
+  ASSERT_NE(events[1]->Find("bp"), nullptr);
+  EXPECT_EQ(events[1]->Find("bp")->string_value, "e");
+}
+
+TEST(TraceRecorder, TrackNameMetadataEventsComeFirst) {
+  TraceRecorder rec;
+  rec.Start();
+  rec.SetProcessName(1, "sim \"proc\"");  // escaping exercised
+  rec.SetThreadName(1, 3, "worker-3");
+  rec.SetThreadName(1, 3, "worker-three");  // replaces, not appends
+  rec.AppendInstant("data");
+  const std::string json = rec.ToJsonString();
+  ASSERT_TRUE(ValidateChromeTraceJson(json).ok()) << json;
+  auto doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok());
+  const auto& events = doc.value().Find("traceEvents")->array;
+  // Start() named pid 0; we named pid 1 and its thread 3 → 3 metadata
+  // events, all before any data event.
+  size_t metadata = 0;
+  bool saw_data = false;
+  bool process_named = false;
+  bool thread_named = false;
+  for (const JsonValue& ev : events) {
+    if (ev.Find("ph")->string_value == "M") {
+      EXPECT_FALSE(saw_data) << "metadata after data event";
+      ++metadata;
+      EXPECT_EQ(ev.Find("cat")->string_value, "__metadata");
+      const std::string& name = ev.Find("name")->string_value;
+      const JsonValue* args = ev.Find("args");
+      ASSERT_NE(args, nullptr);
+      if (name == "process_name" &&
+          ev.Find("pid")->number_value == 1.0) {
+        process_named = true;
+        EXPECT_EQ(args->Find("name")->string_value, "sim \"proc\"");
+      }
+      if (name == "thread_name") {
+        thread_named = true;
+        EXPECT_EQ(ev.Find("tid")->number_value, 3.0);
+        EXPECT_EQ(args->Find("name")->string_value, "worker-three");
+      }
+    } else {
+      saw_data = true;
+    }
+  }
+  EXPECT_EQ(metadata, 3u);
+  EXPECT_TRUE(process_named);
+  EXPECT_TRUE(thread_named);
+}
+
+TEST(TraceRecorder, NameThisThreadNamesTheCallingTrack) {
+  TraceRecorder rec;
+  rec.Start();
+  rec.AppendInstant("warmup");  // registers this thread's buffer
+  rec.NameThisThread("main-loop");
+  const std::string json = rec.ToJsonString();
+  EXPECT_NE(json.find("\"main-loop\""), std::string::npos) << json;
+}
+
+TEST(TraceRecorder, NextTraceIdIsUniqueAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::vector<uint64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ids, t] {
+      ids[static_cast<size_t>(t)].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        ids[static_cast<size_t>(t)].push_back(NextTraceId());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<uint64_t> all;
+  for (const auto& v : ids) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  EXPECT_EQ(std::count(all.begin(), all.end(), 0u), 0);
 }
 
 }  // namespace

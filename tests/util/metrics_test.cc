@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <string>
 #include <thread>
+#include <vector>
 
 namespace hetps {
 namespace {
@@ -134,8 +138,54 @@ TEST(MetricsTest, PrometheusTextExposition) {
       << text;
   EXPECT_NE(text.find("ps_push_count 7"), std::string::npos);
   EXPECT_NE(text.find("# TYPE mem_bytes gauge"), std::string::npos);
-  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
-  EXPECT_NE(text.find("worker=\"3\""), std::string::npos);
+  // Histograms expose the native exposition format: cumulative
+  // `_bucket{le=...}` series plus `_sum`/`_count` (not summary
+  // quantiles).
+  EXPECT_NE(text.find("# TYPE lat_us histogram"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_us_bucket{worker=\"3\",le=\"+Inf\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_us_sum{worker=\"3\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_us_count{worker=\"3\"} 1"),
+            std::string::npos);
+  EXPECT_EQ(text.find("quantile="), std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  HistogramMetric* h = registry.histogram("lat");
+  // Three values in well-separated buckets: each occupied bucket's
+  // count must include everything below it.
+  h->RecordInt(1);
+  h->RecordInt(100);
+  h->RecordInt(10000);
+  const std::string text = registry.PrometheusText();
+  // Collect the bucket counts in emission (ascending-le) order.
+  std::vector<long> counts;
+  std::vector<double> bounds;
+  size_t pos = 0;
+  while ((pos = text.find("lat_bucket{le=\"", pos)) !=
+         std::string::npos) {
+    pos += 15;
+    const size_t quote = text.find('"', pos);
+    const std::string le = text.substr(pos, quote - pos);
+    bounds.push_back(le == "+Inf"
+                         ? std::numeric_limits<double>::infinity()
+                         : std::stod(le));
+    counts.push_back(std::stol(text.substr(quote + 2)));
+  }
+  ASSERT_EQ(counts.size(), 4u) << text;  // 3 occupied buckets + +Inf
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 3);
+  EXPECT_EQ(counts[3], 3);
+  // `le` bounds ascend and each value lies under its bucket's bound.
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end())) << text;
+  EXPECT_GT(bounds[0], 1.0 - 1e-9);
+  EXPECT_GT(bounds[1], 100.0 - 1e-9);
+  EXPECT_GT(bounds[2], 10000.0 - 1e-9);
 }
 
 TEST(MetricsTest, JsonSnapshotShape) {
