@@ -16,6 +16,11 @@
 //                        [--update_filter=0]
 //                        [--kill_worker=-1] [--kill_at_clock=-1]
 //                        [--heartbeat_timeout=0] [--evict_dead_workers=1]
+//                        [--rebalance] [--straggler_threshold=1.2]
+//                        [--rebalance_hysteresis=3]
+//                        [--reassign_fraction=0.05]
+//                        [--slow_worker=-1] [--slow_from_clock=0]
+//                        [--slow_until_clock=0] [--slow_multiplier=1]
 //   hetps_train check-obs --metrics=metrics.json [--trace=trace.json]
 //                         [--timeseries=timeseries.json]
 //                         [--flightrec=flightrec.json]
@@ -331,6 +336,29 @@ int RunSimulate(const FlagParser& flags) {
   options.heartbeat_timeout_seconds =
       flags.GetDouble("heartbeat_timeout", 0.0).value();
   options.evict_dead_workers = flags.GetBool("evict_dead_workers", true);
+  // Load-balancing plane: --rebalance migrates examples off persistent
+  // stragglers; --slow_worker/--slow_multiplier inject a transient
+  // congestion episode to chase (see EXPERIMENTS.md).
+  options.rebalance = flags.GetBool("rebalance", false);
+  options.straggler_threshold =
+      flags.GetDouble("straggler_threshold", 1.2).value();
+  options.rebalance_hysteresis = static_cast<int>(
+      flags.GetInt("rebalance_hysteresis", 3).value());
+  options.reassign_fraction =
+      flags.GetDouble("reassign_fraction", 0.05).value();
+  options.slow_worker =
+      static_cast<int>(flags.GetInt("slow_worker", -1).value());
+  if (options.slow_worker >= workers) {
+    return Fail(Status::InvalidArgument(
+        "--slow_worker=" + std::to_string(options.slow_worker) +
+        " is out of range for --workers=" + std::to_string(workers)));
+  }
+  options.slow_from_clock =
+      static_cast<int>(flags.GetInt("slow_from_clock", 0).value());
+  options.slow_until_clock =
+      static_cast<int>(flags.GetInt("slow_until_clock", 0).value());
+  options.slow_multiplier =
+      flags.GetDouble("slow_multiplier", 1.0).value();
   if (options.kill_worker >= 0 &&
       options.heartbeat_timeout_seconds <= 0.0) {
     // A kill without the liveness plane stalls until max_sim_seconds;
@@ -367,6 +395,14 @@ int RunSimulate(const FlagParser& flags) {
         r.workers_evicted,
         static_cast<long long>(r.examples_failed_over),
         r.workers_blocked_at_end);
+  }
+  if (options.rebalance) {
+    std::printf(
+        "rebalance: examples_moved=%lld examples_returned=%lld "
+        "migrations=%lld\n",
+        static_cast<long long>(r.examples_rebalanced),
+        static_cast<long long>(r.examples_returned),
+        static_cast<long long>(r.rebalance_migrations));
   }
   return FinishReport(reporter.get());
 }
@@ -494,7 +530,14 @@ int RunInspect(const FlagParser& flags) {
   std::printf("heterogeneity report: %s\n", timeseries_path.c_str());
   std::printf("windows: %zu (dropped %.0f)\n", windows->array.size(),
               doc.Find("dropped_windows")->number_value);
-  if (wait_means.empty() && compute_means.empty()) {
+  // The early/late comparison splits each worker's timeline in half; with
+  // fewer than two windows the "early half" is empty and every mean
+  // degenerates (0/0 NaN garbage). Report that cleanly instead.
+  if (windows->array.size() < 2) {
+    std::printf("insufficient windows: %zu (need >= 2 for the early/late "
+                "comparison; run longer or shrink the window size)\n",
+                windows->array.size());
+  } else if (wait_means.empty() && compute_means.empty()) {
     std::printf("no worker.wait_us / worker.compute_us series found "
                 "(run with --timeseries_out on a training command)\n");
   } else {

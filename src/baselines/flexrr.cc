@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "data/sharding.h"
+#include "ps/load_balancer.h"
 #include "util/logging.h"
 
 namespace hetps {
@@ -21,15 +22,14 @@ double FlexRrMitigation::EstimatedTime(
   const double last = master.LastClockTime(worker);
   if (last <= 0.0) return 0.0;  // unknown speed
   const size_t shard =
-      std::max<size_t>(1, (*workers[static_cast<size_t>(worker)])
-                              .shard()
-                              .size());
+      workers[static_cast<size_t>(worker)]->shard().size();
   const size_t pending =
       worker < static_cast<int>(pending_in_.size())
           ? pending_in_[static_cast<size_t>(worker)]
           : 0;
-  return last * (1.0 + static_cast<double>(pending) /
-                           static_cast<double>(shard));
+  // Shared with the engine's load-balancing plane: one estimator, one
+  // notion of "how long will this worker's next clock take".
+  return EstimateClockSeconds(last, shard, pending);
 }
 
 void FlexRrMitigation::OnClockEnd(int worker, int clock,

@@ -83,11 +83,23 @@ class ClockTable {
   /// has no meaningful cmin — the table is left untouched).
   bool EvictWorker(int worker);
 
+  /// Outcome of ReadmitWorker. kBehindCmin and kAlreadyLive are
+  /// *rejections*, not crashes: a rejoin request is client-controlled
+  /// input, so the RPC layer maps them to FailedPrecondition (mirroring
+  /// how evicted senders are rejected) instead of killing the server.
+  enum class ReadmitResult {
+    kReadmitted,
+    kAlreadyLive,
+    kBehindCmin,
+  };
+
   /// Re-adds an evicted worker as of `clock` finished clocks. `clock`
   /// must be >= cmin() — a rejoining worker pulls current state before
   /// resuming work, so it re-enters at the frontier, never behind it
-  /// (cmin is monotone). Returns false if the worker was already live.
-  bool ReadmitWorker(int worker, int clock);
+  /// (cmin is monotone). A rejoin behind cmin is rejected
+  /// (kBehindCmin) and leaves the table untouched, as does readmitting
+  /// an already-live worker (kAlreadyLive).
+  ReadmitResult ReadmitWorker(int worker, int clock);
 
   bool is_live(int worker) const {
     return live_[static_cast<size_t>(worker)] != 0;

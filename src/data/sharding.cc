@@ -36,17 +36,25 @@ std::vector<DataShard> SplitData(size_t dataset_size, size_t num_workers,
   return shards;
 }
 
+size_t ReassignTail(DataShard* from, DataShard* to, size_t count) {
+  count = std::min(count, from->example_indices.size());
+  if (count == 0) return 0;
+  const size_t keep = from->example_indices.size() - count;
+  to->example_indices.insert(to->example_indices.end(),
+                             from->example_indices.begin() +
+                                 static_cast<std::ptrdiff_t>(keep),
+                             from->example_indices.end());
+  from->example_indices.resize(keep);
+  return count;
+}
+
 void ReassignFraction(DataShard* from, DataShard* to, double fraction) {
   HETPS_CHECK(fraction >= 0.0 && fraction <= 1.0)
       << "fraction out of [0,1]";
-  const size_t count = static_cast<size_t>(
-      fraction * static_cast<double>(from->example_indices.size()));
-  if (count == 0) return;
-  const size_t keep = from->example_indices.size() - count;
-  to->example_indices.insert(to->example_indices.end(),
-                             from->example_indices.begin() + keep,
-                             from->example_indices.end());
-  from->example_indices.resize(keep);
+  ReassignTail(from, to,
+               static_cast<size_t>(fraction * static_cast<double>(
+                                                  from->example_indices
+                                                      .size())));
 }
 
 size_t ReassignAcross(DataShard* from, const std::vector<DataShard*>& to) {

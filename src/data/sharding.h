@@ -31,6 +31,12 @@ enum class ShardingPolicy {
 std::vector<DataShard> SplitData(size_t dataset_size, size_t num_workers,
                                  ShardingPolicy policy);
 
+/// Moves up to `count` examples from `from`'s tail to the back of `to` —
+/// the reassignment primitive shared by the FlexRR baseline and the
+/// engine's load-balancing plane (which decides counts, not fractions).
+/// Returns the number actually moved (clamped to `from`'s size).
+size_t ReassignTail(DataShard* from, DataShard* to, size_t count);
+
 /// Moves `fraction` of `from`'s examples (taken from its tail) to the back
 /// of `to` — the FlexRR-style reassignment primitive used by the
 /// straggler-mitigation baseline.

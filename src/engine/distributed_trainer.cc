@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ps/checkpoint.h"
+#include "ps/load_balancer.h"
 #include "ps/parameter_server.h"
 #include "util/logging.h"
 
@@ -58,20 +59,23 @@ Result<DistributedTrainResult> TrainDistributed(
       SplitData(dataset.size(), static_cast<size_t>(options.num_workers),
                 ShardingPolicy::kContiguous);
 
-  // --- Shard-failover mailbox -------------------------------------------
-  // When the liveness plane evicts a worker, its data shard is spread
-  // across the survivors so every example keeps contributing. The service
-  // loop (on_evict) round-robins the orphaned example indices into
-  // per-survivor mailboxes; each survivor drains its mailbox into its
-  // local SGD shard at the next clock boundary. `owned` mirrors each
-  // worker's full entitlement (initial shard + adopted examples) so a
-  // cascading eviction re-fails-over adopted examples exactly once:
-  // grants go to BOTH owned[r] and pending[r], orphans are taken from
-  // owned[victim] only.
+  // --- Shard entitlement plane ------------------------------------------
+  // `owned[m]` is worker m's authoritative example entitlement; the
+  // worker's local SGD shard is a *copy* it refreshes at clock boundaries.
+  // Two service-loop mechanisms mutate entitlements:
+  //   - eviction failover (on_evict): the victim's owned[] is round-robined
+  //     across the survivors — `owned` mirrors the full entitlement so a
+  //     cascading eviction re-fails-over adopted examples exactly once;
+  //   - live rebalancing (on_clock_report): the LoadBalancer moves tail
+  //     slices from persistent stragglers to fast workers, and back.
+  // Both bump `shard_gen[m]`; a worker whose seen generation is stale
+  // copies owned[m] into its SGD shard before the next clock, so grows
+  // AND shrinks land atomically at clock boundaries — a batch never
+  // changes mid-compute and SSP admission is untouched.
   const size_t n_workers = static_cast<size_t>(options.num_workers);
   std::mutex failover_mu;
   std::vector<std::vector<size_t>> owned(n_workers);
-  std::vector<std::vector<size_t>> pending(n_workers);
+  std::vector<uint64_t> shard_gen(n_workers, 0);  // guarded by failover_mu
   for (size_t m = 0; m < n_workers; ++m) {
     owned[m] = shards[m].example_indices;
   }
@@ -82,7 +86,42 @@ Result<DistributedTrainResult> TrainDistributed(
   int64_t shard_reassignments = 0;            // guarded by failover_mu
   int64_t examples_failed_over = 0;           // guarded by failover_mu
 
+  std::unique_ptr<LoadBalancer> lb;
+  if (options.rebalance) {
+    LoadBalancerOptions lb_opts;
+    lb_opts.straggler_threshold = options.straggler_threshold;
+    lb_opts.hysteresis = options.rebalance_hysteresis;
+    lb_opts.reassign_fraction = options.reassign_fraction;
+    lb_opts.max_examples_per_round = options.rebalance_max_per_round;
+    lb_opts.min_shard_size = options.rebalance_min_shard;
+    lb_opts.recovery_windows = options.rebalance_recovery_windows;
+    lb = std::make_unique<LoadBalancer>(options.num_workers, lb_opts);
+  }
+
   PsServiceOptions svc_opts;
+  if (lb != nullptr) {
+    // Runs on the single service-loop thread after the master's straggler
+    // statistics absorbed the report; entitlement edits land under
+    // failover_mu and workers pick them up at their next clock boundary.
+    svc_opts.on_clock_report = [&](int worker, int clock, double seconds) {
+      std::lock_guard<std::mutex> lock(failover_mu);
+      std::vector<size_t> sizes(n_workers);
+      for (size_t m = 0; m < n_workers; ++m) sizes[m] = owned[m].size();
+      const std::vector<ShardMove> moves =
+          lb->OnClockReport(worker, clock, seconds, ps.master(), sizes);
+      for (const ShardMove& mv : moves) {
+        std::vector<size_t>& src = owned[static_cast<size_t>(mv.from)];
+        std::vector<size_t>& dst = owned[static_cast<size_t>(mv.to)];
+        const size_t count = std::min(mv.count, src.size());
+        if (count == 0) continue;
+        dst.insert(dst.end(), src.end() - static_cast<std::ptrdiff_t>(count),
+                   src.end());
+        src.resize(src.size() - count);
+        ++shard_gen[static_cast<size_t>(mv.from)];
+        ++shard_gen[static_cast<size_t>(mv.to)];
+      }
+    };
+  }
   svc_opts.liveness.heartbeat_timeout_seconds = options.heartbeat_timeout;
   svc_opts.liveness.evict_dead_workers = options.evict_dead_workers;
   svc_opts.liveness.virtual_seconds_per_request =
@@ -93,10 +132,13 @@ Result<DistributedTrainResult> TrainDistributed(
     evicted[static_cast<size_t>(victim)].store(true,
                                                std::memory_order_release);
     evicted_order.push_back(victim);
+    // The victim's entitlement (borrowed examples included) is spread
+    // below; its loan-ledger entries can never be repaid.
+    if (lb != nullptr) lb->OnWorkerEvicted(victim);
     std::vector<size_t> orphans =
         std::move(owned[static_cast<size_t>(victim)]);
     owned[static_cast<size_t>(victim)].clear();
-    pending[static_cast<size_t>(victim)].clear();
+    ++shard_gen[static_cast<size_t>(victim)];
     std::vector<size_t> survivors;
     for (size_t m = 0; m < n_workers; ++m) {
       if (!evicted[m].load(std::memory_order_acquire)) survivors.push_back(m);
@@ -105,8 +147,8 @@ Result<DistributedTrainResult> TrainDistributed(
     for (size_t i = 0; i < orphans.size(); ++i) {
       const size_t r = survivors[i % survivors.size()];
       owned[r].push_back(orphans[i]);
-      pending[r].push_back(orphans[i]);
     }
+    for (size_t r : survivors) ++shard_gen[r];
     const int64_t touched = static_cast<int64_t>(
         std::min(survivors.size(), orphans.size()));
     shard_reassignments += touched;
@@ -173,6 +215,14 @@ Result<DistributedTrainResult> TrainDistributed(
     sgd_opts.l2 = options.l2;
     LocalWorkerSgd sgd(&dataset, shards[static_cast<size_t>(m)], &loss,
                        &schedule, sgd_opts);
+    // Entitlement generation this worker's SGD shard reflects; refreshed
+    // from owned[m] at clock boundaries when the service loop moved
+    // examples (failover or rebalancing).
+    uint64_t seen_gen = 0;
+    const double injected_delay =
+        static_cast<size_t>(m) < options.injected_compute_delay.size()
+            ? options.injected_compute_delay[static_cast<size_t>(m)]
+            : 0.0;
     // One pull path per run: the version-aware cached pull (ships only
     // changed partitions) or the legacy whole-model pull.
     const auto do_pull = [&](std::vector<double>* replica_out,
@@ -221,28 +271,36 @@ Result<DistributedTrainResult> TrainDistributed(
           return;
         }
       }
-      // Adopt examples failed over from evicted workers (drained at clock
-      // boundaries so a batch never changes mid-compute).
+      // Refresh the SGD shard from the owned[] entitlement when the
+      // service loop changed it (eviction failover or rebalancing) —
+      // copied at clock boundaries so a batch never changes mid-compute.
       {
         std::lock_guard<std::mutex> lock(failover_mu);
-        std::vector<size_t>& pend = pending[static_cast<size_t>(m)];
-        if (!pend.empty()) {
-          std::vector<size_t>& mine =
-              sgd.mutable_shard()->example_indices;
-          mine.insert(mine.end(), pend.begin(), pend.end());
-          pend.clear();
+        const uint64_t gen = shard_gen[static_cast<size_t>(m)];
+        if (gen != seen_gen) {
+          sgd.mutable_shard()->example_indices =
+              owned[static_cast<size_t>(m)];
+          seen_gen = gen;
         }
       }
       HETPS_TRACE_SPAN2("worker.clock", "worker", m, "clock", c);
       const auto iter_start = SteadyClock::now();
       SparseVector update;
+      double compute_secs = 0.0;
       {
         HETPS_TRACE_SPAN1("worker.compute", "worker", m);
         const auto compute_start = SteadyClock::now();
+        if (injected_delay > 0.0) {
+          // The paper's slowdown-injection protocol: the straggler's
+          // clock really takes longer, so the timing report below and
+          // every downstream straggler decision see a genuine slowdown.
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(injected_delay));
+        }
         sgd.RunClock(c, &replica, &update);
-        const double secs = seconds_since(compute_start);
-        breakdown.compute_seconds += secs;
-        compute_us->RecordInt(static_cast<int64_t>(secs * 1e6));
+        compute_secs = seconds_since(compute_start);
+        breakdown.compute_seconds += compute_secs;
+        compute_us->RecordInt(static_cast<int64_t>(compute_secs * 1e6));
       }
       {
         const auto push_start = SteadyClock::now();
@@ -252,6 +310,18 @@ Result<DistributedTrainResult> TrainDistributed(
       if (!my_status.ok()) {
         if (evicted_by_design()) my_status = Status::OK();
         return;
+      }
+      if (options.rebalance) {
+        // Feed the load-balancing plane this clock's measured compute
+        // time (kReportClock drives Master::ReportClockTime and the
+        // balancer's decision on the service loop).
+        const auto report_start = SteadyClock::now();
+        my_status = client.ReportClock(c, compute_secs);
+        breakdown.comm_seconds += seconds_since(report_start);
+        if (!my_status.ok()) {
+          if (evicted_by_design()) my_status = Status::OK();
+          return;
+        }
       }
       ++breakdown.clocks_completed;
       if (m == 0) {
@@ -342,6 +412,11 @@ Result<DistributedTrainResult> TrainDistributed(
     result.evicted_workers = evicted_order;
     result.shard_reassignments = shard_reassignments;
     result.examples_failed_over = examples_failed_over;
+    if (lb != nullptr) {
+      result.examples_rebalanced = lb->examples_moved();
+      result.examples_returned = lb->examples_returned();
+      result.lb_migrations = lb->migrations();
+    }
   }
   return result;
 }

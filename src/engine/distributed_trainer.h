@@ -68,6 +68,28 @@ struct DistributedTrainerOptions {
   double virtual_seconds_per_request = 1e-3;
   /// Overrides the virtual clock with caller-supplied time (tests).
   std::function<double()> heartbeat_now_fn;
+  /// --- Load-balancing plane (straggler-aware live rebalancing) ---
+  /// Workers report their measured compute time per clock (kReportClock)
+  /// and the service-side balancer migrates examples from persistent
+  /// stragglers to fast workers at clock boundaries, via the same
+  /// owned-shard machinery that backs eviction failover.
+  bool rebalance = false;
+  /// Flag workers slower than this multiple of the fastest (FlexRR 1.2).
+  double straggler_threshold = 1.2;
+  /// Consecutive flagged clocks before the first migration.
+  int rebalance_hysteresis = 3;
+  /// Fraction of the straggler's shard shed per flagged clock.
+  double reassign_fraction = 0.05;
+  /// Hard cap on examples moved per decision (0 = uncapped).
+  size_t rebalance_max_per_round = 0;
+  /// Consecutive clean clocks before lent examples are reclaimed.
+  int rebalance_recovery_windows = 3;
+  /// Never shrink a shard below this many examples.
+  size_t rebalance_min_shard = 8;
+  /// Per-worker artificial compute delay in wall seconds per clock — the
+  /// paper's slowdown-injection protocol for straggler experiments.
+  /// Empty = no injection; shorter than num_workers is zero-padded.
+  std::vector<double> injected_compute_delay;
 };
 
 struct DistributedTrainResult {
@@ -92,6 +114,13 @@ struct DistributedTrainResult {
   int64_t shard_reassignments = 0;
   /// Examples moved off evicted workers' shards onto survivors.
   int64_t examples_failed_over = 0;
+  /// --- Load-balancing plane accounting (rebalance = true) ---
+  /// Examples migrated off persistent stragglers onto fast workers.
+  int64_t examples_rebalanced = 0;
+  /// Examples reclaimed by recovered stragglers (the return path).
+  int64_t examples_returned = 0;
+  /// Individual migration decisions (both directions).
+  int64_t lb_migrations = 0;
 };
 
 Result<DistributedTrainResult> TrainDistributed(

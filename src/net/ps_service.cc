@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 #include "obs/flight_recorder.h"
@@ -87,6 +88,10 @@ PsService::PsService(ParameterServer* ps, MessageBus* bus,
       global.histogram("rpc.handle_us", {{"op", "can_advance"}});
   handle_stable_version_us_ =
       global.histogram("rpc.handle_us", {{"op", "stable_version"}});
+  handle_report_clock_us_ =
+      global.histogram("rpc.handle_us", {{"op", "report_clock"}});
+  handle_readmit_us_ =
+      global.histogram("rpc.handle_us", {{"op", "readmit"}});
   handle_other_us_ = global.histogram("rpc.handle_us", {{"op", "other"}});
   registration_ = bus->RegisterEndpoint(
       endpoint_name_,
@@ -146,10 +151,18 @@ std::vector<uint8_t> PsService::Handle(const Envelope& request) {
     const int sender = ParseWorkerId(request.from);
     if (sender >= 0 && sender < ps_->num_workers() &&
         !ps_->IsWorkerLive(sender)) {
-      metrics_.counter("rpc.evicted_sender_rejects")->Increment();
-      return ErrorResponse(Status::FailedPrecondition(
-          "worker " + std::to_string(sender) +
-          " has been evicted (missed heartbeats)"));
+      // kReadmit is the one opcode an evicted sender may issue — rejoin
+      // is its entire purpose. Everything else from a zombie is refused
+      // so it can never sneak state in behind the eviction's back.
+      const bool is_readmit =
+          !request.payload.empty() &&
+          request.payload[0] == static_cast<uint8_t>(PsOpCode::kReadmit);
+      if (!is_readmit) {
+        metrics_.counter("rpc.evicted_sender_rejects")->Increment();
+        return ErrorResponse(Status::FailedPrecondition(
+            "worker " + std::to_string(sender) +
+            " has been evicted (missed heartbeats)"));
+      }
     }
   }
   metrics_.distribution("rpc.request_bytes")
@@ -198,6 +211,16 @@ std::vector<uint8_t> PsService::Handle(const Envelope& request) {
         metrics_.counter("rpc.stable_version")->Increment();
         handle_us = handle_stable_version_us_;
         response = HandleStableVersion(&reader);
+        break;
+      case PsOpCode::kReportClock:
+        metrics_.counter("rpc.report_clock")->Increment();
+        handle_us = handle_report_clock_us_;
+        response = HandleReportClock(&reader);
+        break;
+      case PsOpCode::kReadmit:
+        metrics_.counter("rpc.readmit")->Increment();
+        handle_us = handle_readmit_us_;
+        response = HandleReadmit(request, &reader);
         break;
       default:
         response = ErrorResponse(Status::InvalidArgument(
@@ -377,6 +400,57 @@ std::vector<uint8_t> PsService::HandleStableVersion(ByteReader* reader) {
   ByteWriter w;
   w.WriteU8(0);
   w.WriteI64(ps_->StableVersion());
+  return w.TakeBuffer();
+}
+
+std::vector<uint8_t> PsService::HandleReportClock(ByteReader* reader) {
+  int64_t worker = 0;
+  int64_t clock = 0;
+  double seconds = 0.0;
+  Status st = reader->ReadI64(&worker);
+  if (st.ok()) st = reader->ReadI64(&clock);
+  if (st.ok()) st = reader->ReadDouble(&seconds);
+  if (st.ok() && (worker < 0 || worker >= ps_->num_workers())) {
+    st = Status::InvalidArgument("worker id out of range");
+  }
+  if (st.ok() && (!std::isfinite(seconds) || seconds < 0.0)) {
+    st = Status::InvalidArgument("clock time must be finite and >= 0");
+  }
+  if (!st.ok()) return ErrorResponse(st);
+  // Dead-worker reports are dropped inside ReportClockTime; the hook
+  // still fires (the balancer ignores non-live reporters itself).
+  ps_->master()->ReportClockTime(static_cast<int>(worker), seconds);
+  if (options_.on_clock_report) {
+    options_.on_clock_report(static_cast<int>(worker),
+                             static_cast<int>(clock), seconds);
+  }
+  ByteWriter w;
+  w.WriteU8(0);
+  return w.TakeBuffer();
+}
+
+std::vector<uint8_t> PsService::HandleReadmit(const Envelope& request,
+                                              ByteReader* reader) {
+  int64_t worker = 0;
+  int64_t clock = 0;
+  Status st = reader->ReadI64(&worker);
+  if (st.ok()) st = reader->ReadI64(&clock);
+  if (st.ok() && (worker < 0 || worker >= ps_->num_workers())) {
+    st = Status::InvalidArgument("worker id out of range");
+  }
+  if (st.ok()) {
+    st = ps_->ReadmitWorker(static_cast<int>(worker),
+                            static_cast<int>(clock));
+  }
+  if (!st.ok()) return ErrorResponse(st);
+  if (monitor_ != nullptr) {
+    // Membership changes only via Register/Unregister: the eviction
+    // sweep unregistered this endpoint, so a successful rejoin must
+    // explicitly re-enroll it or the next sweep would never see it.
+    monitor_->Register(request.from, LivenessNow());
+  }
+  ByteWriter w;
+  w.WriteU8(0);
   return w.TakeBuffer();
 }
 
@@ -650,6 +724,29 @@ Status RpcWorkerClient::WaitUntilCanAdvance(int next_clock) {
       std::this_thread::sleep_for(retry_.admission_probe_sleep);
     }
   }
+}
+
+Status RpcWorkerClient::ReportClock(int clock, double seconds) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kReportClock));
+  w.WriteI64(worker_id_);
+  w.WriteI64(clock);
+  w.WriteDouble(seconds);
+  auto response = Roundtrip(w.TakeBuffer());
+  if (!response.ok()) return response.status();
+  ByteReader reader(response.value());
+  return ConsumeStatus(&reader);
+}
+
+Status RpcWorkerClient::Readmit(int clock) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kReadmit));
+  w.WriteI64(worker_id_);
+  w.WriteI64(clock);
+  auto response = Roundtrip(w.TakeBuffer());
+  if (!response.ok()) return response.status();
+  ByteReader reader(response.value());
+  return ConsumeStatus(&reader);
 }
 
 Result<int64_t> RpcWorkerClient::StableVersion() {

@@ -35,6 +35,17 @@ enum class PsOpCode : uint8_t {
   /// num_partitions) so a client can reconstruct the Partitioner and
   /// scatter partition-local pieces without out-of-band configuration.
   kLayout = 7,
+  /// Worker reports the measured duration of its last compute clock
+  /// (worker id, clock, seconds). Feeds Master::ReportClockTime — the
+  /// straggler statistics behind DetectStragglers — and fires the
+  /// service's on_clock_report hook (the load-balancing plane).
+  kReportClock = 8,
+  /// Evicted worker asks to rejoin as of `clock` finished clocks. The
+  /// only opcode exempt from the evicted-sender rejection (rejoining is
+  /// its entire purpose); rejections (already live, clock behind cmin)
+  /// come back as FailedPrecondition. On success the sender is
+  /// re-registered with the heartbeat monitor.
+  kReadmit = 9,
 };
 
 /// Heartbeat-driven worker liveness (the SSP liveness repair: one dead
@@ -82,6 +93,12 @@ struct PsServiceOptions {
   bool dedup_pushes = true;
   /// Heartbeat-driven eviction; off by default (timeout <= 0).
   PsLivenessOptions liveness;
+  /// Called (on the service loop, no PS locks held) after a kReportClock
+  /// request has been folded into the master's straggler statistics —
+  /// the trainer hooks live example rebalancing here. Arguments are
+  /// (worker, clock, measured compute seconds).
+  std::function<void(int worker, int clock, double seconds)>
+      on_clock_report;
 };
 
 /// Serves a ParameterServer over a MessageBus endpoint — the prototype's
@@ -132,6 +149,9 @@ class PsService {
   std::vector<uint8_t> HandlePullRange(ByteReader* reader);
   std::vector<uint8_t> HandleCanAdvance(ByteReader* reader);
   std::vector<uint8_t> HandleStableVersion(ByteReader* reader);
+  std::vector<uint8_t> HandleReportClock(ByteReader* reader);
+  std::vector<uint8_t> HandleReadmit(const Envelope& request,
+                                     ByteReader* reader);
 
   ParameterServer* ps_;
   std::string endpoint_name_;
@@ -149,6 +169,8 @@ class PsService {
   HistogramMetric* handle_pull_range_us_;
   HistogramMetric* handle_can_advance_us_;
   HistogramMetric* handle_stable_version_us_;
+  HistogramMetric* handle_report_clock_us_;
+  HistogramMetric* handle_readmit_us_;
   HistogramMetric* handle_other_us_;
   /// Last clock applied per worker (-1 = none); only touched by the
   /// single service-loop thread.
@@ -245,6 +267,15 @@ class RpcWorkerClient {
   Status WaitUntilCanAdvance(int next_clock);
 
   Result<int64_t> StableVersion();
+
+  /// Reports the measured duration of this worker's last compute clock
+  /// to the master's straggler statistics (kReportClock).
+  Status ReportClock(int clock, double seconds);
+
+  /// Asks the service to readmit this (evicted) worker as of `clock`
+  /// finished clocks (kReadmit). FailedPrecondition when the worker is
+  /// already live or `clock` is behind cmin.
+  Status Readmit(int clock);
 
  private:
   Result<std::vector<uint8_t>> Roundtrip(std::vector<uint8_t> request);

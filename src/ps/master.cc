@@ -44,6 +44,11 @@ void Master::MarkWorkerDead(int worker) {
 void Master::MarkWorkerLive(int worker) {
   std::lock_guard<std::mutex> lock(mu_);
   worker_live_.at(static_cast<size_t>(worker)) = 1;
+  // A readmitted worker starts with a clean timing slate: its
+  // pre-eviction clock time belongs to a dead timing regime, and leaving
+  // it in place would instantly (mis)classify the rejoiner in
+  // DetectStragglers / FastestWorker before it has run a single clock.
+  clock_times_.at(static_cast<size_t>(worker)) = 0.0;
 }
 
 bool Master::IsWorkerLive(int worker) const {

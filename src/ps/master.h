@@ -40,6 +40,8 @@ class Master {
   /// Worker liveness (driven by the heartbeat/eviction machinery). Dead
   /// workers are excluded from the straggler statistics: their frozen
   /// clock times would otherwise misclassify the cluster forever.
+  /// MarkWorkerLive (readmission) also resets the worker's clock-time
+  /// slot to 0 — a rejoiner must not be judged on pre-eviction timing.
   void MarkWorkerDead(int worker);
   void MarkWorkerLive(int worker);
   bool IsWorkerLive(int worker) const;

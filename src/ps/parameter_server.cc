@@ -284,18 +284,39 @@ bool ParameterServer::EvictWorker(int worker) {
   return true;
 }
 
-bool ParameterServer::ReadmitWorker(int worker, int clock) {
+Status ParameterServer::ReadmitWorker(int worker, int clock) {
   HETPS_CHECK(worker >= 0 && worker < num_workers_)
       << "worker id out of range";
   {
     std::lock_guard<std::mutex> lock(clock_mu_);
-    if (!clock_table_.ReadmitWorker(worker, clock)) return false;
+    switch (clock_table_.ReadmitWorker(worker, clock)) {
+      case ClockTable::ReadmitResult::kAlreadyLive:
+        return Status::FailedPrecondition(
+            "worker " + std::to_string(worker) + " is already live");
+      case ClockTable::ReadmitResult::kBehindCmin:
+        return Status::FailedPrecondition(
+            "readmission clock " + std::to_string(clock) +
+            " is behind cmin " + std::to_string(clock_table_.cmin()));
+      case ClockTable::ReadmitResult::kReadmitted:
+        break;
+    }
   }
+  // Rebase the rejoiner's version stamp on every shard. Without this a
+  // worker readmitted below its pre-eviction clock leaves a stale-high
+  // V(m) behind; the all-worker version minimum then folds the very
+  // version the rejoiner's next push is stamped with, and that push
+  // aborts the server (DynSGD's evicted-version check).
+  for (int p = 0; p < partitioner_.num_partitions(); ++p) {
+    std::lock_guard<std::mutex> lock(*shard_mu_[static_cast<size_t>(p)]);
+    shards_[static_cast<size_t>(p)]->OnWorkerReadmitted(worker, clock);
+  }
+  // MarkWorkerLive also resets the worker's clock-time slot: a rejoiner
+  // must not be judged a straggler (or the fastest) on stale timing.
   master_.MarkWorkerLive(worker);
   worker_readmitted_->Increment();
   HETPS_TRACE_INSTANT1("ps.worker_readmitted", "worker", worker);
   FlightRecorder::Global().Record("worker_readmitted", worker, clock);
-  return true;
+  return Status::OK();
 }
 
 bool ParameterServer::IsWorkerLive(int worker) const {

@@ -168,9 +168,11 @@ class ParameterServer {
   bool EvictWorker(int worker);
 
   /// Re-adds an evicted worker as of `clock` finished clocks (must be
-  /// >= cmin(); a rejoining worker pulls before resuming). Returns
-  /// false if the worker was already live.
-  bool ReadmitWorker(int worker, int clock);
+  /// >= cmin(); a rejoining worker pulls before resuming). Rejections —
+  /// a rejoin behind cmin (which would move cmin backwards) or an
+  /// already-live worker — return FailedPrecondition so the RPC layer
+  /// can refuse client-controlled input without aborting the server.
+  Status ReadmitWorker(int worker, int clock);
 
   bool IsWorkerLive(int worker) const;
   int num_live_workers() const;

@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "ps/load_balancer.h"
 #include "ps/parameter_server.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -232,6 +233,21 @@ class Simulation {
                                  : 0.0;
       Schedule(stagger, EventType::kStartClock, m, 0);
     }
+    if (options.rebalance) {
+      // The balancer and a mitigation baseline would fight over the same
+      // shards — running both is a configuration error, not a fallback.
+      HETPS_CHECK(mitigation == nullptr)
+          << "rebalance and a StragglerMitigation baseline are mutually "
+             "exclusive";
+      LoadBalancerOptions lb_opts;
+      lb_opts.straggler_threshold = options.straggler_threshold;
+      lb_opts.hysteresis = options.rebalance_hysteresis;
+      lb_opts.reassign_fraction = options.reassign_fraction;
+      lb_opts.max_examples_per_round = options.rebalance_max_per_round;
+      lb_opts.min_shard_size = options.rebalance_min_shard;
+      lb_opts.recovery_windows = options.rebalance_recovery_windows;
+      lb_ = std::make_unique<LoadBalancer>(cluster.num_workers, lb_opts);
+    }
     if (options.heartbeat_timeout_seconds > 0.0) {
       monitor_ = std::make_unique<HeartbeatMonitor>(
           options.heartbeat_timeout_seconds);
@@ -391,11 +407,19 @@ class Simulation {
     if (prof.jitter_sigma > 0.0) {
       jitter = w.rng.NextLognormal(0.0, prof.jitter_sigma);
     }
-    const double tc =
+    double tc =
         (static_cast<double>(stats.nnz_processed) *
              cluster_.seconds_per_nnz +
          static_cast<double>(stats.batches) * cluster_.batch_overhead) *
         prof.compute_multiplier * jitter;
+    // Injected transient congestion episode: one worker slows down for a
+    // clock interval, then recovers — exercises the balancer's hysteresis
+    // and reassignment-back path.
+    if (worker == options_.slow_worker &&
+        w.clock >= options_.slow_from_clock &&
+        w.clock < options_.slow_until_clock) {
+      tc *= options_.slow_multiplier;
+    }
     w.breakdown.compute_seconds += tc;
     w.compute_us->RecordInt(static_cast<int64_t>(tc * 1e6));
     EmitSimSpan("worker.compute", worker, now_, tc, "clock",
@@ -412,6 +436,7 @@ class Simulation {
       for (auto& ws : workers_) all.push_back(ws.sgd.get());
       mitigation_->OnClockEnd(worker, w.clock, tc, ps_->master(), &all);
     }
+    if (lb_ != nullptr) ApplyRebalance(worker, w.clock, tc);
 
     if (options_.update_filter_epsilon > 0.0) {
       update = update.Filtered(options_.update_filter_epsilon);
@@ -584,6 +609,9 @@ class Simulation {
       WorkerSim& w = workers_[static_cast<size_t>(victim)];
       w.evicted = true;
       ++workers_evicted_;
+      // The victim's shard (borrowed examples included) is spread by the
+      // failover below; its ledger entries can never be repaid.
+      if (lb_ != nullptr) lb_->OnWorkerEvicted(victim);
       FailOverShard(victim);
       // The eviction repaired cmin; parked survivors may now pass.
       GrantBlockedPulls();
@@ -628,6 +656,27 @@ class Simulation {
     HETPS_LOG(Info) << "sim failover: worker " << victim << "'s " << moved
                     << " examples spread across " << survivors.size()
                     << " survivors";
+  }
+
+  /// Load-balancing plane: feed the balancer this clock's timing report
+  /// and apply whatever migrations it decides. Safe here because the
+  /// simulator is single-threaded and the reporter is exactly at a clock
+  /// boundary — its next RunClock sees the new shard, and SSP admission
+  /// is untouched (examples move, clocks do not).
+  void ApplyRebalance(int worker, int clock, double clock_seconds) {
+    std::vector<size_t> sizes;
+    sizes.reserve(workers_.size());
+    for (const WorkerSim& ws : workers_) {
+      sizes.push_back(ws.sgd->shard().size());
+    }
+    const std::vector<ShardMove> moves = lb_->OnClockReport(
+        worker, clock, clock_seconds, ps_->master(), sizes);
+    for (const ShardMove& mv : moves) {
+      ReassignTail(
+          workers_[static_cast<size_t>(mv.from)].sgd->mutable_shard(),
+          workers_[static_cast<size_t>(mv.to)].sgd->mutable_shard(),
+          mv.count);
+    }
   }
 
   void GrantPull(int worker) {
@@ -826,6 +875,11 @@ class Simulation {
     r.workers_evicted = workers_evicted_;
     r.examples_failed_over = examples_failed_over_;
     r.workers_blocked_at_end = static_cast<int>(blocked_.size());
+    if (lb_ != nullptr) {
+      r.examples_rebalanced = lb_->examples_moved();
+      r.examples_returned = lb_->examples_returned();
+      r.rebalance_migrations = lb_->migrations();
+    }
     r.worker_breakdown.reserve(workers_.size());
     for (size_t m = 0; m < workers_.size(); ++m) {
       RecordBreakdown(&GlobalMetrics(), static_cast<int>(m),
@@ -855,6 +909,8 @@ class Simulation {
   std::vector<int> blocked_;
   /// Liveness plane (nullptr when heartbeat_timeout_seconds <= 0).
   std::unique_ptr<HeartbeatMonitor> monitor_;
+  /// Load-balancing plane (nullptr when options.rebalance is false).
+  std::unique_ptr<LoadBalancer> lb_;
   int workers_evicted_ = 0;
   int64_t examples_failed_over_ = 0;
 

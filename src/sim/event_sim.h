@@ -95,6 +95,30 @@ struct SimOptions {
   /// When false, dead workers are only counted as suspected, never
   /// evicted (A/B knob for demonstrating the deadlock).
   bool evict_dead_workers = true;
+  /// --- Load-balancing plane (straggler-aware live rebalancing) ---
+  /// Reassign examples from persistent stragglers to fast workers at
+  /// clock boundaries, driven by Master::DetectStragglers. Mutually
+  /// exclusive with passing a `mitigation` baseline to RunSimulation.
+  bool rebalance = false;
+  /// Flag workers slower than `straggler_threshold` times the fastest.
+  double straggler_threshold = 1.2;
+  /// Consecutive flagged clocks before the first migration.
+  int rebalance_hysteresis = 3;
+  /// Fraction of the straggler's shard shed per flagged clock.
+  double reassign_fraction = 0.05;
+  /// Hard cap on examples moved per decision (0 = uncapped).
+  size_t rebalance_max_per_round = 0;
+  /// Consecutive clean clocks before lent examples are reclaimed.
+  int rebalance_recovery_windows = 3;
+  /// Never shrink a shard below this many examples.
+  size_t rebalance_min_shard = 8;
+  /// --- Transient congestion episode (exercises the return path) ---
+  /// Multiply `slow_worker`'s compute time by `slow_multiplier` for
+  /// clocks in [slow_from_clock, slow_until_clock). -1 disables.
+  int slow_worker = -1;
+  int slow_from_clock = 0;
+  int slow_until_clock = 0;
+  double slow_multiplier = 1.0;
 };
 
 /// Result of one simulated run — every metric the paper reports.
@@ -145,6 +169,14 @@ struct SimResult {
   /// nonzero means the run deadlocked (ended by max_sim_seconds, not by
   /// finishing).
   int workers_blocked_at_end = 0;
+
+  /// --- Load-balancing plane accounting (rebalance = true) ---
+  /// Examples migrated off persistent stragglers onto fast workers.
+  int64_t examples_rebalanced = 0;
+  /// Examples reclaimed by recovered stragglers (the return path).
+  int64_t examples_returned = 0;
+  /// Individual migration decisions (both directions).
+  int64_t rebalance_migrations = 0;
 
   std::string Summary() const;
 };

@@ -208,8 +208,11 @@ TEST(ClockTableTest, ReadmitRejoinsAtFrontier) {
   for (int c = 0; c < 4; ++c) table.OnPush(0, c);
   table.EvictWorker(1);
   ASSERT_EQ(table.cmin(), 4);
-  EXPECT_FALSE(table.ReadmitWorker(0, 5));  // already live: no-op
-  EXPECT_TRUE(table.ReadmitWorker(1, 4));
+  // Already live: a rejection, not a crash (no-op on the table).
+  EXPECT_EQ(table.ReadmitWorker(0, 5),
+            ClockTable::ReadmitResult::kAlreadyLive);
+  EXPECT_EQ(table.ReadmitWorker(1, 4),
+            ClockTable::ReadmitResult::kReadmitted);
   EXPECT_TRUE(table.is_live(1));
   EXPECT_EQ(table.num_live(), 2);
   EXPECT_EQ(table.clock(1), 4);
@@ -221,13 +224,25 @@ TEST(ClockTableTest, ReadmitRejoinsAtFrontier) {
   EXPECT_EQ(table.cmin(), 5);
 }
 
-TEST(ClockTableDeathTest, ReadmitBehindCminDies) {
+// Regression: a rejoin clock behind cmin used to hard-CHECK and abort
+// the server. The clock is client-controlled input (it arrives over the
+// kReadmit RPC), so it must be *rejected* — table untouched — and mapped
+// to FailedPrecondition by the RPC layer, never crash the process.
+TEST(ClockTableTest, ReadmitBehindCminIsRejectedNotFatal) {
   ClockTable table(2);
   for (int c = 0; c < 3; ++c) table.OnPush(0, c);
   table.EvictWorker(1);
   ASSERT_EQ(table.cmin(), 3);
-  // cmin is monotone: a worker may not re-enter behind the frontier.
-  EXPECT_DEATH(table.ReadmitWorker(1, 2), "cmin");
+  EXPECT_EQ(table.ReadmitWorker(1, 2),
+            ClockTable::ReadmitResult::kBehindCmin);
+  // The rejection left the table untouched: still evicted, cmin intact.
+  EXPECT_FALSE(table.is_live(1));
+  EXPECT_EQ(table.num_live(), 1);
+  EXPECT_EQ(table.cmin(), 3);
+  // A valid retry at the frontier then succeeds.
+  EXPECT_EQ(table.ReadmitWorker(1, 3),
+            ClockTable::ReadmitResult::kReadmitted);
+  EXPECT_TRUE(table.is_live(1));
 }
 
 TEST(ClockTableTest, RestoreRevivesEvictedWorkers) {
@@ -264,7 +279,9 @@ TEST(ClockTableTest, EvictReadmitPropertyRandomized) {
       } else if (op < 9) {
         table.EvictWorker(w);
       } else if (!table.is_live(w)) {
-        table.ReadmitWorker(w, std::max(table.clock(w), table.cmin()));
+        ASSERT_EQ(
+            table.ReadmitWorker(w, std::max(table.clock(w), table.cmin())),
+            ClockTable::ReadmitResult::kReadmitted);
       }
       ASSERT_LE(table.cmin(), table.cmax());
       ASSERT_GE(table.cmin(), last_cmin) << "cmin regressed";

@@ -170,5 +170,46 @@ TEST(DistributedTrainerTest, MatchesSharedMemoryRuntimeQuality) {
   EXPECT_LT(rpc.value().final_objective, 0.5);
 }
 
+TEST(DistributedTrainerTest, RebalanceShedsLoadOffInjectedStraggler) {
+  // The paper's slowdown-injection protocol on the RPC runtime: worker 0
+  // sleeps 30ms of extra "compute" per clock, the others run free. With
+  // the load-balancing plane on, its measured clock reports flag it and
+  // the entitlement plane migrates examples to the fast workers at clock
+  // boundaries.
+  const Dataset d = DistData();
+  LogisticLoss loss;
+  FixedRate sched(0.5);
+  DynSgdRule rule;
+  DistributedTrainerOptions opts = FastOptions();
+  opts.max_clocks = 12;
+  opts.rebalance = true;
+  opts.straggler_threshold = 1.5;
+  opts.rebalance_hysteresis = 2;
+  opts.reassign_fraction = 0.2;
+  opts.injected_compute_delay = {0.03};  // zero-padded for workers 1, 2
+  auto result = TrainDistributed(d, loss, sched, rule, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().examples_rebalanced, 0);
+  EXPECT_GT(result.value().lb_migrations, 0);
+  // Rebalancing must not cost convergence or evict anyone.
+  EXPECT_LT(result.value().final_objective, 0.5);
+  EXPECT_TRUE(result.value().evicted_workers.empty());
+  EXPECT_EQ(result.value().next_clock, 12);
+}
+
+TEST(DistributedTrainerTest, RebalanceOffLeavesShardsAlone) {
+  const Dataset d = DistData();
+  LogisticLoss loss;
+  FixedRate sched(0.5);
+  DynSgdRule rule;
+  DistributedTrainerOptions opts = FastOptions();
+  opts.injected_compute_delay = {0.02};
+  auto result = TrainDistributed(d, loss, sched, rule, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().examples_rebalanced, 0);
+  EXPECT_EQ(result.value().examples_returned, 0);
+  EXPECT_EQ(result.value().lb_migrations, 0);
+}
+
 }  // namespace
 }  // namespace hetps

@@ -362,5 +362,118 @@ TEST(PsServiceTest, DistributedSgdTrainsOverRpc) {
   EXPECT_GE(h.bus.delivered_count(), workers * 10);
 }
 
+TEST(PsServiceTest, ReportClockFeedsStragglerStatisticsAndHook) {
+  DynSgdRule rule;
+  MessageBus bus;
+  PsOptions o;
+  o.num_servers = 2;
+  o.sync = SyncPolicy::Asp();
+  ParameterServer ps(8, 2, rule, o);
+  int hook_worker = -1;
+  int hook_clock = -1;
+  double hook_seconds = 0.0;
+  int hook_calls = 0;
+  PsServiceOptions svc;
+  svc.on_clock_report = [&](int worker, int clock, double seconds) {
+    hook_worker = worker;
+    hook_clock = clock;
+    hook_seconds = seconds;
+    ++hook_calls;
+  };
+  PsService service(&ps, &bus, "ps", svc);
+  ASSERT_TRUE(service.status().ok());
+
+  RpcWorkerClient client(0, &bus, "ps");
+  ASSERT_TRUE(client.ReportClock(3, 2.5).ok());
+  // The report landed in the master's straggler statistics...
+  EXPECT_DOUBLE_EQ(ps.master()->LastClockTime(0), 2.5);
+  // ...and the rebalance hook saw it after the fold.
+  EXPECT_EQ(hook_calls, 1);
+  EXPECT_EQ(hook_worker, 0);
+  EXPECT_EQ(hook_clock, 3);
+  EXPECT_DOUBLE_EQ(hook_seconds, 2.5);
+
+  // Garbage timings are refused before they can poison the statistics,
+  // and the hook must not fire for them.
+  EXPECT_TRUE(client.ReportClock(4, -1.0).IsInvalidArgument());
+  EXPECT_EQ(hook_calls, 1);
+  EXPECT_DOUBLE_EQ(ps.master()->LastClockTime(0), 2.5);
+}
+
+TEST(PsServiceTest, EvictedSenderMayOnlyReadmit) {
+  DynSgdRule rule;
+  MessageBus bus;
+  PsOptions o;
+  o.num_servers = 2;
+  o.sync = SyncPolicy::Asp();
+  ParameterServer ps(8, 2, rule, o);
+  double now = 0.0;
+  PsServiceOptions svc;
+  svc.liveness.heartbeat_timeout_seconds = 5.0;
+  svc.liveness.now_fn = [&now] { return now; };
+  PsService service(&ps, &bus, "ps", svc);
+  ASSERT_TRUE(service.status().ok());
+  RpcWorkerClient c0(0, &bus, "ps", RpcRetryPolicy::NoRetry());
+  RpcWorkerClient c1(1, &bus, "ps", RpcRetryPolicy::NoRetry());
+  ASSERT_TRUE(c0.Push(0, SparseVector({1}, {1.0})).ok());
+  ASSERT_TRUE(c1.Push(0, SparseVector({2}, {1.0})).ok());
+
+  // Worker 1 goes silent past the timeout; worker 0's next request
+  // (which beats for itself first) sweeps the zombie out.
+  now = 10.0;
+  ASSERT_TRUE(c0.Push(1, SparseVector({1}, {1.0})).ok());
+  ASSERT_FALSE(ps.IsWorkerLive(1));
+
+  // Every op except kReadmit from the zombie is refused — it must not
+  // sneak state in behind the eviction's back.
+  std::vector<double> replica;
+  int cp = 0;
+  EXPECT_TRUE(c1.Pull(&replica, &cp).IsFailedPrecondition());
+  EXPECT_TRUE(c1.Push(1, SparseVector({2}, {1.0})).IsFailedPrecondition());
+  EXPECT_TRUE(c1.ReportClock(1, 1.0).IsFailedPrecondition());
+
+  // Rejoining at the current frontier goes through (the one permitted
+  // op), re-enrolls the worker with the heartbeat monitor, and restores
+  // normal service.
+  ASSERT_TRUE(c1.Readmit(ps.cmin()).ok());
+  EXPECT_TRUE(ps.IsWorkerLive(1));
+  EXPECT_TRUE(c1.Pull(&replica, &cp).ok());
+  EXPECT_NE(service.heartbeat_monitor(), nullptr);
+}
+
+TEST(PsServiceTest, ReadmitBehindCminIsRefusedOverTheWire) {
+  DynSgdRule rule;
+  MessageBus bus;
+  PsOptions o;
+  o.num_servers = 2;
+  o.sync = SyncPolicy::Asp();
+  ParameterServer ps(8, 2, rule, o);
+  double now = 0.0;
+  PsServiceOptions svc;
+  svc.liveness.heartbeat_timeout_seconds = 5.0;
+  svc.liveness.now_fn = [&now] { return now; };
+  PsService service(&ps, &bus, "ps", svc);
+  ASSERT_TRUE(service.status().ok());
+  RpcWorkerClient c0(0, &bus, "ps", RpcRetryPolicy::NoRetry());
+  RpcWorkerClient c1(1, &bus, "ps", RpcRetryPolicy::NoRetry());
+  for (int c = 0; c < 3; ++c) {
+    ASSERT_TRUE(c0.Push(c, SparseVector({1}, {1.0})).ok());
+    ASSERT_TRUE(c1.Push(c, SparseVector({2}, {1.0})).ok());
+  }
+  now = 10.0;
+  ASSERT_TRUE(c0.Push(3, SparseVector({1}, {1.0})).ok());
+  ASSERT_FALSE(ps.IsWorkerLive(1));
+  ASSERT_GT(ps.cmin(), 0);
+
+  // Rejoining *behind* cmin would violate Theorem 3's staleness window
+  // (its stale pushes could land under already-consolidated clocks), so
+  // the request is refused and the worker stays out...
+  EXPECT_TRUE(c1.Readmit(0).IsFailedPrecondition());
+  EXPECT_FALSE(ps.IsWorkerLive(1));
+  // ...but a corrected rejoin at the frontier succeeds.
+  ASSERT_TRUE(c1.Readmit(ps.cmin()).ok());
+  EXPECT_TRUE(ps.IsWorkerLive(1));
+}
+
 }  // namespace
 }  // namespace hetps

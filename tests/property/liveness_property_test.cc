@@ -1,0 +1,113 @@
+// Randomized interleavings of the liveness plane's verbs — evict,
+// readmit, report-clock-time, push — against the straggler detector's
+// safety invariants. The load-balancing plane trusts DetectStragglers /
+// FastestWorker blindly, so these must hold on EVERY reachable state:
+//
+//   1. a dead worker is never flagged as a straggler (its frozen clock
+//      time would otherwise trigger shard moves forever),
+//   2. a freshly readmitted worker is never flagged before its first
+//      post-rejoin report (its pre-eviction time belongs to a dead
+//      timing regime), and never crowned fastest either,
+//   3. the fastest worker is always a live one.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dyn_sgd.h"
+#include "math/sparse_vector.h"
+#include "ps/parameter_server.h"
+#include "util/rng.h"
+
+namespace hetps {
+namespace {
+
+TEST(LivenessPropertyTest, StragglerDetectionRespectsMembership) {
+  constexpr int kWorkers = 6;
+  constexpr int kSteps = 400;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    DynSgdRule rule;
+    PsOptions o;
+    o.num_servers = 2;
+    o.sync = SyncPolicy::Asp();
+    ParameterServer ps(16, kWorkers, rule, o);
+    Rng rng(seed * 977 + 13);
+    std::vector<int> next_clock(kWorkers, 0);
+    // fresh[w]: no clock-time report since w's last (re)admission — its
+    // timing slot must read 0 and it must stay out of the statistics.
+    std::vector<char> fresh(kWorkers, 1);
+    int prev_cmin = ps.cmin();
+    for (int step = 0; step < kSteps; ++step) {
+      const int w = static_cast<int>(rng.NextUint64(kWorkers));
+      switch (rng.NextUint64(8)) {
+        case 0:
+          // May be refused (already dead, or last live worker) — both
+          // fine; the invariants must hold either way.
+          ps.EvictWorker(w);
+          break;
+        case 1:
+          if (!ps.IsWorkerLive(w)) {
+            const Status st = ps.ReadmitWorker(w, ps.cmin());
+            ASSERT_TRUE(st.ok()) << st.ToString();
+            fresh[static_cast<size_t>(w)] = 1;
+            next_clock[static_cast<size_t>(w)] = ps.cmin();
+          }
+          break;
+        case 2:
+          // A rejoin pinned at clock 0 goes stale once cmin advances;
+          // the table must refuse it without corrupting membership.
+          if (!ps.IsWorkerLive(w)) {
+            const Status st = ps.ReadmitWorker(w, 0);
+            if (st.ok()) {
+              fresh[static_cast<size_t>(w)] = 1;
+              next_clock[static_cast<size_t>(w)] = 0;
+            } else {
+              EXPECT_TRUE(st.IsFailedPrecondition()) << st.ToString();
+              EXPECT_FALSE(ps.IsWorkerLive(w));
+            }
+          }
+          break;
+        case 3:
+        case 4:
+        case 5: {
+          const double seconds = rng.NextDouble(0.5, 4.0);
+          ps.master()->ReportClockTime(w, seconds);
+          // Reports from dead workers are dropped, so only a live
+          // reporter sheds its fresh status.
+          if (ps.IsWorkerLive(w)) fresh[static_cast<size_t>(w)] = 0;
+          break;
+        }
+        default:
+          if (ps.IsWorkerLive(w)) {
+            ps.Push(w, next_clock[static_cast<size_t>(w)]++,
+                    SparseVector({1}, {0.1}));
+          }
+          break;
+      }
+
+      for (int s : ps.master()->DetectStragglers(1.2)) {
+        EXPECT_TRUE(ps.IsWorkerLive(s))
+            << "seed " << seed << " step " << step
+            << ": dead worker " << s << " flagged as straggler";
+        EXPECT_EQ(fresh[static_cast<size_t>(s)], 0)
+            << "seed " << seed << " step " << step
+            << ": fresh readmit " << s << " flagged as straggler";
+      }
+      const int fastest = ps.master()->FastestWorker();
+      if (fastest >= 0) {
+        EXPECT_TRUE(ps.IsWorkerLive(fastest))
+            << "seed " << seed << " step " << step
+            << ": dead worker " << fastest << " crowned fastest";
+        EXPECT_EQ(fresh[static_cast<size_t>(fastest)], 0)
+            << "seed " << seed << " step " << step
+            << ": fresh readmit " << fastest << " crowned fastest";
+      }
+      // The SSP clock floor never regresses, whatever the interleaving.
+      EXPECT_GE(ps.cmin(), prev_cmin);
+      prev_cmin = ps.cmin();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetps

@@ -78,6 +78,37 @@ TEST(MasterTest, DeadWorkersLeaveStragglerStatistics) {
   EXPECT_EQ(master.num_live_workers(), 3);
 }
 
+TEST(MasterTest, ReadmitStartsWithACleanTimingSlate) {
+  // Regression: MarkWorkerLive used to leave the pre-eviction entry in
+  // clock_times_, so a freshly readmitted worker was instantly
+  // classified by its dead timing regime — DetectStragglers flagged it
+  // (or FastestWorker crowned it) before it had run a single clock.
+  Master master(1, 3);
+  master.ReportClockTime(0, 1.0);
+  master.ReportClockTime(1, 1.1);
+  master.ReportClockTime(2, 9.0);  // heavy straggler...
+  master.MarkWorkerDead(2);        // ...evicted...
+  master.MarkWorkerLive(2);        // ...and readmitted.
+  EXPECT_TRUE(master.IsWorkerLive(2));
+  EXPECT_DOUBLE_EQ(master.LastClockTime(2), 0.0);
+  // Unreported (t = 0) workers are never flagged: the rejoiner gets a
+  // fresh chance instead of inheriting its 9.0s slot.
+  EXPECT_TRUE(master.DetectStragglers(1.2).empty());
+  EXPECT_EQ(master.FastestWorker(), 0);
+  // The same holds if the rejoiner had been the *fastest*: a stale fast
+  // slot must not crown it either.
+  master.ReportClockTime(2, 0.1);
+  ASSERT_EQ(master.FastestWorker(), 2);
+  master.MarkWorkerDead(2);
+  master.MarkWorkerLive(2);
+  EXPECT_EQ(master.FastestWorker(), 0);
+  // Its first real report re-enters it into the statistics.
+  master.ReportClockTime(2, 5.0);
+  const auto stragglers = master.DetectStragglers(1.2);
+  ASSERT_EQ(stragglers.size(), 1u);
+  EXPECT_EQ(stragglers[0], 2);
+}
+
 TEST(MasterTest, RestoreVersionsResetsClockTimesAndRevives) {
   // Regression: RestoreVersions used to leave stale clock_times_ behind,
   // so a restored run inherited the pre-crash timing regime and

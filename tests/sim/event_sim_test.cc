@@ -346,5 +346,65 @@ TEST(EventSimLivenessTest, HealthyRunEvictsNobody) {
   }
 }
 
+TEST(EventSimRebalanceTest, ShedsLoadOffPersistentStragglers) {
+  const Dataset d = TestData();
+  ConRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  const ClusterConfig cluster =
+      ClusterConfig::WithStragglers(4, 2, /*hl=*/2.0, /*fraction=*/0.25);
+  SimOptions plain = FastOptions();
+  plain.sync = SyncPolicy::Ssp(3);
+  plain.max_clocks = 24;
+  SimOptions balanced = plain;
+  balanced.rebalance = true;
+  balanced.straggler_threshold = 1.45;
+  balanced.rebalance_hysteresis = 2;
+  balanced.reassign_fraction = 0.2;
+  const SimResult a = RunSimulation(d, cluster, rule, sched, loss, plain);
+  const SimResult b =
+      RunSimulation(d, cluster, rule, sched, loss, balanced);
+  // The 2x worker persistently sheds; nothing comes back (it never truly
+  // recovers), and nobody is evicted — migration is not eviction.
+  EXPECT_GT(b.examples_rebalanced, 0);
+  EXPECT_GT(b.rebalance_migrations, 0);
+  EXPECT_EQ(b.examples_returned, 0);
+  EXPECT_EQ(b.workers_evicted, 0);
+  // Examples only move between shards, so the run converges to the same
+  // objective neighborhood as the unbalanced one...
+  EXPECT_NEAR(b.final_objective, a.final_objective, 0.05);
+  // ...while the straggler-paced tail gets cheaper.
+  EXPECT_LT(b.total_sim_seconds, a.total_sim_seconds);
+}
+
+TEST(EventSimRebalanceTest, TransientCongestionRoundTrips) {
+  // A temporary slowdown (the paper's congestion episodes, §6) must
+  // trigger migration *and* the reassignment-back leg once it ends.
+  const Dataset d = TestData();
+  ConRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  SimOptions opts = FastOptions();
+  opts.sync = SyncPolicy::Ssp(3);
+  opts.max_clocks = 30;
+  opts.rebalance = true;
+  opts.straggler_threshold = 1.3;
+  opts.rebalance_hysteresis = 2;
+  opts.rebalance_recovery_windows = 2;
+  opts.reassign_fraction = 0.2;
+  opts.slow_worker = 1;
+  opts.slow_from_clock = 2;
+  opts.slow_until_clock = 10;
+  opts.slow_multiplier = 3.0;
+  const SimResult r = RunSimulation(
+      d, ClusterConfig::Homogeneous(3, 2), rule, sched, loss, opts);
+  EXPECT_GT(r.examples_rebalanced, 0);
+  // The episode ends at clock 10; worker 1's true speed returns and the
+  // projected-time gate lets it reclaim its loans.
+  EXPECT_GT(r.examples_returned, 0);
+  EXPECT_GT(r.rebalance_migrations, 0);
+  EXPECT_EQ(r.workers_evicted, 0);
+}
+
 }  // namespace
 }  // namespace hetps
