@@ -1,5 +1,5 @@
 // Compute-kernel trajectory bench — the PR-4 acceptance numbers for the
-// runtime-dispatched kernel library (DESIGN.md §8), measured at two
+// runtime-dispatched kernel library (DESIGN.md §9), measured at two
 // layers:
 //
 //   1. "kernels": per-kernel GB/s for the scalar reference table vs. the

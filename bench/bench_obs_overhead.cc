@@ -1,5 +1,5 @@
 // Observability overhead bench — the evidence behind the "near-zero
-// cost when disabled" claim (DESIGN.md "Observability" and §7 "Causal
+// cost when disabled" claim (DESIGN.md §10 "Observability" and its "Causal
 // tracing & time series"), now covering all three recorders:
 //
 //   1. PS push path (Algorithm 1's hot edge) with every recorder

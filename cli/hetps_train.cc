@@ -7,13 +7,14 @@
 //                        [--partitions=2] [--scheme=range|hash|rangehash]
 //                        [--update_filter=0] [--lr=0.3] [--decay] [--l2=1e-4]
 //                        [--batch-fraction=0.1] [--synthetic=url|ctr]
+//                        [--push_window=0] [--push_parallelism=1]
 //   hetps_train evaluate --data=test.libsvm --model=in.model
 //   hetps_train predict  --data=test.libsvm --model=in.model [--out=preds.txt]
 //   hetps_train simulate [--hl=2] [--workers=30] [--servers=10]
 //                        [--rule=dyn] [--staleness=3] [--lr=2.0]
 //                        [--clocks=60] [--tolerance=0.4]
 //                        [--partitions=1] [--scheme=range|hash|rangehash]
-//                        [--update_filter=0]
+//                        [--update_filter=0] [--push_window=-1]
 //                        [--kill_worker=-1] [--kill_at_clock=-1]
 //                        [--heartbeat_timeout=0] [--evict_dead_workers=1]
 //                        [--rebalance] [--straggler_threshold=1.2]
@@ -24,8 +25,9 @@
 //   hetps_train check-obs --metrics=metrics.json [--trace=trace.json]
 //                         [--timeseries=timeseries.json]
 //                         [--flightrec=flightrec.json]
-//   hetps_train inspect  --timeseries=timeseries.json
-//                        [--flightrec=flightrec.json]
+//   hetps_train inspect  [--timeseries=timeseries.json]
+//                        [--metrics=metrics.json]
+//                        [--flightrec=flightrec.json]   (at least one)
 //
 // Observability (train and simulate): --metrics_out=metrics.json writes
 // a metric snapshot (counters/gauges/histograms incl. staleness and
@@ -219,6 +221,13 @@ int RunTrain(const FlagParser& flags) {
       flags.GetDouble("batch-fraction", 0.1).value();
   cfg.update_filter_epsilon =
       flags.GetDouble("update_filter", 0.0).value();
+  // Push pipeline: --push_window=N overlaps pushes with compute
+  // (0 = synchronous), --push_parallelism fans push application across
+  // server shards (1 = serial, 0 = auto).
+  cfg.push_window =
+      static_cast<int>(flags.GetInt("push_window", 0).value());
+  cfg.push_parallelism =
+      static_cast<int>(flags.GetInt("push_parallelism", 1).value());
   cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 42).value());
 
   std::unique_ptr<RunReporter> reporter = MakeReporter(
@@ -317,6 +326,10 @@ int RunSimulate(const FlagParser& flags) {
   if (!scheme_st.ok()) return Fail(scheme_st);
   options.update_filter_epsilon =
       flags.GetDouble("update_filter", 0.0).value();
+  // Push pipelining model: -1 = legacy unbounded overlap, 0 =
+  // synchronous, >= 1 = bounded window (see SimOptions::push_window).
+  options.push_window =
+      static_cast<int>(flags.GetInt("push_window", -1).value());
   options.objective_tolerance =
       flags.GetDouble("tolerance", 0.4).value();
   options.l2 = flags.GetDouble("l2", 1e-4).value();
@@ -478,15 +491,20 @@ double MeanOf(const std::vector<double>& v, size_t begin, size_t end) {
   return sum / static_cast<double>(end - begin);
 }
 
-/// `inspect`: renders timeseries.json (+ optional flightrec.json) into
-/// a human-readable heterogeneity report — per-worker wait/compute over
-/// time, the straggler callout, and the chronological flight record.
+/// `inspect`: renders timeseries.json (+ optional metrics.json /
+/// flightrec.json) into a human-readable heterogeneity report —
+/// per-worker wait/compute over time, the straggler callout, the
+/// push-pipeline comm-overlap summary, and the chronological flight
+/// record.
 int RunInspect(const FlagParser& flags) {
   const std::string timeseries_path = flags.GetString("timeseries", "");
+  const std::string metrics_path = flags.GetString("metrics", "");
   const std::string flightrec_path = flags.GetString("flightrec", "");
-  if (timeseries_path.empty()) {
+  if (timeseries_path.empty() && metrics_path.empty() &&
+      flightrec_path.empty()) {
     return Fail(Status::InvalidArgument(
-        "pass --timeseries=timeseries.json [--flightrec=...]"));
+        "pass at least one of --timeseries=timeseries.json "
+        "[--metrics=...] [--flightrec=...]"));
   }
   auto read_file = [](const std::string& path) -> Result<std::string> {
     std::ifstream in(path);
@@ -495,94 +513,152 @@ int RunInspect(const FlagParser& flags) {
     buf << in.rdbuf();
     return buf.str();
   };
-  auto text = read_file(timeseries_path);
-  if (!text.ok()) return Fail(text.status());
-  Status valid = ValidateTimeSeriesJson(text.value());
-  if (!valid.ok()) return Fail(valid);
-  auto parsed = ParseJson(text.value());
-  if (!parsed.ok()) return Fail(parsed.status());
-  const JsonValue& doc = parsed.value();
+  if (!timeseries_path.empty()) {
+    auto text = read_file(timeseries_path);
+    if (!text.ok()) return Fail(text.status());
+    Status valid = ValidateTimeSeriesJson(text.value());
+    if (!valid.ok()) return Fail(valid);
+    auto parsed = ParseJson(text.value());
+    if (!parsed.ok()) return Fail(parsed.status());
+    const JsonValue& doc = parsed.value();
 
-  // Per-worker chronological per-window phase means (µs). A window
-  // without a worker's series (no clock finished in it) is skipped for
-  // that worker, so each vector is that worker's own timeline.
-  std::map<int, std::vector<double>> wait_means;
-  std::map<int, std::vector<double>> compute_means;
-  const JsonValue* windows = doc.Find("windows");
-  for (const JsonValue& window : windows->array) {
-    const JsonValue* hists = window.Find("histograms");
-    if (hists == nullptr || !hists->is_object()) continue;
-    for (const auto& [series, h] : hists->object) {
-      std::string base;
-      const int worker = WorkerLabelOf(series, &base);
-      if (worker < 0) continue;
-      const double count = h.Find("count")->number_value;
-      if (count <= 0) continue;
-      const double mean = h.Find("sum")->number_value / count;
-      if (base == "worker.wait_us") {
-        wait_means[worker].push_back(mean);
-      } else if (base == "worker.compute_us") {
-        compute_means[worker].push_back(mean);
+    // Per-worker chronological per-window phase means (µs). A window
+    // without a worker's series (no clock finished in it) is skipped for
+    // that worker, so each vector is that worker's own timeline.
+    std::map<int, std::vector<double>> wait_means;
+    std::map<int, std::vector<double>> compute_means;
+    const JsonValue* windows = doc.Find("windows");
+    for (const JsonValue& window : windows->array) {
+      const JsonValue* hists = window.Find("histograms");
+      if (hists == nullptr || !hists->is_object()) continue;
+      for (const auto& [series, h] : hists->object) {
+        std::string base;
+        const int worker = WorkerLabelOf(series, &base);
+        if (worker < 0) continue;
+        const double count = h.Find("count")->number_value;
+        if (count <= 0) continue;
+        const double mean = h.Find("sum")->number_value / count;
+        if (base == "worker.wait_us") {
+          wait_means[worker].push_back(mean);
+        } else if (base == "worker.compute_us") {
+          compute_means[worker].push_back(mean);
+        }
+      }
+    }
+
+    std::printf("heterogeneity report: %s\n", timeseries_path.c_str());
+    std::printf("windows: %zu (dropped %.0f)\n", windows->array.size(),
+                doc.Find("dropped_windows")->number_value);
+    // The early/late comparison splits each worker's timeline in half; with
+    // fewer than two windows the "early half" is empty and every mean
+    // degenerates (0/0 NaN garbage). Report that cleanly instead.
+    if (windows->array.size() < 2) {
+      std::printf("insufficient windows: %zu (need >= 2 for the early/late "
+                  "comparison; run longer or shrink the window size)\n",
+                  windows->array.size());
+    } else if (wait_means.empty() && compute_means.empty()) {
+      std::printf("no worker.wait_us / worker.compute_us series found "
+                  "(run with --timeseries_out on a training command)\n");
+    } else {
+      std::printf("%8s %8s %14s %14s %14s\n", "worker", "windows",
+                  "wait:early us", "wait:late us", "compute us");
+      for (const auto& [worker, waits] : wait_means) {
+        const size_t half = waits.size() / 2;
+        const std::vector<double>& computes = compute_means[worker];
+        std::printf("%8d %8zu %14.0f %14.0f %14.0f\n", worker,
+                    waits.size(), MeanOf(waits, 0, half ? half : 1),
+                    MeanOf(waits, half, waits.size()),
+                    MeanOf(computes, 0, computes.size()));
+      }
+      // Callouts: the slowest computer is the straggler; the worker whose
+      // wait grows most is the one the admission gate parks behind it
+      // (under SSP the *survivors* wait on a dead or slow peer).
+      int slow_worker = -1;
+      double slow_compute = -1.0;
+      for (const auto& [worker, computes] : compute_means) {
+        const double mean = MeanOf(computes, 0, computes.size());
+        if (mean > slow_compute) {
+          slow_compute = mean;
+          slow_worker = worker;
+        }
+      }
+      int blocked_worker = -1;
+      double blocked_growth = -1.0;
+      for (const auto& [worker, waits] : wait_means) {
+        const size_t half = waits.size() / 2;
+        if (half == 0) continue;
+        const double growth = MeanOf(waits, half, waits.size()) -
+                              MeanOf(waits, 0, half);
+        if (growth > blocked_growth) {
+          blocked_growth = growth;
+          blocked_worker = worker;
+        }
+      }
+      if (slow_worker >= 0) {
+        std::printf("slowest compute: worker %d (mean %.0f us/clock)\n",
+                    slow_worker, slow_compute);
+      }
+      if (blocked_worker >= 0 && blocked_growth > 0.0) {
+        std::printf("most gate-blocked: worker %d (wait grew %.0f us "
+                    "from early to late windows)\n",
+                    blocked_worker, blocked_growth);
       }
     }
   }
 
-  std::printf("heterogeneity report: %s\n", timeseries_path.c_str());
-  std::printf("windows: %zu (dropped %.0f)\n", windows->array.size(),
-              doc.Find("dropped_windows")->number_value);
-  // The early/late comparison splits each worker's timeline in half; with
-  // fewer than two windows the "early half" is empty and every mean
-  // degenerates (0/0 NaN garbage). Report that cleanly instead.
-  if (windows->array.size() < 2) {
-    std::printf("insufficient windows: %zu (need >= 2 for the early/late "
-                "comparison; run longer or shrink the window size)\n",
-                windows->array.size());
-  } else if (wait_means.empty() && compute_means.empty()) {
-    std::printf("no worker.wait_us / worker.compute_us series found "
-                "(run with --timeseries_out on a training command)\n");
-  } else {
-    std::printf("%8s %8s %14s %14s %14s\n", "worker", "windows",
-                "wait:early us", "wait:late us", "compute us");
-    for (const auto& [worker, waits] : wait_means) {
-      const size_t half = waits.size() / 2;
-      const std::vector<double>& computes = compute_means[worker];
-      std::printf("%8d %8zu %14.0f %14.0f %14.0f\n", worker,
-                  waits.size(), MeanOf(waits, 0, half ? half : 1),
-                  MeanOf(waits, half, waits.size()),
-                  MeanOf(computes, 0, computes.size()));
-    }
-    // Callouts: the slowest computer is the straggler; the worker whose
-    // wait grows most is the one the admission gate parks behind it
-    // (under SSP the *survivors* wait on a dead or slow peer).
-    int slow_worker = -1;
-    double slow_compute = -1.0;
-    for (const auto& [worker, computes] : compute_means) {
-      const double mean = MeanOf(computes, 0, computes.size());
-      if (mean > slow_compute) {
-        slow_compute = mean;
-        slow_worker = worker;
+  // Comm overlap: the pipelined push path reports how much push
+  // transfer time it hid behind compute (worker.push_hidden_seconds
+  // gauges, from WorkerTimeBreakdown). These are end-of-run gauges in
+  // metrics.json, not windowed series, so they ride in via --metrics=.
+  if (!metrics_path.empty()) {
+    auto m_text = read_file(metrics_path);
+    if (!m_text.ok()) return Fail(m_text.status());
+    Status m_valid = ValidateMetricsJson(m_text.value());
+    if (!m_valid.ok()) return Fail(m_valid);
+    auto m_parsed = ParseJson(m_text.value());
+    if (!m_parsed.ok()) return Fail(m_parsed.status());
+    const JsonValue* gauges =
+        m_parsed.value().Find("metrics")->Find("gauges");
+    std::map<int, double> hidden;
+    std::map<int, double> comm;
+    if (gauges != nullptr && gauges->is_object()) {
+      for (const auto& [series, v] : gauges->object) {
+        std::string base;
+        const int worker = WorkerLabelOf(series, &base);
+        if (worker < 0) continue;
+        if (base == "worker.push_hidden_seconds") {
+          hidden[worker] = v.number_value;
+        } else if (base == "worker.comm_seconds") {
+          comm[worker] = v.number_value;
+        }
       }
     }
-    int blocked_worker = -1;
-    double blocked_growth = -1.0;
-    for (const auto& [worker, waits] : wait_means) {
-      const size_t half = waits.size() / 2;
-      if (half == 0) continue;
-      const double growth = MeanOf(waits, half, waits.size()) -
-                            MeanOf(waits, 0, half);
-      if (growth > blocked_growth) {
-        blocked_growth = growth;
-        blocked_worker = worker;
+    double total_hidden = 0.0;
+    double total_comm = 0.0;
+    for (const auto& [worker, h] : hidden) total_hidden += h;
+    for (const auto& [worker, c] : comm) total_comm += c;
+    if (hidden.empty()) {
+      std::printf("\ncomm overlap: no worker.push_hidden_seconds gauges "
+                  "in %s (train with --push_window >= 1)\n",
+                  metrics_path.c_str());
+    } else {
+      // hidden / (hidden + comm) = fraction of transfer time the
+      // pipeline took off the critical path for that worker.
+      std::printf("\ncomm overlap (%s):\n", metrics_path.c_str());
+      std::printf("%8s %14s %14s %10s\n", "worker", "hidden s",
+                  "blocked s", "overlap");
+      for (const auto& [worker, h] : hidden) {
+        const double c = comm.count(worker) ? comm[worker] : 0.0;
+        const double denom = h + c;
+        std::printf("%8d %14.3f %14.3f %9.0f%%\n", worker, h, c,
+                    denom > 0.0 ? 100.0 * h / denom : 0.0);
       }
-    }
-    if (slow_worker >= 0) {
-      std::printf("slowest compute: worker %d (mean %.0f us/clock)\n",
-                  slow_worker, slow_compute);
-    }
-    if (blocked_worker >= 0 && blocked_growth > 0.0) {
-      std::printf("most gate-blocked: worker %d (wait grew %.0f us "
-                  "from early to late windows)\n",
-                  blocked_worker, blocked_growth);
+      const double total = total_hidden + total_comm;
+      std::printf("pushes hid %.3fs of transfer behind compute "
+                  "(%.0f%% of %.3fs total comm+hidden)\n",
+                  total_hidden,
+                  total > 0.0 ? 100.0 * total_hidden / total : 0.0,
+                  total);
     }
   }
 

@@ -25,7 +25,7 @@ class BucketedHistogram;
 /// read-only). L2 regularization is applied lazily on the coordinates
 /// active in each batch, which keeps updates sparse.
 ///
-/// Hot-path structure (DESIGN.md §8): per example one gather-dot for the
+/// Hot-path structure (DESIGN.md §9): per example one gather-dot for the
 /// margin and one fused scatter that accumulates the gradient while
 /// recording first-touches in a *touched-coordinate list*. Batch-local
 /// L2, the replica/update application, scratch-buffer resets and the

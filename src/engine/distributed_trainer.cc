@@ -43,6 +43,7 @@ Result<DistributedTrainResult> TrainDistributed(
   ps_opts.num_servers = options.num_servers;
   ps_opts.sync = options.sync;
   ps_opts.partition_sync = options.partition_sync;
+  ps_opts.push_parallelism = options.push_parallelism;
   ParameterServer ps(dataset.dimension(), options.num_workers, rule_proto,
                      ps_opts);
   if (options.resume) {
@@ -208,7 +209,8 @@ Result<DistributedTrainResult> TrainDistributed(
         "worker.compute_us", {{"worker", std::to_string(m)}});
     TraceRecorder::Global().NameThisThread("worker-" +
                                            std::to_string(m));
-    RpcWorkerClient client(m, &bus, "ps", options.rpc_retry);
+    RpcWorkerClient client(m, &bus, "ps", options.rpc_retry,
+                           options.push_window);
     LocalWorkerSgd::Options sgd_opts;
     sgd_opts.batch_size = LocalWorkerSgd::BatchSizeForFraction(
         shards[static_cast<size_t>(m)].size(), options.batch_fraction);
@@ -369,6 +371,20 @@ Result<DistributedTrainResult> TrainDistributed(
         options.on_epoch(c + 1 - start_clock);
       }
     }
+    // Drain the push pipeline: the last clocks' pushes may still be in
+    // flight, and a failure latched after the final Push would otherwise
+    // go unseen. The drain block is the un-hidden remainder (comm); what
+    // the pipeline overlapped with compute is reported separately.
+    {
+      const auto flush_start = SteadyClock::now();
+      my_status = client.Flush();
+      breakdown.comm_seconds += seconds_since(flush_start);
+    }
+    if (!my_status.ok()) {
+      if (evicted_by_design()) my_status = Status::OK();
+      return;
+    }
+    breakdown.push_hidden_seconds = client.push_hidden_seconds();
     worker_retries[static_cast<size_t>(m)] = client.retry_count();
   };
 

@@ -51,6 +51,15 @@ struct DistributedTrainerOptions {
   /// partition cache (RpcWorkerClient::PullCached) so only changed
   /// partitions cross the bus. Off = every pull ships the whole model.
   bool delta_pull = true;
+  /// Asynchronous push pipeline (RpcWorkerClient): 0 = synchronous push
+  /// RPCs (the pre-pipeline behavior), >= 1 = bounded in-flight window
+  /// (1 = double-buffer: compute clock c+1 while the push RPC of clock c
+  /// is in flight). Push retries stay safe: the service dedups by
+  /// (worker, clock).
+  int push_window = 0;
+  /// Threads applying a push's partition pieces server-side (see
+  /// PsOptions::push_parallelism): 1 = serial (default), 0 = auto.
+  int push_parallelism = 1;
   /// Called on worker 0's thread after each of its clocks (1-based
   /// count); RunReporter::OnEpoch hooks in here. Keep it cheap.
   std::function<void(int)> on_epoch;

@@ -33,6 +33,7 @@ ThreadedTrainResult TrainThreaded(const Dataset& dataset,
   ps_opts.sync = options.sync;
   ps_opts.partition_sync = options.partition_sync;
   ps_opts.update_filter_epsilon = options.update_filter_epsilon;
+  ps_opts.push_parallelism = options.push_parallelism;
   ParameterServer ps(dataset.dimension(), options.num_workers, rule_proto,
                      ps_opts);
 
@@ -58,7 +59,7 @@ ThreadedTrainResult TrainThreaded(const Dataset& dataset,
                        &schedule, sgd_opts);
     std::vector<double> replica(static_cast<size_t>(dataset.dimension()),
                                 0.0);
-    WorkerClient client(m, &ps, options.delta_pull);
+    WorkerClient client(m, &ps, options.delta_pull, options.push_window);
     const double sleep_s = options.worker_sleep_seconds.empty()
                                ? 0.0
                                : options.worker_sleep_seconds
@@ -109,9 +110,14 @@ ThreadedTrainResult TrainThreaded(const Dataset& dataset,
               .count());
       if (m == 0 && options.on_epoch) options.on_epoch(c + 1);
     }
+    // Drain the push pipeline before reading the breakdown: the last
+    // clocks' pushes may still be in flight, and push_hidden_seconds is
+    // finalized by the drain.
+    client.Flush();
     // Fold in the client's comm/wait split (compute tracked above).
     breakdown.comm_seconds = client.breakdown().comm_seconds;
     breakdown.wait_seconds = client.breakdown().wait_seconds;
+    breakdown.push_hidden_seconds = client.breakdown().push_hidden_seconds;
     breakdown.clocks_completed = client.breakdown().clocks_completed;
   };
 

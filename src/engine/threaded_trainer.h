@@ -46,6 +46,14 @@ struct ThreadedTrainerOptions {
   /// or sparse delta, whichever is smaller). Off = every pull ships the
   /// whole model.
   bool delta_pull = true;
+  /// Asynchronous push pipeline (WorkerClient): 0 = synchronous pushes
+  /// (bitwise-identical to the pre-pipeline trainer), >= 1 = bounded
+  /// in-flight window (1 = double-buffer: compute clock c+1 while the
+  /// push of clock c is in flight).
+  int push_window = 0;
+  /// Threads applying a push's partition pieces server-side (see
+  /// PsOptions::push_parallelism): 1 = serial (default), 0 = auto.
+  int push_parallelism = 1;
   uint64_t seed = 11;
   /// Called on worker 0's thread after each of its clocks finishes
   /// (argument: the 1-based clock count). RunReporter::OnEpoch hooks in

@@ -13,7 +13,7 @@ namespace kernels {
 /// every hot path (worker SGD inner loop, shard consolidation, replica
 /// delta application, dense pull assembly).
 ///
-/// Design (DESIGN.md §8 "Compute kernels & dispatch"):
+/// Design (DESIGN.md §9 "Compute kernels & dispatch"):
 ///   * One implementation table per ISA level. The scalar table is the
 ///     reference semantics: plain sequential loops, compiled with
 ///     auto-vectorization disabled so "forced scalar" really measures

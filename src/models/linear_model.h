@@ -39,6 +39,12 @@ struct LinearModelConfig {
   double batch_fraction = 0.1;
   bool partition_sync = false;
   double update_filter_epsilon = 0.0;
+  /// Asynchronous push pipeline: 0 = synchronous pushes, >= 1 = bounded
+  /// in-flight window (see ThreadedTrainerOptions::push_window).
+  int push_window = 0;
+  /// Server-side shard-parallel push apply: 1 = serial, 0 = auto (see
+  /// PsOptions::push_parallelism).
+  int push_parallelism = 1;
   uint64_t seed = 1;
   /// Forwarded to ThreadedTrainerOptions::on_epoch — worker 0's per-clock
   /// hook (RunReporter::OnEpoch plugs in here for periodic metric dumps).

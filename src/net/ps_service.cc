@@ -77,6 +77,8 @@ PsService::PsService(ParameterServer* ps, MessageBus* bus,
   }
   MetricsRegistry& global = GlobalMetrics();
   handle_push_us_ = global.histogram("rpc.handle_us", {{"op", "push"}});
+  handle_push_columnar_us_ =
+      global.histogram("rpc.handle_us", {{"op", "push_columnar"}});
   handle_pull_us_ = global.histogram("rpc.handle_us", {{"op", "pull"}});
   handle_pull_delta_us_ =
       global.histogram("rpc.handle_us", {{"op", "pull_delta"}});
@@ -182,6 +184,11 @@ std::vector<uint8_t> PsService::Handle(const Envelope& request) {
         handle_us = handle_push_us_;
         response = HandlePush(&reader);
         break;
+      case PsOpCode::kPushColumnar:
+        metrics_.counter("rpc.push_columnar")->Increment();
+        handle_us = handle_push_columnar_us_;
+        response = HandlePushColumnar(&reader);
+        break;
       case PsOpCode::kPull:
         metrics_.counter("rpc.pull")->Increment();
         handle_us = handle_pull_us_;
@@ -271,6 +278,66 @@ std::vector<uint8_t> PsService::HandlePush(ByteReader* reader) {
     return w.TakeBuffer();
   }
   ps_->Push(static_cast<int>(worker), static_cast<int>(clock), update);
+  last_push_clock_[static_cast<size_t>(worker)] = clock;
+  ByteWriter w;
+  w.WriteU8(0);
+  return w.TakeBuffer();
+}
+
+std::vector<uint8_t> PsService::HandlePushColumnar(ByteReader* reader) {
+  int64_t worker = 0;
+  int64_t clock = 0;
+  uint64_t num_pieces = 0;
+  Status st = reader->ReadI64(&worker);
+  if (st.ok()) st = reader->ReadI64(&clock);
+  if (st.ok()) st = reader->ReadU64(&num_pieces);
+  if (st.ok() && (worker < 0 || worker >= ps_->num_workers())) {
+    st = Status::InvalidArgument("worker id out of range");
+  }
+  const Partitioner& part = ps_->partitioner();
+  if (st.ok() &&
+      num_pieces > static_cast<uint64_t>(part.num_partitions())) {
+    st = Status::InvalidArgument("more pieces than partitions");
+  }
+  if (!st.ok()) return ErrorResponse(st);
+  // Same retry-dedup contract as kPush: a duplicate (worker, clock) is
+  // acknowledged without decoding or re-applying its pieces.
+  if (options_.dedup_pushes &&
+      clock <= last_push_clock_[static_cast<size_t>(worker)]) {
+    metrics_.counter("rpc.push_duplicates")->Increment();
+    ByteWriter w;
+    w.WriteU8(0);
+    return w.TakeBuffer();
+  }
+  // Decode piece by piece straight into partition-local vectors — the
+  // dim-wide global update is never materialized. Partition ids must be
+  // strictly increasing (rejects duplicates, which would double-apply)
+  // and every piece is bounds-checked against the handshaken layout
+  // before anything is applied: a bad frame mutates nothing.
+  std::vector<std::pair<int, SparseVector>> pieces;
+  pieces.reserve(static_cast<size_t>(num_pieces));
+  int64_t prev_partition = -1;
+  for (uint64_t i = 0; i < num_pieces; ++i) {
+    int64_t partition = 0;
+    SparseVector piece;
+    st = reader->ReadI64(&partition);
+    if (st.ok()) st = reader->ReadSparseVector(&piece);
+    if (st.ok() &&
+        (partition <= prev_partition ||
+         partition >= part.num_partitions())) {
+      st = Status::InvalidArgument("bad piece partition id");
+    }
+    if (st.ok() && !piece.empty() &&
+        piece.MinimumDimension() >
+            part.PartitionDim(static_cast<int>(partition))) {
+      st = Status::InvalidArgument("piece index out of range");
+    }
+    if (!st.ok()) return ErrorResponse(st);
+    prev_partition = partition;
+    pieces.emplace_back(static_cast<int>(partition), std::move(piece));
+  }
+  ps_->PushPieces(static_cast<int>(worker), static_cast<int>(clock),
+                  pieces);
   last_push_clock_[static_cast<size_t>(worker)] = clock;
   ByteWriter w;
   w.WriteU8(0);
@@ -456,15 +523,129 @@ std::vector<uint8_t> PsService::HandleReadmit(const Envelope& request,
 
 RpcWorkerClient::RpcWorkerClient(int worker_id, MessageBus* bus,
                                  std::string ps_endpoint,
-                                 const RpcRetryPolicy& retry)
+                                 const RpcRetryPolicy& retry,
+                                 int push_window)
     : worker_id_(worker_id),
       bus_(bus),
       ps_endpoint_(std::move(ps_endpoint)),
       my_endpoint_("worker-" + std::to_string(worker_id)),
       retry_(retry),
-      retries_metric_(GlobalMetrics().counter("rpc.client_retries")) {
+      retries_metric_(GlobalMetrics().counter("rpc.client_retries")),
+      push_window_(push_window) {
   HETPS_CHECK(bus != nullptr) << "null MessageBus";
   HETPS_CHECK(retry_.max_attempts >= 1) << "need at least one attempt";
+  HETPS_CHECK(push_window >= 0) << "negative push window";
+  if (push_window_ >= 1) {
+    inflight_gauge_ = GlobalMetrics().gauge("push.inflight");
+    inflight_peak_gauge_ = GlobalMetrics().gauge("push.inflight_peak");
+    sender_ = std::thread([this] { SenderLoop(); });
+  }
+}
+
+RpcWorkerClient::~RpcWorkerClient() {
+  if (sender_.joinable()) {
+    // The sender drains the queue before exiting, so every accepted push
+    // is attempted even when the trainer tears down mid-window (failures
+    // at this point have nowhere to surface, which is fine: the bus is
+    // usually shutting down too).
+    {
+      std::lock_guard<std::mutex> lock(send_mu_);
+      stop_sender_ = true;
+    }
+    send_cv_.notify_all();
+    sender_.join();
+  }
+}
+
+void RpcWorkerClient::SenderLoop() {
+  for (;;) {
+    std::pair<int, std::vector<uint8_t>> item;
+    {
+      std::unique_lock<std::mutex> lock(send_mu_);
+      send_cv_.wait(lock, [this] {
+        return stop_sender_ || !send_queue_.empty();
+      });
+      if (send_queue_.empty()) return;  // stop requested and drained
+      item = std::move(send_queue_.front());
+      send_queue_.pop_front();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    auto response = Roundtrip(std::move(item.second));
+    Status st;
+    if (response.ok()) {
+      ByteReader reader(response.value());
+      st = ConsumeStatus(&reader);
+    } else {
+      st = response.status();
+    }
+    const double dur = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    {
+      std::lock_guard<std::mutex> lock(send_mu_);
+      async_push_seconds_ += dur;
+      if (!st.ok() && push_error_.ok()) {
+        // First failure wins; it is surfaced (and the clock recorded in
+        // the message) by the next owner-thread call that drains.
+        push_error_ = Status(st.code(), "async push of clock " +
+                                            std::to_string(item.first) +
+                                            " failed: " + st.message());
+      }
+      --inflight_;
+      if (inflight_gauge_ != nullptr) inflight_gauge_->Add(-1.0);
+    }
+    space_cv_.notify_all();
+  }
+}
+
+std::vector<uint8_t> RpcWorkerClient::EncodePush(
+    int clock, const SparseVector& update) {
+  ByteWriter w;
+  if (partitioner_ == nullptr) {
+    // No layout handshake yet: ship the classic global-indexed frame.
+    w.WriteU8(static_cast<uint8_t>(PsOpCode::kPush));
+    w.WriteI64(worker_id_);
+    w.WriteI64(clock);
+    w.WriteSparseVector(update);
+    return w.TakeBuffer();
+  }
+  // Columnar frame: per-partition pieces with local indices, so the
+  // service can route each piece straight to its shard. Empty pieces are
+  // elided (the frame carries explicit partition ids); an all-empty push
+  // still ships — the server must advance the clock table.
+  std::vector<SparseVector> pieces = partitioner_->SplitByPartition(update);
+  uint64_t kept = 0;
+  for (const SparseVector& piece : pieces) {
+    if (!piece.empty()) ++kept;
+  }
+  w.WriteU8(static_cast<uint8_t>(PsOpCode::kPushColumnar));
+  w.WriteI64(worker_id_);
+  w.WriteI64(clock);
+  w.WriteU64(kept);
+  for (size_t p = 0; p < pieces.size(); ++p) {
+    if (pieces[p].empty()) continue;
+    w.WriteI64(static_cast<int64_t>(p));
+    w.WriteSparseVector(pieces[p]);
+  }
+  return w.TakeBuffer();
+}
+
+Status RpcWorkerClient::Flush() {
+  if (push_window_ == 0) return Status::OK();
+  std::unique_lock<std::mutex> lock(send_mu_);
+  if (inflight_ > 0) {
+    const auto start = std::chrono::steady_clock::now();
+    space_cv_.wait(lock, [this] { return inflight_ == 0; });
+    owner_blocked_seconds_ += std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count();
+  }
+  return push_error_;
+}
+
+double RpcWorkerClient::push_hidden_seconds() const {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  return std::max(0.0, async_push_seconds_ - owner_blocked_seconds_);
 }
 
 Result<std::vector<uint8_t>> RpcWorkerClient::Roundtrip(
@@ -501,18 +682,59 @@ Result<std::vector<uint8_t>> RpcWorkerClient::Roundtrip(
 }
 
 Status RpcWorkerClient::Push(int clock, const SparseVector& update) {
-  ByteWriter w;
-  w.WriteU8(static_cast<uint8_t>(PsOpCode::kPush));
-  w.WriteI64(worker_id_);
-  w.WriteI64(clock);
-  w.WriteSparseVector(update);
-  auto response = Roundtrip(w.TakeBuffer());
-  if (!response.ok()) return response.status();
-  ByteReader reader(response.value());
-  return ConsumeStatus(&reader);
+  if (push_window_ == 0) {
+    // Synchronous path — unchanged: one blocking roundtrip per push.
+    ByteWriter w;
+    w.WriteU8(static_cast<uint8_t>(PsOpCode::kPush));
+    w.WriteI64(worker_id_);
+    w.WriteI64(clock);
+    w.WriteSparseVector(update);
+    auto response = Roundtrip(w.TakeBuffer());
+    if (!response.ok()) return response.status();
+    ByteReader reader(response.value());
+    return ConsumeStatus(&reader);
+  }
+  // Pipelined path: encode here (partitioner_ is owner-thread state),
+  // then hand the bytes to the sender. Only the backpressure block
+  // (window full) costs the owner wall time.
+  std::vector<uint8_t> request = EncodePush(clock, update);
+  {
+    std::unique_lock<std::mutex> lock(send_mu_);
+    if (!push_error_.ok()) {
+      // The pipeline already failed (e.g. this worker was evicted while
+      // a push was in flight): refuse new work so the caller sees the
+      // failure at the next push instead of silently queueing behind it.
+      return push_error_;
+    }
+    if (inflight_ >= push_window_) {
+      const auto start = std::chrono::steady_clock::now();
+      space_cv_.wait(lock, [this] {
+        return inflight_ < push_window_ || !push_error_.ok();
+      });
+      owner_blocked_seconds_ +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      if (!push_error_.ok()) return push_error_;
+    }
+    send_queue_.emplace_back(clock, std::move(request));
+    ++inflight_;
+    if (inflight_ > inflight_peak_) {
+      inflight_peak_ = inflight_;
+      if (inflight_peak_gauge_ != nullptr) {
+        inflight_peak_gauge_->Set(static_cast<double>(inflight_peak_));
+      }
+    }
+    if (inflight_gauge_ != nullptr) inflight_gauge_->Add(1.0);
+  }
+  send_cv_.notify_one();
+  return Status::OK();
 }
 
 Status RpcWorkerClient::Pull(std::vector<double>* replica, int* cmin) {
+  // Read-your-writes: drain the push window (and surface any latched
+  // async failure) before pulling.
+  HETPS_RETURN_NOT_OK(Flush());
   ByteWriter w;
   w.WriteU8(static_cast<uint8_t>(PsOpCode::kPull));
   w.WriteI64(worker_id_);
@@ -663,6 +885,10 @@ Status RpcWorkerClient::PullCachedOnce(int* cmin, bool* tag_mismatch) {
 
 Status RpcWorkerClient::PullCached(std::vector<double>* replica,
                                    int* cmin) {
+  // Drain before the layout handshake too: EnsureLayout installs
+  // partitioner_, and the first drained queue may still hold legacy
+  // frames — ordering stays FIFO either way.
+  HETPS_RETURN_NOT_OK(Flush());
   HETPS_RETURN_NOT_OK(EnsureLayout());
   for (int attempt = 0; attempt < 3; ++attempt) {
     bool mismatch = false;
@@ -681,6 +907,7 @@ Status RpcWorkerClient::PullCached(std::vector<double>* replica,
 
 Status RpcWorkerClient::PullRange(int64_t begin, int64_t end,
                                   std::vector<double>* values) {
+  HETPS_RETURN_NOT_OK(Flush());
   ByteWriter w;
   w.WriteU8(static_cast<uint8_t>(PsOpCode::kPullRange));
   w.WriteI64(worker_id_);
@@ -694,6 +921,11 @@ Status RpcWorkerClient::PullRange(int64_t begin, int64_t end,
 }
 
 Result<bool> RpcWorkerClient::CanAdvance(int next_clock) {
+  // The admission decision depends on the clock table this worker's own
+  // queued pushes advance — probe only after they have landed. (Also
+  // surfaces a latched async failure, e.g. eviction, instead of letting
+  // the caller poll forever.)
+  HETPS_RETURN_NOT_OK(Flush());
   ByteWriter w;
   w.WriteU8(static_cast<uint8_t>(PsOpCode::kCanAdvance));
   w.WriteI64(worker_id_);
@@ -739,6 +971,14 @@ Status RpcWorkerClient::ReportClock(int clock, double seconds) {
 }
 
 Status RpcWorkerClient::Readmit(int clock) {
+  if (push_window_ >= 1) {
+    // Drain whatever the pipeline still holds (pushes queued before the
+    // eviction fail fast with FailedPrecondition — that is expected) and
+    // reset the latch: a successful rejoin starts a clean pipeline.
+    (void)Flush();
+    std::lock_guard<std::mutex> lock(send_mu_);
+    push_error_ = Status::OK();
+  }
   ByteWriter w;
   w.WriteU8(static_cast<uint8_t>(PsOpCode::kReadmit));
   w.WriteI64(worker_id_);
@@ -750,6 +990,7 @@ Status RpcWorkerClient::Readmit(int clock) {
 }
 
 Result<int64_t> RpcWorkerClient::StableVersion() {
+  HETPS_RETURN_NOT_OK(Flush());
   ByteWriter w;
   w.WriteU8(static_cast<uint8_t>(PsOpCode::kStableVersion));
   auto response = Roundtrip(w.TakeBuffer());

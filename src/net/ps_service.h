@@ -3,10 +3,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "net/heartbeat.h"
@@ -46,6 +51,14 @@ enum class PsOpCode : uint8_t {
   /// come back as FailedPrecondition. On success the sender is
   /// re-registered with the heartbeat monitor.
   kReadmit = 9,
+  /// Columnar push: (worker, clock, piece count), then per piece a
+  /// partition id + a partition-local columnar SparseVector. The handler
+  /// routes pieces straight to their shards (ParameterServer::PushPieces)
+  /// without rebuilding a dim-wide global vector, and pieces apply
+  /// shard-parallel when PsOptions::push_parallelism allows. Clients fall
+  /// back to kPush until the kLayout handshake has run (the split needs
+  /// the Partitioner). Dedup semantics are identical to kPush.
+  kPushColumnar = 10,
 };
 
 /// Heartbeat-driven worker liveness (the SSP liveness repair: one dead
@@ -143,6 +156,7 @@ class PsService {
   /// last heartbeat predates now - timeout. Runs on the service loop.
   void SweepDeadWorkers(double now);
   std::vector<uint8_t> HandlePush(ByteReader* reader);
+  std::vector<uint8_t> HandlePushColumnar(ByteReader* reader);
   std::vector<uint8_t> HandlePull(ByteReader* reader);
   std::vector<uint8_t> HandlePullDelta(ByteReader* reader);
   std::vector<uint8_t> HandleLayout(ByteReader* reader);
@@ -163,6 +177,7 @@ class PsService {
   /// the per-instance counters above stay in metrics_ for tests and
   /// per-server "sources" sections.
   HistogramMetric* handle_push_us_;
+  HistogramMetric* handle_push_columnar_us_;
   HistogramMetric* handle_pull_us_;
   HistogramMetric* handle_pull_delta_us_;
   HistogramMetric* handle_layout_us_;
@@ -225,17 +240,54 @@ struct RpcRetryPolicy {
 /// Blocking admission is implemented by polling CanAdvance (a blocking
 /// server call would stall the single-threaded service loop and deadlock
 /// the cluster), with a small sleep between probes.
+///
+/// ## The push pipeline (push_window >= 1)
+///
+/// With a window, Push() encodes the request on the caller's thread
+/// (columnar once the kLayout handshake has run, legacy kPush before)
+/// and hands the bytes to a background sender; the caller blocks only
+/// when `push_window` encoded pushes are already in flight. The sender
+/// issues the RPCs FIFO, so the server still sees strictly increasing
+/// clocks per worker and its retry dedup stays sound. The first failed
+/// async push is latched and surfaced by the next Push/Flush (and by
+/// the pull/admission calls, which drain the window first for
+/// read-your-writes) — an eviction mid-flight therefore resolves as
+/// FailedPrecondition on the owner thread instead of hanging, and
+/// Readmit() clears the latch after draining. push_window == 0 is the
+/// synchronous path, byte-for-byte as before.
 class RpcWorkerClient {
  public:
   RpcWorkerClient(int worker_id, MessageBus* bus, std::string ps_endpoint,
-                  const RpcRetryPolicy& retry = RpcRetryPolicy());
+                  const RpcRetryPolicy& retry = RpcRetryPolicy(),
+                  int push_window = 0);
+  ~RpcWorkerClient();
+
+  RpcWorkerClient(const RpcWorkerClient&) = delete;
+  RpcWorkerClient& operator=(const RpcWorkerClient&) = delete;
 
   int worker_id() const { return worker_id_; }
+  int push_window() const { return push_window_; }
 
-  /// Retries performed so far (attempts beyond the first).
-  int64_t retry_count() const { return retry_count_; }
+  /// Retries performed so far (attempts beyond the first). Atomic: the
+  /// push sender retries concurrently with the owner's RPCs.
+  int64_t retry_count() const {
+    return retry_count_.load(std::memory_order_relaxed);
+  }
 
+  /// Synchronous when push_window == 0. Pipelined otherwise: returns as
+  /// soon as the update is queued (or the window has space), with any
+  /// earlier async failure returned instead — once latched, nothing
+  /// further is enqueued until Readmit() resets the pipeline.
   Status Push(int clock, const SparseVector& update);
+
+  /// Drains the push window (no-op when push_window == 0) and returns
+  /// the latched async-push error, if any.
+  Status Flush();
+
+  /// Push wall time the pipeline overlapped with the owner's compute:
+  /// total async send time minus the time the owner actually blocked on
+  /// the window. Call after Flush() for a settled value.
+  double push_hidden_seconds() const;
 
   /// Full pull; fills `replica` and `cmin`.
   Status Pull(std::vector<double>* replica, int* cmin);
@@ -288,15 +340,40 @@ class RpcWorkerClient {
   /// tag did not match the cache (caller resets tags and retries).
   Status PullCachedOnce(int* cmin, bool* tag_mismatch);
 
+  /// Encodes one push request on the owner thread: kPushColumnar when
+  /// the layout handshake has run (partitioner_ is owner-only state the
+  /// sender must never touch), legacy kPush otherwise.
+  std::vector<uint8_t> EncodePush(int clock, const SparseVector& update);
+
+  /// Background sender: pops encoded pushes FIFO, issues the RPC, and
+  /// latches the first failure into push_error_.
+  void SenderLoop();
+
   int worker_id_;
   MessageBus* bus_;
   std::string ps_endpoint_;
   std::string my_endpoint_;
   RpcRetryPolicy retry_;
-  int64_t retry_count_ = 0;
+  std::atomic<int64_t> retry_count_{0};
   /// Mirrors retry_count_ into GlobalMetrics() ("rpc.client_retries",
   /// summed across clients) for metrics.json.
   Counter* retries_metric_;
+
+  /// --- Push pipeline (all guarded by send_mu_ unless noted). ---
+  const int push_window_;
+  mutable std::mutex send_mu_;
+  std::condition_variable send_cv_;   // wakes the sender (work / stop)
+  std::condition_variable space_cv_;  // wakes the owner (slot / drained)
+  std::deque<std::pair<int, std::vector<uint8_t>>> send_queue_;
+  bool stop_sender_ = false;
+  int inflight_ = 0;  // queued + currently sending
+  int inflight_peak_ = 0;
+  Status push_error_;  // first async failure, latched until Readmit()
+  double async_push_seconds_ = 0.0;
+  double owner_blocked_seconds_ = 0.0;
+  Gauge* inflight_gauge_ = nullptr;
+  Gauge* inflight_peak_gauge_ = nullptr;
+  std::thread sender_;
 
   /// Client partition cache (PullCached): layout handshake result,
   /// pristine last-received state, and per-partition content tags.

@@ -16,6 +16,11 @@ struct WorkerTimeBreakdown {
   double compute_seconds = 0.0;
   double comm_seconds = 0.0;
   double wait_seconds = 0.0;
+  /// Push wall time the pipelined push path overlapped with compute
+  /// (push duration minus the time the worker actually blocked on the
+  /// pipeline). 0 with a synchronous push path — those seconds land in
+  /// comm_seconds instead.
+  double push_hidden_seconds = 0.0;
   int clocks_completed = 0;
 
   double PerClockCompute() const {
@@ -35,6 +40,8 @@ inline void RecordBreakdown(MetricsRegistry* registry, int worker,
   registry->gauge("worker.compute_seconds", labels)->Set(b.compute_seconds);
   registry->gauge("worker.comm_seconds", labels)->Set(b.comm_seconds);
   registry->gauge("worker.wait_seconds", labels)->Set(b.wait_seconds);
+  registry->gauge("worker.push_hidden_seconds", labels)
+      ->Set(b.push_hidden_seconds);
   registry->gauge("worker.clocks_completed", labels)
       ->Set(static_cast<double>(b.clocks_completed));
 }

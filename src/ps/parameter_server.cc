@@ -120,6 +120,8 @@ ParameterServer::ParameterServer(int64_t dim, int num_workers,
   metrics_ = options.metrics != nullptr ? options.metrics : &GlobalMetrics();
   push_counter_ = metrics_->counter("ps.push.count");
   push_bytes_ = metrics_->counter("ps.push.bytes");
+  push_pieces_counter_ = metrics_->counter("push.pieces");
+  push_bytes_shipped_ = metrics_->counter("push.bytes_shipped");
   pull_counter_ = metrics_->counter("ps.pull.count");
   pull_cache_hit_ = metrics_->counter("pull.cache_hit");
   pull_partitions_shipped_ = metrics_->counter("pull.partitions_shipped");
@@ -134,11 +136,17 @@ ParameterServer::ParameterServer(int64_t dim, int num_workers,
   blocked_workers_->Set(0.0);
   admission_wait_us_ = metrics_->histogram("ps.admission_wait_us");
   push_piece_us_.reserve(static_cast<size_t>(parts));
+  push_lock_wait_us_.reserve(static_cast<size_t>(parts));
+  push_apply_us_.reserve(static_cast<size_t>(parts));
   pull_piece_us_.reserve(static_cast<size_t>(parts));
   for (int p = 0; p < parts; ++p) {
     const MetricLabels labels = {{"partition", std::to_string(p)}};
     push_piece_us_.push_back(
         metrics_->histogram("ps.push_piece_us", labels));
+    push_lock_wait_us_.push_back(
+        metrics_->histogram("ps.push_lock_wait_us", labels));
+    push_apply_us_.push_back(
+        metrics_->histogram("ps.push_apply_us", labels));
     pull_piece_us_.push_back(
         metrics_->histogram("ps.pull_piece_us", labels));
   }
@@ -152,18 +160,16 @@ ParameterServer::ParameterServer(int64_t dim, int num_workers,
 void ParameterServer::Push(int worker, int clock,
                            const SparseVector& update) {
   HETPS_TRACE_SPAN2("ps.push", "worker", worker, "nnz", update.nnz());
-  // Membership guard: a push that raced its sender's eviction must not
+  // Membership guard (a push that raced its sender's eviction must not
   // touch shard state — the worker's data shard has already been handed
-  // to the survivors, so its gradient would double-count that data.
-  if (!IsWorkerLive(worker)) {
-    evicted_pushes_dropped_->Increment();
-    return;
-  }
+  // to the survivors, so its gradient would double-count that data)
+  // lives in PushPieces, the one choke point both this facade and the
+  // columnar wire path go through.
   const SparseVector filtered =
       options_.update_filter_epsilon > 0.0
           ? update.Filtered(options_.update_filter_epsilon)
           : update;
-  const std::vector<SparseVector> pieces =
+  std::vector<SparseVector> pieces =
       partitioner_.SplitByPartition(filtered);
   // For no-op-on-empty rules (SSP/Con accumulate), empty pieces carry no
   // information; consolidating them inflates push_count and generates
@@ -171,13 +177,49 @@ void ParameterServer::Push(int worker, int clock,
   // empties a partition's slice), so they are skipped. Version-tracking
   // rules (DynSGD) still receive every piece — an empty piece is their
   // "worker finished this clock here" completion marker (§6). Either
-  // way the clock advances exactly once per whole-update push below,
+  // way the clock advances exactly once per whole-update push,
   // even if filtering emptied every piece.
+  std::vector<std::pair<int, SparseVector>> kept;
+  kept.reserve(pieces.size());
   for (int p = 0; p < partitioner_.num_partitions(); ++p) {
-    const SparseVector& piece = pieces[static_cast<size_t>(p)];
+    SparseVector& piece = pieces[static_cast<size_t>(p)];
     if (piece.empty() && empty_push_is_noop_) continue;
-    PushPiece(p, worker, clock, piece, /*last_piece=*/false);
+    kept.emplace_back(p, std::move(piece));
   }
+  PushPieces(worker, clock, kept);
+}
+
+void ParameterServer::PushPieces(
+    int worker, int clock,
+    const std::vector<std::pair<int, SparseVector>>& pieces) {
+  // Membership guard, once per logical push (matches Push()'s
+  // accounting of ps.evicted_pushes_dropped).
+  if (!IsWorkerLive(worker)) {
+    evicted_pushes_dropped_->Increment();
+    return;
+  }
+  int64_t shipped = 0;
+  for (const auto& pr : pieces) shipped += PieceBytes(pr.second);
+  push_pieces_counter_->Increment(static_cast<int64_t>(pieces.size()));
+  push_bytes_shipped_->Increment(shipped);
+  const bool parallel =
+      pieces.size() > 1 && options_.push_parallelism != 1;
+  if (parallel) {
+    // Pieces of one push hit distinct shards, so parallel apply is
+    // content-deterministic: every shard sees exactly the piece it
+    // would see serially, under the same shard mutex.
+    RunOnApplyPool(static_cast<int>(pieces.size()), [&](int i) {
+      const auto& pr = pieces[static_cast<size_t>(i)];
+      ApplyPushPiece(pr.first, worker, clock, pr.second);
+    });
+  } else {
+    for (const auto& pr : pieces) {
+      ApplyPushPiece(pr.first, worker, clock, pr.second);
+    }
+  }
+  // Lock order: every shard mutex (L2) is released before AdvanceClock
+  // takes clock_mu_ (L1); the two are never nested. Exactly one clock
+  // advance per logical push, after the last piece landed.
   AdvanceClock(worker, clock);
 }
 
@@ -201,20 +243,34 @@ void ParameterServer::PushPiece(int partition, int worker, int clock,
     if (last_piece) evicted_pushes_dropped_->Increment();
     return;
   }
+  ApplyPushPiece(partition, worker, clock, local_piece);
+  // Lock order: the shard mutex (L2) is released before AdvanceClock
+  // takes clock_mu_ (L1); the two are never nested here.
+  if (last_piece) AdvanceClock(worker, clock);
+}
+
+void ParameterServer::ApplyPushPiece(int partition, int worker, int clock,
+                                     const SparseVector& local_piece) {
   const Clock::time_point start = Clock::now();
+  Clock::time_point locked;
   {
     std::lock_guard<std::mutex> lock(
         *shard_mu_[static_cast<size_t>(partition)]);
+    locked = Clock::now();
     ServerShard* shard = shards_[static_cast<size_t>(partition)].get();
     shard->Push(worker, clock, local_piece);
     master_.ReportVersion(partition, shard->CompletedVersionCount());
   }
-  push_piece_us_[static_cast<size_t>(partition)]->RecordInt(
-      MicrosSince(start));
+  const int64_t lock_wait_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(locked - start)
+          .count();
+  const int64_t apply_us = MicrosSince(locked);
+  push_lock_wait_us_[static_cast<size_t>(partition)]->RecordInt(
+      lock_wait_us);
+  push_apply_us_[static_cast<size_t>(partition)]->RecordInt(apply_us);
+  push_piece_us_[static_cast<size_t>(partition)]->RecordInt(lock_wait_us +
+                                                            apply_us);
   push_bytes_->Increment(PieceBytes(local_piece));
-  // Lock order: the shard mutex (L2) is released before AdvanceClock
-  // takes clock_mu_ (L1); the two are never nested here.
-  if (last_piece) AdvanceClock(worker, clock);
 }
 
 void ParameterServer::AdvanceClock(int worker, int clock) {
@@ -391,10 +447,18 @@ std::vector<double> ParameterServer::PullFull(int worker, int* cmin_out) {
 
 std::vector<double> ParameterServer::AssemblePull(int worker,
                                                   int64_t version) {
+  const int parts = partitioner_.num_partitions();
   std::vector<double> out(static_cast<size_t>(partitioner_.dim()), 0.0);
-  for (int p = 0; p < partitioner_.num_partitions(); ++p) {
+  const auto pull_one = [&](int p) {
     const std::vector<double> block = PullPiece(p, worker, version);
+    // Partitions scatter into disjoint key sets, so concurrent
+    // ScatterBlock calls never write the same slot.
     ScatterBlock(partitioner_, p, block, out.data());
+  };
+  if (parts > 1 && options_.pull_parallelism != 1) {
+    RunOnApplyPool(parts, pull_one);
+  } else {
+    for (int p = 0; p < parts; ++p) pull_one(p);
   }
   return out;
 }
@@ -558,19 +622,58 @@ PartitionPull ParameterServer::BuildPartitionPull(
   return out;
 }
 
-ThreadPool* ParameterServer::PullPool() {
+ThreadPool* ParameterServer::ApplyPool() {
   std::lock_guard<std::mutex> lock(pool_mu_);
-  if (pull_pool_ == nullptr) {
-    int n = options_.pull_parallelism;
-    if (n <= 0) {
-      n = static_cast<int>(std::thread::hardware_concurrency());
-      if (n <= 0) n = 2;
-    }
+  if (apply_pool_ == nullptr) {
+    const auto resolve = [](int knob) {
+      if (knob > 0) return knob;
+      int n = static_cast<int>(std::thread::hardware_concurrency());
+      return n > 0 ? n : 2;
+    };
+    // One pool serves both the pull-assembly and the push-apply paths:
+    // size it for whichever knob asks for more (a knob pinned to 1
+    // never routes work here, so it never inflates the pool).
+    int n = std::max(resolve(options_.pull_parallelism),
+                     resolve(options_.push_parallelism));
     n = std::min(n, partitioner_.num_partitions());
     n = std::max(n, 1);
-    pull_pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(n));
+    apply_pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(n));
   }
-  return pull_pool_.get();
+  return apply_pool_.get();
+}
+
+void ParameterServer::ShutdownApplyPoolForTest() {
+  ThreadPool* pool = ApplyPool();
+  pool->Shutdown();
+}
+
+void ParameterServer::RunOnApplyPool(int count,
+                                     const std::function<void(int)>& fn) {
+  // Per-call latch: the pool is shared across concurrent pulls and
+  // pushes, so we count down *our* tasks instead of waiting for the
+  // pool to drain.
+  std::mutex latch_mu;
+  std::condition_variable latch_cv;
+  int remaining = count;
+  ThreadPool* pool = ApplyPool();
+  for (int i = 0; i < count; ++i) {
+    const bool accepted = pool->Submit([&, i] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(latch_mu);
+      if (--remaining == 0) latch_cv.notify_one();
+    });
+    if (!accepted) {
+      // Pool shut down (destruction/shutdown races): run the task
+      // inline instead of dropping it — a dropped task would leave the
+      // latch undercounted forever (and, before this fallback existed,
+      // silently lost the partition's work).
+      fn(i);
+      std::lock_guard<std::mutex> lock(latch_mu);
+      if (--remaining == 0) latch_cv.notify_one();
+    }
+  }
+  std::unique_lock<std::mutex> lock(latch_mu);
+  latch_cv.wait(lock, [&] { return remaining == 0; });
 }
 
 DeltaPullResult ParameterServer::PullDelta(
@@ -608,29 +711,8 @@ DeltaPullResult ParameterServer::PullDelta(
 
   const bool parallel = parts > 1 && options_.pull_parallelism != 1;
   if (parallel) {
-    // Per-call latch: the pool is shared across concurrent pulls, so we
-    // count down *our* tasks instead of waiting for the pool to drain.
     // Partition slots are disjoint, so the writes need no extra locking.
-    std::mutex latch_mu;
-    std::condition_variable latch_cv;
-    int remaining = parts;
-    ThreadPool* pool = PullPool();
-    for (int p = 0; p < parts; ++p) {
-      const bool accepted = pool->Submit([&, p] {
-        build_one(p);
-        std::lock_guard<std::mutex> lock(latch_mu);
-        if (--remaining == 0) latch_cv.notify_one();
-      });
-      if (!accepted) {
-        // Pool shut down (only happens during destruction races in
-        // tests): fall back to inline assembly for this partition.
-        build_one(p);
-        std::lock_guard<std::mutex> lock(latch_mu);
-        if (--remaining == 0) latch_cv.notify_one();
-      }
-    }
-    std::unique_lock<std::mutex> lock(latch_mu);
-    latch_cv.wait(lock, [&] { return remaining == 0; });
+    RunOnApplyPool(parts, build_one);
   } else {
     for (int p = 0; p < parts; ++p) build_one(p);
   }

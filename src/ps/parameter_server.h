@@ -4,9 +4,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/consolidation.h"
@@ -41,6 +43,14 @@ struct PsOptions {
   /// 0 = auto (hardware concurrency, capped at the partition count);
   /// 1 = serial assembly on the calling thread.
   int pull_parallelism = 0;
+  /// Threads used to apply a push's partition pieces shard-parallel
+  /// (each piece under its own shard mutex; AdvanceClock fires once
+  /// after the last piece). 0 = auto (hardware concurrency, capped at
+  /// the partition count); 1 = serial apply on the calling thread —
+  /// the default, which is byte-for-byte today's push path. Pull
+  /// assembly and push apply share one pool (sized for whichever knob
+  /// asks for more).
+  int push_parallelism = 1;
   /// Registry receiving the PS telemetry (per-shard push/pull latency
   /// histograms, per-worker staleness, admission-wait times). nullptr =
   /// the process-wide GlobalMetrics(). The metric objects are created
@@ -145,11 +155,28 @@ class ParameterServer {
   const PsOptions& options() const { return options_; }
   Master* master() { return &master_; }
 
+  /// Registry this PS records into (PsOptions::metrics, or the global
+  /// one). Clients co-locate their pipeline metrics (push.inflight*)
+  /// here so per-instance registries stay self-contained in tests.
+  MetricsRegistry* metrics() const { return metrics_; }
+
   /// --- Whole-push/pull API (threaded runtime, tests) ---
 
   /// Splits `update` by partition, applies the client-side filter, and
   /// consolidates every piece; advances the clock table once.
   void Push(int worker, int clock, const SparseVector& update);
+
+  /// Applies the partition-local pieces of ONE logical push (worker,
+  /// clock) — the columnar wire path (PsService) and the facade Push
+  /// both land here. Pieces apply shard-parallel on the shared apply
+  /// pool when options().push_parallelism != 1 (each under its own
+  /// shard mutex; pieces of one push touch distinct shards, so the
+  /// result is independent of apply order). AdvanceClock fires exactly
+  /// once after the last piece, with no shard mutex held (L2 before
+  /// L1, never nested). Pieces must already be partition-local (from
+  /// partitioner().SplitByPartition or the columnar wire decoder).
+  void PushPieces(int worker, int clock,
+                  const std::vector<std::pair<int, SparseVector>>& pieces);
 
   /// True if `worker` may begin `next_clock` under the sync policy.
   /// Always false for an evicted worker.
@@ -285,8 +312,29 @@ class ParameterServer {
   static bool TagIsVersioned(int64_t tag);
   static int64_t TagValue(int64_t tag);
 
+  /// Test-only: shuts the shared apply pool down in place. Subsequent
+  /// parallel pulls/pushes must degrade to inline execution (the
+  /// Submit-refused fallback) instead of silently dropping work —
+  /// regression hook for the pull-during-shutdown bug.
+  void ShutdownApplyPoolForTest();
+
  private:
   std::vector<double> AssemblePull(int worker, int64_t version);
+
+  /// Applies one already-validated, non-empty partition piece under its
+  /// shard mutex, splitting the timing into ps.push_lock_wait_us (mutex
+  /// acquisition) and ps.push_apply_us (consolidation kernel);
+  /// ps.push_piece_us stays their sum for dashboard compatibility.
+  /// Never touches the clock table.
+  void ApplyPushPiece(int partition, int worker, int clock,
+                      const SparseVector& local_piece);
+
+  /// Runs fn(0..count-1) on the shared apply pool, blocking until all
+  /// complete (per-call latch — the pool is shared across concurrent
+  /// calls, so ThreadPool::Wait() is not usable). A task the pool
+  /// refuses (shutdown race) runs inline on the calling thread instead
+  /// of being dropped, so the latch can never undercount.
+  void RunOnApplyPool(int count, const std::function<void(int)>& fn);
 
   /// ## Content-tag encoding
   ///
@@ -319,9 +367,10 @@ class ParameterServer {
                                    int64_t cached_tag,
                                    int64_t* bytes_full_out);
 
-  /// Lazily creates the shared pull-assembly pool (first multi-partition
-  /// PullDelta with pull_parallelism != 1).
-  ThreadPool* PullPool();
+  /// Lazily creates the shared apply pool (first multi-partition
+  /// parallel pull assembly or push apply). Sized for whichever of
+  /// pull_parallelism / push_parallelism asks for more threads.
+  ThreadPool* ApplyPool();
 
   /// Records `worker`'s push of `clock` in the clock table and wakes
   /// blocked SSP waiters when cmin advances. Takes L1 only; must be
@@ -350,13 +399,15 @@ class ParameterServer {
   // computed after it (restored shards restart their version stamps).
   std::atomic<uint32_t> pull_epoch_{0};
 
-  // Shard-parallel pull assembly. Created lazily under pool_mu_; sized
-  // by options_.pull_parallelism. Tasks synchronize with their issuing
+  // Shared apply pool: shard-parallel pull assembly AND shard-parallel
+  // push application run their per-partition tasks here. Created lazily
+  // under pool_mu_; sized by options_.pull_parallelism /
+  // options_.push_parallelism. Tasks synchronize with their issuing
   // call through a per-call latch (the pool is shared across concurrent
-  // pulls, so ThreadPool::Wait() — which waits for *all* tasks — is not
+  // calls, so ThreadPool::Wait() — which waits for *all* tasks — is not
   // usable here).
   std::mutex pool_mu_;
-  std::unique_ptr<ThreadPool> pull_pool_;
+  std::unique_ptr<ThreadPool> apply_pool_;
 
   // L1 — always acquired before any shard_mu_ (never after).
   mutable std::mutex clock_mu_;
@@ -373,6 +424,11 @@ class ParameterServer {
   MetricsRegistry* metrics_;
   Counter* push_counter_;
   Counter* push_bytes_;
+  // Push wire accounting (names fixed by the obs schema): pieces is the
+  // number of partition-local payloads shipped, bytes_shipped their
+  // sparse wire cost. Counted once per logical push in PushPieces.
+  Counter* push_pieces_counter_;
+  Counter* push_bytes_shipped_;
   Counter* pull_counter_;
   // Version-aware pull path accounting (names fixed by the obs schema):
   // cache_hit counts unchanged partitions, partitions_shipped counts
@@ -389,8 +445,13 @@ class ParameterServer {
   Counter* evicted_pushes_dropped_;
   Gauge* blocked_workers_;
   HistogramMetric* admission_wait_us_;
-  std::vector<HistogramMetric*> push_piece_us_;  // per partition
-  std::vector<HistogramMetric*> pull_piece_us_;  // per partition
+  // Per-partition push timing: piece_us = lock_wait_us + apply_us (the
+  // sum is kept for dashboard compatibility; the split makes shard-lock
+  // contention visible separately from consolidation kernel time).
+  std::vector<HistogramMetric*> push_piece_us_;      // per partition
+  std::vector<HistogramMetric*> push_lock_wait_us_;  // per partition
+  std::vector<HistogramMetric*> push_apply_us_;      // per partition
+  std::vector<HistogramMetric*> pull_piece_us_;      // per partition
   std::vector<HistogramMetric*> staleness_;      // per worker
 };
 

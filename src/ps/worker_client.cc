@@ -19,18 +19,83 @@ double SecondsSince(Clock::time_point start) {
 }  // namespace
 
 WorkerClient::WorkerClient(int worker_id, ParameterServer* ps,
-                           bool delta_pull)
-    : worker_id_(worker_id), ps_(ps), delta_pull_(delta_pull) {
+                           bool delta_pull, int push_window)
+    : worker_id_(worker_id),
+      ps_(ps),
+      delta_pull_(delta_pull),
+      push_window_(push_window) {
   HETPS_CHECK(ps != nullptr) << "null ParameterServer";
   HETPS_CHECK(worker_id >= 0 && worker_id < ps->num_workers())
       << "worker id out of range";
+  HETPS_CHECK(push_window >= 0) << "negative push window";
   if (delta_pull_) {
     cached_tags_.assign(static_cast<size_t>(ps->num_partitions()),
                         kNoCachedTag);
   }
+  if (push_window_ >= 1) {
+    inflight_gauge_ = ps_->metrics()->gauge("push.inflight");
+    inflight_peak_gauge_ = ps_->metrics()->gauge("push.inflight_peak");
+    sender_ = std::thread([this] { SenderLoop(); });
+  }
 }
 
-WorkerClient::~WorkerClient() { CancelPrefetch(); }
+WorkerClient::~WorkerClient() {
+  CancelPrefetch();
+  if (sender_.joinable()) {
+    // The sender drains the queue before exiting — every accepted push
+    // reaches the server even when the trainer tears down mid-window.
+    {
+      std::lock_guard<std::mutex> lock(send_mu_);
+      stop_sender_ = true;
+    }
+    send_cv_.notify_all();
+    sender_.join();
+    RefreshHiddenLocked();  // sender joined: no lock needed, none taken
+  }
+}
+
+void WorkerClient::SenderLoop() {
+  for (;;) {
+    std::pair<int, SparseVector> item;
+    {
+      std::unique_lock<std::mutex> lock(send_mu_);
+      send_cv_.wait(lock, [this] {
+        return stop_sender_ || !send_queue_.empty();
+      });
+      if (send_queue_.empty()) return;  // stop requested and drained
+      item = std::move(send_queue_.front());
+      send_queue_.pop_front();
+    }
+    const Clock::time_point start = Clock::now();
+    ps_->Push(worker_id_, item.first, item.second);
+    const double dur = SecondsSince(start);
+    {
+      std::lock_guard<std::mutex> lock(send_mu_);
+      async_push_seconds_ += dur;
+      --inflight_;
+      if (inflight_gauge_ != nullptr) inflight_gauge_->Add(-1.0);
+    }
+    space_cv_.notify_all();
+  }
+}
+
+void WorkerClient::RefreshHiddenLocked() {
+  breakdown_.push_hidden_seconds =
+      std::max(0.0, async_push_seconds_ - owner_blocked_seconds_);
+}
+
+void WorkerClient::Flush() {
+  if (push_window_ == 0) return;
+  std::unique_lock<std::mutex> lock(send_mu_);
+  if (inflight_ > 0) {
+    const Clock::time_point start = Clock::now();
+    space_cv_.wait(lock, [this] { return inflight_ == 0; });
+    const double blocked = SecondsSince(start);
+    owner_blocked_seconds_ += blocked;
+    breakdown_.comm_seconds += blocked;
+  }
+  RefreshHiddenLocked();
+}
 
 void WorkerClient::CancelPrefetch() {
   if (!prefetch_.has_value()) return;
@@ -55,9 +120,39 @@ void WorkerClient::Push(int clock, const SparseVector& update) {
   HETPS_CHECK(!prefetch_.has_value() || clock < prefetch_clock_)
       << "Push(clock=" << clock << ") racing in-flight prefetch for clock "
       << prefetch_clock_;
-  const Clock::time_point start = Clock::now();
-  ps_->Push(worker_id_, clock, update);
-  breakdown_.comm_seconds += SecondsSince(start);
+  if (push_window_ == 0) {
+    // Synchronous path — unchanged: the caller eats the full apply
+    // latency before its next clock.
+    const Clock::time_point start = Clock::now();
+    ps_->Push(worker_id_, clock, update);
+    breakdown_.comm_seconds += SecondsSince(start);
+    ++breakdown_.clocks_completed;
+    ++push_count_;
+    return;
+  }
+  // Pipelined path: hand the update to the sender and return. Only the
+  // backpressure block (window full) costs the owner wall time — that
+  // is the part of push latency the pipeline failed to hide.
+  {
+    std::unique_lock<std::mutex> lock(send_mu_);
+    if (inflight_ >= push_window_) {
+      const Clock::time_point start = Clock::now();
+      space_cv_.wait(lock, [this] { return inflight_ < push_window_; });
+      const double blocked = SecondsSince(start);
+      owner_blocked_seconds_ += blocked;
+      breakdown_.comm_seconds += blocked;
+    }
+    send_queue_.emplace_back(clock, update);
+    ++inflight_;
+    if (inflight_ > inflight_peak_) {
+      inflight_peak_ = inflight_;
+      if (inflight_peak_gauge_ != nullptr) {
+        inflight_peak_gauge_->Set(static_cast<double>(inflight_peak_));
+      }
+    }
+    if (inflight_gauge_ != nullptr) inflight_gauge_->Add(1.0);
+  }
+  send_cv_.notify_one();
   ++breakdown_.clocks_completed;
   ++push_count_;
 }
@@ -166,6 +261,10 @@ void WorkerClient::PullBlocking(int next_clock,
   // never start) the prefetch first.
   HETPS_CHECK(!prefetch_.has_value())
       << "PullBlocking racing in-flight prefetch";
+  // Read-your-writes: drain the push window so the refreshed replica
+  // reflects this worker's own pushed clocks (and the admission wait
+  // below sees the clock table our pushes advanced).
+  Flush();
   const Clock::time_point wait_start = Clock::now();
   ps_->WaitUntilCanAdvance(worker_id_, next_clock);
   breakdown_.wait_seconds += SecondsSince(wait_start);

@@ -2,9 +2,14 @@
 #define HETPS_PS_WORKER_CLIENT_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <future>
+#include <mutex>
 #include <optional>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "math/sparse_vector.h"
@@ -28,33 +33,61 @@ namespace hetps {
 /// it is handed (local SGD steps), so deltas can never be applied to the
 /// trainer's vector directly.
 ///
-/// ## Threading
+/// ## Threading & the push pipeline
 ///
-/// One instance per worker thread; not shareable across threads. The
-/// only internal concurrency is the prefetch task: between
-/// StartPrefetch() and FinishPrefetch() the background task owns the
-/// replica cache, so the owner thread must not pull in that window
-/// (checked). Push *is* allowed to overlap a prefetch — that is the
-/// entire point of prefetching (Appendix D) — but only for clocks
-/// strictly before the prefetched one (checked): pushing the prefetched
-/// clock itself while its pull is still in flight is a loop-sequencing
-/// bug. The destructor cancels/joins any in-flight prefetch, so a
+/// One instance per worker thread; not shareable across threads. Two
+/// background tasks exist:
+///
+/// 1. The prefetch task: between StartPrefetch() and FinishPrefetch()
+///    it owns the replica cache, so the owner thread must not pull in
+///    that window (checked). Push *is* allowed to overlap a prefetch —
+///    that is the entire point of prefetching (Appendix D) — but only
+///    for clocks strictly before the prefetched one (checked): pushing
+///    the prefetched clock itself while its pull is still in flight is
+///    a loop-sequencing bug.
+///
+/// 2. The push sender (`push_window >= 1`): Push() enqueues the update
+///    and returns so the owner computes clock c+1 while the push of
+///    clock c is in flight (window 1 = double-buffering; Push blocks
+///    once `push_window` pushes are outstanding). The sender issues
+///    pushes FIFO, preserving the per-worker clock monotonicity the
+///    clock table requires. The worker's own unsent pushes keep its
+///    clock-table entry (hence cmin) low, so pipelining is
+///    self-limiting under SSP: a worker can run at most `push_window`
+///    clocks ahead of what the server has consolidated from it, on top
+///    of the policy's staleness bound. PullBlocking drains the window
+///    first (read-your-writes: a refresh must observe this worker's own
+///    updates), as do Flush() and the destructor. `push_window == 0` is
+///    byte-for-byte the synchronous path — no sender thread exists.
+///
+/// The destructor cancels/joins any in-flight prefetch, so a
 /// WorkerClient can be destroyed (and the PS torn down after it) even
 /// while a prefetch is blocked in the SSP admission wait.
 class WorkerClient {
  public:
   /// `delta_pull` enables the partition replica cache; off = every pull
   /// ships the whole model (the pre-cache behavior, kept for A/B).
-  WorkerClient(int worker_id, ParameterServer* ps, bool delta_pull = true);
+  /// `push_window` bounds the asynchronous push pipeline: 0 =
+  /// synchronous pushes (today's path, bitwise-identical), >= 1 = at
+  /// most that many pushes in flight behind a background sender.
+  WorkerClient(int worker_id, ParameterServer* ps, bool delta_pull = true,
+               int push_window = 0);
   ~WorkerClient();
 
   WorkerClient(const WorkerClient&) = delete;
   WorkerClient& operator=(const WorkerClient&) = delete;
 
   int worker_id() const { return worker_id_; }
+  int push_window() const { return push_window_; }
 
-  /// Pushes the local update that finishes `clock`.
+  /// Pushes the local update that finishes `clock`. With a push window,
+  /// enqueues and returns — blocking only while the window is full.
   void Push(int clock, const SparseVector& update);
+
+  /// Drains the push pipeline: blocks until every enqueued push has been
+  /// applied by the server. No-op when push_window is 0 or nothing is in
+  /// flight. Also refreshes breakdown().push_hidden_seconds.
+  void Flush();
 
   /// Algorithm 1 lines 8-9: returns true (and refreshes `*replica`) if the
   /// cached cmin forces a pull before starting `clock + 1`. Blocks while
@@ -121,9 +154,20 @@ class WorkerClient {
   /// Cancels and joins an in-flight prefetch (destructor path).
   void CancelPrefetch();
 
+  /// Sender-thread body (push_window_ >= 1): dequeues FIFO, pushes to
+  /// the PS, decrements the in-flight count, wakes blocked producers.
+  void SenderLoop();
+
+  /// Recomputes push_hidden_seconds (call with send_mu_ held): the
+  /// sender's push wall time minus the time the owner thread spent
+  /// blocked on the pipeline (enqueue backpressure + drains) — i.e. the
+  /// push latency the pipeline actually hid behind compute.
+  void RefreshHiddenLocked();
+
   int worker_id_;
   ParameterServer* ps_;
   bool delta_pull_;
+  int push_window_;
   int cached_cmin_ = 0;
   int64_t push_count_ = 0;
   int64_t pull_count_ = 0;
@@ -139,6 +183,24 @@ class WorkerClient {
   int prefetch_clock_ = -1;
   std::atomic<bool> cancel_prefetch_{false};
   WorkerTimeBreakdown breakdown_;
+
+  // --- Push pipeline (push_window_ >= 1 only) ---
+  // send_mu_ guards the queue, the in-flight count and the sender-side
+  // time accumulators; the owner thread and the sender are its only
+  // users. FIFO order on the queue preserves per-worker clock
+  // monotonicity at the server.
+  std::mutex send_mu_;
+  std::condition_variable send_cv_;   // wakes the sender (work / stop)
+  std::condition_variable space_cv_;  // wakes the owner (slot free / drained)
+  std::deque<std::pair<int, SparseVector>> send_queue_;
+  bool stop_sender_ = false;
+  int inflight_ = 0;       // queued + currently sending
+  int inflight_peak_ = 0;  // high-water mark over the client's lifetime
+  double async_push_seconds_ = 0.0;    // sender wall time inside ps_->Push
+  double owner_blocked_seconds_ = 0.0; // owner wall time blocked on the pipe
+  Gauge* inflight_gauge_ = nullptr;
+  Gauge* inflight_peak_gauge_ = nullptr;
+  std::thread sender_;
 };
 
 }  // namespace hetps

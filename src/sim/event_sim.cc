@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
 #include <queue>
 #include <sstream>
 #include <unordered_map>
@@ -148,6 +149,10 @@ struct WorkerSim {
   // Pieces computed at clock start, transmitted at the send event.
   std::vector<SparseVector> pending_push_pieces;
   int pending_push_clock = 0;
+  // Bounded pipeline (push_window >= 1): arrival times of this worker's
+  // in-flight pushes, oldest first. Monotone because per-pair link FIFO
+  // makes a push's last arrival non-decreasing across clocks.
+  std::deque<double> outstanding_push_arrivals;
   // Version-aware pull state (delta_pull): pristine copy of the last
   // values each partition served, plus the content tags they were served
   // under. The replica drifts during compute, so unchanged partitions
@@ -466,15 +471,30 @@ class Simulation {
     }
 
     // Algorithm 1 lines 8-9: refresh the replica only when cp is too
-    // stale; the request leaves once the update is sent.
+    // stale; the request leaves once the update is sent. With a modeled
+    // push window (>= 0) the continuation time depends on the push's
+    // arrival, so HandlePushSend schedules it instead.
+    if (options_.push_window < 0) {
+      ScheduleContinuation(worker, t_send);
+    }
+  }
+
+  /// Schedules what follows a finished clock: the pull request when cp
+  /// is too stale (Algorithm 1 lines 8-9), else the next clock. `at` is
+  /// when the worker is free to continue — the push send time under the
+  /// legacy/bounded overlap models, the last piece's arrival when
+  /// pushes are synchronous.
+  void ScheduleContinuation(int worker, double at) {
+    WorkerSim& w = workers_[static_cast<size_t>(worker)];
+    const WorkerProfile& prof = cluster_.profile(worker);
     if (options_.sync.NeedsPull(w.clock, w.cp)) {
       w.pending_next_clock = w.clock + 1;
       w.pull_request_time =
-          t_send + cluster_.net_latency * prof.network_multiplier;
+          at + cluster_.net_latency * prof.network_multiplier;
       Schedule(w.pull_request_time, EventType::kPullRequest, worker, 0);
     } else {
       w.clock += 1;
-      Schedule(t_send, EventType::kStartClock, worker, 0);
+      Schedule(at, EventType::kStartClock, worker, 0);
     }
   }
 
@@ -483,25 +503,50 @@ class Simulation {
     const WorkerProfile& prof = cluster_.profile(worker);
     std::vector<SparseVector> pieces = std::move(w.pending_push_pieces);
     w.pending_push_pieces.clear();
+    const int window = options_.push_window;
+    // Bounded pipeline: when the window is full, the owner blocks until
+    // enough of its oldest in-flight pushes land to free a slot — that
+    // stall (and only it) is push cost the pipeline failed to hide.
+    double send_at = now_;
+    if (window >= 1) {
+      std::deque<double>& out = w.outstanding_push_arrivals;
+      while (!out.empty() && out.front() <= now_) out.pop_front();
+      if (out.size() >= static_cast<size_t>(window)) {
+        send_at = std::max(
+            send_at, out[out.size() - static_cast<size_t>(window)]);
+      }
+    }
     // Per-partition transfers run in parallel over distinct server links;
     // the push completes when the last piece lands.
-    std::vector<double> arrivals(pieces.size(), now_);
-    double max_arrival = now_;
+    std::vector<double> arrivals(pieces.size(), send_at);
+    double max_arrival = send_at;
     size_t last_idx = 0;
     for (size_t p = 0; p < pieces.size(); ++p) {
       const double bytes =
           64.0 + static_cast<double>(pieces[p].nnz()) * 16.0;
       arrivals[p] = ReserveLink(
-          worker, ps_->partitioner().ServerOf(static_cast<int>(p)), now_,
-          bytes, prof.network_multiplier);
+          worker, ps_->partitioner().ServerOf(static_cast<int>(p)),
+          send_at, bytes, prof.network_multiplier);
       if (arrivals[p] >= max_arrival) {
         max_arrival = arrivals[p];
         last_idx = p;
       }
     }
-    w.breakdown.comm_seconds += max_arrival - now_;
-    EmitSimSpan("worker.push", worker, now_, max_arrival - now_, "clock",
-                static_cast<double>(w.pending_push_clock));
+    if (window < 0) {
+      // Legacy unbounded overlap: the full transit is charged to comm
+      // (unchanged accounting) and all of it rode beside compute.
+      w.breakdown.comm_seconds += max_arrival - now_;
+      w.breakdown.push_hidden_seconds += max_arrival - now_;
+    } else if (window == 0) {
+      // Synchronous: the worker waits out the whole transfer.
+      w.breakdown.comm_seconds += max_arrival - now_;
+    } else {
+      w.breakdown.comm_seconds += send_at - now_;  // the stall
+      w.breakdown.push_hidden_seconds += max_arrival - send_at;
+      w.outstanding_push_arrivals.push_back(max_arrival);
+    }
+    EmitSimSpan("worker.push", worker, send_at, max_arrival - send_at,
+                "clock", static_cast<double>(w.pending_push_clock));
     // Client half of the causal link: the flow starts mid-slice inside
     // worker.push and finishes inside the rpc.handle slice the server
     // track gets when the last piece lands (HandlePushArrive).
@@ -509,7 +554,7 @@ class Simulation {
     if (TraceRecorder::Global().enabled() && !pieces.empty()) {
       flow_id = NextTraceId();
       EmitSimFlow('s', flow_id, static_cast<uint32_t>(worker),
-                  now_ + (max_arrival - now_) * 0.5);
+                  send_at + (max_arrival - send_at) * 0.5);
     }
     for (size_t p = 0; p < pieces.size(); ++p) {
       const int64_t id = next_piece_id_++;
@@ -517,10 +562,17 @@ class Simulation {
                        std::move(pieces[p]), p == last_idx};
       if (msg.last) {
         msg.flow_id = flow_id;
-        msg.send_time = now_;
+        msg.send_time = send_at;
       }
       pieces_.emplace(id, std::move(msg));
       Schedule(arrivals[p], EventType::kPushArrive, worker, id);
+    }
+    // Windowed modes resume here: after the full transfer (synchronous)
+    // or as soon as the stall clears (bounded window).
+    if (window == 0) {
+      ScheduleContinuation(worker, max_arrival);
+    } else if (window >= 1) {
+      ScheduleContinuation(worker, send_at);
     }
   }
 

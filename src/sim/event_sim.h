@@ -58,6 +58,16 @@ struct SimOptions {
   bool delta_pull = true;
   int partitions_per_server = 1;
   PartitionScheme scheme = PartitionScheme::kRangeHash;
+  /// Push pipelining model. -1 = legacy unbounded overlap: the worker
+  /// continues the instant its update is handed to the network (the
+  /// pre-pipeline comm model, kept as the default so existing sim
+  /// results are unchanged). 0 = synchronous: the worker waits out the
+  /// whole push transfer before its next clock (what the real runtimes
+  /// do with push_window 0). >= 1 = bounded in-flight window: the
+  /// worker stalls only when `push_window` pushes are already in
+  /// flight — the stall is charged to comm, the overlapped transfer to
+  /// push_hidden_seconds.
+  int push_window = -1;
   /// Safety limit on simulated time.
   double max_sim_seconds = 1e7;
   /// Workers start up to this many nominal clock-lengths apart (uniform),

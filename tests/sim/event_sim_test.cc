@@ -165,6 +165,61 @@ TEST(EventSimTest, BreakdownCoversComputeAndComm) {
   }
 }
 
+// The comm model's push-window knob: 0 (synchronous) makes workers wait
+// out every push transfer, so the run can only be slower than the
+// legacy unbounded-overlap default (-1); a bounded window sits between
+// them and books its overlapped transfer as push_hidden_seconds.
+TEST(EventSimTest, PushWindowChargesOverlapCorrectly) {
+  const Dataset d = TestData();
+  const ClusterConfig cluster = ClusterConfig::WithStragglers(4, 2, 2.0);
+  ConRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  auto run = [&](int window) {
+    SimOptions opts = FastOptions();
+    opts.push_window = window;
+    return RunSimulation(d, cluster, rule, sched, loss, opts);
+  };
+  const SimResult legacy = run(-1);
+  const SimResult sync = run(0);
+  const SimResult windowed = run(1);
+
+  auto hidden_sum = [](const SimResult& r) {
+    double sum = 0.0;
+    for (const auto& b : r.worker_breakdown) sum += b.push_hidden_seconds;
+    return sum;
+  };
+  // Synchronous pushing hides nothing and can only slow the run down.
+  EXPECT_DOUBLE_EQ(hidden_sum(sync), 0.0);
+  EXPECT_GE(sync.total_sim_seconds, legacy.total_sim_seconds);
+  EXPECT_GE(sync.total_sim_seconds, windowed.total_sim_seconds);
+  // Overlapping modes actually hid transfer time.
+  EXPECT_GT(hidden_sum(legacy), 0.0);
+  EXPECT_GT(hidden_sum(windowed), 0.0);
+  // Every mode still completes the full schedule.
+  EXPECT_EQ(legacy.total_pushes, sync.total_pushes);
+  EXPECT_EQ(legacy.total_pushes, windowed.total_pushes);
+}
+
+// The legacy default (-1) must leave existing simulation results
+// untouched: an explicit -1 and the untouched default are the same run.
+TEST(EventSimTest, PushWindowLegacyDefaultIsUnchanged) {
+  const Dataset d = TestData();
+  const ClusterConfig cluster = ClusterConfig::WithStragglers(4, 2, 2.0);
+  DynSgdRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  SimOptions defaults = FastOptions();
+  SimOptions explicit_legacy = FastOptions();
+  explicit_legacy.push_window = -1;
+  const SimResult a =
+      RunSimulation(d, cluster, rule, sched, loss, defaults);
+  const SimResult b =
+      RunSimulation(d, cluster, rule, sched, loss, explicit_legacy);
+  EXPECT_DOUBLE_EQ(a.total_sim_seconds, b.total_sim_seconds);
+  EXPECT_DOUBLE_EQ(a.final_objective, b.final_objective);
+}
+
 TEST(EventSimTest, DynSgdReportsStalenessAndMemory) {
   const Dataset d = TestData();
   DynSgdRule rule;
