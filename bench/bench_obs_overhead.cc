@@ -6,7 +6,9 @@
 //      disabled vs. trace+flight recording — the end-to-end cost of
 //      turning observability on.
 //   2. Disabled-primitive costs: an inert HETPS_TRACE_SPAN, a disabled
-//      FlightRecorder::Record, a wait-free histogram RecordInt.
+//      FlightRecorder::Record, a wait-free histogram RecordInt — plus
+//      the trace-linked RecordInt(value, trace_id) overload with
+//      exemplars globally off (the default) and on.
 //   3. Enabled-primitive costs plus the per-window price of a
 //      TimeSeriesRecorder snapshot over a realistically sized registry
 //      (epoch cadence, never per-push).
@@ -158,6 +160,26 @@ double HistogramRecordNs(int iters) {
   return secs * 1e9 / static_cast<double>(iters);
 }
 
+/// The trace-linked RecordInt(value, trace_id) overload the RPC service
+/// uses for rpc.handle_us. With exemplars globally off (the default)
+/// the only extra cost over plain RecordInt is one relaxed atomic load;
+/// with them on, every record pays the tail-band check and near-max
+/// samples also pay a slot store.
+double HistogramRecordExemplarNs(bool enabled, int iters) {
+  BucketedHistogram::SetExemplarsEnabled(enabled);
+  BucketedHistogram hist;
+  int64_t v = 1;
+  const auto t0 = WallClock::now();
+  for (int i = 0; i < iters; ++i) {
+    hist.RecordInt(v, static_cast<uint64_t>(i) + 1);
+    v = (v * 2862933555777941757LL + 3037000493LL) & 0xffffff;
+  }
+  const double secs = SecondsSince(t0);
+  BucketedHistogram::SetExemplarsEnabled(false);
+  DoNotOptimize(hist.count());
+  return secs * 1e9 / static_cast<double>(iters);
+}
+
 /// Per-window snapshot price over a registry shaped like a real run
 /// (per-worker/per-partition families) — paid once per epoch, so
 /// microseconds here are noise against a clock's milliseconds.
@@ -219,16 +241,26 @@ int main(int argc, char** argv) {
   const double flight_on_ns =
       FlightRecordNs(/*enabled=*/true, kPrimIters / 10);
   const double hist_ns = HistogramRecordNs(kPrimIters / 2);
+  const double hist_ex_off_ns =
+      HistogramRecordExemplarNs(/*enabled=*/false, kPrimIters / 2);
+  const double hist_ex_on_ns =
+      HistogramRecordExemplarNs(/*enabled=*/true, kPrimIters / 2);
   const double window_ns = TimeSeriesSnapshotNs(20000);
 
   // --- Gate: disabled hooks must be invisible on the push path -------
   // The push path carries ~2 trace-span sites (ps.push + the shard
   // piece span) and 1 flight-record site (clock_advance) per push; the
   // histogram Records stay on regardless (they ARE the metrics plane,
-  // not an optional recorder). Model the all-off hook cost from the
-  // measured primitives — this is stable where the off/on wall-clock
-  // difference of two 20k-push runs is noise-dominated.
-  const double disabled_hook_ns = 2.0 * span_off_ns + flight_off_ns;
+  // not an optional recorder). The service-side rpc.handle_us record
+  // uses the trace-linked overload, so its exemplars-off increment over
+  // a plain RecordInt (clamped at 0 — the two runs are noise-close)
+  // joins the hook bill. Model the all-off hook cost from the measured
+  // primitives — this is stable where the off/on wall-clock difference
+  // of two 20k-push runs is noise-dominated.
+  const double exemplar_off_extra_ns =
+      hist_ex_off_ns > hist_ns ? hist_ex_off_ns - hist_ns : 0.0;
+  const double disabled_hook_ns =
+      2.0 * span_off_ns + flight_off_ns + exemplar_off_extra_ns;
   const double disabled_pct =
       push_off_ns > 0.0 ? disabled_hook_ns / push_off_ns * 100.0 : 100.0;
 
@@ -240,6 +272,10 @@ int main(int argc, char** argv) {
   table.AddRow({"flight record (disabled)", Fmt(flight_off_ns, 2)});
   table.AddRow({"flight record (enabled)", Fmt(flight_on_ns, 2)});
   table.AddRow({"histogram RecordInt", Fmt(hist_ns, 2)});
+  table.AddRow({"histogram RecordInt+trace (exemplars off)",
+                Fmt(hist_ex_off_ns, 2)});
+  table.AddRow({"histogram RecordInt+trace (exemplars on)",
+                Fmt(hist_ex_on_ns, 2)});
   table.AddRow({"timeseries window snapshot", Fmt(window_ns, 1)});
   std::printf(
       "=== Observability overhead (PS push hot path) ===\n%s\n"
@@ -263,6 +299,8 @@ int main(int argc, char** argv) {
   AppendKv(&json, "flight_record_disabled_ns", flight_off_ns);
   AppendKv(&json, "flight_record_enabled_ns", flight_on_ns);
   AppendKv(&json, "histogram_record_ns", hist_ns);
+  AppendKv(&json, "histogram_record_exemplar_off_ns", hist_ex_off_ns);
+  AppendKv(&json, "histogram_record_exemplar_on_ns", hist_ex_on_ns);
   AppendKv(&json, "timeseries_window_ns", window_ns, /*last=*/true);
   json += "  },\n";
   json += "  \"gate\": {\n";

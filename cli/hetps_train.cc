@@ -8,6 +8,10 @@
 //                        [--update_filter=0] [--lr=0.3] [--decay] [--l2=1e-4]
 //                        [--batch-fraction=0.1] [--synthetic=url|ctr]
 //                        [--push_window=0] [--push_parallelism=1]
+//                        [--runtime=threaded|rpc]
+//     rpc runtime only:  [--serve_status=/tmp/hetps.sock]
+//                        [--heartbeat_timeout=0] [--evict_dead_workers=1]
+//                        [--rebalance] [--compute_delay=0,0.05,...]
 //   hetps_train evaluate --data=test.libsvm --model=in.model
 //   hetps_train predict  --data=test.libsvm --model=in.model [--out=preds.txt]
 //   hetps_train simulate [--hl=2] [--workers=30] [--servers=10]
@@ -25,9 +29,25 @@
 //   hetps_train check-obs --metrics=metrics.json [--trace=trace.json]
 //                         [--timeseries=timeseries.json]
 //                         [--flightrec=flightrec.json]
+//                         [--status=status.json]
 //   hetps_train inspect  [--timeseries=timeseries.json]
 //                        [--metrics=metrics.json]
 //                        [--flightrec=flightrec.json]   (at least one)
+//   hetps_train dump-status --bus=/tmp/hetps.sock [--out=status.json]
+//                           [--scrape_out=metrics.prom]
+//   hetps_train top      --bus=/tmp/hetps.sock [--interval_ms=500]
+//                        [--iters=0]
+//   hetps_train obs-ctl  --bus=/tmp/hetps.sock [--trace=on|off]
+//                        [--exemplars=on|off]
+//                        [--slow_us=N [--slow_op=push|pull|...|all]]
+//                        [--flight_dump]
+//
+// The last three talk to a *running* `train --runtime=rpc
+// --serve_status=SOCK` process over its introspection gateway:
+// dump-status writes one hetps.status.v1 snapshot (and optionally a
+// Prometheus scrape), top renders a refreshing cluster dashboard, and
+// obs-ctl flips trace sampling / histogram exemplars / slow-request
+// thresholds and triggers flight-recorder dumps in the live process.
 //
 // Observability (train and simulate): --metrics_out=metrics.json writes
 // a metric snapshot (counters/gauges/histograms incl. staleness and
@@ -46,6 +66,7 @@
 // `--synthetic=url|ctr` generates a dataset instead of reading --data,
 // which makes the tool usable out of the box.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -54,19 +75,25 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/consolidation.h"
 #include "core/learning_rate.h"
 #include "data/libsvm_io.h"
 #include "data/synthetic.h"
+#include "engine/distributed_trainer.h"
 #include "models/linear_model.h"
+#include "net/ps_service.h"
+#include "net/serializer.h"
+#include "net/status_gateway.h"
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/run_reporter.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "ps/status.h"
 #include "sim/event_sim.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -194,7 +221,115 @@ SyncPolicy ParseSync(const FlagParser& flags, Status* st) {
   return SyncPolicy::Ssp(s);
 }
 
+/// Parses "--compute_delay=0,0.05,0.1" into per-worker seconds.
+Result<std::vector<double>> ParseDelayList(const std::string& text) {
+  std::vector<double> delays;
+  if (text.empty()) return delays;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    if (end == item.c_str() || *end != '\0' || v < 0.0) {
+      return Status::InvalidArgument("bad --compute_delay entry: " + item);
+    }
+    delays.push_back(v);
+  }
+  return delays;
+}
+
+/// `train --runtime=rpc`: the fully-distributed execution path — worker
+/// threads talk to the PS service over the serialized message bus, with
+/// the liveness / rebalancing planes and (via --serve_status) the live
+/// introspection gateway.
+int RunTrainRpc(const FlagParser& flags) {
+  auto data = LoadData(flags);
+  if (!data.ok()) return Fail(data.status());
+
+  DistributedTrainerOptions opts;
+  Status sync_st;
+  opts.sync = ParseSync(flags, &sync_st);
+  if (!sync_st.ok()) return Fail(sync_st);
+  opts.max_clocks = static_cast<int>(flags.GetInt("clocks", 20).value());
+  opts.l2 = flags.GetDouble("l2", 1e-4).value();
+  opts.batch_fraction = flags.GetDouble("batch-fraction", 0.1).value();
+  opts.num_workers =
+      static_cast<int>(flags.GetInt("workers", 4).value());
+  opts.num_servers =
+      static_cast<int>(flags.GetInt("servers", 2).value());
+  opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 42).value());
+  opts.push_window =
+      static_cast<int>(flags.GetInt("push_window", 0).value());
+  opts.push_parallelism =
+      static_cast<int>(flags.GetInt("push_parallelism", 1).value());
+  opts.heartbeat_timeout =
+      flags.GetDouble("heartbeat_timeout", 0.0).value();
+  opts.evict_dead_workers = flags.GetBool("evict_dead_workers", true);
+  opts.rebalance = flags.GetBool("rebalance", false);
+  opts.straggler_threshold =
+      flags.GetDouble("straggler_threshold", 1.2).value();
+  opts.rebalance_hysteresis = static_cast<int>(
+      flags.GetInt("rebalance_hysteresis", 3).value());
+  opts.reassign_fraction =
+      flags.GetDouble("reassign_fraction", 0.05).value();
+  auto delays = ParseDelayList(flags.GetString("compute_delay", ""));
+  if (!delays.ok()) return Fail(delays.status());
+  opts.injected_compute_delay = std::move(delays.value());
+  opts.serve_status_path = flags.GetString("serve_status", "");
+
+  auto rule = MakeConsolidationRule(flags.GetString("rule", "dyn"));
+  auto loss = MakeLoss(flags.GetString("loss", "logistic"));
+  const double lr = flags.GetDouble("lr", 0.3).value();
+  std::unique_ptr<LearningRateSchedule> sched;
+  if (flags.GetBool("decay", false)) {
+    sched = std::make_unique<DecayedRate>(lr);
+  } else {
+    sched = std::make_unique<FixedRate>(lr);
+  }
+
+  std::unique_ptr<RunReporter> reporter = MakeReporter(
+      flags, {{"command", "train"},
+              {"runtime", "rpc"},
+              {"rule", flags.GetString("rule", "dyn")},
+              {"protocol", flags.GetString("protocol", "ssp")},
+              {"workers", std::to_string(opts.num_workers)},
+              {"servers", std::to_string(opts.num_servers)},
+              {"clocks", std::to_string(opts.max_clocks)}});
+  if (reporter != nullptr) {
+    RunReporter* rep = reporter.get();
+    opts.on_epoch = [rep](int epoch) { rep->OnEpoch(epoch); };
+  }
+
+  auto result =
+      TrainDistributed(data.value(), *loss, *sched, *rule, opts);
+  if (!result.ok()) return Fail(result.status());
+  const DistributedTrainResult& r = result.value();
+  std::printf("trained (rpc runtime): objective %.4f over %d clocks, "
+              "%lld messages, %lld retries\n",
+              r.final_objective, opts.max_clocks,
+              static_cast<long long>(r.messages),
+              static_cast<long long>(r.rpc_retries));
+  if (!r.evicted_workers.empty()) {
+    std::printf("liveness: evicted=%zu failed_over_examples=%lld\n",
+                r.evicted_workers.size(),
+                static_cast<long long>(r.examples_failed_over));
+  }
+  if (opts.rebalance) {
+    std::printf("rebalance: examples_moved=%lld examples_returned=%lld "
+                "migrations=%lld\n",
+                static_cast<long long>(r.examples_rebalanced),
+                static_cast<long long>(r.examples_returned),
+                static_cast<long long>(r.lb_migrations));
+  }
+  return FinishReport(reporter.get());
+}
+
 int RunTrain(const FlagParser& flags) {
+  const std::string runtime = flags.GetString("runtime", "threaded");
+  if (runtime == "rpc") return RunTrainRpc(flags);
+  if (runtime != "threaded") {
+    return Fail(Status::InvalidArgument("unknown --runtime: " + runtime));
+  }
   auto data = LoadData(flags);
   if (!data.ok()) return Fail(data.status());
 
@@ -420,6 +555,250 @@ int RunSimulate(const FlagParser& flags) {
   return FinishReport(reporter.get());
 }
 
+// ---- Live-introspection clients (dump-status / top / obs-ctl) ----
+
+/// One gateway round trip decoded through the PsService response
+/// framing: status byte first, then a length-prefixed string — the
+/// JSON/Prometheus body on success, the error message on failure.
+/// (kObsControl acks are a bare status byte; the missing body reads as
+/// empty.)
+Result<std::string> GatewayCall(GatewayClient* client,
+                                const std::vector<uint8_t>& request) {
+  auto raw = client->Call(request);
+  if (!raw.ok()) return raw.status();
+  ByteReader reader(raw.value());
+  uint8_t code = 0;
+  HETPS_RETURN_NOT_OK(reader.ReadU8(&code));
+  std::string body;
+  (void)reader.ReadString(&body);
+  if (code != 0) {
+    return Status(static_cast<StatusCode>(code),
+                  body.empty() ? "remote error" : body);
+  }
+  return body;
+}
+
+/// Maps `--slow_op` names onto wire opcodes; 0 is the service's
+/// "all opcodes" wildcard, 255 flags an unknown name.
+uint8_t OpByteFromName(const std::string& name) {
+  static const std::map<std::string, uint8_t> kOps = {
+      {"all", 0},          {"push", 1},
+      {"pull", 2},         {"pull_range", 3},
+      {"can_advance", 4},  {"stable_version", 5},
+      {"pull_delta", 6},   {"layout", 7},
+      {"report_clock", 8}, {"readmit", 9},
+      {"push_columnar", 10}, {"status", 11},
+      {"metrics_scrape", 12}, {"obs_control", 13}};
+  const auto it = kOps.find(name);
+  return it == kOps.end() ? 255 : it->second;
+}
+
+Status ConnectGateway(const FlagParser& flags, GatewayClient* client) {
+  const std::string path = flags.GetString("bus", "");
+  if (path.empty()) {
+    return Status::InvalidArgument(
+        "pass --bus=<socket path> (the --serve_status= path of the "
+        "running train)");
+  }
+  return client->Connect(path);
+}
+
+/// `dump-status`: one kStatus snapshot from a live run, printed or
+/// written to --out; --scrape_out additionally pulls a full Prometheus
+/// scrape (kMetricsScrape mode 0) with any armed exemplars inline.
+int RunDumpStatus(const FlagParser& flags) {
+  GatewayClient client;
+  Status conn = ConnectGateway(flags, &client);
+  if (!conn.ok()) return Fail(conn);
+  auto status_json =
+      GatewayCall(&client, {static_cast<uint8_t>(PsOpCode::kStatus)});
+  if (!status_json.ok()) return Fail(status_json.status());
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::printf("%s\n", status_json.value().c_str());
+  } else {
+    std::ofstream file(out);
+    if (!file) return Fail(Status::IOError("cannot open " + out));
+    file << status_json.value() << '\n';
+    std::printf("status written to %s\n", out.c_str());
+  }
+  const std::string scrape_out = flags.GetString("scrape_out", "");
+  if (!scrape_out.empty()) {
+    auto scrape = GatewayCall(
+        &client, {static_cast<uint8_t>(PsOpCode::kMetricsScrape), 0});
+    if (!scrape.ok()) return Fail(scrape.status());
+    std::ofstream file(scrape_out);
+    if (!file) return Fail(Status::IOError("cannot open " + scrape_out));
+    file << scrape.value();
+    std::printf("scrape written to %s\n", scrape_out.c_str());
+  }
+  return 0;
+}
+
+/// `obs-ctl`: flips live observability knobs in a running train —
+/// trace sampling, histogram exemplars, per-opcode slow-request
+/// thresholds, on-demand flight-recorder dumps.
+int RunObsCtl(const FlagParser& flags) {
+  GatewayClient client;
+  Status conn = ConnectGateway(flags, &client);
+  if (!conn.ok()) return Fail(conn);
+  bool did_anything = false;
+  auto send = [&](const std::vector<uint8_t>& request,
+                  const char* what) -> int {
+    auto ack = GatewayCall(&client, request);
+    if (!ack.ok()) return Fail(ack.status());
+    std::printf("%s: ok\n", what);
+    did_anything = true;
+    return 0;
+  };
+  const uint8_t kCtl = static_cast<uint8_t>(PsOpCode::kObsControl);
+  const std::string trace = flags.GetString("trace", "");
+  if (!trace.empty()) {
+    if (trace != "on" && trace != "off") {
+      return Fail(Status::InvalidArgument("--trace must be on|off"));
+    }
+    const int rc = send({kCtl, 1, trace == "on" ? uint8_t{1} : uint8_t{0}},
+                        trace == "on" ? "trace on" : "trace off");
+    if (rc != 0) return rc;
+  }
+  const std::string exemplars = flags.GetString("exemplars", "");
+  if (!exemplars.empty()) {
+    if (exemplars != "on" && exemplars != "off") {
+      return Fail(Status::InvalidArgument("--exemplars must be on|off"));
+    }
+    const int rc =
+        send({kCtl, 2, exemplars == "on" ? uint8_t{1} : uint8_t{0}},
+             exemplars == "on" ? "exemplars on" : "exemplars off");
+    if (rc != 0) return rc;
+  }
+  const int64_t slow_us = flags.GetInt("slow_us", -1).value();
+  if (slow_us >= 0) {
+    const std::string op_name = flags.GetString("slow_op", "all");
+    const uint8_t op = OpByteFromName(op_name);
+    if (op == 255) {
+      return Fail(Status::InvalidArgument("unknown --slow_op: " + op_name));
+    }
+    ByteWriter w;
+    w.WriteU8(kCtl);
+    w.WriteU8(3);
+    w.WriteU8(op);
+    w.WriteI64(slow_us);
+    const int rc = send(w.TakeBuffer(),
+                        ("slow threshold (" + op_name + ")").c_str());
+    if (rc != 0) return rc;
+  }
+  if (flags.GetBool("flight_dump", false)) {
+    const int rc = send({kCtl, 4}, "flight dump");
+    if (rc != 0) return rc;
+  }
+  if (!did_anything) {
+    return Fail(Status::InvalidArgument(
+        "pass at least one of --trace= / --exemplars= / --slow_us= / "
+        "--flight_dump"));
+  }
+  return 0;
+}
+
+double NumField(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.Find(key);
+  return v != nullptr ? v->number_value : 0.0;
+}
+
+/// Renders one hetps.status.v1 snapshot as the `top` dashboard frame.
+void RenderTopFrame(const JsonValue& doc, int iter) {
+  const double cmin = NumField(doc, "cmin");
+  const double cmax = NumField(doc, "cmax");
+  const JsonValue* source = doc.Find("source");
+  std::printf("hetps top — source=%s  t=%.1fs  frame %d\n",
+              source != nullptr && source->is_string()
+                  ? source->string_value.c_str()
+                  : "?",
+              NumField(doc, "ts_us") / 1e6, iter);
+  std::printf(
+      "clocks: cmin=%.0f cmax=%.0f  live %.0f/%.0f  blocked=%.0f  "
+      "pushes=%.0f\n",
+      cmin, cmax, NumField(doc, "num_live_workers"),
+      NumField(doc, "num_workers"), NumField(doc, "blocked_workers"),
+      NumField(doc, "total_pushes"));
+  const JsonValue* push = doc.Find("push");
+  if (push != nullptr && push->is_object()) {
+    const double window = NumField(*push, "window");
+    const double inflight = NumField(*push, "inflight");
+    if (window >= 1.0) {
+      // Occupied window slots — how much push transfer the pipeline is
+      // currently hiding behind compute.
+      std::printf("push: window=%.0f inflight=%.0f (overlap %.0f%%)\n",
+                  window, inflight, 100.0 * inflight / window);
+    } else {
+      std::printf("push: synchronous (window=%.0f)\n", window);
+    }
+  }
+  const JsonValue* reb = doc.Find("rebalance");
+  if (reb != nullptr && reb->is_object()) {
+    std::printf(
+        "rebalance: moved=%.0f returned=%.0f migrations=%.0f\n",
+        NumField(*reb, "examples_moved"),
+        NumField(*reb, "examples_returned"), NumField(*reb, "migrations"));
+  }
+  const JsonValue* workers = doc.Find("workers");
+  if (workers == nullptr || !workers->is_array()) return;
+  std::printf("%7s %7s %6s %5s %9s %6s  %s\n", "worker", "clock",
+              "stale", "live", "beat_age", "loans", "staleness");
+  for (const JsonValue& w : workers->array) {
+    const double stale = NumField(w, "staleness");
+    const JsonValue* live = w.Find("live");
+    const bool is_live = live == nullptr || live->bool_value;
+    const double age = NumField(w, "last_beat_age_s");
+    // One bar cell per staleness clock, capped at 20 — at a glance the
+    // longest bar is the straggler the SSP gate is waiting on.
+    std::string bar(static_cast<size_t>(
+                        stale < 0 ? 0 : (stale > 20 ? 20 : stale)),
+                    '#');
+    if (!is_live) bar = "EVICTED";
+    std::printf("%7.0f %7.0f %6.0f %5s %9.2f %6.0f  %s\n",
+                NumField(w, "worker"), NumField(w, "clock"), stale,
+                is_live ? "yes" : "no", age, NumField(w, "loans_out"),
+                bar.c_str());
+  }
+}
+
+/// `top`: a refreshing terminal dashboard over kStatus — clock
+/// frontier, staleness bars, liveness, loan ledger, push overlap.
+int RunTop(const FlagParser& flags) {
+  GatewayClient client;
+  Status conn = ConnectGateway(flags, &client);
+  if (!conn.ok()) return Fail(conn);
+  const int interval_ms =
+      static_cast<int>(flags.GetInt("interval_ms", 500).value());
+  const int iters = static_cast<int>(flags.GetInt("iters", 0).value());
+  for (int i = 0; iters <= 0 || i < iters; ++i) {
+    auto status_json =
+        GatewayCall(&client, {static_cast<uint8_t>(PsOpCode::kStatus)});
+    if (!status_json.ok()) {
+      if (i > 0) {
+        // The run we were watching finished and closed the gateway —
+        // a normal way for `top` to end.
+        std::printf("run ended: %s\n",
+                    status_json.status().ToString().c_str());
+        return 0;
+      }
+      return Fail(status_json.status());
+    }
+    auto parsed = ParseJson(status_json.value());
+    if (!parsed.ok()) return Fail(parsed.status());
+    if (i > 0 || iters != 1) {
+      std::printf("\033[H\033[2J");  // cursor home + clear screen
+    }
+    RenderTopFrame(parsed.value(), i + 1);
+    std::fflush(stdout);
+    if (iters <= 0 || i + 1 < iters) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          interval_ms > 0 ? interval_ms : 500));
+    }
+  }
+  return 0;
+}
+
 /// `check-obs`: parses and schema-validates previously written
 /// metrics.json / trace.json files; non-zero exit on any failure. CI's
 /// obs-smoke job runs this against a fresh train + simulate.
@@ -428,10 +807,13 @@ int RunCheckObs(const FlagParser& flags) {
   const std::string trace_path = flags.GetString("trace", "");
   const std::string timeseries_path = flags.GetString("timeseries", "");
   const std::string flightrec_path = flags.GetString("flightrec", "");
+  const std::string status_path = flags.GetString("status", "");
   if (metrics_path.empty() && trace_path.empty() &&
-      timeseries_path.empty() && flightrec_path.empty()) {
+      timeseries_path.empty() && flightrec_path.empty() &&
+      status_path.empty()) {
     return Fail(Status::InvalidArgument(
-        "pass --metrics= / --trace= / --timeseries= / --flightrec="));
+        "pass --metrics= / --trace= / --timeseries= / --flightrec= / "
+        "--status="));
   }
   auto read_file = [](const std::string& path) -> Result<std::string> {
     std::ifstream in(path);
@@ -469,6 +851,13 @@ int RunCheckObs(const FlagParser& flags) {
     if (!st.ok()) return Fail(st);
     std::printf("%s: valid hetps.flightrec.v1\n",
                 flightrec_path.c_str());
+  }
+  if (!status_path.empty()) {
+    auto text = read_file(status_path);
+    if (!text.ok()) return Fail(text.status());
+    Status st = ValidateStatusJson(text.value());
+    if (!st.ok()) return Fail(st);
+    std::printf("%s: valid hetps.status.v1\n", status_path.c_str());
   }
   return 0;
 }
@@ -704,7 +1093,8 @@ int Main(int argc, char** argv) {
   if (flags.positional().empty()) {
     std::fprintf(stderr,
                  "usage: hetps_train "
-                 "<train|evaluate|predict|simulate|check-obs|inspect> "
+                 "<train|evaluate|predict|simulate|check-obs|inspect|"
+                 "dump-status|top|obs-ctl> "
                  "[flags]\n(see the header of cli/hetps_train.cc)\n");
     return 1;
   }
@@ -722,6 +1112,12 @@ int Main(int argc, char** argv) {
     rc = RunCheckObs(flags);
   } else if (command == "inspect") {
     rc = RunInspect(flags);
+  } else if (command == "dump-status") {
+    rc = RunDumpStatus(flags);
+  } else if (command == "top") {
+    rc = RunTop(flags);
+  } else if (command == "obs-ctl") {
+    rc = RunObsCtl(flags);
   } else {
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return 1;

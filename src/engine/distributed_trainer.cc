@@ -10,6 +10,7 @@
 #include "core/sgd_compute.h"
 #include "data/sharding.h"
 #include "net/ps_service.h"
+#include "net/status_gateway.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -166,8 +167,37 @@ Result<DistributedTrainResult> TrainDistributed(
                     << survivors.size() << " survivors";
   };
 
+  // Enrich kStatus snapshots with trainer-plane state the PS alone cannot
+  // see: the configured push window and the load balancer's loan ledger /
+  // migration totals. Runs on the service loop; the ledger is read under
+  // failover_mu, the same lock that serializes every other LoadBalancer
+  // access.
+  svc_opts.status_decorator = [&](StatusSnapshot* snap) {
+    snap->push_window = options.push_window;
+    std::lock_guard<std::mutex> lock(failover_mu);
+    if (lb == nullptr) return;
+    snap->examples_moved = lb->examples_moved();
+    snap->examples_returned = lb->examples_returned();
+    snap->migrations = lb->migrations();
+    for (WorkerStatus& w : snap->workers) {
+      if (w.worker >= 0 && w.worker < static_cast<int>(n_workers)) {
+        w.loans_out = static_cast<int64_t>(lb->OutstandingLoans(w.worker));
+      }
+    }
+  };
+
   PsService service(&ps, &bus, "ps", svc_opts);
   HETPS_RETURN_NOT_OK(service.status());
+
+  // Declared after `bus` and `service` so it stops (joining its thread,
+  // which calls into the bus) before either is torn down.
+  StatusGateway gateway;
+  if (!options.serve_status_path.empty()) {
+    HETPS_RETURN_NOT_OK(
+        gateway.Start(options.serve_status_path, &bus, "ps"));
+    HETPS_LOG(Info) << "introspection gateway listening on "
+                    << options.serve_status_path;
+  }
   const int start_clock = options.resume ? options.resume_clock : 0;
   const int end_clock = start_clock + options.max_clocks;
 

@@ -99,6 +99,12 @@ struct DistributedTrainerOptions {
   /// paper's slowdown-injection protocol for straggler experiments.
   /// Empty = no injection; shorter than num_workers is zero-padded.
   std::vector<double> injected_compute_delay;
+  /// Unix-socket path for the live-introspection gateway. When non-empty,
+  /// a StatusGateway is bound here for the lifetime of the run so
+  /// external tools (`hetps_train top` / `dump-status` / `obs-ctl`) can
+  /// issue kStatus / kMetricsScrape / kObsControl against the running
+  /// service. Empty = no gateway.
+  std::string serve_status_path;
 };
 
 struct DistributedTrainResult {

@@ -34,6 +34,41 @@ Status ConsumeStatus(ByteReader* reader) {
   return Status(static_cast<StatusCode>(code), std::move(message));
 }
 
+/// True for the observability opcodes (kStatus / kMetricsScrape /
+/// kObsControl), which stay out-of-band of the liveness plane: they
+/// neither tick the virtual clock nor beat/sweep the monitor (observer
+/// effect — a scraper polling at 2 Hz must not change when a silent
+/// worker times out), and they are answered even for evicted senders so
+/// a dead worker can still be diagnosed.
+bool IsObsOpcode(const std::vector<uint8_t>& payload) {
+  if (payload.empty()) return false;
+  const uint8_t op = payload[0];
+  return op == static_cast<uint8_t>(PsOpCode::kStatus) ||
+         op == static_cast<uint8_t>(PsOpCode::kMetricsScrape) ||
+         op == static_cast<uint8_t>(PsOpCode::kObsControl);
+}
+
+/// Opcode-byte -> literal name (flight-recorder notes must be string
+/// literals; the ring never copies).
+const char* OpName(uint8_t op) {
+  switch (static_cast<PsOpCode>(op)) {
+    case PsOpCode::kPush: return "push";
+    case PsOpCode::kPull: return "pull";
+    case PsOpCode::kPullRange: return "pull_range";
+    case PsOpCode::kCanAdvance: return "can_advance";
+    case PsOpCode::kStableVersion: return "stable_version";
+    case PsOpCode::kPullDelta: return "pull_delta";
+    case PsOpCode::kLayout: return "layout";
+    case PsOpCode::kReportClock: return "report_clock";
+    case PsOpCode::kReadmit: return "readmit";
+    case PsOpCode::kPushColumnar: return "push_columnar";
+    case PsOpCode::kStatus: return "status";
+    case PsOpCode::kMetricsScrape: return "metrics_scrape";
+    case PsOpCode::kObsControl: return "obs_control";
+  }
+  return "unknown";
+}
+
 /// Parses "worker-<id>" endpoint names; -1 for anything else (servers,
 /// test drivers — only worker endpoints participate in liveness).
 int ParseWorkerId(const std::string& endpoint) {
@@ -94,6 +129,12 @@ PsService::PsService(ParameterServer* ps, MessageBus* bus,
       global.histogram("rpc.handle_us", {{"op", "report_clock"}});
   handle_readmit_us_ =
       global.histogram("rpc.handle_us", {{"op", "readmit"}});
+  handle_status_us_ =
+      global.histogram("rpc.handle_us", {{"op", "status"}});
+  handle_metrics_scrape_us_ =
+      global.histogram("rpc.handle_us", {{"op", "metrics_scrape"}});
+  handle_obs_control_us_ =
+      global.histogram("rpc.handle_us", {{"op", "obs_control"}});
   handle_other_us_ = global.histogram("rpc.handle_us", {{"op", "other"}});
   registration_ = bus->RegisterEndpoint(
       endpoint_name_,
@@ -142,10 +183,13 @@ std::vector<uint8_t> PsService::Handle(const Envelope& request) {
                     static_cast<double>(request.parent_span_id));
     TraceRecorder::Global().AppendFlowFinish("rpc", request.trace_id);
   }
-  if (monitor_ != nullptr) {
+  const bool is_obs_op = IsObsOpcode(request.payload);
+  if (monitor_ != nullptr && !is_obs_op) {
     // Every handled request advances the virtual clock and beats for its
     // sender; the sweep runs before dispatch so an evicted sender's own
-    // request is already rejected below.
+    // request is already rejected below. Observability opcodes skip the
+    // whole block (see IsObsOpcode): no tick, no beat, no sweep, no
+    // evicted-sender rejection.
     ticks_.fetch_add(1, std::memory_order_relaxed);
     const double now = LivenessNow();
     monitor_->Beat(request.from, now);
@@ -229,16 +273,44 @@ std::vector<uint8_t> PsService::Handle(const Envelope& request) {
         handle_us = handle_readmit_us_;
         response = HandleReadmit(request, &reader);
         break;
+      case PsOpCode::kStatus:
+        metrics_.counter("rpc.status")->Increment();
+        handle_us = handle_status_us_;
+        response = HandleStatus(&reader);
+        break;
+      case PsOpCode::kMetricsScrape:
+        metrics_.counter("rpc.metrics_scrape")->Increment();
+        handle_us = handle_metrics_scrape_us_;
+        response = HandleMetricsScrape(&reader);
+        break;
+      case PsOpCode::kObsControl:
+        metrics_.counter("rpc.obs_control")->Increment();
+        handle_us = handle_obs_control_us_;
+        response = HandleObsControl(&reader);
+        break;
       default:
         response = ErrorResponse(Status::InvalidArgument(
             "unknown opcode " + std::to_string(op)));
         break;
     }
   }
-  handle_us->RecordInt(
+  const int64_t duration_us =
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
-          .count());
+          .count();
+  // The envelope's trace_id rides along so a tail rpc.handle_us bucket
+  // can retain it as an OpenMetrics exemplar (no-op unless exemplars
+  // are enabled via kObsControl / --exemplars).
+  handle_us->RecordInt(duration_us, request.trace_id);
+  if (st.ok() && op < 32 && slow_threshold_us_[op] > 0 &&
+      duration_us >= slow_threshold_us_[op]) {
+    // Structured slow-request entry: the black box keeps the opcode,
+    // sender, duration, and the trace_id that finds the full span.
+    FlightRecorder::Global().Record(
+        "slow_request", ParseWorkerId(request.from), /*clock=*/-1,
+        static_cast<double>(duration_us), OpName(op), request.trace_id);
+    metrics_.counter("rpc.slow_requests")->Increment();
+  }
   if (!response.empty() && response[0] != 0) {
     metrics_.counter("rpc.errors")->Increment();
   }
@@ -515,6 +587,105 @@ std::vector<uint8_t> PsService::HandleReadmit(const Envelope& request,
     // sweep unregistered this endpoint, so a successful rejoin must
     // explicitly re-enroll it or the next sweep would never see it.
     monitor_->Register(request.from, LivenessNow());
+  }
+  ByteWriter w;
+  w.WriteU8(0);
+  return w.TakeBuffer();
+}
+
+std::vector<uint8_t> PsService::HandleStatus(ByteReader* reader) {
+  (void)reader;  // request carries no arguments beyond the opcode
+  StatusSnapshot& snap = status_scratch_;
+  snap.source = "service";
+  ps_->BuildStatusSnapshot(&snap);
+  snap.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+                   .count();
+  if (monitor_ != nullptr) {
+    const double now = LivenessNow();
+    for (WorkerStatus& w : snap.workers) {
+      w.last_beat_age_s = monitor_->SecondsSinceLastBeat(
+          "worker-" + std::to_string(w.worker), now);
+    }
+  }
+  const Gauge* inflight = GlobalMetrics().gauge("push.inflight");
+  snap.push_inflight = inflight->has_value() ? inflight->value() : 0.0;
+  if (options_.status_decorator) options_.status_decorator(&snap);
+  ByteWriter w;
+  w.WriteU8(0);
+  const Status st = w.WriteString(snap.ToJson());
+  if (!st.ok()) return ErrorResponse(st);
+  return w.TakeBuffer();
+}
+
+std::vector<uint8_t> PsService::HandleMetricsScrape(ByteReader* reader) {
+  uint8_t mode = 0;
+  // The mode byte is optional (a bare opcode means a full scrape).
+  (void)reader->ReadU8(&mode);
+  std::string body;
+  if (mode == 0) {
+    body = GlobalMetrics().PrometheusText();
+  } else if (mode == 1) {
+    MetricsSnapshot cur = GlobalMetrics().SnapshotValues();
+    body = MetricsDeltaJson(last_scrape_, cur);
+    last_scrape_ = std::move(cur);
+  } else {
+    return ErrorResponse(Status::InvalidArgument(
+        "unknown scrape mode " + std::to_string(mode)));
+  }
+  ByteWriter w;
+  w.WriteU8(0);
+  const Status st = w.WriteString(body);
+  if (!st.ok()) return ErrorResponse(st);
+  return w.TakeBuffer();
+}
+
+std::vector<uint8_t> PsService::HandleObsControl(ByteReader* reader) {
+  uint8_t sub = 0;
+  Status st = reader->ReadU8(&sub);
+  if (!st.ok()) return ErrorResponse(st);
+  switch (sub) {
+    case 1: {  // toggle trace sampling
+      uint8_t on = 0;
+      st = reader->ReadU8(&on);
+      if (!st.ok()) return ErrorResponse(st);
+      if (on != 0) {
+        TraceRecorder::Global().Start(TraceOptions());
+      } else {
+        TraceRecorder::Global().Stop();
+      }
+      break;
+    }
+    case 2: {  // toggle histogram exemplars
+      uint8_t on = 0;
+      st = reader->ReadU8(&on);
+      if (!st.ok()) return ErrorResponse(st);
+      BucketedHistogram::SetExemplarsEnabled(on != 0);
+      break;
+    }
+    case 3: {  // per-opcode slow-request threshold
+      uint8_t target_op = 0;
+      int64_t threshold_us = 0;
+      st = reader->ReadU8(&target_op);
+      if (st.ok()) st = reader->ReadI64(&threshold_us);
+      if (!st.ok()) return ErrorResponse(st);
+      if (threshold_us < 0) threshold_us = 0;
+      if (target_op == 0) {
+        for (int64_t& t : slow_threshold_us_) t = threshold_us;
+      } else if (target_op < 32) {
+        slow_threshold_us_[target_op] = threshold_us;
+      } else {
+        return ErrorResponse(Status::InvalidArgument(
+            "opcode out of range: " + std::to_string(target_op)));
+      }
+      break;
+    }
+    case 4:  // on-demand flight-recorder dump
+      FlightRecorder::Global().DumpNow("obs_control");
+      break;
+    default:
+      return ErrorResponse(Status::InvalidArgument(
+          "unknown obs-control subcommand " + std::to_string(sub)));
   }
   ByteWriter w;
   w.WriteU8(0);

@@ -59,6 +59,26 @@ enum class PsOpCode : uint8_t {
   /// back to kPush until the kLayout handshake has run (the split needs
   /// the Partitioner). Dedup semantics are identical to kPush.
   kPushColumnar = 10,
+  /// Live-introspection snapshot (hetps.status.v1 JSON): per-worker
+  /// clock/staleness/liveness, cmin/cmax, loan balances, push-window
+  /// inflight, per-shard key counts. Read-mostly and out-of-band of
+  /// membership: observability opcodes neither tick the virtual clock
+  /// nor beat/sweep the heartbeat monitor (a scrape must not perturb
+  /// eviction timing), and kStatus is answered even for evicted senders
+  /// so a dead worker can still be diagnosed.
+  kStatus = 11,
+  /// Metrics scrape. Request: opcode + mode byte (0 = full Prometheus
+  /// text with OpenMetrics-style exemplars; 1 = cumulative-delta JSON,
+  /// scrape N minus scrape N−1 against the service's stored previous
+  /// snapshot — single-scraper semantics). Response: status + string.
+  kMetricsScrape = 12,
+  /// Runtime observability control. Request: opcode + subcommand byte:
+  /// 1 = toggle trace sampling (u8 on/off), 2 = toggle histogram
+  /// exemplars (u8 on/off), 3 = set per-opcode slow-request threshold
+  /// (u8 opcode, 0 = all; i64 threshold_us, <= 0 clears — slow requests
+  /// log structured flight-recorder entries with their trace_id),
+  /// 4 = trigger an on-demand flight-recorder dump.
+  kObsControl = 13,
 };
 
 /// Heartbeat-driven worker liveness (the SSP liveness repair: one dead
@@ -112,6 +132,12 @@ struct PsServiceOptions {
   /// (worker, clock, measured compute seconds).
   std::function<void(int worker, int clock, double seconds)>
       on_clock_report;
+  /// Called (on the service loop) after ParameterServer::
+  /// BuildStatusSnapshot has filled the PS-owned fields of a kStatus
+  /// snapshot — the trainer decorates loan-ledger balances and the push
+  /// window here (it owns the LoadBalancer, which is not thread-safe,
+  /// under the same serialization domain as on_clock_report).
+  std::function<void(StatusSnapshot*)> status_decorator;
 };
 
 /// Serves a ParameterServer over a MessageBus endpoint — the prototype's
@@ -166,6 +192,9 @@ class PsService {
   std::vector<uint8_t> HandleReportClock(ByteReader* reader);
   std::vector<uint8_t> HandleReadmit(const Envelope& request,
                                      ByteReader* reader);
+  std::vector<uint8_t> HandleStatus(ByteReader* reader);
+  std::vector<uint8_t> HandleMetricsScrape(ByteReader* reader);
+  std::vector<uint8_t> HandleObsControl(ByteReader* reader);
 
   ParameterServer* ps_;
   std::string endpoint_name_;
@@ -186,6 +215,9 @@ class PsService {
   HistogramMetric* handle_stable_version_us_;
   HistogramMetric* handle_report_clock_us_;
   HistogramMetric* handle_readmit_us_;
+  HistogramMetric* handle_status_us_;
+  HistogramMetric* handle_metrics_scrape_us_;
+  HistogramMetric* handle_obs_control_us_;
   HistogramMetric* handle_other_us_;
   /// Last clock applied per worker (-1 = none); only touched by the
   /// single service-loop thread.
@@ -201,6 +233,15 @@ class PsService {
   std::unique_ptr<HeartbeatMonitor> monitor_;
   std::atomic<int64_t> ticks_{0};
   Counter* workers_suspected_ = nullptr;
+  /// kStatus scratch (service loop only): reused across snapshots so a
+  /// scrape allocates nothing once the vectors have grown.
+  StatusSnapshot status_scratch_;
+  /// Previous kMetricsScrape snapshot (delta mode's N−1 base; service
+  /// loop only — delta scraping is single-scraper by contract).
+  MetricsSnapshot last_scrape_;
+  /// Per-opcode slow-request thresholds in microseconds (0 = off), set
+  /// via kObsControl; indexed by raw opcode byte. Service loop only.
+  int64_t slow_threshold_us_[32] = {};
 };
 
 /// Client-side timeout/retry policy: every RPC waits at most `timeout`

@@ -1,0 +1,212 @@
+#include "net/status_gateway.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "net/serializer.h"
+#include "util/logging.h"
+
+namespace hetps {
+namespace {
+
+// Forwarded frames are introspection payloads (status JSON, Prometheus
+// text); anything near the bus's 16 MiB wire-string cap is already
+// pathological, so cap gateway frames there too.
+constexpr uint32_t kMaxFrameBytes = 32u << 20;
+
+// Per-forwarded-call reply deadline. Generous: a scrape answered on the
+// service loop sits behind at most a handful of in-flight pushes.
+constexpr std::chrono::microseconds kForwardTimeout =
+    std::chrono::seconds(10);
+
+bool ReadExact(int fd, void* buf, size_t n) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::read(fd, p, n);
+    if (got <= 0) {
+      if (got < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      return false;
+    }
+    p += got;
+    n -= static_cast<size_t>(got);
+  }
+  return true;
+}
+
+bool WriteExact(int fd, const void* buf, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  while (n > 0) {
+    const ssize_t put = ::write(fd, p, n);
+    if (put <= 0) {
+      if (put < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      return false;
+    }
+    p += put;
+    n -= static_cast<size_t>(put);
+  }
+  return true;
+}
+
+bool ReadFrame(int fd, std::vector<uint8_t>* frame) {
+  uint32_t len = 0;
+  if (!ReadExact(fd, &len, sizeof(len))) return false;
+  if (len > kMaxFrameBytes) return false;
+  frame->resize(len);
+  return len == 0 || ReadExact(fd, frame->data(), len);
+}
+
+bool WriteFrame(int fd, const std::vector<uint8_t>& frame) {
+  const uint32_t len = static_cast<uint32_t>(frame.size());
+  if (!WriteExact(fd, &len, sizeof(len))) return false;
+  return frame.empty() || WriteExact(fd, frame.data(), frame.size());
+}
+
+Status FillSockAddr(const std::string& path, sockaddr_un* addr) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument("bad gateway socket path: " + path);
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status StatusGateway::Start(const std::string& socket_path,
+                            MessageBus* bus, std::string ps_endpoint) {
+  HETPS_CHECK(bus != nullptr) << "null MessageBus";
+  if (running()) return Status::FailedPrecondition("gateway already running");
+  sockaddr_un addr;
+  HETPS_RETURN_NOT_OK(FillSockAddr(socket_path, &addr));
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(socket_path.c_str());  // stale socket from a dead run
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("bind " + socket_path + ": " +
+                           std::strerror(err));
+  }
+  if (::listen(fd, 8) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(socket_path.c_str());
+    return Status::IOError("listen " + socket_path + ": " +
+                           std::strerror(err));
+  }
+  socket_path_ = socket_path;
+  bus_ = bus;
+  ps_endpoint_ = std::move(ps_endpoint);
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  server_ = std::thread([this] { ServeLoop(); });
+  return Status::OK();
+}
+
+void StatusGateway::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (server_.joinable()) server_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!socket_path_.empty()) ::unlink(socket_path_.c_str());
+}
+
+void StatusGateway::ServeLoop() {
+  std::vector<int> clients;
+  std::vector<uint8_t> frame;
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (int c : clients) fds.push_back({c, POLLIN, 0});
+    // 100 ms tick bounds stop latency without a self-pipe.
+    const int ready = ::poll(fds.data(), fds.size(), 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    if (fds[0].revents & POLLIN) {
+      const int c = ::accept(listen_fd_, nullptr, nullptr);
+      if (c >= 0) clients.push_back(c);
+    }
+    for (size_t i = 1; i < fds.size(); ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      const int c = fds[i].fd;
+      bool keep = false;
+      if ((fds[i].revents & POLLIN) && ReadFrame(c, &frame)) {
+        const BusReply reply = bus_->BlockingCall(
+            "statusz", ps_endpoint_, frame, kForwardTimeout);
+        if (reply.ok()) {
+          keep = WriteFrame(c, reply.payload);
+        } else {
+          // Relay the bus-level failure in PsService response framing
+          // (status byte + message) so clients have one decode path.
+          ByteWriter w;
+          w.WriteU8(static_cast<uint8_t>(reply.status.code()));
+          (void)w.WriteString(reply.status.message());
+          keep = WriteFrame(c, w.TakeBuffer());
+        }
+      }
+      if (!keep) {
+        ::close(c);
+        clients.erase(std::find(clients.begin(), clients.end(), c));
+      }
+    }
+  }
+  for (int c : clients) ::close(c);
+}
+
+Status GatewayClient::Connect(const std::string& socket_path) {
+  Close();
+  sockaddr_un addr;
+  HETPS_RETURN_NOT_OK(FillSockAddr(socket_path, &addr));
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("connect " + socket_path + ": " +
+                           std::strerror(err));
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+void GatewayClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::vector<uint8_t>> GatewayClient::Call(
+    const std::vector<uint8_t>& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (!WriteFrame(fd_, request)) {
+    return Status::IOError("gateway write failed");
+  }
+  std::vector<uint8_t> response;
+  if (!ReadFrame(fd_, &response)) {
+    return Status::IOError("gateway read failed (run ended?)");
+  }
+  return response;
+}
+
+}  // namespace hetps

@@ -1,0 +1,88 @@
+#ifndef HETPS_NET_STATUS_GATEWAY_H_
+#define HETPS_NET_STATUS_GATEWAY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/message_bus.h"
+#include "util/status.h"
+
+namespace hetps {
+
+/// Cross-process doorway into the in-process MessageBus: a Unix-domain
+/// stream socket whose frames are raw PsService requests. An external
+/// tool (`hetps_train top/dump-status/obs-ctl`) connects, sends
+/// [u32 length | request bytes], and gets back [u32 length | response
+/// bytes] — the gateway forwards each frame to the PS endpoint via
+/// MessageBus::BlockingCall and relays the reply verbatim. Intended for
+/// the observability opcodes (kStatus / kMetricsScrape / kObsControl),
+/// but protocol-agnostic by design.
+///
+/// One poll()-driven thread serves the listener and every connected
+/// client; requests are handled one at a time (the introspection plane
+/// is read-mostly and low-rate, so multiplexing fairness — not
+/// throughput — is the design goal: a `top` holding its connection
+/// open never starves a one-shot `dump-status`).
+class StatusGateway {
+ public:
+  StatusGateway() = default;
+  ~StatusGateway() { Stop(); }
+
+  StatusGateway(const StatusGateway&) = delete;
+  StatusGateway& operator=(const StatusGateway&) = delete;
+
+  /// Binds `socket_path` (unlinking any stale socket first) and starts
+  /// the serving thread. Frames are forwarded to `ps_endpoint` on
+  /// `bus`, which must outlive the gateway.
+  Status Start(const std::string& socket_path, MessageBus* bus,
+               std::string ps_endpoint);
+
+  /// Stops the serving thread, closes every connection, and unlinks the
+  /// socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void ServeLoop();
+
+  std::string socket_path_;
+  MessageBus* bus_ = nullptr;
+  std::string ps_endpoint_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread server_;
+};
+
+/// Client half: one connection to a StatusGateway socket, reusable for
+/// multiple request/response round trips (`top` keeps one open across
+/// refreshes).
+class GatewayClient {
+ public:
+  GatewayClient() = default;
+  ~GatewayClient() { Close(); }
+
+  GatewayClient(const GatewayClient&) = delete;
+  GatewayClient& operator=(const GatewayClient&) = delete;
+
+  Status Connect(const std::string& socket_path);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One framed round trip: sends `request`, returns the response
+  /// bytes (a PsService response: status byte first).
+  Result<std::vector<uint8_t>> Call(const std::vector<uint8_t>& request);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace hetps
+
+#endif  // HETPS_NET_STATUS_GATEWAY_H_

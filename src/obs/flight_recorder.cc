@@ -47,7 +47,8 @@ int64_t FlightRecorder::NowLocked() const {
 }
 
 void FlightRecorder::Record(const char* kind, int worker, int64_t clock,
-                            double value, const char* note) {
+                            double value, const char* note,
+                            uint64_t trace_id) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mu_);
   if (ring_.empty()) return;
@@ -59,6 +60,7 @@ void FlightRecorder::Record(const char* kind, int worker, int64_t clock,
   slot.clock = clock;
   slot.value = value;
   slot.note = note;
+  slot.trace_id = trace_id;
   ++appended_;
 }
 
@@ -135,6 +137,9 @@ Status FlightRecorder::WriteJson(std::ostream& os) const {
     if (ev.note != nullptr) {
       os << ",\"note\":\"" << JsonEscape(ev.note) << '"';
     }
+    if (ev.trace_id != 0) {
+      os << ",\"trace_id\":" << ev.trace_id;
+    }
     os << '}';
   }
   os << "]}";
@@ -199,6 +204,11 @@ Status ValidateFlightRecJson(const std::string& text) {
         return Status::InvalidArgument(context + ": missing numeric \"" +
                                        field + "\"");
       }
+    }
+    const JsonValue* tid = ev.Find("trace_id");
+    if (tid != nullptr && !tid->is_number()) {
+      return Status::InvalidArgument(context +
+                                     ": \"trace_id\" is not numeric");
     }
     const double seq = ev.Find("seq")->number_value;
     if (seq <= last_seq) {

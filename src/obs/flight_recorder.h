@@ -24,6 +24,7 @@ struct FlightEvent {
   int64_t clock = -1;  // subject clock (-1 = n/a)
   double value = 0.0;  // kind-specific payload (timeout, count, ...)
   const char* note = nullptr;  // optional literal annotation
+  uint64_t trace_id = 0;  // linking RPC trace id (0 = none)
 };
 
 /// Black-box recorder for *rare, load-bearing* system events —
@@ -65,8 +66,11 @@ class FlightRecorder {
   }
 
   /// Appends one event. No-op (one relaxed load) when disabled.
+  /// `trace_id` links the event to its RPC trace span (0 = none), so a
+  /// slow-request entry lands next to the span that produced it.
   void Record(const char* kind, int worker = -1, int64_t clock = -1,
-              double value = 0.0, const char* note = nullptr);
+              double value = 0.0, const char* note = nullptr,
+              uint64_t trace_id = 0);
 
   /// Overrides the event clock (virtual time for the simulator; pass
   /// nullptr to restore wall time since Start). The function is called

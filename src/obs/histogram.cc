@@ -7,6 +7,18 @@
 
 namespace hetps {
 
+namespace {
+std::atomic<bool> g_exemplars_enabled{false};
+}  // namespace
+
+void BucketedHistogram::SetExemplarsEnabled(bool enabled) {
+  g_exemplars_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool BucketedHistogram::ExemplarsEnabled() {
+  return g_exemplars_enabled.load(std::memory_order_relaxed);
+}
+
 BucketedHistogram::BucketedHistogram() : buckets_(kNumBuckets) {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
@@ -63,6 +75,59 @@ void BucketedHistogram::RecordInt(int64_t value) {
   while (value > cur && !max_.compare_exchange_weak(
                             cur, value, std::memory_order_relaxed)) {
   }
+}
+
+void BucketedHistogram::RecordInt(int64_t value, uint64_t trace_id) {
+  RecordInt(value);
+  if (trace_id != 0 && ExemplarsEnabled()) {
+    MaybeRetainExemplar(value < 0 ? 0 : value, trace_id);
+  }
+}
+
+void BucketedHistogram::MaybeRetainExemplar(int64_t value,
+                                            uint64_t trace_id) {
+  // Tail band: within one octave of the running max. Cheap to test and
+  // guarantees the max itself (slot 0) plus the p999 neighborhood keep
+  // trace links without touching the slots on the common path.
+  const int64_t cur_max = max_.load(std::memory_order_relaxed);
+  if (cur_max == INT64_MIN) return;  // racing the very first Record
+  if (value >= cur_max) {
+    exemplars_[0].value.store(value, std::memory_order_relaxed);
+    exemplars_[0].trace_id.store(trace_id, std::memory_order_relaxed);
+    return;
+  }
+  if (value < cur_max / 2) return;
+  const size_t slot =
+      1 + static_cast<size_t>(
+              exemplar_rr_.fetch_add(1, std::memory_order_relaxed) %
+              (kExemplarSlots - 1));
+  exemplars_[slot].value.store(value, std::memory_order_relaxed);
+  exemplars_[slot].trace_id.store(trace_id, std::memory_order_relaxed);
+}
+
+std::vector<HistogramExemplar> BucketedHistogram::Exemplars() const {
+  std::vector<HistogramExemplar> out;
+  for (size_t i = 0; i < kExemplarSlots; ++i) {
+    const int64_t v =
+        exemplars_[i].value.load(std::memory_order_relaxed);
+    const uint64_t tid =
+        exemplars_[i].trace_id.load(std::memory_order_relaxed);
+    if (v < 0 || tid == 0) continue;
+    HistogramExemplar ex;
+    ex.bucket = BucketIndex(v);
+    ex.value = v;
+    ex.trace_id = tid;
+    // Keep at most one exemplar per bucket (later slots lose).
+    bool dup = false;
+    for (const auto& seen : out) {
+      if (seen.bucket == ex.bucket) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.push_back(ex);
+  }
+  return out;
 }
 
 void BucketedHistogram::Record(double value) {
@@ -139,6 +204,11 @@ void BucketedHistogram::Reset() {
   min_.store(INT64_MAX, std::memory_order_relaxed);
   max_.store(INT64_MIN, std::memory_order_relaxed);
   overflow_.store(0, std::memory_order_relaxed);
+  for (auto& slot : exemplars_) {
+    slot.value.store(-1, std::memory_order_relaxed);
+    slot.trace_id.store(0, std::memory_order_relaxed);
+  }
+  exemplar_rr_.store(0, std::memory_order_relaxed);
 }
 
 std::string BucketedHistogram::DebugString() const {

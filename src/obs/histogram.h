@@ -9,6 +9,15 @@
 
 namespace hetps {
 
+/// One retained tail observation linking a histogram bucket back to the
+/// request that produced it (OpenMetrics exemplar semantics). trace_id
+/// is the RPC trace id carried on the Envelope / trace span.
+struct HistogramExemplar {
+  size_t bucket = 0;
+  int64_t value = 0;
+  uint64_t trace_id = 0;
+};
+
 /// HdrHistogram-style log-linear bucketed histogram over non-negative
 /// integer-valued observations (typically microseconds or bytes).
 ///
@@ -42,6 +51,23 @@ class BucketedHistogram {
   /// fractional values round to the nearest unit.
   void Record(double value);
   void RecordInt(int64_t value);
+  /// Records one observation and, when exemplars are globally enabled
+  /// and the value lands in the tail band (within one octave of the
+  /// running max), retains `trace_id` as an exemplar for its bucket.
+  /// The max observation always keeps its exemplar (slot 0), so the
+  /// p999 bucket of a tail-heavy series stays linked to a trace.
+  void RecordInt(int64_t value, uint64_t trace_id);
+
+  /// Process-wide exemplar switch (default off). Wait-free to check;
+  /// flipping it mid-run only affects subsequent Records.
+  static void SetExemplarsEnabled(bool enabled);
+  static bool ExemplarsEnabled();
+
+  /// Currently retained exemplars (empty slots elided). Reads are
+  /// monitoring-grade: value/trace_id pairs are separate atomics and a
+  /// concurrent Record may tear them, but every returned trace_id was
+  /// recorded by some real observation.
+  std::vector<HistogramExemplar> Exemplars() const;
 
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -78,12 +104,25 @@ class BucketedHistogram {
   std::string DebugString() const;
 
  private:
+  // Slot 0 is pinned to the max observation; slots 1..N-1 round-robin
+  // over other tail-band hits so a burst of near-max samples keeps a
+  // few distinct trace links rather than one.
+  static constexpr size_t kExemplarSlots = 4;
+  struct ExemplarSlot {
+    std::atomic<int64_t> value{-1};  // -1 = empty
+    std::atomic<uint64_t> trace_id{0};
+  };
+
+  void MaybeRetainExemplar(int64_t value, uint64_t trace_id);
+
   std::vector<std::atomic<int64_t>> buckets_;
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<int64_t> min_{INT64_MAX};
   std::atomic<int64_t> max_{INT64_MIN};
   std::atomic<int64_t> overflow_{0};
+  ExemplarSlot exemplars_[kExemplarSlots];
+  std::atomic<uint64_t> exemplar_rr_{0};
 };
 
 }  // namespace hetps

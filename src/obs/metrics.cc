@@ -28,6 +28,29 @@ std::string PromName(const std::string& key_name) {
   return out;
 }
 
+/// Label-value escaping per the Prometheus exposition format: backslash,
+/// double-quote, and newline must be escaped inside label values.
+std::string PromEscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 /// Splits a registry key back into (name, rendered-labels).
 /// Keys look like `name` or `name{k=v,k2=v2}`.
 void SplitKey(const std::string& key, std::string* name,
@@ -61,7 +84,8 @@ std::string PromSeries(const std::string& key) {
     if (eq == std::string::npos) {
       out += pair;
     } else {
-      out += pair.substr(0, eq) + "=\"" + pair.substr(eq + 1) + "\"";
+      out += pair.substr(0, eq) + "=\"" +
+             PromEscapeLabelValue(pair.substr(eq + 1)) + "\"";
     }
     pos = comma + 1;
   }
@@ -220,6 +244,7 @@ std::string MetricsRegistry::PrometheusText() const {
     // elided (legal: the next emitted `le` carries their cumulative
     // count), which keeps the text proportional to occupied range, not
     // the ~600-bucket geometry.
+    const std::vector<HistogramExemplar> exemplars = h->Exemplars();
     int64_t cumulative = 0;
     for (size_t i = 0; i < BucketedHistogram::kNumBuckets; ++i) {
       const int64_t in_bucket = h->BucketCount(i);
@@ -228,7 +253,16 @@ std::string MetricsRegistry::PrometheusText() const {
       os += SeriesWithLabel(
                 bucket_series, "le",
                 std::to_string(BucketedHistogram::BucketUpperBound(i))) +
-            ' ' + std::to_string(cumulative) + '\n';
+            ' ' + std::to_string(cumulative);
+      // OpenMetrics-style exemplar suffix: the retained tail sample for
+      // this bucket, linking the series to its trace span.
+      for (const auto& ex : exemplars) {
+        if (ex.bucket != i) continue;
+        os += " # {trace_id=\"" + std::to_string(ex.trace_id) + "\"} " +
+              std::to_string(ex.value);
+        break;
+      }
+      os += '\n';
     }
     os += SeriesWithLabel(bucket_series, "le", "+Inf") + ' ' +
           std::to_string(h->count()) + '\n';
@@ -313,7 +347,19 @@ std::string MetricsRegistry::JsonSnapshot() const {
           ",\"p90\":" + std::to_string(h->ValueAtQuantile(0.9)) +
           ",\"p99\":" + std::to_string(h->ValueAtQuantile(0.99)) +
           ",\"p999\":" + std::to_string(h->ValueAtQuantile(0.999)) +
-          ",\"overflow\":" + std::to_string(h->overflow_count()) + '}';
+          ",\"overflow\":" + std::to_string(h->overflow_count());
+    const std::vector<HistogramExemplar> exemplars = h->Exemplars();
+    if (!exemplars.empty()) {
+      os += ",\"exemplars\":[";
+      for (size_t i = 0; i < exemplars.size(); ++i) {
+        if (i) os += ',';
+        os += "{\"value\":" + std::to_string(exemplars[i].value) +
+              ",\"trace_id\":" + std::to_string(exemplars[i].trace_id) +
+              ",\"bucket\":" + std::to_string(exemplars[i].bucket) + '}';
+      }
+      os += ']';
+    }
+    os += '}';
   }
   os += "}}";
   return os;
@@ -325,6 +371,45 @@ void MetricsRegistry::ResetValues() {
   for (auto& [key, g] : gauges_) g->Reset();
   for (auto& [key, d] : distributions_) d->Reset();
   for (auto& [key, h] : histograms_) h->Reset();
+}
+
+std::string MetricsDeltaJson(const MetricsSnapshot& prev,
+                             const MetricsSnapshot& cur) {
+  std::string os = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [key, v] : cur.counters) {
+    const auto it = prev.counters.find(key);
+    const int64_t base = it == prev.counters.end() ? 0 : it->second;
+    if (!first) os += ',';
+    first = false;
+    os += '"' + JsonEscape(key) + "\":" + std::to_string(v - base);
+  }
+  os += "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, v] : cur.gauges) {
+    if (!first) os += ',';
+    first = false;
+    os += '"' + JsonEscape(key) + "\":";
+    AppendJsonDouble(&os, v);
+  }
+  os += "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, cs] : cur.histograms) {
+    const auto it = prev.histograms.find(key);
+    const int64_t base_count =
+        it == prev.histograms.end() ? 0 : it->second.count;
+    const double base_sum =
+        it == prev.histograms.end() ? 0.0 : it->second.sum;
+    if (!first) os += ',';
+    first = false;
+    os += '"' + JsonEscape(key) +
+          "\":{\"count\":" + std::to_string(cs.count - base_count) +
+          ",\"sum\":";
+    AppendJsonDouble(&os, cs.sum - base_sum);
+    os += '}';
+  }
+  os += "}}";
+  return os;
 }
 
 MetricsRegistry& GlobalMetrics() {

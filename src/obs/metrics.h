@@ -183,6 +183,14 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
 };
 
+/// Scrape N minus scrape N−1: renders the change between two
+/// MetricsSnapshots as JSON ({"counters": {key: delta}, "gauges":
+/// {key: current}, "histograms": {key: {"count": dcount, "sum": dsum}}}).
+/// Counters/histograms report cur − prev (series absent from prev use
+/// prev = 0); gauges are levels, not rates, so they report cur as-is.
+std::string MetricsDeltaJson(const MetricsSnapshot& prev,
+                             const MetricsSnapshot& cur);
+
 /// Process-wide default registry. All runtime layers (PS, bus, service,
 /// trainers, simulator) record here unless handed an explicit registry,
 /// so one RunReporter snapshot sees the whole system. Call

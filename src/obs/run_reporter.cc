@@ -1,5 +1,6 @@
 #include "obs/run_reporter.h"
 
+#include <cstdlib>
 #include <fstream>
 
 #include "obs/json.h"
@@ -172,6 +173,23 @@ Status ValidateMetricsJson(const std::string& text) {
   const JsonValue* schema = doc.Find("schema");
   if (schema == nullptr || !schema->is_string() ||
       schema->string_value != "hetps.metrics.v1") {
+    // Distinguish "written by a newer build" from "not a metrics.json
+    // at all": a hetps.metrics.vN with N > 1 gets a clear upgrade
+    // message instead of a generic mismatch (which downstream tools
+    // would follow with a partial, garbled parse).
+    if (schema != nullptr && schema->is_string()) {
+      const std::string& s = schema->string_value;
+      const std::string prefix = "hetps.metrics.v";
+      if (s.size() > prefix.size() && s.compare(0, prefix.size(), prefix) == 0 &&
+          s.find_first_not_of("0123456789", prefix.size()) ==
+              std::string::npos &&
+          std::strtol(s.c_str() + prefix.size(), nullptr, 10) > 1) {
+        return Status::InvalidArgument(
+            "metrics.json: schema \"" + s +
+            "\" is too new for this build (understands "
+            "hetps.metrics.v1); upgrade hetps_train");
+      }
+    }
     return Status::InvalidArgument(
         "metrics.json: schema is not \"hetps.metrics.v1\"");
   }

@@ -837,6 +837,51 @@ size_t ParameterServer::AuxMemoryBytes() const {
   return total;
 }
 
+void ParameterServer::BuildStatusSnapshot(StatusSnapshot* snap) const {
+  // Clock-plane fields under L1 in one critical section, so the
+  // per-worker clocks, cmin, and cmax in a snapshot are mutually
+  // consistent (cmin <= every live clock <= cmax holds by the
+  // ClockTable invariant).
+  {
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    snap->cmin = clock_table_.cmin();
+    snap->cmax = clock_table_.cmax();
+    snap->num_workers = num_workers_;
+    snap->num_live_workers = clock_table_.num_live();
+    snap->workers.clear();
+    snap->workers.reserve(static_cast<size_t>(num_workers_));
+    for (int m = 0; m < num_workers_; ++m) {
+      WorkerStatus w;
+      w.worker = m;
+      w.clock = clock_table_.clock(m);
+      w.staleness = w.clock - snap->cmin;
+      w.live = clock_table_.is_live(m);
+      snap->workers.push_back(w);
+    }
+  }
+  snap->blocked_workers =
+      blocked_workers_->has_value() ? blocked_workers_->value() : 0.0;
+  // Shard fields deliberately skip the L2 mutexes: a scrape must never
+  // queue behind (or ahead of) a push apply. The serving planes
+  // (PsService loop, simulator) are serialized with pushes anyway;
+  // other callers get monitoring-grade possibly-stale stamps.
+  snap->shards.clear();
+  snap->shards.reserve(static_cast<size_t>(partitioner_.num_partitions()));
+  int64_t total_pushes = 0;
+  for (int p = 0; p < partitioner_.num_partitions(); ++p) {
+    const ServerShard& s = *shards_[static_cast<size_t>(p)];
+    ShardStatus st;
+    st.partition = p;
+    st.keys = partitioner_.PartitionDim(p);
+    st.data_version = s.data_version();
+    st.push_count = s.push_count();
+    st.param_bytes = static_cast<int64_t>(s.ParamMemoryBytes());
+    total_pushes += st.push_count;
+    snap->shards.push_back(st);
+  }
+  snap->total_pushes = total_pushes;
+}
+
 Status ParameterServer::SaveCheckpoint(std::ostream& os) const {
   // Lock order: clock_mu_ (L1) first, then each shard mutex (L2) in
   // increasing partition index — the documented discipline. Holding L1

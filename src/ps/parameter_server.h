@@ -18,6 +18,7 @@
 #include "ps/master.h"
 #include "ps/partition.h"
 #include "ps/server_shard.h"
+#include "ps/status.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -294,6 +295,15 @@ class ParameterServer {
   /// Memory accounting for Figure 13.
   size_t ParamMemoryBytes() const;
   size_t AuxMemoryBytes() const;
+
+  /// Fills the PS-owned fields of a live-introspection snapshot
+  /// (hetps.status.v1): clock table (per-worker clock/staleness/
+  /// liveness, cmin/cmax) under L1 only, per-shard key counts and
+  /// version stamps via monitoring-grade reads — no L2 shard mutex is
+  /// ever taken, so a scrape can never stall the push hot path. The
+  /// serving plane (PsService / trainer / simulator) decorates the
+  /// remaining fields (heartbeat ages, push-window state, loans).
+  void BuildStatusSnapshot(StatusSnapshot* snap) const;
 
   /// Checkpointing (Appendix D failure recovery); see ps/checkpoint.h for
   /// the file-level helpers. Both ends must use the same configuration.

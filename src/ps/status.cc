@@ -1,0 +1,140 @@
+#include "ps/status.h"
+
+#include "obs/json.h"
+
+namespace hetps {
+
+std::string StatusSnapshot::ToJson() const {
+  std::string os = "{\"schema\":\"hetps.status.v1\"";
+  os += ",\"source\":\"" + JsonEscape(source) + "\"";
+  os += ",\"ts_us\":" + std::to_string(ts_us);
+  os += ",\"cmin\":" + std::to_string(cmin);
+  os += ",\"cmax\":" + std::to_string(cmax);
+  os += ",\"num_workers\":" + std::to_string(num_workers);
+  os += ",\"num_live_workers\":" + std::to_string(num_live_workers);
+  os += ",\"total_pushes\":" + std::to_string(total_pushes);
+  os += ",\"blocked_workers\":";
+  AppendJsonDouble(&os, blocked_workers);
+  os += ",\"push\":{\"inflight\":";
+  AppendJsonDouble(&os, push_inflight);
+  os += ",\"window\":" + std::to_string(push_window) + "}";
+  os += ",\"rebalance\":{\"examples_moved\":" +
+        std::to_string(examples_moved) +
+        ",\"examples_returned\":" + std::to_string(examples_returned) +
+        ",\"migrations\":" + std::to_string(migrations) + "}";
+  os += ",\"workers\":[";
+  for (size_t i = 0; i < workers.size(); ++i) {
+    const WorkerStatus& w = workers[i];
+    if (i) os += ',';
+    os += "{\"worker\":" + std::to_string(w.worker) +
+          ",\"clock\":" + std::to_string(w.clock) +
+          ",\"staleness\":" + std::to_string(w.staleness) +
+          ",\"live\":" + (w.live ? "true" : "false") +
+          ",\"last_beat_age_s\":";
+    AppendJsonDouble(&os, w.last_beat_age_s);
+    os += ",\"loans_out\":" + std::to_string(w.loans_out) + "}";
+  }
+  os += "],\"shards\":[";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardStatus& s = shards[i];
+    if (i) os += ',';
+    os += "{\"partition\":" + std::to_string(s.partition) +
+          ",\"keys\":" + std::to_string(s.keys) +
+          ",\"data_version\":" + std::to_string(s.data_version) +
+          ",\"push_count\":" + std::to_string(s.push_count) +
+          ",\"param_bytes\":" + std::to_string(s.param_bytes) + "}";
+  }
+  os += "]}";
+  return os;
+}
+
+namespace {
+
+Status RequireNumber(const JsonValue& obj, const char* field,
+                     const std::string& context) {
+  const JsonValue* v = obj.Find(field);
+  if (v == nullptr || !v->is_number()) {
+    return Status::InvalidArgument(context + ": missing numeric \"" +
+                                   field + "\"");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateStatusJson(const std::string& text) {
+  auto parsed = ParseJson(text);
+  HETPS_RETURN_NOT_OK(parsed.status());
+  const JsonValue& doc = parsed.value();
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("status.json: not an object");
+  }
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string_value != "hetps.status.v1") {
+    return Status::InvalidArgument(
+        "status.json: schema is not \"hetps.status.v1\"");
+  }
+  for (const char* field :
+       {"ts_us", "cmin", "cmax", "num_workers", "num_live_workers",
+        "total_pushes", "blocked_workers"}) {
+    HETPS_RETURN_NOT_OK(RequireNumber(doc, field, "status.json"));
+  }
+  const JsonValue* push = doc.Find("push");
+  if (push == nullptr || !push->is_object()) {
+    return Status::InvalidArgument(
+        "status.json: missing \"push\" object");
+  }
+  HETPS_RETURN_NOT_OK(RequireNumber(*push, "inflight", "status.json push"));
+  HETPS_RETURN_NOT_OK(RequireNumber(*push, "window", "status.json push"));
+  const JsonValue* workers = doc.Find("workers");
+  if (workers == nullptr || !workers->is_array()) {
+    return Status::InvalidArgument(
+        "status.json: missing \"workers\" array");
+  }
+  const double cmin = doc.Find("cmin")->number_value;
+  const double cmax = doc.Find("cmax")->number_value;
+  size_t i = 0;
+  for (const JsonValue& w : workers->array) {
+    const std::string context = "workers[" + std::to_string(i++) + "]";
+    if (!w.is_object()) {
+      return Status::InvalidArgument(context + " is not an object");
+    }
+    for (const char* field : {"worker", "clock", "staleness"}) {
+      HETPS_RETURN_NOT_OK(RequireNumber(w, field, context));
+    }
+    const JsonValue* live = w.Find("live");
+    if (live == nullptr || !live->is_bool()) {
+      return Status::InvalidArgument(context + ": missing bool \"live\"");
+    }
+    // The SSP frontier invariant the introspection plane exists to
+    // expose: every *live* worker's finished clock sits inside
+    // [cmin, cmax]. Evicted workers may read anything.
+    if (live->bool_value) {
+      const double clock = w.Find("clock")->number_value;
+      if (clock < cmin || clock > cmax) {
+        return Status::InvalidArgument(
+            context + ": live clock outside [cmin, cmax]");
+      }
+    }
+  }
+  const JsonValue* shards = doc.Find("shards");
+  if (shards == nullptr || !shards->is_array()) {
+    return Status::InvalidArgument(
+        "status.json: missing \"shards\" array");
+  }
+  i = 0;
+  for (const JsonValue& s : shards->array) {
+    const std::string context = "shards[" + std::to_string(i++) + "]";
+    if (!s.is_object()) {
+      return Status::InvalidArgument(context + " is not an object");
+    }
+    for (const char* field :
+         {"partition", "keys", "data_version", "push_count"}) {
+      HETPS_RETURN_NOT_OK(RequireNumber(s, field, context));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hetps

@@ -1,0 +1,84 @@
+#ifndef HETPS_PS_STATUS_H_
+#define HETPS_PS_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hetps {
+
+/// Live cluster-state snapshot (wire schema `hetps.status.v1`) — the
+/// answer to "what is the cluster doing *right now*": per-worker clock
+/// frontier and liveness, cmin/cmax, loan-ledger balances, push-window
+/// inflight depth, and per-shard key counts. Assembled by
+/// ParameterServer::BuildStatusSnapshot (clock table under L1 only;
+/// shard fields via monitoring-grade reads, never an L2 shard mutex)
+/// and decorated by whichever plane serves it: PsService adds heartbeat
+/// ages and push-window state, DistributedTrainer adds loan balances,
+/// the event simulator fills the same fields from virtual time so tests
+/// see one schema everywhere.
+struct WorkerStatus {
+  int worker = -1;
+  int clock = 0;
+  /// clock - cmin at snapshot time (>= 0 for live workers).
+  int staleness = 0;
+  bool live = true;
+  /// Seconds since the worker's last heartbeat; < 0 = unknown (no
+  /// monitor on this plane).
+  double last_beat_age_s = -1.0;
+  /// Net examples currently lent out (+) or borrowed (-) by this worker
+  /// on the rebalancer's loan ledger. 0 when rebalancing is off.
+  int64_t loans_out = 0;
+};
+
+struct ShardStatus {
+  int partition = -1;
+  int64_t keys = 0;          // partition dimension
+  int64_t data_version = 0;  // monotone per-shard push stamp
+  int64_t push_count = 0;
+  int64_t param_bytes = 0;
+};
+
+struct StatusSnapshot {
+  /// Producer plane: "service" (live RPC runtime) or "sim" (event
+  /// simulator, virtual time).
+  std::string source = "service";
+  /// Wall or virtual microseconds, producer-defined epoch.
+  int64_t ts_us = 0;
+
+  int cmin = 0;
+  int cmax = 0;
+  int num_workers = 0;
+  int num_live_workers = 0;
+  int64_t total_pushes = 0;
+  /// ps.blocked_workers gauge (0 when never set).
+  double blocked_workers = 0.0;
+
+  /// Push pipeline: inflight pushes across workers and the configured
+  /// window depth (0 = synchronous push path).
+  double push_inflight = 0.0;
+  int push_window = 0;
+
+  /// Rebalancer totals (all 0 when rebalancing is off).
+  int64_t examples_moved = 0;
+  int64_t examples_returned = 0;
+  int64_t migrations = 0;
+
+  std::vector<WorkerStatus> workers;
+  std::vector<ShardStatus> shards;
+
+  /// Renders the `hetps.status.v1` JSON document.
+  std::string ToJson() const;
+};
+
+/// Structural checker for a status snapshot JSON (CLI `check-obs
+/// --status=`, tests, CI). Verifies the schema tag, required numeric
+/// fields, the workers/shards arrays, and the SSP frontier invariant
+/// cmin <= clock <= cmax for every live worker.
+Status ValidateStatusJson(const std::string& text);
+
+}  // namespace hetps
+
+#endif  // HETPS_PS_STATUS_H_

@@ -382,6 +382,38 @@ class Simulation {
     if (monitor_ != nullptr) monitor_->Beat(NodeName(worker), now_);
   }
 
+  /// Assembles the same hetps.status.v1 view the live service serves
+  /// over kStatus, in virtual time. Single-threaded, so no locking.
+  void BuildSimStatus(StatusSnapshot* snap) const {
+    ps_->BuildStatusSnapshot(snap);
+    snap->source = "sim";
+    snap->ts_us = static_cast<int64_t>(now_ * 1e6);
+    snap->blocked_workers = static_cast<int64_t>(blocked_.size());
+    snap->push_window = options_.push_window;
+    if (options_.push_window >= 1) {
+      int64_t inflight = 0;
+      for (const WorkerSim& w : workers_) {
+        inflight +=
+            static_cast<int64_t>(w.outstanding_push_arrivals.size());
+      }
+      snap->push_inflight = inflight;
+    }
+    for (WorkerStatus& w : snap->workers) {
+      if (monitor_ != nullptr) {
+        w.last_beat_age_s =
+            monitor_->SecondsSinceLastBeat(NodeName(w.worker), now_);
+      }
+      if (lb_ != nullptr) {
+        w.loans_out = static_cast<int64_t>(lb_->OutstandingLoans(w.worker));
+      }
+    }
+    if (lb_ != nullptr) {
+      snap->examples_moved = lb_->examples_moved();
+      snap->examples_returned = lb_->examples_returned();
+      snap->migrations = lb_->migrations();
+    }
+  }
+
   void HandleStartClock(int worker) {
     WorkerSim& w = workers_[static_cast<size_t>(worker)];
     // Injected crash-stop: the worker dies just before starting this
@@ -468,6 +500,11 @@ class Simulation {
     }
     if (worker == 0 && options_.on_epoch) {
       options_.on_epoch(w.clock + 1);
+    }
+    if (worker == 0 && options_.on_status) {
+      StatusSnapshot snap;
+      BuildSimStatus(&snap);
+      options_.on_status(snap);
     }
 
     // Algorithm 1 lines 8-9: refresh the replica only when cp is too

@@ -14,6 +14,7 @@
 #include "math/loss.h"
 #include "obs/breakdown.h"
 #include "ps/partition.h"
+#include "ps/status.h"
 #include "sim/cluster_config.h"
 #include "sim/mitigation.h"
 
@@ -82,6 +83,12 @@ struct SimOptions {
   /// Called after each of worker 0's clocks completes (1-based count);
   /// RunReporter::OnEpoch hooks in here. Runs on the simulator thread.
   std::function<void(int)> on_epoch;
+  /// Called after each of worker 0's clocks with the same hetps.status.v1
+  /// cluster snapshot the live service serves over kStatus — source set
+  /// to "sim", timestamps in *virtual* microseconds, push/loan/liveness
+  /// fields filled from the simulated planes. Runs on the simulator
+  /// thread.
+  std::function<void(const StatusSnapshot&)> on_status;
   /// When set, the simulator closes one time-series window per worker-0
   /// clock via SnapshotAt, stamped with *virtual* time — so windows line
   /// up with the simulated trace and flight record instead of with the

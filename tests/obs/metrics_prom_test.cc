@@ -1,0 +1,172 @@
+// Prometheus exposition conformance: label-value escaping per the text
+// format spec (backslash, double-quote, newline are the three escapes),
+// OpenMetrics-style histogram exemplars, and the kMetricsScrape delta
+// path (scrape N minus scrape N−1).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace hetps {
+namespace {
+
+TEST(MetricsPromTest, EscapesAdversarialLabelValues) {
+  MetricsRegistry registry;
+  // One of each escape-worthy character, plus an innocent bystander.
+  registry.counter("rpc.err", {{"msg", "back\\slash"}})->Increment();
+  registry.counter("rpc.err", {{"msg", "say \"hi\""}})->Increment(2);
+  registry.counter("rpc.err", {{"msg", "line1\nline2"}})->Increment(3);
+  registry.counter("rpc.err", {{"msg", "plain"}})->Increment(4);
+  const std::string text = registry.PrometheusText();
+
+  EXPECT_NE(text.find("rpc_err{msg=\"back\\\\slash\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rpc_err{msg=\"say \\\"hi\\\"\"} 2"),
+            std::string::npos)
+      << text;
+  // The newline must be the two characters '\' 'n', never a raw line
+  // break mid-value (which would corrupt the line-oriented format).
+  EXPECT_NE(text.find("rpc_err{msg=\"line1\\nline2\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("line1\nline2"), std::string::npos) << text;
+  EXPECT_NE(text.find("rpc_err{msg=\"plain\"} 4"), std::string::npos)
+      << text;
+}
+
+TEST(MetricsPromTest, EveryLineIsWellFormedDespiteHostileValues) {
+  MetricsRegistry registry;
+  registry.gauge("g", {{"v", "a\nb\"c\\d"}})->Set(1.5);
+  registry.histogram("h", {{"v", "x\ny"}})->RecordInt(7);
+  const std::string text = registry.PrometheusText();
+  // Line-oriented format: every non-comment line is `series value` (or
+  // `series value # exemplar`); a leaked raw newline would leave a line
+  // with no space separator.
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos) << "bad line: " << line;
+    }
+    pos = eol + 1;
+  }
+}
+
+TEST(MetricsPromTest, HistogramExemplarRendersOnTailBucket) {
+  BucketedHistogram::SetExemplarsEnabled(true);
+  MetricsRegistry registry;
+  HistogramMetric* h = registry.histogram("rpc.handle_us");
+  for (int i = 0; i < 100; ++i) h->RecordInt(10, 7);
+  h->RecordInt(50000, 4242);  // the tail sample whose trace we keep
+  const std::string text = registry.PrometheusText();
+  BucketedHistogram::SetExemplarsEnabled(false);
+
+  const size_t pos = text.find("# {trace_id=\"4242\"} 50000");
+  ASSERT_NE(pos, std::string::npos) << text;
+  // The exemplar rides on a _bucket line of this family.
+  const size_t line_start = text.rfind('\n', pos) + 1;
+  EXPECT_EQ(text.compare(line_start, 23, "rpc_handle_us_bucket{le"), 0)
+      << text.substr(line_start, 60);
+}
+
+TEST(MetricsPromTest, ExemplarsOffByDefaultAndWithoutTraceId) {
+  MetricsRegistry registry;
+  HistogramMetric* h = registry.histogram("lat");
+  h->RecordInt(999, 13);  // disabled: dropped
+  EXPECT_TRUE(h->Exemplars().empty());
+
+  BucketedHistogram::SetExemplarsEnabled(true);
+  h->RecordInt(999, 0);  // no trace context: nothing to link
+  EXPECT_TRUE(h->Exemplars().empty());
+  h->RecordInt(999, 77);
+  BucketedHistogram::SetExemplarsEnabled(false);
+  ASSERT_EQ(h->Exemplars().size(), 1u);
+  EXPECT_EQ(h->Exemplars()[0].trace_id, 77u);
+  EXPECT_EQ(h->Exemplars()[0].value, 999);
+}
+
+TEST(MetricsPromTest, ExemplarSlotZeroTracksTheMaximum) {
+  BucketedHistogram::SetExemplarsEnabled(true);
+  BucketedHistogram h;
+  h.RecordInt(100, 1);
+  h.RecordInt(5000, 2);  // new max displaces slot 0
+  h.RecordInt(60, 3);    // below the tail band: not retained
+  BucketedHistogram::SetExemplarsEnabled(false);
+  const std::vector<HistogramExemplar> ex = h.Exemplars();
+  bool found_max = false;
+  for (const HistogramExemplar& e : ex) {
+    EXPECT_NE(e.trace_id, 3u);
+    if (e.value == 5000 && e.trace_id == 2u) found_max = true;
+  }
+  EXPECT_TRUE(found_max);
+}
+
+TEST(MetricsPromTest, JsonSnapshotCarriesExemplars) {
+  BucketedHistogram::SetExemplarsEnabled(true);
+  MetricsRegistry registry;
+  registry.histogram("rpc.handle_us")->RecordInt(1234, 99);
+  const std::string json = registry.JsonSnapshot();
+  BucketedHistogram::SetExemplarsEnabled(false);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* hist =
+      parsed.value().Find("histograms")->Find("rpc.handle_us");
+  ASSERT_NE(hist, nullptr);
+  const JsonValue* exemplars = hist->Find("exemplars");
+  ASSERT_NE(exemplars, nullptr);
+  ASSERT_EQ(exemplars->array.size(), 1u);
+  EXPECT_DOUBLE_EQ(exemplars->array[0].Find("trace_id")->number_value,
+                   99.0);
+  EXPECT_DOUBLE_EQ(exemplars->array[0].Find("value")->number_value,
+                   1234.0);
+}
+
+TEST(MetricsPromTest, DeltaJsonReportsChangesSincePreviousScrape) {
+  MetricsRegistry registry;
+  registry.counter("pushes")->Increment(10);
+  registry.gauge("mem")->Set(100.0);
+  registry.histogram("lat")->RecordInt(5);
+  const MetricsSnapshot first = registry.SnapshotValues();
+
+  registry.counter("pushes")->Increment(7);
+  registry.counter("fresh")->Increment(3);  // born between scrapes
+  registry.gauge("mem")->Set(250.0);
+  registry.histogram("lat")->RecordInt(9);
+  const MetricsSnapshot second = registry.SnapshotValues();
+
+  auto parsed = ParseJson(MetricsDeltaJson(first, second));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = parsed.value();
+  // Counters and histograms are rates: cur − prev (absent prev = 0).
+  EXPECT_DOUBLE_EQ(doc.Find("counters")->Find("pushes")->number_value,
+                   7.0);
+  EXPECT_DOUBLE_EQ(doc.Find("counters")->Find("fresh")->number_value,
+                   3.0);
+  const JsonValue* lat = doc.Find("histograms")->Find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->Find("count")->number_value, 1.0);
+  EXPECT_DOUBLE_EQ(lat->Find("sum")->number_value, 9.0);
+  // Gauges are levels, not rates: current value, never a difference.
+  EXPECT_DOUBLE_EQ(doc.Find("gauges")->Find("mem")->number_value, 250.0);
+}
+
+TEST(MetricsPromTest, DeltaAgainstEmptyBaseIsTheFullScrape) {
+  MetricsRegistry registry;
+  registry.counter("pushes")->Increment(4);
+  auto parsed = ParseJson(
+      MetricsDeltaJson(MetricsSnapshot(), registry.SnapshotValues()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(
+      parsed.value().Find("counters")->Find("pushes")->number_value, 4.0);
+}
+
+}  // namespace
+}  // namespace hetps

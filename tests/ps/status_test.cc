@@ -1,0 +1,130 @@
+// The kStatus snapshot: assembly from a live ParameterServer
+// (BuildStatusSnapshot), the hetps.status.v1 JSON rendering, and the
+// validator — including the cmin <= live clock <= cmax invariant the
+// TSan scrape hammer leans on.
+
+#include "ps/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/dyn_sgd.h"
+#include "obs/json.h"
+#include "ps/parameter_server.h"
+
+namespace hetps {
+namespace {
+
+PsOptions SmallOptions() {
+  PsOptions opts;
+  opts.num_servers = 2;
+  opts.partitions_per_server = 2;
+  opts.sync = SyncPolicy::Ssp(2);
+  return opts;
+}
+
+TEST(StatusTest, SnapshotReflectsClockTableAndShards) {
+  SspRule rule;
+  ParameterServer ps(16, 3, rule, SmallOptions());
+  ps.Push(0, 0, SparseVector({1}, {1.0}));
+  ps.Push(0, 1, SparseVector({2}, {1.0}));
+  ps.Push(1, 0, SparseVector({3}, {1.0}));
+  ps.Push(2, 0, SparseVector({4}, {1.0}));
+
+  StatusSnapshot snap;
+  ps.BuildStatusSnapshot(&snap);
+  EXPECT_EQ(snap.cmin, 1);
+  EXPECT_EQ(snap.cmax, 2);
+  EXPECT_EQ(snap.num_workers, 3);
+  EXPECT_EQ(snap.num_live_workers, 3);
+  EXPECT_EQ(snap.total_pushes, 4);
+  ASSERT_EQ(snap.workers.size(), 3u);
+  EXPECT_EQ(snap.workers[0].clock, 2);
+  EXPECT_EQ(snap.workers[0].staleness, 1);
+  EXPECT_EQ(snap.workers[1].clock, 1);
+  EXPECT_EQ(snap.workers[1].staleness, 0);
+  // 2 servers x 2 partitions, keys partitioned over dim 16.
+  ASSERT_EQ(snap.shards.size(), 4u);
+  int64_t keys = 0;
+  for (const ShardStatus& s : snap.shards) keys += s.keys;
+  EXPECT_EQ(keys, 16);
+}
+
+TEST(StatusTest, EvictionDropsWorkerFromLiveSetNotFromListing) {
+  SspRule rule;
+  ParameterServer ps(8, 3, rule, SmallOptions());
+  ps.Push(0, 0, SparseVector());
+  ps.Push(1, 0, SparseVector());
+  ps.Push(2, 0, SparseVector());
+  ASSERT_TRUE(ps.EvictWorker(2));
+
+  StatusSnapshot snap;
+  ps.BuildStatusSnapshot(&snap);
+  EXPECT_EQ(snap.num_workers, 3);
+  EXPECT_EQ(snap.num_live_workers, 2);
+  ASSERT_EQ(snap.workers.size(), 3u);
+  EXPECT_FALSE(snap.workers[2].live);
+  // An evicted worker's frozen clock may trail cmin; the validator must
+  // only bind *live* clocks to the [cmin, cmax] window.
+  const Status st = ValidateStatusJson(snap.ToJson());
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(StatusTest, JsonRoundTripsThroughValidatorAndParser) {
+  SspRule rule;
+  ParameterServer ps(8, 2, rule, SmallOptions());
+  ps.Push(0, 0, SparseVector({1}, {2.0}));
+  ps.Push(1, 0, SparseVector());
+
+  StatusSnapshot snap;
+  ps.BuildStatusSnapshot(&snap);
+  snap.source = "service";
+  snap.ts_us = 123456;
+  snap.push_inflight = 3;
+  snap.push_window = 4;
+  snap.workers[0].loans_out = 5;
+  snap.examples_moved = 100;
+  const std::string json = snap.ToJson();
+  const Status st = ValidateStatusJson(json);
+  EXPECT_TRUE(st.ok()) << st.ToString() << "\n" << json;
+
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& doc = parsed.value();
+  EXPECT_EQ(doc.Find("schema")->string_value, "hetps.status.v1");
+  EXPECT_EQ(doc.Find("source")->string_value, "service");
+  EXPECT_DOUBLE_EQ(doc.Find("push")->Find("inflight")->number_value, 3.0);
+  EXPECT_DOUBLE_EQ(doc.Find("push")->Find("window")->number_value, 4.0);
+  EXPECT_DOUBLE_EQ(
+      doc.Find("workers")->array[0].Find("loans_out")->number_value, 5.0);
+  EXPECT_DOUBLE_EQ(
+      doc.Find("rebalance")->Find("examples_moved")->number_value, 100.0);
+}
+
+TEST(StatusTest, ValidatorRejectsLiveClockOutsideWindow) {
+  StatusSnapshot snap;
+  snap.cmin = 5;
+  snap.cmax = 8;
+  snap.num_workers = 1;
+  snap.num_live_workers = 1;
+  WorkerStatus w;
+  w.worker = 0;
+  w.clock = 3;  // live but below cmin: the invariant the scraper checks
+  w.live = true;
+  snap.workers.push_back(w);
+  const Status st = ValidateStatusJson(snap.ToJson());
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("outside [cmin, cmax]"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(StatusTest, ValidatorRejectsWrongSchemaAndMissingFields) {
+  EXPECT_FALSE(ValidateStatusJson("{}").ok());
+  EXPECT_FALSE(
+      ValidateStatusJson("{\"schema\":\"hetps.metrics.v1\"}").ok());
+  EXPECT_FALSE(ValidateStatusJson("not json at all").ok());
+}
+
+}  // namespace
+}  // namespace hetps

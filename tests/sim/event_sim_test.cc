@@ -461,5 +461,64 @@ TEST(EventSimRebalanceTest, TransientCongestionRoundTrips) {
   EXPECT_EQ(r.workers_evicted, 0);
 }
 
+TEST(EventSimStatusTest, ServesValidSnapshotsInVirtualTime) {
+  // The simulator serves the same hetps.status.v1 snapshot the live
+  // service answers over kStatus — source "sim", virtual timestamps,
+  // every snapshot internally consistent (cmin <= live clocks <= cmax).
+  const Dataset d = TestData();
+  ConRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  SimOptions opts = FastOptions();
+  opts.sync = SyncPolicy::Ssp(3);
+  std::vector<StatusSnapshot> snaps;
+  opts.on_status = [&](const StatusSnapshot& s) { snaps.push_back(s); };
+  RunSimulation(d, ClusterConfig::WithStragglers(4, 2, 2.0, 0.2), rule,
+                sched, loss, opts);
+  ASSERT_EQ(snaps.size(), static_cast<size_t>(opts.max_clocks));
+  int64_t prev_ts = -1;
+  for (const StatusSnapshot& s : snaps) {
+    EXPECT_EQ(s.source, "sim");
+    EXPECT_GE(s.ts_us, prev_ts);  // virtual time is monotone
+    prev_ts = s.ts_us;
+    EXPECT_EQ(s.num_workers, 4);
+    const Status valid = ValidateStatusJson(s.ToJson());
+    EXPECT_TRUE(valid.ok()) << valid.ToString();
+  }
+  // The snapshot counts *received* pushes: by the last probe worker 0
+  // has finished max_clocks clocks but its final push is still in
+  // flight, so the table shows at least max_clocks - 1.
+  EXPECT_GE(snaps.back().workers[0].clock, opts.max_clocks - 1);
+}
+
+TEST(EventSimStatusTest, SnapshotSeesEvictionAndLoanState) {
+  // Kill a worker with the liveness plane armed: post-eviction
+  // snapshots must show 3/4 live with the victim marked dead, and keep
+  // validating (the evicted clock is exempt from the window invariant).
+  const Dataset d = TestData();
+  ConRule rule;
+  FixedRate sched(0.5);
+  LogisticLoss loss;
+  SimOptions opts = FastOptions();
+  opts.sync = SyncPolicy::Ssp(3);
+  opts.kill_worker = 3;
+  opts.kill_at_clock = 3;
+  opts.heartbeat_timeout_seconds = 10.0;
+  std::vector<StatusSnapshot> snaps;
+  opts.on_status = [&](const StatusSnapshot& s) { snaps.push_back(s); };
+  RunSimulation(d, ClusterConfig::Homogeneous(4, 2), rule, sched, loss,
+                opts);
+  ASSERT_FALSE(snaps.empty());
+  for (const StatusSnapshot& s : snaps) {
+    const Status valid = ValidateStatusJson(s.ToJson());
+    EXPECT_TRUE(valid.ok()) << valid.ToString();
+  }
+  EXPECT_EQ(snaps.back().num_live_workers, 3);
+  EXPECT_FALSE(snaps.back().workers[3].live);
+  // Before the kill the victim was beating like everyone else.
+  EXPECT_TRUE(snaps.front().workers[3].live);
+  EXPECT_EQ(snaps.front().num_live_workers, 4);
+}
+
 }  // namespace
 }  // namespace hetps
